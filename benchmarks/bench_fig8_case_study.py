@@ -1,0 +1,131 @@
+"""Fig. 8 — the repair case study on a live simulated instance.
+
+Replays the paper's production timeline: a row-lock anomaly develops;
+the user manually throttles the Top-1 SQL by response time (an H-SQL),
+which relieves the symptoms only partially and hurts that query's
+business; the throttle is lifted and the anomaly returns; PinSQL then
+pinpoints the R-SQL and the suggested query optimization resolves the
+anomaly fundamentally.
+
+Paper reference (Fig. 8 and its three observations): (1) switching the
+Top-SQL throttle off brings the anomaly back; (2) even under the
+throttle the metrics stay above normal; (3) acting on the R-SQL restores
+the metrics to normal.
+"""
+
+import numpy as np
+
+from repro.collection import LogStore, aggregate_query_log
+from repro.core import AnomalyCase, PinSQL, plan_optimization
+from repro.dbsim import DatabaseInstance
+from repro.sqltemplate import TemplateCatalog
+from repro.workload import (
+    AnomalyCategory,
+    WorkloadGenerator,
+    build_population,
+    inject_anomaly,
+)
+
+from benchmarks.conftest import write_report
+
+# Timeline (seconds).
+ONSET = 600           # anomaly begins
+THROTTLE_ON = 1100    # user throttles Top-RT #1
+THROTTLE_OFF = 1600   # user lifts the throttle (business impact)
+PINSQL_AT = 2100      # PinSQL analysis + optimization of the R-SQL
+HORIZON = 3000
+
+
+def _build_case(engine, population, anomaly_start):
+    metrics, _, _ = engine.monitor.finalize(engine.query_log)
+    templates = aggregate_query_log(engine.query_log, 0, engine.now)
+    logs = LogStore()
+    logs.ingest_query_log(engine.query_log)
+    catalog = TemplateCatalog()
+    for spec in population.specs.values():
+        catalog.register_template(spec.sql_id, spec.template, spec.kind, spec.tables)
+    return AnomalyCase(
+        metrics=metrics,
+        templates=templates,
+        logs=logs,
+        catalog=catalog,
+        anomaly_start=anomaly_start,
+        anomaly_end=engine.now,
+    )
+
+
+def test_fig8_repair_case_study(benchmark):
+    rng = np.random.default_rng(88)
+    population = build_population(HORIZON, rng, n_businesses=8)
+    truth = inject_anomaly(
+        population, rng, AnomalyCategory.ROW_LOCK, ONSET, HORIZON,
+        target_rate=(30.0, 40.0), lock_hold_ms=(200.0, 300.0),
+    )
+    generator = WorkloadGenerator(population)
+    instance = DatabaseInstance(schema=population.schema, cpu_cores=16, seed=9)
+    engine = instance.start(generator)
+
+    # Phase 1-2: baseline, then the anomaly develops.
+    engine.run(THROTTLE_ON)
+
+    # Phase 3: the user manually throttles the top SQL by response time.
+    # In the paper's case that Top-1 SQL was an affected H-SQL, not the
+    # root; we script the same situation by taking the top *victim* (the
+    # root itself may or may not top the RT page, depending on the draw).
+    case = _build_case(engine, population, ONSET)
+    lo, hi = case.anomaly_indices()
+    top_rt_id = max(
+        (sid for sid in case.sql_ids if sid not in truth.r_sql_ids),
+        key=lambda sid: case.templates.total_response_time(sid).values[lo:hi].sum(),
+    )
+    instance.throttle(top_rt_id, factor=0.05, start=THROTTLE_ON, end=THROTTLE_OFF)
+    engine.run(THROTTLE_OFF - engine.now)
+
+    # Phase 4: throttle lifted — the anomaly reappears.
+    engine.run(PINSQL_AT - engine.now)
+
+    # Phase 5: PinSQL pinpoints the R-SQL; query optimization executes.
+    case = _build_case(engine, population, ONSET)
+    analysis = PinSQL().analyze(case)
+    r_sql = analysis.rsql_ids[0]
+    action = plan_optimization(case, r_sql)
+    spec = population.specs[r_sql]
+    instance.apply_optimization(spec, action.rows_gain, max(action.tres_gain, 0.8))
+    engine.run(HORIZON - engine.now)
+    result = instance.finish()
+
+    session = result.metrics.active_session.values
+    phases = {
+        "baseline": session[120:ONSET - 20].mean(),
+        "anomaly": session[ONSET + 120:THROTTLE_ON - 20].mean(),
+        "throttled": session[THROTTLE_ON + 60:THROTTLE_OFF - 20].mean(),
+        "throttle off": session[THROTTLE_OFF + 60:PINSQL_AT - 20].mean(),
+        "after PinSQL": session[PINSQL_AT + 200:].mean(),
+    }
+    lines = [
+        "Fig. 8 — repair case study (mean active session per phase)",
+        f"root cause pinpointed: {r_sql} "
+        f"({'correct' if r_sql in truth.r_sql_ids else 'incorrect'}); "
+        f"manual throttle target was {top_rt_id} "
+        f"({'an H-SQL, not the root' if top_rt_id != r_sql else 'the root itself'})",
+        "",
+        f"{'phase':<14}{'active session':>16}",
+    ]
+    for name, value in phases.items():
+        lines.append(f"{name:<14}{value:>16.1f}")
+    write_report("fig8_case_study", "\n".join(lines))
+
+    # Shape checks: the paper's three observations.
+    assert r_sql in truth.r_sql_ids
+    assert phases["anomaly"] > 3 * phases["baseline"]
+    # (2) throttling the Top-SQL helps but does not restore normality.
+    assert phases["throttled"] < phases["anomaly"]
+    assert phases["throttled"] > 1.3 * phases["baseline"]
+    # (1) switching the throttle off brings the anomaly back.
+    assert phases["throttle off"] > 1.5 * phases["throttled"] or (
+        phases["throttle off"] > 0.7 * phases["anomaly"]
+    )
+    # (3) acting on the R-SQL resolves it fundamentally.
+    assert phases["after PinSQL"] < 2.0 * phases["baseline"]
+
+    benchmark(lambda: PinSQL().analyze(case))

@@ -1,0 +1,61 @@
+"""Table I — overall R-SQL / H-SQL identification results.
+
+Regenerates the paper's main comparison: Hits@1, Hits@5, MRR and running
+time of Top-RT / Top-ER / Top-EN / Top-All and PinSQL, on both the
+R-SQL and H-SQL ground truths of the synthetic ADAC corpus.
+
+Paper reference (Table I): PinSQL R-SQL H@1 = 80.4 vs Top-All 33.3;
+H-SQL H@1 = 97.6 vs Top-All 66.1; Top-RT is the best single baseline and
+Top-EN the worst; PinSQL runs in seconds, baselines in milliseconds.
+"""
+
+from repro.core import GrangerRanker, PinSQL
+from repro.evaluation import evaluate_competition, evaluate_ranker
+
+from benchmarks.conftest import write_report
+
+HEADER = (
+    f"{'Method':<10} {'R-H@1':>6} {'R-H@5':>6} {'R-MRR':>6} {'R-Time':>9}   "
+    f"{'H-H@1':>6} {'H-H@5':>6} {'H-MRR':>6} {'H-Time':>9}"
+)
+
+
+def test_table1_overall_results(corpus, benchmark):
+    reports = evaluate_competition(corpus)
+    lines = ["Table I — identifying R-SQLs and H-SQLs", HEADER]
+    lines += [rep.table_row() for rep in reports]
+    # Extension row: the linear autoregressive (Granger) method the paper
+    # discusses but skips — included to substantiate that it does not
+    # pinpoint R-SQLs at template scale (no assertion depends on it).
+    granger = evaluate_ranker(GrangerRanker(), corpus)
+    lines.append(granger.table_row())
+    pinsql_report = next(rep for rep in reports if rep.name == "PinSQL")
+    lines.append("")
+    lines.append("PinSQL R-SQL accuracy by anomaly category:")
+    for category, summary in pinsql_report.r_summary_by_category().items():
+        lines.append(f"  {category:<16} {summary}")
+    write_report("table1_overall", "\n".join(lines))
+
+    by_name = {rep.name: rep for rep in reports}
+    pinsql, top_all = by_name["PinSQL"], by_name["Top-All"]
+    # Shape checks against the paper's Table I.
+    assert pinsql.r_summary.hits_at_1 > top_all.r_summary.hits_at_1 + 10
+    # H-SQLs: PinSQL must match the best *single* baseline (Top-All is a
+    # per-case oracle over three rankings and can exceed any one method
+    # by a case or two).
+    best_single_h = max(
+        by_name[n].h_summary.hits_at_1 for n in ("Top-RT", "Top-ER", "Top-EN")
+    )
+    assert pinsql.h_summary.hits_at_1 >= best_single_h - 3.2
+    assert pinsql.h_summary.hits_at_1 >= 90.0
+    assert pinsql.r_summary.mrr > top_all.r_summary.mrr
+    assert by_name["Top-RT"].h_summary.hits_at_1 > by_name["Top-EN"].h_summary.hits_at_1
+    assert by_name["Top-EN"].r_summary.hits_at_1 <= by_name["Top-RT"].r_summary.hits_at_1
+    # Baselines answer in milliseconds; PinSQL in (fractions of) seconds,
+    # far below the anomaly durations it diagnoses.
+    assert by_name["Top-RT"].mean_r_time < 0.05
+    assert pinsql.mean_r_time < min(lc.case.anomaly_duration for lc in corpus)
+
+    # Benchmark the full PinSQL analysis on a representative case.
+    case = corpus[0].case
+    benchmark(lambda: PinSQL().analyze(case))

@@ -1,0 +1,91 @@
+"""Table III — individual active-session estimation quality.
+
+Regenerates the case study of paper Section VIII-F: the sum of estimated
+per-template active sessions is compared against the instance's real
+(SHOW STATUS-sampled) active session, under three methods:
+
+* Estimate by RT       — total response time per second;
+* Estimate w/o buckets — expectation over the whole second;
+* Estimate (K=10)      — bucketized estimation.
+
+Paper reference (Table III): bucketized estimation reaches Pearson 0.96
+(vs 0.92 without buckets and 0.54 by RT) and the lowest MSE, with ~1.7×
+correlation improvement over the RT baseline.
+"""
+
+import numpy as np
+
+from repro.collection import LogStore
+from repro.core import SessionEstimationMode, SessionEstimator
+from repro.dbsim import DatabaseInstance
+from repro.timeseries import pearson
+from repro.workload import (
+    AnomalyCategory,
+    WorkloadGenerator,
+    build_population,
+    inject_anomaly,
+)
+
+from benchmarks.conftest import write_report
+
+
+def _busy_trace(seed: int = 31, duration: int = 900):
+    """An anomaly trace — the regime the estimator is actually used in.
+
+    The session estimator runs when an anomaly was detected, so the
+    reference evaluation (as in the paper's case study) covers a window
+    with real session dynamics, not an idle steady state.
+    """
+    rng = np.random.default_rng(seed)
+    population = build_population(duration, rng, n_businesses=10)
+    inject_anomaly(
+        population, rng, AnomalyCategory.ROW_LOCK, duration // 2, duration
+    )
+    instance = DatabaseInstance(schema=population.schema, cpu_cores=16, seed=seed)
+    result = instance.run(WorkloadGenerator(population), duration=duration)
+    logs = LogStore()
+    logs.ingest_query_log(result.query_log)
+    sql_ids = result.query_log.sql_ids
+    return logs, sql_ids, result
+
+
+def test_table3_estimation_quality(benchmark):
+    logs, sql_ids, result = _busy_trace()
+    observed = result.metrics.active_session
+
+    rows = []
+    quality = {}
+    for label, mode in (
+        ("Estimate By RT", SessionEstimationMode.RESPONSE_TIME),
+        ("Estimate w/o buckets", SessionEstimationMode.NO_BUCKETS),
+        ("Estimate (K=10)", SessionEstimationMode.BUCKETS),
+    ):
+        estimator = SessionEstimator(mode, buckets=10)
+        estimate = estimator.estimate(logs, sql_ids, observed)
+        corr = pearson(estimate.total.values, observed.values)
+        mse = float(np.mean((estimate.total.values - observed.values) ** 2))
+        quality[label] = (corr, mse)
+        rows.append(f"{label:<22} {corr:10.2f} {mse:14.2f}")
+
+    report = "\n".join(
+        [
+            "Table III — estimated active session vs SHOW STATUS ground truth",
+            f"{'Method':<22} {'Pearson':>10} {'MSE':>14}",
+            *rows,
+        ]
+    )
+    write_report("table3_session_estimation", report)
+
+    # Shape checks against the paper's Table III: buckets > no-buckets >
+    # by-RT on correlation, with the bucketized MSE the lowest.
+    corr_rt, mse_rt = quality["Estimate By RT"]
+    corr_nb, mse_nb = quality["Estimate w/o buckets"]
+    corr_k, mse_k = quality["Estimate (K=10)"]
+    assert corr_k > corr_nb > corr_rt
+    assert corr_nb >= 0.8
+    assert corr_k >= 0.9
+    assert mse_k < mse_nb < mse_rt
+    assert mse_k < 0.2 * mse_rt  # an order-of-magnitude error reduction
+
+    estimator = SessionEstimator(SessionEstimationMode.BUCKETS, buckets=10)
+    benchmark(lambda: estimator.estimate(logs, sql_ids, observed))

@@ -1,0 +1,76 @@
+"""Table IV — QPS decline under Performance Schema configurations.
+
+Regenerates the stress test of paper Section VIII-F: a 32-thread
+closed-loop workload on a 4-core instance (20 tables × 10 M rows in the
+paper) under five Performance Schema configurations × three workload
+flavours, reporting QPS and the decline rate versus the ``normal``
+configuration.
+
+Paper reference (Table IV): normal QPS ≈ 73 k / 42 k / 37 k for
+RO / RW / WO; declines range from ~8 % (pfs) to ~30 % (pfs+con+ins).
+"""
+
+from repro.dbsim import (
+    PerformanceSchemaConfig,
+    StressWorkloadKind,
+    run_stress_test,
+)
+
+from benchmarks.conftest import write_report
+
+CONFIGS = (
+    PerformanceSchemaConfig.normal(),
+    PerformanceSchemaConfig.pfs(),
+    PerformanceSchemaConfig.pfs_ins(),
+    PerformanceSchemaConfig.pfs_con(),
+    PerformanceSchemaConfig.pfs_con_ins(),
+)
+
+WORKLOADS = (
+    StressWorkloadKind.READ_ONLY,
+    StressWorkloadKind.READ_WRITE,
+    StressWorkloadKind.WRITE_ONLY,
+)
+
+
+def test_table4_pfs_overhead(benchmark):
+    results = {}
+    seed = 0
+    for workload in WORKLOADS:
+        for config in CONFIGS:
+            seed += 1
+            results[(workload, config.label)] = run_stress_test(
+                config, workload, threads=32, cpu_cores=4, seed=seed
+            )
+
+    lines = [
+        "Table IV — QPS and decline rate under Performance Schema configs",
+        f"{'Config':<14}" + "".join(f"{w.value:>22}" for w in WORKLOADS),
+        f"{'':<14}" + "".join(f"{'QPS':>14}{'↓QPS%':>8}" for _ in WORKLOADS),
+    ]
+    for config in CONFIGS:
+        row = f"{config.label:<14}"
+        for workload in WORKLOADS:
+            res = results[(workload, config.label)]
+            base = results[(workload, "normal")]
+            decline = res.decline_vs(base)
+            row += f"{res.qps:14,.0f}{decline:8.2f}"
+        lines.append(row)
+    write_report("table4_pfs_overhead", "\n".join(lines))
+
+    # Shape checks against the paper's Table IV.
+    for workload in WORKLOADS:
+        base = results[(workload, "normal")]
+        pfs = results[(workload, "pfs")].decline_vs(base)
+        full = results[(workload, "pfs+con+ins")].decline_vs(base)
+        assert 5.0 < pfs < 20.0
+        assert 20.0 < full < 40.0
+        assert full > pfs
+    ro = results[(StressWorkloadKind.READ_ONLY, "normal")]
+    assert 65_000 < ro.qps < 80_000  # paper: 72,983
+
+    benchmark(
+        lambda: run_stress_test(
+            PerformanceSchemaConfig.pfs_con_ins(), StressWorkloadKind.READ_WRITE
+        )
+    )

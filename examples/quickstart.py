@@ -1,0 +1,59 @@
+"""Quickstart: diagnose a simulated cloud-database anomaly with PinSQL.
+
+Generates one labelled anomaly case end-to-end (microservice workload →
+injected root cause → simulated instance → detected anomaly window),
+runs the PinSQL pipeline on it, and prints the ranked root-cause and
+high-impact SQL templates next to the ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import PinSQL
+from repro.evaluation import CorpusConfig, generate_case
+from repro.workload import AnomalyCategory
+
+
+def main() -> None:
+    cfg = CorpusConfig(delta_start_s=600, anomaly_length_s=(240, 360))
+    labeled = generate_case(seed=42, cfg=cfg, category=AnomalyCategory.ROW_LOCK)
+    case = labeled.case
+
+    print("=== Anomaly case ===")
+    print(f"category        : {labeled.category.value}")
+    print(f"window          : [{case.anomaly_start}, {case.anomaly_end}) s "
+          f"(detected by the anomaly-detection module: {labeled.detected})")
+    print(f"templates       : {len(case.sql_ids)}")
+    print(f"queries logged  : {case.logs.total_queries():,}")
+    session = case.active_session.values
+    lo, hi = case.anomaly_indices()
+    print(f"active session  : baseline ~{session[:lo].mean():.1f} → "
+          f"anomaly ~{session[lo:hi].mean():.1f}")
+
+    result = PinSQL().analyze(case)
+
+    print("\n=== PinSQL analysis "
+          f"({result.timings.total:.2f} s) ===")
+    print("\nTop-5 R-SQLs (root causes):")
+    for i, (sql_id, score) in enumerate(result.rsql.ranked[:5], start=1):
+        info = case.catalog.get(sql_id)
+        marker = " <-- ground truth" if sql_id in labeled.r_sqls else ""
+        text = info.template if info else "?"
+        print(f"  {i}. [{sql_id}] corr={score:+.2f}  {text[:70]}{marker}")
+
+    print("\nTop-5 H-SQLs (direct causes of the session anomaly):")
+    for i, s in enumerate(result.hsql.scores[:5], start=1):
+        info = case.catalog.get(s.sql_id)
+        marker = " <-- ground truth" if s.sql_id in labeled.h_sqls else ""
+        text = info.template if info else "?"
+        print(f"  {i}. [{s.sql_id}] impact={s.impact:+.2f}  {text[:68]}{marker}")
+
+    print("\nStage timings:")
+    t = result.timings
+    print(f"  session estimation      : {t.session_estimation:.3f} s")
+    print(f"  H-SQL ranking           : {t.hsql_ranking:.3f} s")
+    print(f"  clustering & filtering  : {t.clustering_and_filtering:.3f} s")
+    print(f"  history verification    : {t.history_verification:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+Four subcommands cover the adoption path:
+
+* ``repro generate``  — synthesise a labelled anomaly case to a file;
+* ``repro diagnose``  — run PinSQL on a saved case and print the report;
+* ``repro evaluate``  — run the Table-I comparison over a corpus;
+* ``repro demo``      — generate-and-diagnose in one go.
+
+Invoke as ``python -m repro <subcommand>``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the ``repro`` argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PinSQL reproduction: pinpoint root-cause SQLs in cloud databases.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a labelled anomaly case")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument(
+        "--category",
+        choices=["business_spike", "poor_sql", "mdl_lock", "row_lock", "random"],
+        default="random",
+    )
+    gen.add_argument("--delta-start", type=int, default=900,
+                     help="seconds of pre-anomaly context (δs)")
+    gen.add_argument("--anomaly-length", type=int, default=450)
+    gen.add_argument("--businesses", type=int, default=8)
+    gen.add_argument("--out", type=Path, required=True, help="output .npz path")
+
+    diag = sub.add_parser("diagnose", help="diagnose a saved anomaly case")
+    diag.add_argument("case", type=Path, help=".npz case file")
+    diag.add_argument("--top-k", type=int, default=5)
+    diag.add_argument("--no-buckets", action="store_true",
+                      help="disable bucketized session estimation")
+    diag.add_argument("--suggest-repairs", action="store_true")
+
+    ev = sub.add_parser("evaluate", help="run the Table-I comparison")
+    group = ev.add_mutually_exclusive_group(required=True)
+    group.add_argument("--cases", type=Path, help="directory of saved cases")
+    group.add_argument("--generate", type=int, metavar="N",
+                       help="generate N cases on the fly")
+    ev.add_argument("--seed", type=int, default=0)
+
+    demo = sub.add_parser("demo", help="generate and diagnose one case")
+    demo.add_argument("--seed", type=int, default=42)
+    demo.add_argument(
+        "--category",
+        choices=["business_spike", "poor_sql", "mdl_lock", "row_lock"],
+        default="row_lock",
+    )
+    return parser
+
+
+def _corpus_config(args) -> "CorpusConfig":
+    from repro.evaluation import CorpusConfig
+
+    return CorpusConfig(
+        delta_start_s=getattr(args, "delta_start", 900),
+        anomaly_length_s=(
+            getattr(args, "anomaly_length", 450),
+            getattr(args, "anomaly_length", 450) + 1,
+        ),
+        n_businesses=(getattr(args, "businesses", 8),) * 2,
+    )
+
+
+def _category(name: str):
+    from repro.workload import AnomalyCategory
+
+    return None if name == "random" else AnomalyCategory(name)
+
+
+def cmd_generate(args) -> int:
+    from repro.evaluation import generate_case
+    from repro.evaluation.persistence import save_case
+
+    labeled = generate_case(args.seed, _corpus_config(args), category=_category(args.category))
+    path = save_case(labeled, args.out)
+    case = labeled.case
+    print(f"wrote {path}")
+    print(
+        f"  category={labeled.category.value} templates={len(case.sql_ids)} "
+        f"window=[{case.anomaly_start}, {case.anomaly_end}) "
+        f"queries={case.logs.total_queries():,}"
+    )
+    print(f"  ground-truth R-SQLs: {sorted(labeled.r_sqls)}")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from repro.core import PinSQL, PinSQLConfig, RepairEngine
+    from repro.core.report import render_report
+    from repro.evaluation.persistence import load_case
+
+    labeled = load_case(args.case)
+    config = PinSQLConfig()
+    if args.no_buckets:
+        config = config.without("buckets")
+    result = PinSQL(config).analyze(labeled.case)
+    plan = None
+    if args.suggest_repairs:
+        plan = RepairEngine().plan(labeled.case, result)
+    report = render_report(labeled.case, result, plan=plan, top_k=args.top_k)
+    print(report.text)
+    if labeled.r_sqls:
+        hit = report.top_r_sql in labeled.r_sqls
+        print(f"ground truth check: top-1 R-SQL is {'CORRECT' if hit else 'WRONG'}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    from repro.evaluation import CorpusConfig, evaluate_competition, generate_corpus
+    from repro.evaluation.persistence import load_corpus
+
+    if args.cases is not None:
+        corpus = load_corpus(args.cases)
+        if not corpus:
+            print(f"no case_*.npz files under {args.cases}", file=sys.stderr)
+            return 1
+    else:
+        corpus = generate_corpus(CorpusConfig(n_cases=args.generate, seed=args.seed))
+    reports = evaluate_competition(corpus)
+    print(
+        f"{'Method':<10} {'R-H@1':>6} {'R-H@5':>6} {'R-MRR':>6} {'R-Time':>9}   "
+        f"{'H-H@1':>6} {'H-H@5':>6} {'H-MRR':>6} {'H-Time':>9}"
+    )
+    for report in reports:
+        print(report.table_row())
+    return 0
+
+
+def cmd_demo(args) -> int:
+    from repro.core import PinSQL
+    from repro.core.report import render_report
+    from repro.evaluation import CorpusConfig, generate_case
+    from repro.workload import AnomalyCategory
+
+    cfg = CorpusConfig(delta_start_s=600, anomaly_length_s=(240, 360))
+    print(f"generating a {args.category} anomaly case (seed {args.seed}) ...")
+    labeled = generate_case(args.seed, cfg, category=AnomalyCategory(args.category))
+    result = PinSQL().analyze(labeled.case)
+    print(render_report(labeled.case, result).text)
+    hit = result.rsql_ids and result.rsql_ids[0] in labeled.r_sqls
+    print(f"ground truth check: top-1 R-SQL is {'CORRECT' if hit else 'WRONG'}")
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "diagnose": cmd_diagnose,
+    "evaluate": cmd_evaluate,
+    "demo": cmd_demo,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,34 @@
+"""Data Collection & Pre-processing (paper Section IV-A).
+
+In production PinSQL ships query logs through collectors → Kafka →
+Flink → LogStore.  This package provides in-process functional
+equivalents: a polling message broker, instance-side collectors, a
+windowed stream aggregator that rolls raw query records up into
+per-template metric series (1 s and 1 min granularities), and a
+retention-bounded log store.
+"""
+
+from repro.collection.stream import Broker, Consumer, Message
+from repro.collection.collector import QueryLogCollector, MetricsCollector
+from repro.collection.aggregator import (
+    TemplateMetricStore,
+    StreamAggregator,
+    aggregate_query_log,
+    aggregate_logstore,
+    TEMPLATE_METRICS,
+)
+from repro.collection.logstore import LogStore
+
+__all__ = [
+    "Broker",
+    "Consumer",
+    "Message",
+    "QueryLogCollector",
+    "MetricsCollector",
+    "TemplateMetricStore",
+    "StreamAggregator",
+    "aggregate_query_log",
+    "aggregate_logstore",
+    "TEMPLATE_METRICS",
+    "LogStore",
+]

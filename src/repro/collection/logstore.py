@@ -1,0 +1,113 @@
+"""Retention-bounded raw-log store (LogStore stand-in).
+
+Holds the per-query records PinSQL's root-cause analysis needs for the
+anomaly window (the active-session estimator works on raw arrivals and
+response times), and expires data older than the retention period —
+the paper keeps three days by default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dbsim.query import QueryLog, SecondBatch, TemplateQueries
+
+__all__ = ["LogStore"]
+
+#: Default retention, in seconds (the paper's three days).
+DEFAULT_RETENTION_S = 3 * 24 * 3600
+
+
+class LogStore:
+    """Stores raw query records with time-based expiry."""
+
+    def __init__(self, retention_s: int = DEFAULT_RETENTION_S) -> None:
+        if retention_s <= 0:
+            raise ValueError("retention_s must be positive")
+        self.retention_s = int(retention_s)
+        self._batches: dict[str, list[SecondBatch]] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def ingest_query_log(self, query_log: QueryLog) -> int:
+        """Absorb a whole simulated query log; returns queries stored."""
+        stored = 0
+        for tq in query_log.iter_templates():
+            if len(tq) == 0:
+                continue
+            batch = SecondBatch(
+                sql_id=tq.sql_id,
+                arrive_ms=tq.arrive_ms,
+                response_ms=tq.response_ms,
+                examined_rows=tq.examined_rows,
+            )
+            self._batches.setdefault(tq.sql_id, []).append(batch)
+            stored += len(batch)
+        return stored
+
+    def ingest_batch(self, batch: SecondBatch) -> None:
+        if len(batch) == 0:
+            return
+        self._batches.setdefault(batch.sql_id, []).append(batch)
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    @property
+    def sql_ids(self) -> list[str]:
+        return list(self._batches)
+
+    def total_queries(self) -> int:
+        return sum(len(b) for batches in self._batches.values() for b in batches)
+
+    def queries_in_window(self, sql_id: str, t0: int, t1: int) -> TemplateQueries:
+        """Queries of a template arriving within [t0, t1) (seconds)."""
+        batches = self._batches.get(sql_id, [])
+        lo_ms, hi_ms = t0 * 1000, t1 * 1000
+        arrives, resps, rows = [], [], []
+        for batch in batches:
+            mask = (batch.arrive_ms >= lo_ms) & (batch.arrive_ms < hi_ms)
+            if mask.any():
+                arrives.append(batch.arrive_ms[mask])
+                resps.append(batch.response_ms[mask])
+                rows.append(batch.examined_rows[mask])
+        if not arrives:
+            empty_i = np.zeros(0, dtype=np.int64)
+            empty_f = np.zeros(0, dtype=np.float64)
+            return TemplateQueries(sql_id, empty_i, empty_f, empty_f.copy())
+        arrive = np.concatenate(arrives)
+        resp = np.concatenate(resps)
+        examined = np.concatenate(rows)
+        order = np.argsort(arrive, kind="stable")
+        return TemplateQueries(sql_id, arrive[order], resp[order], examined[order])
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def expire(self, now_s: int) -> int:
+        """Drop records older than the retention period; returns dropped count."""
+        cutoff_ms = (now_s - self.retention_s) * 1000
+        dropped = 0
+        for sql_id in list(self._batches):
+            kept: list[SecondBatch] = []
+            for batch in self._batches[sql_id]:
+                mask = batch.arrive_ms >= cutoff_ms
+                n_keep = int(mask.sum())
+                dropped += len(batch) - n_keep
+                if n_keep == len(batch):
+                    kept.append(batch)
+                elif n_keep > 0:
+                    kept.append(
+                        SecondBatch(
+                            sql_id=sql_id,
+                            arrive_ms=batch.arrive_ms[mask],
+                            response_ms=batch.response_ms[mask],
+                            examined_rows=batch.examined_rows[mask],
+                        )
+                    )
+            if kept:
+                self._batches[sql_id] = kept
+            else:
+                del self._batches[sql_id]
+        return dropped

@@ -1,0 +1,87 @@
+"""In-process message broker (Kafka stand-in).
+
+Topics hold append-only message logs; consumers poll with independent
+offsets, so multiple downstream components (aggregator, anomaly
+detector, archiver) can each read the full stream — the same
+subscribe-and-replay semantics the production pipeline relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Message", "Broker", "Consumer"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on a topic."""
+
+    topic: str
+    offset: int
+    key: str
+    value: Any
+
+
+class Broker:
+    """A minimal polling broker with per-consumer offsets."""
+
+    def __init__(self) -> None:
+        self._topics: dict[str, list[Message]] = {}
+
+    def create_topic(self, topic: str) -> None:
+        """Create a topic (idempotent)."""
+        self._topics.setdefault(topic, [])
+
+    @property
+    def topics(self) -> list[str]:
+        return list(self._topics)
+
+    def publish(self, topic: str, key: str, value: Any) -> Message:
+        """Append a message to a topic, creating the topic on first use."""
+        log = self._topics.setdefault(topic, [])
+        message = Message(topic=topic, offset=len(log), key=key, value=value)
+        log.append(message)
+        return message
+
+    def size(self, topic: str) -> int:
+        return len(self._topics.get(topic, []))
+
+    def read(self, topic: str, offset: int, max_messages: int) -> list[Message]:
+        """Read up to ``max_messages`` messages starting at ``offset``."""
+        if offset < 0 or max_messages < 0:
+            raise ValueError("offset and max_messages must be non-negative")
+        log = self._topics.get(topic, [])
+        return log[offset : offset + max_messages]
+
+    def consumer(self, topic: str) -> "Consumer":
+        """A new consumer starting at the beginning of ``topic``."""
+        self.create_topic(topic)
+        return Consumer(self, topic)
+
+
+class Consumer:
+    """A polling consumer with its own offset into one topic."""
+
+    def __init__(self, broker: Broker, topic: str) -> None:
+        self._broker = broker
+        self.topic = topic
+        self.offset = 0
+
+    @property
+    def lag(self) -> int:
+        """Messages published but not yet consumed."""
+        return self._broker.size(self.topic) - self.offset
+
+    def poll(self, max_messages: int = 1000) -> list[Message]:
+        """Fetch the next batch of messages and advance the offset."""
+        messages = self._broker.read(self.topic, self.offset, max_messages)
+        self.offset += len(messages)
+        return messages
+
+    def seek(self, offset: int) -> None:
+        """Reposition the consumer (replay support)."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.offset = offset

@@ -1,0 +1,76 @@
+"""PinSQL core: the paper's primary contribution.
+
+The four modules of the system map onto this package as follows:
+
+* Data Collection And Anomaly Detection → ``repro.collection`` and
+  ``repro.detection`` (substrates), plus the individual active-session
+  estimation implemented here (:mod:`repro.core.session_estimation`);
+* High-impact SQL Identification → :mod:`repro.core.hsql`;
+* Root Cause SQL Identification → :mod:`repro.core.rsql`;
+* Repairing → :mod:`repro.core.repair`.
+
+:class:`PinSQL` wires them into the case-in / rankings-out pipeline.
+"""
+
+from repro.core.config import PinSQLConfig, SessionEstimationMode
+from repro.core.case import AnomalyCase
+from repro.core.session_estimation import (
+    CoverageFunction,
+    SessionEstimate,
+    SessionEstimator,
+)
+from repro.core.hsql import HsqlIdentifier, HsqlRanking, HsqlScores
+from repro.core.rsql import Cluster, RsqlIdentifier, RsqlResult
+from repro.core.baselines import BASELINES, TopMetricRanker, top_en, top_er, top_rt
+from repro.core.autoregressive import GrangerRanker
+from repro.core.pipeline import PinSQL, PinSQLResult, StageTimings
+from repro.core.repair import (
+    RepairAction,
+    SqlThrottleAction,
+    QueryOptimizationAction,
+    AutoScaleAction,
+    RepairRule,
+    RepairConfig,
+    DEFAULT_REPAIR_CONFIG,
+    RepairEngine,
+    RepairPlan,
+    PlanValidation,
+    validate_plan,
+    plan_optimization,
+)
+
+__all__ = [
+    "PinSQLConfig",
+    "SessionEstimationMode",
+    "AnomalyCase",
+    "CoverageFunction",
+    "SessionEstimate",
+    "SessionEstimator",
+    "HsqlIdentifier",
+    "HsqlRanking",
+    "HsqlScores",
+    "Cluster",
+    "RsqlIdentifier",
+    "RsqlResult",
+    "BASELINES",
+    "TopMetricRanker",
+    "top_en",
+    "top_er",
+    "top_rt",
+    "GrangerRanker",
+    "PinSQL",
+    "PinSQLResult",
+    "StageTimings",
+    "RepairAction",
+    "SqlThrottleAction",
+    "QueryOptimizationAction",
+    "AutoScaleAction",
+    "RepairRule",
+    "RepairConfig",
+    "DEFAULT_REPAIR_CONFIG",
+    "RepairEngine",
+    "RepairPlan",
+    "PlanValidation",
+    "validate_plan",
+    "plan_optimization",
+]

@@ -1,0 +1,98 @@
+"""The anomaly case container (paper Definition II.2).
+
+``C = (M, Q, as, ae)``: the performance metrics, the SQL templates with
+their aggregated metric series and raw logs, and the anomaly window.
+Data covers ``[ts, te) = [as − δs, ae)`` — PinSQL looks δs before the
+anomaly because root causes usually appear earlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collection.aggregator import TemplateMetricStore
+from repro.collection.logstore import LogStore
+from repro.dbsim.monitor import InstanceMetrics
+from repro.sqltemplate import TemplateCatalog
+from repro.timeseries import TimeSeries
+
+__all__ = ["AnomalyCase"]
+
+
+@dataclass
+class AnomalyCase:
+    """Everything root-cause analysis needs for one anomaly.
+
+    Attributes
+    ----------
+    metrics:
+        Instance performance metrics over ``[ts, te)`` at 1 s interval;
+        must include ``active_session``.
+    templates:
+        Per-template aggregated metric series over ``[ts, te)`` at 1 s.
+    logs:
+        Raw query records (needed by the active-session estimator).
+    catalog:
+        Template metadata (statement text, kind, tables).
+    anomaly_start, anomaly_end:
+        The detected anomaly window ``[as, ae)``.
+    history:
+        ``sql_id → {days_ago → TimeSeries}`` of historical #execution at
+        the clustering granularity, for history-trend verification.
+    """
+
+    metrics: InstanceMetrics
+    templates: TemplateMetricStore
+    logs: LogStore
+    catalog: TemplateCatalog
+    anomaly_start: int
+    anomaly_end: int
+    history: dict[str, dict[int, TimeSeries]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if "active_session" not in self.metrics:
+            raise ValueError("the case metrics must include active_session")
+        session = self.metrics.active_session
+        if not session.start <= self.anomaly_start < self.anomaly_end <= session.end:
+            raise ValueError(
+                "anomaly window must lie within the collected data window"
+            )
+
+    # ------------------------------------------------------------------
+    # Window accessors (ts/te in the paper's notation)
+    # ------------------------------------------------------------------
+    @property
+    def ts(self) -> int:
+        """Start of the collected window (= as − δs)."""
+        return self.metrics.active_session.start
+
+    @property
+    def te(self) -> int:
+        """End of the collected window (= ae)."""
+        return self.metrics.active_session.end
+
+    @property
+    def duration(self) -> int:
+        return self.te - self.ts
+
+    @property
+    def anomaly_duration(self) -> int:
+        return self.anomaly_end - self.anomaly_start
+
+    @property
+    def sql_ids(self) -> list[str]:
+        return self.templates.sql_ids
+
+    @property
+    def active_session(self) -> TimeSeries:
+        return self.metrics.active_session
+
+    def anomaly_indices(self, interval: int = 1) -> tuple[int, int]:
+        """(start, end) sample indices of the anomaly window at ``interval``."""
+        lo = (self.anomaly_start - self.ts) // interval
+        hi = (self.anomaly_end - self.ts) // interval
+        return int(lo), int(hi)
+
+    def history_of(self, sql_id: str, days_ago: int) -> TimeSeries | None:
+        """Historical #execution series, or None when unavailable (new SQL)."""
+        return self.history.get(sql_id, {}).get(days_ago)

@@ -1,0 +1,123 @@
+"""PinSQL hyperparameters and ablation switches.
+
+Defaults follow the paper's Implementation Details (Section VIII-A):
+δs = 30 min of pre-anomaly context, smooth factor ks = 30, clustering
+threshold τ = 0.8, cluster count cap Kc = 5, cumulative threshold
+τc = 0.95, and K = 10 buckets for active-session estimation.
+
+Every ablation of the paper's Fig. 6 is a configuration flag here, so
+the ablation benchmark runs variants without code forks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = ["SessionEstimationMode", "PinSQLConfig"]
+
+
+class SessionEstimationMode(enum.Enum):
+    """How individual active sessions are obtained (Table III variants)."""
+
+    BUCKETS = "buckets"             # full method, K buckets per second
+    NO_BUCKETS = "no_buckets"       # expectation over the whole second
+    RESPONSE_TIME = "response_time"  # total response time per second / 1000
+
+
+@dataclass(frozen=True)
+class PinSQLConfig:
+    """Complete configuration of a PinSQL pipeline instance."""
+
+    # ------------------------------------------------------------------
+    # Data collection
+    # ------------------------------------------------------------------
+    #: δs — how much pre-anomaly context is analysed (seconds).
+    delta_start_s: int = 1800
+    #: Granularity used for #execution clustering and history data.
+    clustering_interval_s: int = 60
+
+    # ------------------------------------------------------------------
+    # Individual active-session estimation (Section IV-C)
+    # ------------------------------------------------------------------
+    session_estimation: SessionEstimationMode = SessionEstimationMode.BUCKETS
+    #: K — buckets one second is split into.
+    session_buckets: int = 10
+
+    # ------------------------------------------------------------------
+    # H-SQL identification (Section V)
+    # ------------------------------------------------------------------
+    #: ks — smooth factor of the sigmoid anomaly weight.
+    smooth_factor: float = 30.0
+    use_trend_score: bool = True
+    use_scale_score: bool = True
+    use_scale_trend_score: bool = True
+    #: When False, α and β are pinned to 1 (ablation "w/o Weighted Final
+    #: Score"); when True they adapt to the largest template's correlation.
+    use_weighted_final_score: bool = True
+
+    # ------------------------------------------------------------------
+    # R-SQL identification (Section VI)
+    # ------------------------------------------------------------------
+    #: τ — correlation threshold of the clustering adjacency.
+    cluster_threshold: float = 0.8
+    #: Whether performance metrics join the graph as temporary nodes.
+    use_metric_temp_nodes: bool = True
+    #: Kc — maximum clusters examined by the cumulative threshold.
+    max_clusters: int = 5
+    #: τc — cumulative correlation threshold.
+    cumulative_threshold: float = 0.95
+    #: When False, only the single top cluster is kept (ablation).
+    use_cumulative_threshold: bool = True
+    #: When False, clusters are ranked by Top-RT instead of H-SQL impact
+    #: (ablation "w/o Direct Cause SQL Ranking").
+    use_direct_cause_ranking: bool = True
+    #: When False, the history-trend verification step is skipped.
+    use_history_verification: bool = True
+    #: Nd values — how many days back history is compared.
+    history_days: tuple[int, ...] = (1, 3, 7)
+    #: Tukey fence multiplier of the history anomaly detector.
+    tukey_k: float = 3.0
+
+    # ------------------------------------------------------------------
+    # Validation and ablation helpers
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.delta_start_s < 0:
+            raise ValueError("delta_start_s must be non-negative")
+        if self.session_buckets < 1:
+            raise ValueError("session_buckets must be at least 1")
+        if self.smooth_factor <= 0:
+            raise ValueError("smooth_factor must be positive")
+        if not -1.0 <= self.cluster_threshold <= 1.0:
+            raise ValueError("cluster_threshold must lie in [-1, 1]")
+        if self.max_clusters < 1:
+            raise ValueError("max_clusters must be at least 1")
+        if not -1.0 <= self.cumulative_threshold <= 1.0:
+            raise ValueError("cumulative_threshold must lie in [-1, 1]")
+        if self.clustering_interval_s < 1:
+            raise ValueError("clustering_interval_s must be at least 1")
+
+    def without(self, ablation: str) -> "PinSQLConfig":
+        """Return a copy with one named component disabled (Fig. 6).
+
+        Recognised names: ``estimate_session``, ``trend_score``,
+        ``scale_score``, ``scale_trend_score``, ``weighted_final_score``,
+        ``cumulative_threshold``, ``direct_cause_ranking``,
+        ``history_verification``, ``buckets``, ``metric_temp_nodes``.
+        """
+        mapping = {
+            "estimate_session": {"session_estimation": SessionEstimationMode.RESPONSE_TIME},
+            "buckets": {"session_estimation": SessionEstimationMode.NO_BUCKETS},
+            "trend_score": {"use_trend_score": False},
+            "scale_score": {"use_scale_score": False},
+            "scale_trend_score": {"use_scale_trend_score": False},
+            "weighted_final_score": {"use_weighted_final_score": False},
+            "cumulative_threshold": {"use_cumulative_threshold": False},
+            "direct_cause_ranking": {"use_direct_cause_ranking": False},
+            "history_verification": {"use_history_verification": False},
+            "metric_temp_nodes": {"use_metric_temp_nodes": False},
+        }
+        if ablation not in mapping:
+            raise ValueError(f"unknown ablation {ablation!r}")
+        return replace(self, **mapping[ablation])

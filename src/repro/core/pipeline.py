@@ -1,0 +1,126 @@
+"""The PinSQL pipeline: case in, ranked H-SQLs and R-SQLs out.
+
+Sequencing (paper Section III): the anomaly-detection module constructs
+a case and triggers this pipeline asynchronously — individual
+active-session estimation first, then H-SQL identification along the
+anomaly propagation chain, then R-SQL identification, with per-stage
+wall-clock timings recorded (they are part of the paper's Table I).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.case import AnomalyCase
+from repro.core.config import PinSQLConfig
+from repro.core.hsql import HsqlIdentifier, HsqlRanking
+from repro.core.rsql import RsqlIdentifier, RsqlResult
+from repro.core.session_estimation import SessionEstimate, SessionEstimator
+
+__all__ = ["StageTimings", "PinSQLResult", "PinSQL"]
+
+
+@dataclass(frozen=True)
+class StageTimings:
+    """Wall-clock seconds spent per pipeline stage."""
+
+    session_estimation: float
+    hsql_ranking: float
+    clustering_and_filtering: float
+    history_verification: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.session_estimation
+            + self.hsql_ranking
+            + self.clustering_and_filtering
+            + self.history_verification
+        )
+
+    @property
+    def hsql_total(self) -> float:
+        """Time to produce the H-SQL ranking alone."""
+        return self.session_estimation + self.hsql_ranking
+
+
+@dataclass
+class PinSQLResult:
+    """Complete output of one PinSQL analysis."""
+
+    hsql: HsqlRanking
+    rsql: RsqlResult
+    sessions: SessionEstimate
+    timings: StageTimings
+
+    @property
+    def hsql_ids(self) -> list[str]:
+        return self.hsql.ranked_ids
+
+    @property
+    def rsql_ids(self) -> list[str]:
+        return self.rsql.ranked_ids
+
+
+class PinSQL:
+    """The diagnosing system: configure once, analyze many cases."""
+
+    name = "PinSQL"
+
+    def __init__(self, config: PinSQLConfig | None = None) -> None:
+        self.config = config or PinSQLConfig()
+        cfg = self.config
+        self._estimator = SessionEstimator(
+            mode=cfg.session_estimation, buckets=cfg.session_buckets
+        )
+        self._hsql = HsqlIdentifier(
+            smooth_factor=cfg.smooth_factor,
+            use_trend=cfg.use_trend_score,
+            use_scale=cfg.use_scale_score,
+            use_scale_trend=cfg.use_scale_trend_score,
+            use_weighted_final_score=cfg.use_weighted_final_score,
+        )
+        self._rsql = RsqlIdentifier(
+            cluster_threshold=cfg.cluster_threshold,
+            clustering_interval_s=cfg.clustering_interval_s,
+            use_metric_temp_nodes=cfg.use_metric_temp_nodes,
+            max_clusters=cfg.max_clusters,
+            cumulative_threshold=cfg.cumulative_threshold,
+            use_cumulative_threshold=cfg.use_cumulative_threshold,
+            use_direct_cause_ranking=cfg.use_direct_cause_ranking,
+            use_history_verification=cfg.use_history_verification,
+            history_days=cfg.history_days,
+            tukey_k=cfg.tukey_k,
+        )
+
+    def analyze(self, case: AnomalyCase) -> PinSQLResult:
+        """Run the full root-cause analysis on one anomaly case."""
+        t0 = time.perf_counter()
+        sessions = self._estimator.estimate(
+            case.logs, case.sql_ids, case.active_session
+        )
+        t1 = time.perf_counter()
+        hsql = self._hsql.identify(case, sessions)
+        t2 = time.perf_counter()
+        rsql = self._rsql.identify(case, hsql, sessions)
+        return PinSQLResult(
+            hsql=hsql,
+            rsql=rsql,
+            sessions=sessions,
+            timings=StageTimings(
+                session_estimation=t1 - t0,
+                hsql_ranking=t2 - t1,
+                clustering_and_filtering=rsql.clustering_seconds,
+                history_verification=rsql.verification_seconds,
+            ),
+        )
+
+    # Ranker-protocol adapters so the evaluation harness can compare
+    # PinSQL with the Top-SQL baselines uniformly.
+    def rank(self, case: AnomalyCase) -> list[str]:
+        """R-SQL ranking (the Ranker protocol entry point)."""
+        return self.analyze(case).rsql_ids
+
+    def rank_hsql(self, case: AnomalyCase) -> list[str]:
+        return self.analyze(case).hsql_ids

@@ -1,0 +1,34 @@
+"""Repairing Module (paper Section VII).
+
+Suggests — and optionally executes — problem-solving actions on the
+pinpointed R-SQLs: SQL throttling, query optimization, and instance
+autoscale.  Action selection is rule-based (the paper's Fig. 5
+configuration style): users bind anomaly phenomena to actions, choose
+thresholds, and decide whether execution is automatic.
+"""
+
+from repro.core.repair.actions import (
+    RepairAction,
+    SqlThrottleAction,
+    QueryOptimizationAction,
+    AutoScaleAction,
+    plan_optimization,
+)
+from repro.core.repair.rules import RepairRule, RepairConfig, DEFAULT_REPAIR_CONFIG
+from repro.core.repair.engine import RepairEngine, RepairPlan
+from repro.core.repair.validation import PlanValidation, validate_plan
+
+__all__ = [
+    "RepairAction",
+    "SqlThrottleAction",
+    "QueryOptimizationAction",
+    "AutoScaleAction",
+    "plan_optimization",
+    "RepairRule",
+    "RepairConfig",
+    "DEFAULT_REPAIR_CONFIG",
+    "RepairEngine",
+    "RepairPlan",
+    "PlanValidation",
+    "validate_plan",
+]

@@ -1,0 +1,111 @@
+"""Repair actions and their execution against a database instance.
+
+Actions are black boxes from PinSQL's point of view (the paper treats
+them so): each knows how to apply itself to a running
+:class:`~repro.dbsim.instance.DatabaseInstance`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.case import AnomalyCase
+from repro.dbsim.instance import DatabaseInstance
+
+__all__ = [
+    "RepairAction",
+    "SqlThrottleAction",
+    "QueryOptimizationAction",
+    "AutoScaleAction",
+    "plan_optimization",
+]
+
+
+@dataclass(frozen=True)
+class RepairAction:
+    """Base class: a suggested action on one template (or the instance)."""
+
+    sql_id: str
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def execute(self, instance: DatabaseInstance, now_s: int) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SqlThrottleAction(RepairAction):
+    """Rate-limit an R-SQL (optionally kill it entirely).
+
+    ``factor`` is the fraction of traffic allowed through; ``kill=True``
+    forces it to zero.  ``duration_s`` bounds the throttle window, after
+    which traffic resumes — matching the configurable throttling of the
+    production system.
+    """
+
+    factor: float = 0.1
+    duration_s: int = 600
+    kill: bool = False
+
+    def execute(self, instance: DatabaseInstance, now_s: int) -> None:
+        factor = 0.0 if self.kill else self.factor
+        instance.throttle(self.sql_id, factor, start=now_s, end=now_s + self.duration_s)
+
+
+@dataclass(frozen=True)
+class QueryOptimizationAction(RepairAction):
+    """Apply optimizer suggestions (index / rewrite) to an R-SQL.
+
+    The fractional gains are what the optimizer predicts; executing the
+    action swaps the optimized execution profile into the engine, the
+    simulator equivalent of building the index.
+    """
+
+    rows_gain: float = 0.9
+    tres_gain: float = 0.85
+
+    def execute(self, instance: DatabaseInstance, now_s: int) -> None:
+        spec = instance.engine._spec(self.sql_id)
+        instance.apply_optimization(spec, rows_gain=self.rows_gain, tres_gain=self.tres_gain)
+
+
+@dataclass(frozen=True)
+class AutoScaleAction(RepairAction):
+    """Instance AutoScale: expand CPU and/or add read-only nodes.
+
+    ``sql_id`` is empty — the action targets the instance, used when the
+    traffic increase is business-intended and must not be throttled.
+    ``read_offload`` routes that fraction of SELECT traffic to read
+    replicas (the paper's "adding read-only nodes").
+    """
+
+    new_cores: int = 32
+    read_offload: float = 0.0
+
+    def execute(self, instance: DatabaseInstance, now_s: int) -> None:
+        instance.autoscale(self.new_cores)
+        if self.read_offload > 0.0:
+            instance.add_read_replicas(self.read_offload)
+
+
+def plan_optimization(case: AnomalyCase, sql_id: str) -> QueryOptimizationAction:
+    """Derive optimization gains from the template's observed metrics.
+
+    The simulated optimizer assumes an appropriate index reduces the
+    examined rows to a few hundred; the predicted gain is therefore
+    ``1 − target/observed`` — large for full scans, small for templates
+    that are already index-backed.
+    """
+    lo, hi = case.anomaly_indices()
+    execs = case.templates.executions(sql_id).values[lo:hi].sum()
+    rows = case.templates.get(sql_id, "total_examined_rows").values[lo:hi].sum()
+    avg_rows = rows / execs if execs > 0 else 0.0
+    target_rows = 200.0
+    rows_gain = float(np.clip(1.0 - target_rows / max(avg_rows, target_rows), 0.0, 0.98))
+    # Response time improves almost proportionally for scan-bound queries.
+    tres_gain = float(np.clip(rows_gain * 0.95, 0.0, 0.95))
+    return QueryOptimizationAction(sql_id=sql_id, rows_gain=rows_gain, tres_gain=tres_gain)

@@ -1,0 +1,114 @@
+"""Repair engine: turn an analysis result into (executed) actions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.case import AnomalyCase
+from repro.core.pipeline import PinSQLResult
+from repro.core.repair.actions import (
+    AutoScaleAction,
+    QueryOptimizationAction,
+    RepairAction,
+    SqlThrottleAction,
+    plan_optimization,
+)
+from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig
+from repro.dbsim.instance import DatabaseInstance
+
+__all__ = ["RepairPlan", "RepairEngine"]
+
+
+@dataclass
+class RepairPlan:
+    """Suggested actions for one anomaly case."""
+
+    actions: list[RepairAction] = field(default_factory=list)
+    executed: list[RepairAction] = field(default_factory=list)
+    #: Session lift factor that gated the threshold rules.
+    session_lift: float = 0.0
+
+    @property
+    def suggested_kinds(self) -> list[str]:
+        return [a.kind for a in self.actions]
+
+
+class RepairEngine:
+    """Plans and (optionally) executes repair actions on R-SQLs."""
+
+    def __init__(self, config: RepairConfig = DEFAULT_REPAIR_CONFIG) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        case: AnomalyCase,
+        result: PinSQLResult,
+        anomaly_types: tuple[str, ...] = ("active_session_anomaly",),
+    ) -> RepairPlan:
+        """Build the action plan for the top-ranked R-SQLs."""
+        lift = self._session_lift(case)
+        plan = RepairPlan(session_lift=lift)
+        targets = result.rsql_ids[: self.config.top_k]
+        if not targets:
+            return plan
+        for rule in self.config.rules:
+            if not rule.matches(anomaly_types):
+                continue
+            if lift < rule.min_session_lift:
+                continue
+            for sql_id in targets:
+                plan.actions.append(self._make_action(rule, case, sql_id))
+        return plan
+
+    def _make_action(self, rule, case: AnomalyCase, sql_id: str) -> RepairAction:
+        params = rule.param_dict
+        if rule.action == "sql_throttle":
+            return SqlThrottleAction(
+                sql_id=sql_id,
+                factor=float(params.get("factor", 0.1)),
+                duration_s=int(params.get("duration_s", 600)),
+                kill=bool(params.get("kill", False)),
+            )
+        if rule.action == "query_optimization":
+            if "rows_gain" in params or "tres_gain" in params:
+                return QueryOptimizationAction(
+                    sql_id=sql_id,
+                    rows_gain=float(params.get("rows_gain", 0.9)),
+                    tres_gain=float(params.get("tres_gain", 0.85)),
+                )
+            return plan_optimization(case, sql_id)
+        return AutoScaleAction(
+            sql_id="",
+            new_cores=int(params.get("new_cores", 32)),
+            read_offload=float(params.get("read_offload", 0.0)),
+        )
+
+    def _session_lift(self, case: AnomalyCase) -> float:
+        """Anomaly-window mean active session over the pre-anomaly mean."""
+        session = case.active_session.values
+        lo, hi = case.anomaly_indices()
+        baseline = session[:lo]
+        window = session[lo:hi]
+        if len(window) == 0:
+            return 0.0
+        base = float(baseline.mean()) if len(baseline) else 0.0
+        return float(window.mean()) / max(base, 1e-9) if base > 0 else float("inf")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, plan: RepairPlan, instance: DatabaseInstance, now_s: int
+    ) -> list[RepairAction]:
+        """Execute the plan's actions (only if auto-execution is enabled)."""
+        if not self.config.auto_execute:
+            return []
+        for action in plan.actions:
+            action.execute(instance, now_s)
+            plan.executed.append(action)
+        return plan.executed

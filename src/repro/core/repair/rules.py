@@ -1,0 +1,95 @@
+"""Rule-based repair configuration (paper Fig. 5 DSL).
+
+A :class:`RepairRule` binds an anomaly phenomenon type to an action
+kind, with an optional metric threshold gating execution — e.g. *"when
+a CPU-usage anomaly is detected and the R-SQL's examined rows surged,
+suggest query optimization"*.  A :class:`RepairConfig` is an ordered
+list of rules plus the auto-execution switch; the default configuration
+mirrors the paper's: first SQL throttling (gated by a metric
+threshold), then query optimization for CPU/IO phenomena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RepairRule", "RepairConfig", "DEFAULT_REPAIR_CONFIG"]
+
+
+@dataclass(frozen=True)
+class RepairRule:
+    """One configured action binding.
+
+    Attributes
+    ----------
+    anomaly_types:
+        Phenomenon types the rule applies to (``"*"`` matches any).
+    action:
+        ``"sql_throttle"``, ``"query_optimization"`` or ``"autoscale"``.
+    min_session_lift:
+        Metric threshold: the anomaly-window active session must exceed
+        the baseline by at least this factor for the rule to fire
+        (the "metrics do not reach the default threshold" gate the
+        paper's case study describes for throttling).
+    params:
+        Extra keyword parameters forwarded to the action.
+    """
+
+    anomaly_types: tuple[str, ...]
+    action: str
+    min_session_lift: float = 1.0
+    params: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.action not in ("sql_throttle", "query_optimization", "autoscale"):
+            raise ValueError(f"unknown action {self.action!r}")
+        if not self.anomaly_types:
+            raise ValueError("anomaly_types must not be empty")
+
+    def matches(self, anomaly_types: tuple[str, ...]) -> bool:
+        if "*" in self.anomaly_types:
+            return True
+        return any(t in self.anomaly_types for t in anomaly_types)
+
+    @property
+    def param_dict(self) -> dict[str, object]:
+        return dict(self.params)
+
+
+@dataclass(frozen=True)
+class RepairConfig:
+    """Ordered repair rules plus the execution policy."""
+
+    rules: tuple[RepairRule, ...]
+    #: When False, actions are suggested but never executed (the paper's
+    #: default: users must enable automatic execution).
+    auto_execute: bool = False
+    #: How many top-ranked R-SQLs actions are planned for.
+    top_k: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise ValueError("at least one rule is required")
+        if self.top_k < 1:
+            raise ValueError("top_k must be at least 1")
+
+
+#: The paper's default: throttle first (only if the session lift is
+#: severe), then query optimization on CPU/IO-related phenomena.
+DEFAULT_REPAIR_CONFIG = RepairConfig(
+    rules=(
+        RepairRule(
+            anomaly_types=("active_session_anomaly",),
+            action="sql_throttle",
+            min_session_lift=8.0,
+            params=(("factor", 0.1), ("duration_s", 900)),
+        ),
+        RepairRule(
+            anomaly_types=("cpu_anomaly", "iops_anomaly"),
+            action="query_optimization",
+            min_session_lift=1.0,
+        ),
+    ),
+    auto_execute=False,
+    top_k=1,
+)

@@ -1,0 +1,67 @@
+"""Repair-plan validation by counterfactual replay.
+
+Before executing a plan on production, replay the anomaly case's
+observed traffic on a fresh simulated instance twice — once as-is and
+once with the plan's actions in place — and compare the anomaly-window
+active sessions.  A plan that does not shrink the replayed anomaly is
+not worth the risk of touching production.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.case import AnomalyCase
+from repro.core.repair.engine import RepairPlan
+
+__all__ = ["PlanValidation", "validate_plan"]
+
+
+@dataclass(frozen=True)
+class PlanValidation:
+    """Outcome of a counterfactual plan validation."""
+
+    baseline_session: float     # replayed anomaly-window mean, no actions
+    repaired_session: float     # same, with the plan applied
+    pre_anomaly_session: float  # replayed pre-anomaly mean (the target)
+
+    @property
+    def improvement(self) -> float:
+        """Fractional reduction of the anomaly-window session."""
+        if self.baseline_session <= 0:
+            return 0.0
+        return 1.0 - self.repaired_session / self.baseline_session
+
+    @property
+    def resolves(self) -> bool:
+        """Whether the plan brings the session near its pre-anomaly level."""
+        target = max(2.0 * self.pre_anomaly_session, self.pre_anomaly_session + 3.0)
+        return self.repaired_session <= target
+
+    def __str__(self) -> str:
+        return (
+            f"replayed session {self.baseline_session:.1f} → "
+            f"{self.repaired_session:.1f} "
+            f"({self.improvement:.0%} improvement; "
+            f"pre-anomaly {self.pre_anomaly_session:.1f}; "
+            f"{'resolves' if self.resolves else 'does NOT resolve'} the anomaly)"
+        )
+
+
+def validate_plan(case: AnomalyCase, plan: RepairPlan, seed: int = 0) -> PlanValidation:
+    """Replay the case with and without the plan's actions."""
+    # Imported lazily: the replay substrate lives in repro.workload, which
+    # itself imports repro.core — a module-level import would be circular.
+    from repro.workload.replay import replay_case
+
+    lo, hi = case.anomaly_indices()
+    without = replay_case(case, actions=None, seed=seed)
+    with_plan = replay_case(case, actions=plan.actions, seed=seed)
+    baseline_window = without.metrics.active_session.values[lo:hi]
+    repaired_window = with_plan.metrics.active_session.values[lo:hi]
+    pre = without.metrics.active_session.values[:lo]
+    return PlanValidation(
+        baseline_session=float(baseline_window.mean()) if len(baseline_window) else 0.0,
+        repaired_session=float(repaired_window.mean()) if len(repaired_window) else 0.0,
+        pre_anomaly_session=float(pre.mean()) if len(pre) else 0.0,
+    )

@@ -1,0 +1,157 @@
+"""Human-readable diagnosis reports.
+
+Renders a :class:`~repro.core.pipeline.PinSQLResult` the way the DAS
+console would present it to a DBA: the anomaly summary, the pinpointed
+root-cause SQLs with their statements, the high-impact SQLs with their
+level scores, the propagation-chain evidence, and the suggested repair
+actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.case import AnomalyCase
+from repro.core.pipeline import PinSQLResult
+from repro.core.repair.engine import RepairPlan
+
+__all__ = ["DiagnosisReport", "render_report"]
+
+
+@dataclass(frozen=True)
+class DiagnosisReport:
+    """A rendered diagnosis."""
+
+    text: str
+    top_r_sql: str | None
+    top_h_sql: str | None
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _statement_of(case: AnomalyCase, sql_id: str, width: int = 64) -> str:
+    info = case.catalog.get(sql_id)
+    if info is None:
+        return "(statement unavailable)"
+    text = info.template
+    return text if len(text) <= width else text[: width - 1] + "…"
+
+
+def _session_summary(case: AnomalyCase) -> tuple[float, float]:
+    session = case.active_session.values
+    lo, hi = case.anomaly_indices()
+    baseline = float(session[:lo].mean()) if lo > 0 else 0.0
+    during = float(session[lo:hi].mean()) if hi > lo else 0.0
+    return baseline, during
+
+
+def render_report(
+    case: AnomalyCase,
+    result: PinSQLResult,
+    plan: RepairPlan | None = None,
+    top_k: int = 5,
+) -> DiagnosisReport:
+    """Render the diagnosis of one anomaly case as text."""
+    lines: list[str] = []
+    baseline, during = _session_summary(case)
+    duration = case.anomaly_duration
+
+    lines.append("=" * 72)
+    lines.append("PinSQL diagnosis report")
+    lines.append("=" * 72)
+    lines.append(
+        f"anomaly window : [{case.anomaly_start}, {case.anomaly_end}) "
+        f"({duration} s; data window [{case.ts}, {case.te}))"
+    )
+    lines.append(
+        f"active session : baseline ~{baseline:.1f} -> anomaly ~{during:.1f} "
+        f"({during / baseline:.1f}x)" if baseline > 0 else
+        f"active session : anomaly ~{during:.1f}"
+    )
+    lines.append(
+        f"templates seen : {len(case.sql_ids)}  "
+        f"(analysis took {result.timings.total:.2f} s)"
+    )
+
+    lines.append("")
+    lines.append("Root cause SQLs (act on these):")
+    if result.rsql.ranked:
+        for i, (sql_id, score) in enumerate(result.rsql.ranked[:top_k], start=1):
+            lines.append(
+                f"  {i}. [{sql_id}] corr(#exec, session)={score:+.2f}"
+            )
+            lines.append(f"     {_statement_of(case, sql_id)}")
+    else:
+        lines.append("  (none pinpointed — escalate to a DBA)")
+    if result.rsql.widened:
+        lines.append(
+            "  note: cluster selection was widened — the top clusters'"
+            " H-SQLs showed no execution surge of their own."
+        )
+
+    lines.append("")
+    lines.append("High-impact SQLs (symptoms — their sessions drive the anomaly):")
+    for i, s in enumerate(result.hsql.scores[:top_k], start=1):
+        lines.append(
+            f"  {i}. [{s.sql_id}] impact={s.impact:+.2f} "
+            f"(trend={s.trend:+.2f}, scale={s.scale:+.2f}, "
+            f"scale-trend={s.scale_trend:+.2f})"
+        )
+        lines.append(f"     {_statement_of(case, s.sql_id)}")
+
+    lines.append("")
+    lines.append("Propagation-chain evidence:")
+    top_r = result.rsql_ids[0] if result.rsql_ids else None
+    top_h = result.hsql_ids[0] if result.hsql_ids else None
+    if top_r and top_h:
+        r_info = case.catalog.get(top_r)
+        h_info = case.catalog.get(top_h)
+        shared_tables = (
+            set(r_info.tables) & set(h_info.tables)
+            if r_info is not None and h_info is not None
+            else set()
+        )
+        if top_r == top_h:
+            lines.append(
+                f"  [{top_r}] is both root cause and top H-SQL: its own"
+                " sessions drive the anomaly directly."
+            )
+        elif shared_tables:
+            lines.append(
+                f"  [{top_r}] and the top H-SQL [{top_h}] touch shared"
+                f" table(s) {sorted(shared_tables)} — consistent with"
+                " lock-based blocking."
+            )
+        else:
+            lines.append(
+                f"  [{top_r}] correlates with the session anomaly while"
+                f" [{top_h}] carries the session load — consistent with a"
+                " resource-level (CPU/IO) propagation."
+            )
+        cluster = next(
+            (c for c in result.rsql.clusters if top_r in c.sql_ids), None
+        )
+        if cluster is not None and len(cluster) > 1:
+            lines.append(
+                f"  the root cause clusters with {len(cluster) - 1} other"
+                " template(s) of the same business trend."
+            )
+
+    if plan is not None:
+        lines.append("")
+        lines.append("Suggested repair actions:")
+        if plan.actions:
+            for action in plan.actions:
+                lines.append(f"  - {action.kind} on [{action.sql_id or 'instance'}]")
+        else:
+            lines.append("  - none (thresholds not reached)")
+        if plan.executed:
+            lines.append(f"  executed: {[a.kind for a in plan.executed]}")
+
+    lines.append("=" * 72)
+    return DiagnosisReport(
+        text="\n".join(lines),
+        top_r_sql=top_r,
+        top_h_sql=top_h,
+    )

@@ -1,0 +1,246 @@
+"""Per-second vectorized simulation loop.
+
+Each simulated second the engine:
+
+1. asks the rate provider for per-template arrival rates and applies any
+   active throttles (repair actions);
+2. samples Poisson arrival counts and uniform arrival instants, and for
+   DDL templates immediately registers exclusive MDL windows;
+3. submits the second's CPU/IO demand to the resource model, obtaining
+   the processor-sharing slowdown;
+4. samples per-query response times: lognormal service time × resource
+   slowdown + row-lock wait + MDL wait;
+5. emits per-query log batches and per-second metric counters.
+
+The per-query record set (template id, arrival ms, response ms, examined
+rows) matches exactly what the paper's collectors ship to LogStore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.dbsim.locks import LockManager
+from repro.dbsim.monitor import Monitor
+from repro.dbsim.query import QueryLog, SecondBatch
+from repro.dbsim.resources import ResourceModel
+from repro.dbsim.spec import IO_PER_KROW, TemplateSpec
+from repro.sqltemplate import StatementKind
+
+__all__ = ["RateProvider", "Throttle", "SimulationEngine"]
+
+
+class RateProvider(Protocol):
+    """Workload interface the engine pulls from."""
+
+    @property
+    def specs(self) -> dict[str, TemplateSpec]:
+        """Execution spec of every template the workload can emit."""
+        ...
+
+    def rates_at(self, t: int) -> dict[str, float]:
+        """Arrival rate (queries/second) per template at second ``t``."""
+        ...
+
+    # Providers may additionally implement
+    #   counts_at(t: int) -> dict[str, int]
+    # to request an *exact* number of arrivals for selected templates in
+    # second ``t`` (e.g. a single one-shot DDL).  The engine samples
+    # Poisson arrivals for everything else.
+
+
+@dataclass
+class Throttle:
+    """A rate-limiting window applied to one template (repair action)."""
+
+    sql_id: str
+    factor: float          # 0.0 kills the template, 0.5 halves its rate
+    start: int             # seconds, inclusive
+    end: int               # seconds, exclusive
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.factor <= 1.0:
+            raise ValueError("throttle factor must lie in [0, 1]")
+
+    def active_at(self, t: int) -> bool:
+        return self.start <= t < self.end
+
+
+class SimulationEngine:
+    """Steps a database instance one second at a time."""
+
+    def __init__(
+        self,
+        provider: RateProvider,
+        resources: ResourceModel,
+        locks: LockManager,
+        start_time: int = 0,
+        seed: int = 0,
+        spec_overrides: dict[str, TemplateSpec] | None = None,
+    ) -> None:
+        self.provider = provider
+        self.resources = resources
+        self.locks = locks
+        self.start_time = int(start_time)
+        self.now = int(start_time)
+        self.rng = np.random.default_rng(seed)
+        self.query_log = QueryLog()
+        self.monitor = Monitor(start_time, np.random.default_rng(seed + 1))
+        self.throttles: list[Throttle] = []
+        #: Repair actions may override a template's spec mid-run
+        #: (query optimization swaps in an optimized spec).
+        self.spec_overrides: dict[str, TemplateSpec] = dict(spec_overrides or {})
+        #: Fraction of read (SELECT) traffic offloaded to read replicas
+        #: (AutoScale "add read-only nodes").  Offloaded queries leave the
+        #: primary entirely: they cost it no CPU/IO and appear in neither
+        #: its logs nor its active session.
+        self.read_offload_fraction = 0.0
+
+    # ------------------------------------------------------------------
+    # Control-plane hooks used by the repairing module
+    # ------------------------------------------------------------------
+    def add_throttle(self, throttle: Throttle) -> None:
+        self.throttles.append(throttle)
+
+    def remove_throttles(self, sql_id: str) -> None:
+        self.throttles = [t for t in self.throttles if t.sql_id != sql_id]
+
+    def override_spec(self, spec: TemplateSpec) -> None:
+        self.spec_overrides[spec.sql_id] = spec
+
+    def _spec(self, sql_id: str) -> TemplateSpec:
+        return self.spec_overrides.get(sql_id) or self.provider.specs[sql_id]
+
+    def _throttled_rate(self, sql_id: str, rate: float, t: int) -> float:
+        for throttle in self.throttles:
+            if throttle.sql_id == sql_id and throttle.active_at(t):
+                rate *= throttle.factor
+        return rate
+
+    # ------------------------------------------------------------------
+    # Simulation step
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Simulate one second and advance the clock."""
+        t = self.now
+        t_ms = t * 1000.0
+        self.locks.prune_mdl(t_ms - 1000.0)
+        self.locks.begin_second()
+
+        rates = dict(self.provider.rates_at(t))
+        counts_fn = getattr(self.provider, "counts_at", None)
+        exact_counts: dict[str, int] = dict(counts_fn(t)) if counts_fn else {}
+        arrivals: dict[str, np.ndarray] = {}
+        rows: dict[str, np.ndarray] = {}
+        specs: dict[str, TemplateSpec] = {}
+        cpu_demand = 0.0
+        io_demand = 0.0
+        qps = 0
+
+        # Pass 1: sample arrivals, register locks, accumulate demand.
+        for sql_id in (*rates, *(k for k in exact_counts if k not in rates)):
+            if sql_id in exact_counts:
+                # Deterministic arrivals; throttling thins them binomially.
+                n = int(exact_counts[sql_id])
+                factor = self._throttled_rate(sql_id, 1.0, t)
+                if factor < 1.0:
+                    n = int(self.rng.binomial(n, factor)) if n > 0 else 0
+            else:
+                rate = self._throttled_rate(sql_id, rates[sql_id], t)
+                if rate <= 0:
+                    continue
+                n = int(self.rng.poisson(rate))
+            if n == 0:
+                continue
+            if self.read_offload_fraction > 0.0:
+                spec_peek = self._spec(sql_id)
+                if spec_peek.kind is StatementKind.SELECT:
+                    n = int(self.rng.binomial(n, 1.0 - self.read_offload_fraction))
+                    if n == 0:
+                        continue
+            spec = self._spec(sql_id)
+            specs[sql_id] = spec
+            arrive = t_ms + np.sort(self.rng.uniform(0.0, 1000.0, size=n))
+            arrivals[sql_id] = arrive
+            # Examined rows: lognormal around the spec mean.
+            if spec.examined_rows_mean > 0:
+                sigma = 0.35
+                mu = np.log(spec.examined_rows_mean) - sigma**2 / 2.0
+                examined = np.exp(self.rng.normal(mu, sigma, size=n))
+            else:
+                examined = np.zeros(n)
+            rows[sql_id] = examined
+            qps += n
+            cpu_demand += float(
+                spec.base_response_ms * 0.3 * n + examined.sum() / 1000.0 * spec.cpu_per_krow
+            )
+            io_demand += float(n + examined.sum() / 1000.0 * IO_PER_KROW)
+            if spec.is_ddl and spec.table is not None:
+                for a in arrive:
+                    self.locks.acquire_mdl(spec.table, float(a), spec.ddl_duration_ms)
+            elif spec.is_write and spec.table is not None:
+                self.locks.add_write_load(spec.table, float(n), spec.lock_hold_ms)
+
+        usage = self.resources.step(cpu_demand, io_demand)
+        slowdown = max(usage.cpu_slowdown, usage.io_slowdown)
+
+        # Pass 2: response times = service × slowdown + lock waits.
+        lock_waits_total = 0
+        lock_wait_time_total = 0.0
+        for sql_id, arrive in arrivals.items():
+            spec = specs[sql_id]
+            n = len(arrive)
+            examined = rows[sql_id]
+            base = spec.base_response_ms + examined / 1000.0 * spec.cpu_per_krow
+            cv = max(spec.response_cv, 1e-3)
+            sigma = np.sqrt(np.log(1.0 + cv**2))
+            noise = np.exp(self.rng.normal(-sigma**2 / 2.0, sigma, size=n))
+            response = base * noise * slowdown
+
+            if spec.is_ddl and spec.table is not None:
+                # The DDL itself runs for its lock duration.
+                response = np.full(n, spec.ddl_duration_ms) + base * noise
+            elif spec.table is not None:
+                # Row-lock conflicts (excluding self-generated pressure).
+                self_pressure = 0.0
+                if spec.is_write:
+                    self_pressure = n * spec.lock_hold_ms / 1000.0
+                waits, stats = self.locks.row_lock_wait(
+                    spec.table, n, self.rng, exclude_self_pressure=self_pressure
+                )
+                response = response + waits
+                lock_waits_total += stats.waits
+                lock_wait_time_total += stats.wait_time_ms
+                # Metadata-lock blocking.
+                mdl = self.locks.mdl_wait(spec.table, arrive)
+                response = response + mdl
+
+            self.query_log.append(
+                SecondBatch(
+                    sql_id=sql_id,
+                    arrive_ms=arrive.astype(np.int64),
+                    response_ms=response,
+                    examined_rows=examined,
+                )
+            )
+
+        self.monitor.record_second(
+            cpu_usage=usage.cpu_usage,
+            iops_usage=usage.iops_usage,
+            mem_usage=usage.mem_usage,
+            qps=float(qps),
+            row_lock_waits=float(lock_waits_total),
+            row_lock_time_ms=lock_wait_time_total,
+        )
+        self.now += 1
+
+    def run(self, seconds: int, on_second=None) -> None:
+        """Run ``seconds`` steps; ``on_second(t, engine)`` is called before
+        each step so callers (e.g. the repair case study) can intervene."""
+        for _ in range(int(seconds)):
+            if on_second is not None:
+                on_second(self.now, self)
+            self.step()

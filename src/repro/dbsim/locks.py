@@ -1,0 +1,162 @@
+"""Lock manager: metadata (MDL) locks and row locks.
+
+Two lock effects matter to PinSQL's anomaly categories (paper Sec. II):
+
+* **MDL locks** — a DDL statement (ALTER/CREATE/DROP...) holds an
+  exclusive metadata lock on its table; every query on that table that
+  arrives while the lock is held blocks ("Waiting for table metadata
+  lock") until release, so sessions pile up sharply.
+* **Row locks** — write templates hold row locks for their duration;
+  co-table queries conflict probabilistically, adding lock-wait time and
+  bumping the ``innodb_row_lock_waits`` / ``innodb_row_lock_time``
+  counters.
+
+The manager works per simulated second with vectorized batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MdlLockWindow", "LockManager", "RowLockStats"]
+
+
+@dataclass(frozen=True)
+class MdlLockWindow:
+    """An exclusive metadata lock held on ``table`` during [start, end) ms."""
+
+    table: str
+    start_ms: float
+    end_ms: float
+
+    def blocks_at(self, arrive_ms: np.ndarray) -> np.ndarray:
+        """Boolean mask of arrivals that block on this lock."""
+        return (arrive_ms >= self.start_ms) & (arrive_ms < self.end_ms)
+
+
+@dataclass
+class RowLockStats:
+    """Row-lock counters for one simulated second (MySQL-style)."""
+
+    waits: int = 0
+    wait_time_ms: float = 0.0
+
+
+class LockManager:
+    """Tracks MDL windows and per-table row-lock pressure.
+
+    Row-lock contention model: during one second, the *pressure* on a
+    table is the expected number of concurrently held row locks,
+    ``Σ (writes/s × hold_ms) / 1000``.  A query touching that table waits
+    with probability ``1 − exp(−conflict_rate × pressure)`` and, when it
+    waits, for an exponential time with the mean hold duration.  This is
+    the standard mean-field approximation of lock queueing and produces
+    the spike of row-lock metrics the paper's category-3(ii) describes.
+    """
+
+    def __init__(self, conflict_rate: float = 0.08, max_wait_ms: float = 5_000.0) -> None:
+        if conflict_rate < 0:
+            raise ValueError("conflict_rate must be non-negative")
+        self.conflict_rate = float(conflict_rate)
+        self.max_wait_ms = float(max_wait_ms)
+        self._mdl_windows: list[MdlLockWindow] = []
+        self._pressure: dict[str, float] = {}
+        self._hold_ms: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # MDL locks
+    # ------------------------------------------------------------------
+    def acquire_mdl(self, table: str, start_ms: float, duration_ms: float) -> MdlLockWindow:
+        """Register an exclusive MDL on ``table`` for ``duration_ms``."""
+        if duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        window = MdlLockWindow(table, start_ms, start_ms + duration_ms)
+        self._mdl_windows.append(window)
+        return window
+
+    def active_mdl_windows(self, table: str) -> list[MdlLockWindow]:
+        return [w for w in self._mdl_windows if w.table == table]
+
+    def prune_mdl(self, now_ms: float) -> None:
+        """Drop windows that ended before ``now_ms`` (keeps scans short)."""
+        self._mdl_windows = [w for w in self._mdl_windows if w.end_ms > now_ms]
+
+    def mdl_wait(self, table: str, arrive_ms: np.ndarray) -> np.ndarray:
+        """Per-arrival MDL wait time (ms); zero when no lock blocks."""
+        wait = np.zeros(len(arrive_ms), dtype=np.float64)
+        for window in self._mdl_windows:
+            if window.table != table:
+                continue
+            mask = window.blocks_at(arrive_ms)
+            wait[mask] = np.maximum(wait[mask], window.end_ms - arrive_ms[mask])
+        return wait
+
+    def mdl_blocked_until(self, table: str, at_ms: float) -> float | None:
+        """End of the MDL window covering ``at_ms``, if any."""
+        best: float | None = None
+        for window in self._mdl_windows:
+            if window.table == table and window.start_ms <= at_ms < window.end_ms:
+                best = window.end_ms if best is None else max(best, window.end_ms)
+        return best
+
+    # ------------------------------------------------------------------
+    # Row locks
+    # ------------------------------------------------------------------
+    def begin_second(self) -> None:
+        """Reset per-second row-lock pressure accumulators."""
+        self._pressure = {}
+        self._hold_ms = {}
+
+    def add_write_load(self, table: str, writes_per_second: float, hold_ms: float) -> None:
+        """Account write traffic that holds row locks on ``table``."""
+        if writes_per_second < 0 or hold_ms < 0:
+            raise ValueError("write load must be non-negative")
+        added = writes_per_second * hold_ms / 1000.0
+        self._pressure[table] = self._pressure.get(table, 0.0) + added
+        # Track a pressure-weighted mean hold time for the wait duration.
+        prev = self._hold_ms.get(table)
+        if prev is None or added <= 0:
+            self._hold_ms.setdefault(table, hold_ms)
+        else:
+            total = self._pressure[table]
+            self._hold_ms[table] = prev + (hold_ms - prev) * (added / max(total, 1e-9))
+
+    def pressure(self, table: str) -> float:
+        """Expected number of concurrently held row locks on ``table``."""
+        return self._pressure.get(table, 0.0)
+
+    def row_lock_wait(
+        self,
+        table: str,
+        n_queries: int,
+        rng: np.random.Generator,
+        exclude_self_pressure: float = 0.0,
+    ) -> tuple[np.ndarray, RowLockStats]:
+        """Sample row-lock waits for ``n_queries`` touching ``table``.
+
+        ``exclude_self_pressure`` removes the pressure a template itself
+        contributes so a lone writer does not self-conflict at full rate.
+        Returns per-query wait times and the second's counters.
+        """
+        waits = np.zeros(n_queries, dtype=np.float64)
+        stats = RowLockStats()
+        if n_queries == 0:
+            return waits, stats
+        pressure = max(0.0, self.pressure(table) - exclude_self_pressure)
+        if pressure <= 0:
+            return waits, stats
+        p_wait = 1.0 - np.exp(-self.conflict_rate * pressure)
+        conflicted = rng.random(n_queries) < p_wait
+        n_conflicted = int(conflicted.sum())
+        if n_conflicted == 0:
+            return waits, stats
+        hold = self._hold_ms.get(table, 20.0)
+        # Waiting behind a queue of `pressure` holders on average.
+        mean_wait = hold * (1.0 + pressure / 2.0)
+        sampled = rng.exponential(mean_wait, size=n_conflicted)
+        waits[conflicted] = np.minimum(sampled, self.max_wait_ms)
+        stats.waits = n_conflicted
+        stats.wait_time_ms = float(waits.sum())
+        return waits, stats

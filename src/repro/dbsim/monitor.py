@@ -1,0 +1,144 @@
+"""Instance monitoring: performance metrics and SHOW STATUS sampling.
+
+The monitor owns two views of the active session:
+
+* the **true** instantaneous active session at any millisecond, computed
+  from the full query log (only the simulator can see this);
+* the **sampled** per-second series, obtained by evaluating the true
+  value at an *unknown, random* instant t3 within each second — the
+  ``SHOW STATUS`` semantics of paper Fig. 3 that make individual
+  active-session estimation non-trivial.
+
+The sampled series is what the anomaly detector and PinSQL consume; the
+true instants are kept for ground-truth evaluation (Table III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbsim.query import QueryLog
+from repro.timeseries import TimeSeries
+
+__all__ = ["ActiveSessionSampler", "InstanceMetrics", "Monitor"]
+
+
+class ActiveSessionSampler:
+    """Computes the true active session from logged query intervals."""
+
+    def __init__(self, query_log: QueryLog) -> None:
+        arrive, end = query_log.all_intervals()
+        self._arrive = np.sort(arrive.astype(np.float64))
+        self._end = np.sort(end)
+
+    def active_at(self, times_ms: np.ndarray | float) -> np.ndarray | int:
+        """Number of queries active at the given millisecond instant(s).
+
+        A query is active during ``[t(q), t(q) + tres(q))``.
+        """
+        scalar = np.isscalar(times_ms)
+        t = np.atleast_1d(np.asarray(times_ms, dtype=np.float64))
+        started = np.searchsorted(self._arrive, t, side="right")
+        finished = np.searchsorted(self._end, t, side="right")
+        active = started - finished
+        if scalar:
+            return int(active[0])
+        return active
+
+
+@dataclass
+class InstanceMetrics:
+    """Named performance-metric series of one simulated run."""
+
+    series: dict[str, TimeSeries] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> TimeSeries:
+        return self.series[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.series
+
+    @property
+    def names(self) -> list[str]:
+        return list(self.series)
+
+    @property
+    def active_session(self) -> TimeSeries:
+        return self.series["active_session"]
+
+    @property
+    def cpu_usage(self) -> TimeSeries:
+        return self.series["cpu_usage"]
+
+    @property
+    def iops_usage(self) -> TimeSeries:
+        return self.series["iops_usage"]
+
+    def window(self, t0: int, t1: int) -> "InstanceMetrics":
+        """All metrics restricted to ``[t0, t1)``."""
+        return InstanceMetrics(
+            {name: s.window(t0, t1) for name, s in self.series.items()}
+        )
+
+
+class Monitor:
+    """Builds the per-second metric series after (or during) a run."""
+
+    METRIC_NAMES = (
+        "active_session",
+        "cpu_usage",
+        "iops_usage",
+        "mem_usage",
+        "qps",
+        "innodb_row_lock_waits",
+        "innodb_row_lock_time",
+    )
+
+    def __init__(self, start_time: int, rng: np.random.Generator) -> None:
+        self.start_time = int(start_time)
+        self._rng = rng
+        self._records: dict[str, list[float]] = {
+            name: [] for name in self.METRIC_NAMES if name != "active_session"
+        }
+        self._seconds = 0
+
+    def record_second(
+        self,
+        cpu_usage: float,
+        iops_usage: float,
+        mem_usage: float,
+        qps: float,
+        row_lock_waits: float,
+        row_lock_time_ms: float,
+    ) -> None:
+        """Record the engine's per-second counters."""
+        self._records["cpu_usage"].append(cpu_usage)
+        self._records["iops_usage"].append(iops_usage)
+        self._records["mem_usage"].append(mem_usage)
+        self._records["qps"].append(qps)
+        self._records["innodb_row_lock_waits"].append(row_lock_waits)
+        self._records["innodb_row_lock_time"].append(row_lock_time_ms)
+        self._seconds += 1
+
+    def finalize(self, query_log: QueryLog) -> tuple[InstanceMetrics, ActiveSessionSampler, np.ndarray]:
+        """Produce metric series, the truth sampler, and the t3 instants.
+
+        The per-second ``active_session`` value is the true count at
+        ``t3 = t + U(0, 1)`` seconds — the monitor does not know (and
+        does not reveal to consumers) where in the second it sampled.
+        """
+        sampler = ActiveSessionSampler(query_log)
+        n = self._seconds
+        offsets = self._rng.uniform(0.0, 1000.0, size=n)
+        t3_ms = (self.start_time + np.arange(n, dtype=np.float64)) * 1000.0 + offsets
+        sampled = sampler.active_at(t3_ms).astype(np.float64)
+        series = {
+            "active_session": TimeSeries(sampled, start=self.start_time, name="active_session"),
+        }
+        for name, values in self._records.items():
+            series[name] = TimeSeries(
+                np.asarray(values, dtype=np.float64), start=self.start_time, name=name
+            )
+        return InstanceMetrics(series), sampler, t3_ms

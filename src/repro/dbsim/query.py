@@ -1,0 +1,107 @@
+"""Columnar query-log storage.
+
+Per simulated second and template the engine emits a :class:`SecondBatch`
+of per-query observations; :class:`QueryLog` accumulates batches and
+exposes the concatenated per-template arrays that the collection pipeline
+and the active-session estimator consume.  For each query ``q`` the log
+records ``t(q)`` (arrival, ms), ``tres(q)`` (response time, ms) and
+``#examined_rows(q)`` — exactly the fields the paper collects (Def II.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["SecondBatch", "QueryLog", "TemplateQueries"]
+
+
+@dataclass(frozen=True)
+class SecondBatch:
+    """Per-query observations of one template during one second."""
+
+    sql_id: str
+    arrive_ms: np.ndarray      # int64 epoch milliseconds
+    response_ms: np.ndarray    # float64
+    examined_rows: np.ndarray  # float64
+
+    def __post_init__(self) -> None:
+        n = len(self.arrive_ms)
+        if not (len(self.response_ms) == n == len(self.examined_rows)):
+            raise ValueError("batch arrays must share a length")
+
+    def __len__(self) -> int:
+        return len(self.arrive_ms)
+
+
+@dataclass(frozen=True)
+class TemplateQueries:
+    """All logged queries of one template, concatenated and time-ordered."""
+
+    sql_id: str
+    arrive_ms: np.ndarray
+    response_ms: np.ndarray
+    examined_rows: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.arrive_ms)
+
+    @property
+    def end_ms(self) -> np.ndarray:
+        return self.arrive_ms + self.response_ms
+
+
+class QueryLog:
+    """Accumulates :class:`SecondBatch` objects per template."""
+
+    def __init__(self) -> None:
+        self._batches: dict[str, list[SecondBatch]] = {}
+        self._count = 0
+
+    def append(self, batch: SecondBatch) -> None:
+        if len(batch) == 0:
+            return
+        self._batches.setdefault(batch.sql_id, []).append(batch)
+        self._count += len(batch)
+
+    @property
+    def total_queries(self) -> int:
+        return self._count
+
+    @property
+    def sql_ids(self) -> list[str]:
+        return list(self._batches)
+
+    def __contains__(self, sql_id: str) -> bool:
+        return sql_id in self._batches
+
+    def queries_of(self, sql_id: str) -> TemplateQueries:
+        """Concatenated, arrival-ordered observations of one template."""
+        batches = self._batches.get(sql_id, [])
+        if not batches:
+            empty_i = np.zeros(0, dtype=np.int64)
+            empty_f = np.zeros(0, dtype=np.float64)
+            return TemplateQueries(sql_id, empty_i, empty_f.copy(), empty_f.copy())
+        arrive = np.concatenate([b.arrive_ms for b in batches])
+        resp = np.concatenate([b.response_ms for b in batches])
+        rows = np.concatenate([b.examined_rows for b in batches])
+        order = np.argsort(arrive, kind="stable")
+        return TemplateQueries(sql_id, arrive[order], resp[order], rows[order])
+
+    def iter_templates(self) -> Iterator[TemplateQueries]:
+        for sql_id in self._batches:
+            yield self.queries_of(sql_id)
+
+    def all_intervals(self) -> tuple[np.ndarray, np.ndarray]:
+        """(arrive_ms, end_ms) over every logged query, unordered."""
+        arrives: list[np.ndarray] = []
+        ends: list[np.ndarray] = []
+        for batches in self._batches.values():
+            for b in batches:
+                arrives.append(b.arrive_ms)
+                ends.append(b.arrive_ms + b.response_ms)
+        if not arrives:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+        return np.concatenate(arrives), np.concatenate(ends)

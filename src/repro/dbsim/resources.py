@@ -1,0 +1,117 @@
+"""Instance resource model: CPU, IOPS, memory / buffer pool.
+
+The CPU follows a processor-sharing discipline with backlog: each second
+the engine submits the CPU demand (milliseconds of CPU work) of newly
+arrived queries; demand beyond the second's capacity is carried over, so
+sustained overload builds a queue and response times — and therefore the
+active session — grow, which is exactly the "intermittent slow queries
+pile up" phenomenon the paper's category-2 anomalies exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceModel", "ResourceUsage"]
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Resource utilisation observed for one simulated second."""
+
+    cpu_usage: float      # percent, 0–100
+    iops_usage: float     # percent of IOPS capacity, 0–100
+    mem_usage: float      # percent, buffer-pool occupancy
+    cpu_slowdown: float   # multiplicative response-time factor, >= 1
+    io_slowdown: float    # multiplicative response-time factor, >= 1
+
+
+class ResourceModel:
+    """CPU / IOPS / memory model of one instance.
+
+    Parameters
+    ----------
+    cpu_cores:
+        Number of vCPUs; capacity is ``cpu_cores * 1000`` CPU-ms/second.
+    iops_capacity:
+        IO operations per second the storage sustains.
+    buffer_pool_gib:
+        Buffer-pool size; memory pressure grows slowly with IO volume.
+    """
+
+    def __init__(
+        self,
+        cpu_cores: int = 16,
+        iops_capacity: float = 20000.0,
+        buffer_pool_gib: float = 64.0,
+        max_backlog_s: float = 30.0,
+    ) -> None:
+        if cpu_cores <= 0:
+            raise ValueError("cpu_cores must be positive")
+        if iops_capacity <= 0:
+            raise ValueError("iops_capacity must be positive")
+        if max_backlog_s <= 0:
+            raise ValueError("max_backlog_s must be positive")
+        self.cpu_cores = int(cpu_cores)
+        self.iops_capacity = float(iops_capacity)
+        self.buffer_pool_gib = float(buffer_pool_gib)
+        #: Queue bound: work beyond this many seconds of capacity is shed
+        #: (timeouts / admission control), so overload does not queue
+        #: indefinitely and recovery after a fix is prompt — as on a real
+        #: instance.
+        self.max_backlog_s = float(max_backlog_s)
+        self._cpu_backlog_ms = 0.0
+        self._io_backlog = 0.0
+        self._mem_level = 35.0  # steady-state buffer-pool occupancy (%)
+
+    @property
+    def cpu_capacity_ms(self) -> float:
+        """CPU milliseconds available per wall-clock second."""
+        return self.cpu_cores * 1000.0
+
+    def scale_cores(self, new_cores: int) -> None:
+        """AutoScale action: change the core count on the fly."""
+        if new_cores <= 0:
+            raise ValueError("new_cores must be positive")
+        self.cpu_cores = int(new_cores)
+
+    def reset(self) -> None:
+        """Clear backlog state between runs."""
+        self._cpu_backlog_ms = 0.0
+        self._io_backlog = 0.0
+        self._mem_level = 35.0
+
+    def step(self, cpu_demand_ms: float, io_demand: float) -> ResourceUsage:
+        """Advance one second given the newly submitted demand.
+
+        Returns the utilisation and the slowdown factors to apply to the
+        service times of queries running in this second.
+        """
+        if cpu_demand_ms < 0 or io_demand < 0:
+            raise ValueError("demand must be non-negative")
+        total_cpu = cpu_demand_ms + self._cpu_backlog_ms
+        capacity = self.cpu_capacity_ms
+        cpu_usage = min(100.0, 100.0 * total_cpu / capacity)
+        cpu_slowdown = max(1.0, total_cpu / capacity)
+        self._cpu_backlog_ms = min(
+            max(0.0, total_cpu - capacity), capacity * self.max_backlog_s
+        )
+
+        total_io = io_demand + self._io_backlog
+        iops_usage = min(100.0, 100.0 * total_io / self.iops_capacity)
+        io_slowdown = max(1.0, total_io / self.iops_capacity)
+        self._io_backlog = min(
+            max(0.0, total_io - self.iops_capacity),
+            self.iops_capacity * self.max_backlog_s,
+        )
+
+        # Buffer-pool occupancy creeps toward a level driven by IO volume.
+        target = 35.0 + 60.0 * min(1.0, total_io / self.iops_capacity)
+        self._mem_level += 0.05 * (target - self._mem_level)
+        return ResourceUsage(
+            cpu_usage=cpu_usage,
+            iops_usage=iops_usage,
+            mem_usage=self._mem_level,
+            cpu_slowdown=cpu_slowdown,
+            io_slowdown=io_slowdown,
+        )

@@ -1,0 +1,127 @@
+"""Template execution specifications.
+
+A :class:`TemplateSpec` describes how queries of one SQL template behave
+when executed by the simulated instance: base service time, examined
+rows, per-query CPU/IO cost, and lock behaviour.  Workload builders
+construct specs; the engine executes them; repair actions mutate them
+(e.g. query optimization cuts examined rows and service time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sqltemplate import StatementKind
+
+__all__ = ["TemplateSpec"]
+
+#: CPU milliseconds consumed per thousand examined rows (row-scan cost).
+CPU_MS_PER_KROW = 0.8
+#: Physical IO operations per thousand examined rows; most logical reads
+#: hit the buffer pool, so the physical ratio is low.
+IO_PER_KROW = 1.0
+
+
+@dataclass
+class TemplateSpec:
+    """Execution profile of one SQL template.
+
+    Attributes
+    ----------
+    sql_id:
+        Template identifier (hex digest).
+    template:
+        Normalized statement text (placeholders instead of literals).
+    kind:
+        Coarse statement classification, drives lock behaviour.
+    tables:
+        Tables the template touches (usually one).
+    base_response_ms:
+        Service time with no contention, excluding row-scan CPU cost.
+    examined_rows_mean:
+        Mean number of rows examined per query; CPU and IO costs scale
+        with it, so a "poor SQL" is simply a template with a huge value.
+    response_cv:
+        Coefficient of variation of the per-query service time
+        (lognormal dispersion).
+    lock_hold_ms:
+        For write templates: how long row locks are held per query.
+    ddl_duration_ms:
+        For DDL templates: how long the exclusive MDL is held.
+    """
+
+    sql_id: str
+    template: str
+    kind: StatementKind
+    tables: tuple[str, ...]
+    base_response_ms: float = 2.0
+    examined_rows_mean: float = 100.0
+    response_cv: float = 0.25
+    lock_hold_ms: float = 20.0
+    ddl_duration_ms: float = 30_000.0
+    #: CPU cost per thousand examined rows.  Random index probes pay the
+    #: default; tight sequential scans (ETL/reporting over clustered
+    #: ranges) are several times cheaper per row — which is why a high
+    #: examined-rows count does not always mean a CPU problem.
+    cpu_per_krow: float = CPU_MS_PER_KROW
+
+    def __post_init__(self) -> None:
+        if self.base_response_ms <= 0:
+            raise ValueError("base_response_ms must be positive")
+        if self.examined_rows_mean < 0:
+            raise ValueError("examined_rows_mean must be non-negative")
+        if not self.tables and self.kind is not StatementKind.TRANSACTION:
+            # Templates without tables (e.g. SELECT 1) are allowed but rare;
+            # they simply never interact with locks.
+            pass
+
+    @property
+    def table(self) -> str | None:
+        """Primary table, or None for table-less statements."""
+        return self.tables[0] if self.tables else None
+
+    @property
+    def cpu_ms_per_query(self) -> float:
+        """Mean CPU milliseconds one query consumes."""
+        return self.base_response_ms * 0.3 + self.examined_rows_mean / 1000.0 * self.cpu_per_krow
+
+    @property
+    def io_per_query(self) -> float:
+        """Mean logical IO operations one query issues."""
+        return 1.0 + self.examined_rows_mean / 1000.0 * IO_PER_KROW
+
+    @property
+    def service_time_ms(self) -> float:
+        """Mean uncontended response time (base + scan cost)."""
+        return self.base_response_ms + self.examined_rows_mean / 1000.0 * self.cpu_per_krow
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind.takes_row_locks
+
+    @property
+    def is_ddl(self) -> bool:
+        return self.kind.takes_mdl_exclusive
+
+    def optimized(self, rows_gain: float, tres_gain: float) -> "TemplateSpec":
+        """Return a copy with query-optimization gains applied.
+
+        ``rows_gain``/``tres_gain`` are fractional reductions in [0, 1),
+        e.g. 0.9 means the optimizer (new index, rewrite) eliminates 90 %
+        of examined rows.
+        """
+        if not 0.0 <= rows_gain < 1.0 or not 0.0 <= tres_gain < 1.0:
+            raise ValueError("gains must lie in [0, 1)")
+        return TemplateSpec(
+            sql_id=self.sql_id,
+            template=self.template,
+            kind=self.kind,
+            tables=self.tables,
+            base_response_ms=max(0.1, self.base_response_ms * (1.0 - tres_gain)),
+            examined_rows_mean=self.examined_rows_mean * (1.0 - rows_gain),
+            response_cv=self.response_cv,
+            # Faster writes hold their row locks for less time.
+            lock_hold_ms=self.lock_hold_ms * (1.0 - tres_gain),
+            ddl_duration_ms=self.ddl_duration_ms,
+            cpu_per_krow=self.cpu_per_krow,
+        )

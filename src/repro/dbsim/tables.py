@@ -1,0 +1,80 @@
+"""Schema model: tables, row counts, indexes.
+
+The schema exists so the lock manager knows which templates collide
+(co-table blocking) and so the repair module's automatic-indexing action
+has something concrete to act on: adding an index to a table reduces the
+examined rows of templates that filter on the indexed column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Table", "Schema"]
+
+
+@dataclass
+class Table:
+    """A simulated table."""
+
+    name: str
+    row_count: int = 1_000_000
+    indexes: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise ValueError("row_count must be non-negative")
+        self.indexes = set(self.indexes)
+
+    def has_index(self, column: str) -> bool:
+        return column in self.indexes
+
+    def add_index(self, column: str) -> bool:
+        """Add an index; returns False if it already existed."""
+        if column in self.indexes:
+            return False
+        self.indexes.add(column)
+        return True
+
+
+class Schema:
+    """The set of tables on one database instance."""
+
+    def __init__(self, tables: list[Table] | None = None) -> None:
+        self._tables: dict[str, Table] = {}
+        for table in tables or []:
+            self.add_table(table)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __getitem__(self, name: str) -> Table:
+        return self._tables[name]
+
+    def get(self, name: str) -> Table | None:
+        return self._tables.get(name)
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self._tables:
+            raise ValueError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+        return table
+
+    def ensure_table(self, name: str, row_count: int = 1_000_000) -> Table:
+        """Return the table, creating it if missing (workload-builder path)."""
+        table = self._tables.get(name)
+        if table is None:
+            table = Table(name, row_count)
+            self._tables[name] = table
+        return table
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self._tables)

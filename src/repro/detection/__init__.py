@@ -1,0 +1,36 @@
+"""Anomaly Detection module (paper Section IV-B).
+
+Two layers mirror the paper's design: the **Basic Perception** layer
+turns each performance-metric series into anomalous features (spike
+up/down, level shift up/down), and the **Phenomenon Perception** layer
+combines features across metrics through configurable rules into typed
+anomaly phenomena.  The case builder then merges nearby phenomena and
+applies minimum-duration filtering to produce the anomaly windows that
+trigger root-cause analysis.
+"""
+
+from repro.detection.basic import BasicPerception, DEFAULT_MIN_DEVIATIONS
+from repro.detection.phenomenon import (
+    PhenomenonRule,
+    AnomalyPhenomenon,
+    PhenomenonPerception,
+    DEFAULT_RULES,
+)
+from repro.detection.case_builder import DetectedAnomaly, CaseBuilder
+from repro.detection.realtime import AnomalyEvent, RealtimeAnomalyDetector
+from repro.detection.typing import CategoryVerdict, classify_case
+
+__all__ = [
+    "CategoryVerdict",
+    "classify_case",
+    "AnomalyEvent",
+    "RealtimeAnomalyDetector",
+    "DEFAULT_MIN_DEVIATIONS",
+    "BasicPerception",
+    "PhenomenonRule",
+    "AnomalyPhenomenon",
+    "PhenomenonPerception",
+    "DEFAULT_RULES",
+    "DetectedAnomaly",
+    "CaseBuilder",
+]

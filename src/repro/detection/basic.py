@@ -1,0 +1,84 @@
+"""Basic Perception layer: per-metric anomalous features."""
+
+from __future__ import annotations
+
+from repro.dbsim.monitor import InstanceMetrics
+from repro.timeseries import (
+    AnomalousFeature,
+    LevelShiftDetector,
+    SpikeDetector,
+    TimeSeries,
+    detect_anomalous_features,
+)
+
+__all__ = ["BasicPerception", "DEFAULT_MIN_DEVIATIONS"]
+
+#: Per-metric minimum absolute deviations.  Pure robust z-scores flag
+#: operationally meaningless blips on near-idle metrics (a CPU burst from
+#: 5 % to 25 % is not an incident); production monitoring always combines
+#: a relative test with an absolute floor.
+DEFAULT_MIN_DEVIATIONS: dict[str, float] = {
+    "cpu_usage": 25.0,             # percentage points
+    "iops_usage": 25.0,
+    "mem_usage": 20.0,
+    "active_session": 8.0,         # sessions
+    "qps": 0.0,                    # handled relatively; qps scale varies
+    "innodb_row_lock_waits": 20.0,
+    "innodb_row_lock_time": 2_000.0,
+}
+
+
+class BasicPerception:
+    """Detects anomalous features on every monitored metric series.
+
+    Parameters
+    ----------
+    spike_threshold, level_shift_threshold:
+        Robust z-score thresholds of the underlying detectors.
+    min_spike_length:
+        Spikes shorter than this many samples are treated as noise.
+    min_deviations:
+        Per-metric absolute floors merged over
+        :data:`DEFAULT_MIN_DEVIATIONS`; metrics not listed use 0.
+    """
+
+    def __init__(
+        self,
+        spike_threshold: float = 3.5,
+        level_shift_threshold: float = 3.5,
+        min_spike_length: int = 3,
+        min_deviations: dict[str, float] | None = None,
+    ) -> None:
+        self.spike_threshold = spike_threshold
+        self.level_shift_threshold = level_shift_threshold
+        self.min_spike_length = min_spike_length
+        self.min_deviations = dict(DEFAULT_MIN_DEVIATIONS)
+        if min_deviations:
+            self.min_deviations.update(min_deviations)
+
+    def _detectors(self, metric: str) -> tuple[SpikeDetector, LevelShiftDetector]:
+        floor = self.min_deviations.get(metric, 0.0)
+        spike = SpikeDetector(
+            threshold=self.spike_threshold,
+            min_length=self.min_spike_length,
+            min_deviation=floor,
+        )
+        level_shift = LevelShiftDetector(
+            threshold=self.level_shift_threshold, min_deviation=floor
+        )
+        return spike, level_shift
+
+    def perceive_series(self, name: str, series: TimeSeries) -> list[AnomalousFeature]:
+        """Features of one metric series."""
+        spike, level_shift = self._detectors(name)
+        return detect_anomalous_features(
+            name, series, spike_detector=spike, level_shift_detector=level_shift
+        )
+
+    def perceive(self, metrics: InstanceMetrics) -> list[AnomalousFeature]:
+        """Features across all metrics, ordered by start time."""
+        features: list[AnomalousFeature] = []
+        for name, series in metrics.series.items():
+            features.extend(self.perceive_series(name, series))
+        features.sort(key=lambda f: (f.start, f.metric))
+        return features

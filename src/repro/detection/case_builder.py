@@ -1,0 +1,94 @@
+"""Anomaly-case construction: merging, duration filtering.
+
+Implements the paper's policies: phenomena of the same type occurring
+close in time (within a configurable gap) merge into one longer
+anomaly; anomalies shorter than a configurable minimum duration are
+ignored; the anomaly case spans from the first detected timestamp to
+the recovery (or the current timestamp for ongoing anomalies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.detection.phenomenon import AnomalyPhenomenon
+
+__all__ = ["DetectedAnomaly", "CaseBuilder"]
+
+
+@dataclass(frozen=True)
+class DetectedAnomaly:
+    """One detected anomaly: its window and the phenomenon types inside."""
+
+    start: int
+    end: int
+    types: tuple[str, ...]
+    phenomena: tuple[AnomalyPhenomenon, ...] = field(default=())
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+class CaseBuilder:
+    """Merges phenomena into anomalies and applies duration filtering."""
+
+    def __init__(self, merge_gap_s: int = 120, min_duration_s: int = 30) -> None:
+        if merge_gap_s < 0 or min_duration_s < 0:
+            raise ValueError("merge_gap_s and min_duration_s must be non-negative")
+        self.merge_gap_s = int(merge_gap_s)
+        self.min_duration_s = int(min_duration_s)
+
+    def build(self, phenomena: list[AnomalyPhenomenon]) -> list[DetectedAnomaly]:
+        """Group phenomena into anomalies.
+
+        Phenomena of the *same type* merge when their windows are within
+        ``merge_gap_s`` of each other; overlapping anomalies of different
+        types then merge into one case (a single root cause usually
+        manifests on several metrics at once).
+        """
+        if not phenomena:
+            return []
+        # Step 1: merge same-type phenomena that are close in time.
+        by_type: dict[str, list[AnomalyPhenomenon]] = {}
+        for p in phenomena:
+            by_type.setdefault(p.rule, []).append(p)
+        merged: list[AnomalyPhenomenon] = []
+        for rule, group in by_type.items():
+            group.sort(key=lambda p: p.start)
+            current = group[0]
+            for p in group[1:]:
+                if p.start <= current.end + self.merge_gap_s:
+                    current = AnomalyPhenomenon(
+                        rule=rule,
+                        start=current.start,
+                        end=max(current.end, p.end),
+                        features=current.features + p.features,
+                    )
+                else:
+                    merged.append(current)
+                    current = p
+            merged.append(current)
+        # Step 2: overlapping windows of different types become one case.
+        merged.sort(key=lambda p: p.start)
+        anomalies: list[DetectedAnomaly] = []
+        bucket: list[AnomalyPhenomenon] = [merged[0]]
+        for p in merged[1:]:
+            if p.start <= max(x.end for x in bucket):
+                bucket.append(p)
+            else:
+                anomalies.append(self._anomaly(bucket))
+                bucket = [p]
+        anomalies.append(self._anomaly(bucket))
+        # Step 3: duration filter.
+        return [a for a in anomalies if a.duration >= self.min_duration_s]
+
+    @staticmethod
+    def _anomaly(bucket: list[AnomalyPhenomenon]) -> DetectedAnomaly:
+        types = tuple(sorted({p.rule for p in bucket}))
+        return DetectedAnomaly(
+            start=min(p.start for p in bucket),
+            end=max(p.end for p in bucket),
+            types=types,
+            phenomena=tuple(bucket),
+        )

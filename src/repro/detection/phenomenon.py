@@ -1,0 +1,105 @@
+"""Phenomenon Perception layer: typed anomaly phenomena from feature rules.
+
+A :class:`PhenomenonRule` is a named combination of ``metric.feature``
+patterns (the paper's Fig. 5 configuration style, e.g.
+``[active_session.spike]`` or ``[cpu_usage.spike, iops_usage.spike]``).
+A rule fires when, for *each* of its patterns, some detected feature
+matches and the matched features overlap in time.  The paper's default
+configuration watches the active session, CPU usage and IOPS usage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.timeseries import AnomalousFeature
+
+__all__ = [
+    "PhenomenonRule",
+    "AnomalyPhenomenon",
+    "PhenomenonPerception",
+    "DEFAULT_RULES",
+]
+
+
+@dataclass(frozen=True)
+class PhenomenonRule:
+    """A configurable anomaly-phenomenon rule."""
+
+    name: str
+    patterns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise ValueError("a rule needs at least one pattern")
+
+
+@dataclass(frozen=True)
+class AnomalyPhenomenon:
+    """One recognised phenomenon: the rule that fired and its window."""
+
+    rule: str
+    start: int
+    end: int
+    features: tuple[AnomalousFeature, ...] = field(default=())
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+#: Default configuration (paper Section IV-B): anomalies on the active
+#: session, CPU usage and IOPS usage metrics.
+DEFAULT_RULES = (
+    PhenomenonRule("active_session_anomaly", ("active_session.spike_up", "active_session.level_shift_up")),
+    PhenomenonRule("cpu_anomaly", ("cpu_usage.spike_up", "cpu_usage.level_shift_up")),
+    PhenomenonRule("iops_anomaly", ("iops_usage.spike_up", "iops_usage.level_shift_up")),
+)
+
+
+class PhenomenonPerception:
+    """Matches detected features against configured phenomenon rules.
+
+    Rule semantics: the rule's patterns are *alternatives* describing the
+    anomalous shapes of one concern (spike or level shift of a metric);
+    every feature matching any pattern contributes, and each contiguous
+    group of contributing features becomes one phenomenon.  Conjunction
+    across metrics is expressed by configuring one rule per metric and
+    combining downstream — which is how the production system composes
+    them (users pick the metric problems they care about).
+    """
+
+    def __init__(self, rules: tuple[PhenomenonRule, ...] = DEFAULT_RULES) -> None:
+        if not rules:
+            raise ValueError("at least one rule is required")
+        self.rules = tuple(rules)
+
+    def recognise(self, features: list[AnomalousFeature]) -> list[AnomalyPhenomenon]:
+        """Phenomena recognised from the feature list, ordered by start."""
+        phenomena: list[AnomalyPhenomenon] = []
+        for rule in self.rules:
+            matching = [
+                f for f in features if any(f.matches(p) for p in rule.patterns)
+            ]
+            if not matching:
+                continue
+            matching.sort(key=lambda f: f.start)
+            group: list[AnomalousFeature] = [matching[0]]
+            for feature in matching[1:]:
+                if feature.start <= max(g.end for g in group):
+                    group.append(feature)
+                else:
+                    phenomena.append(self._phenomenon(rule, group))
+                    group = [feature]
+            phenomena.append(self._phenomenon(rule, group))
+        phenomena.sort(key=lambda p: (p.start, p.rule))
+        return phenomena
+
+    @staticmethod
+    def _phenomenon(rule: PhenomenonRule, group: list[AnomalousFeature]) -> AnomalyPhenomenon:
+        return AnomalyPhenomenon(
+            rule=rule.name,
+            start=min(f.start for f in group),
+            end=max(f.end for f in group),
+            features=tuple(group),
+        )

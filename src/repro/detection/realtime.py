@@ -1,0 +1,183 @@
+"""Real-time anomaly detection over the metric stream.
+
+The paper's Data Collection And Anomaly Detection module runs
+"round-the-clock", consuming the collected metric stream and evoking the
+root-cause modules the moment an anomaly is recognised.  This module is
+that loop: a :class:`RealtimeAnomalyDetector` polls the broker's metric
+topic, maintains a sliding window per metric, periodically re-runs the
+two perception layers, and emits each anomaly exactly once (with
+follow-up events when an ongoing anomaly grows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.collection.stream import Consumer
+from repro.detection.basic import BasicPerception
+from repro.detection.case_builder import CaseBuilder, DetectedAnomaly
+from repro.detection.phenomenon import PhenomenonPerception
+from repro.timeseries import TimeSeries
+
+__all__ = ["AnomalyEvent", "RealtimeAnomalyDetector"]
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One emission of the real-time detector."""
+
+    anomaly: DetectedAnomaly
+    detected_at: int          # stream time (max metric timestamp seen)
+    is_update: bool = False   # True when extending a previously emitted anomaly
+
+
+@dataclass
+class _MetricBuffer:
+    """Sliding per-metric sample buffer keyed by timestamp."""
+
+    window_s: int
+    samples: dict[int, float] = field(default_factory=dict)
+
+    def add(self, timestamp: int, value: float) -> None:
+        self.samples[timestamp] = value
+
+    def trim(self, now: int) -> None:
+        cutoff = now - self.window_s
+        if len(self.samples) > 2 * self.window_s:
+            self.samples = {t: v for t, v in self.samples.items() if t >= cutoff}
+
+    def series(self, now: int) -> TimeSeries | None:
+        """Contiguous series over the window ending at ``now`` (inclusive).
+
+        Missing samples are forward-filled; leading gaps shrink the
+        window.  Returns None when fewer than a handful of samples exist.
+        """
+        cutoff = now - self.window_s
+        timestamps = sorted(t for t in self.samples if cutoff < t <= now)
+        if len(timestamps) < 8:
+            return None
+        start = timestamps[0]
+        values = np.empty(now - start + 1, dtype=np.float64)
+        last = self.samples[timestamps[0]]
+        idx = 0
+        for t in range(start, now + 1):
+            if t in self.samples:
+                last = self.samples[t]
+            values[idx] = last
+            idx += 1
+        return TimeSeries(values, start=start)
+
+
+class RealtimeAnomalyDetector:
+    """Streaming wrapper around the two perception layers.
+
+    Parameters
+    ----------
+    consumer:
+        Broker consumer positioned on the performance-metric topic
+        (messages as produced by
+        :class:`~repro.collection.collector.MetricsCollector`).
+    window_s:
+        Sliding analysis window length.
+    evaluation_interval_s:
+        How often (in stream time) the window is re-analysed.
+    """
+
+    def __init__(
+        self,
+        consumer: Consumer,
+        window_s: int = 1800,
+        evaluation_interval_s: int = 60,
+        basic: BasicPerception | None = None,
+        phenomenon: PhenomenonPerception | None = None,
+        case_builder: CaseBuilder | None = None,
+    ) -> None:
+        if window_s <= 0 or evaluation_interval_s <= 0:
+            raise ValueError("window_s and evaluation_interval_s must be positive")
+        self.consumer = consumer
+        self.window_s = int(window_s)
+        self.evaluation_interval_s = int(evaluation_interval_s)
+        self._basic = basic or BasicPerception()
+        self._phenomenon = phenomenon or PhenomenonPerception()
+        self._builder = case_builder or CaseBuilder()
+        self._buffers: dict[str, _MetricBuffer] = {}
+        self._stream_time: int | None = None
+        self._last_evaluation: int | None = None
+        #: start → end of anomalies already emitted (for dedup/updates).
+        self._emitted: dict[tuple[str, int], int] = {}
+
+    @property
+    def stream_time(self) -> int | None:
+        """Largest metric timestamp observed so far."""
+        return self._stream_time
+
+    def poll(self, max_messages: int = 10_000) -> list[AnomalyEvent]:
+        """Consume available metric points; return newly detected anomalies."""
+        messages = self.consumer.poll(max_messages)
+        for message in messages:
+            record = message.value
+            name = record["metric"]
+            timestamp = int(record["timestamp"])
+            buffer = self._buffers.get(name)
+            if buffer is None:
+                buffer = _MetricBuffer(self.window_s)
+                self._buffers[name] = buffer
+            buffer.add(timestamp, float(record["value"]))
+            if self._stream_time is None or timestamp > self._stream_time:
+                self._stream_time = timestamp
+        if self._stream_time is None:
+            return []
+        due = (
+            self._last_evaluation is None
+            or self._stream_time - self._last_evaluation >= self.evaluation_interval_s
+        )
+        if not due:
+            return []
+        self._last_evaluation = self._stream_time
+        return self._evaluate(self._stream_time)
+
+    def run_until_drained(self) -> list[AnomalyEvent]:
+        """Poll until the topic is exhausted; collect every event."""
+        events: list[AnomalyEvent] = []
+        while self.consumer.lag > 0:
+            events.extend(self.poll())
+        # One final evaluation at the end of the stream.
+        if self._stream_time is not None:
+            self._last_evaluation = self._stream_time
+            events.extend(self._evaluate(self._stream_time))
+        return events
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, now: int) -> list[AnomalyEvent]:
+        features = []
+        for name, buffer in self._buffers.items():
+            buffer.trim(now)
+            series = buffer.series(now)
+            if series is not None:
+                features.extend(self._basic.perceive_series(name, series))
+        if not features:
+            return []
+        phenomena = self._phenomenon.recognise(features)
+        anomalies = self._builder.build(phenomena)
+        events: list[AnomalyEvent] = []
+        for anomaly in anomalies:
+            key = self._key_for(anomaly)
+            previous_end = self._emitted.get(key)
+            if previous_end is None:
+                self._emitted[key] = anomaly.end
+                events.append(AnomalyEvent(anomaly, detected_at=now))
+            elif anomaly.end > previous_end + self.evaluation_interval_s:
+                self._emitted[key] = anomaly.end
+                events.append(AnomalyEvent(anomaly, detected_at=now, is_update=True))
+        return events
+
+    def _key_for(self, anomaly: DetectedAnomaly) -> tuple[str, int]:
+        """Dedup key: anomaly type set + coarse start bucket.
+
+        The detected start can wobble by a few samples between
+        evaluations; bucketing by the evaluation interval absorbs that.
+        """
+        bucket = anomaly.start // max(self.evaluation_interval_s, 1)
+        return ("|".join(anomaly.types), int(bucket))

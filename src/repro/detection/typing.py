@@ -1,0 +1,93 @@
+"""Anomaly-category typing from metric signatures.
+
+The paper's Phenomenon Perception layer uses iSQUAD to decide the *type*
+of a detected anomaly, and the repairing module routes actions by type
+(Fig. 5: query optimization for CPU/IO phenomena, throttling for session
+pile-ups, autoscale for intended traffic growth).  This module provides
+that typing as a transparent rule-based classifier over the case's
+metric behaviour during the anomaly window:
+
+* ``BUSINESS_SPIKE`` — QPS rose substantially with the session;
+* ``POOR_SQL``       — CPU (or IO) saturated while QPS stayed flat;
+* ``ROW_LOCK``       — row-lock wait counters surged;
+* ``MDL_LOCK``       — sessions piled up with neither resource
+  saturation, QPS growth, nor row-lock evidence (the metadata lock is
+  invisible to all three, which is itself the signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.case import AnomalyCase
+from repro.workload.scenarios import AnomalyCategory
+
+__all__ = ["CategoryVerdict", "classify_case"]
+
+
+@dataclass(frozen=True)
+class CategoryVerdict:
+    """A typed anomaly with the evidence behind the decision."""
+
+    category: AnomalyCategory
+    qps_ratio: float
+    cpu_during: float
+    io_during: float
+    rowlock_ratio: float
+
+    @property
+    def evidence(self) -> str:
+        return (
+            f"qps×{self.qps_ratio:.1f}, cpu {self.cpu_during:.0f}%, "
+            f"io {self.io_during:.0f}%, rowlock×{self.rowlock_ratio:.1f}"
+        )
+
+
+def _window_stats(case: AnomalyCase, name: str) -> tuple[float, float]:
+    """(baseline mean, anomaly-window mean) of one metric; zeros if absent."""
+    if name not in case.metrics:
+        return 0.0, 0.0
+    values = case.metrics[name].values
+    lo, hi = case.anomaly_indices()
+    baseline = float(values[:lo].mean()) if lo > 0 else 0.0
+    during = float(values[lo:hi].mean()) if hi > lo else 0.0
+    return baseline, during
+
+
+def classify_case(
+    case: AnomalyCase,
+    qps_spike_ratio: float = 2.0,
+    saturation_pct: float = 85.0,
+    rowlock_spike_ratio: float = 2.0,
+) -> CategoryVerdict:
+    """Type the anomaly from its metric signature.
+
+    Rule order matters: a business spike saturates CPU too, so the QPS
+    test runs first; row locks are checked before the resource test
+    because lock storms can also push CPU up via piled-up sessions.
+    """
+    qps_base, qps_during = _window_stats(case, "qps")
+    _, cpu_during = _window_stats(case, "cpu_usage")
+    _, io_during = _window_stats(case, "iops_usage")
+    lock_base, lock_during = _window_stats(case, "innodb_row_lock_waits")
+
+    qps_ratio = qps_during / max(qps_base, 1e-9) if qps_base > 0 else 1.0
+    rowlock_ratio = lock_during / max(lock_base, 1.0)
+
+    if qps_ratio >= qps_spike_ratio:
+        category = AnomalyCategory.BUSINESS_SPIKE
+    elif rowlock_ratio >= rowlock_spike_ratio and lock_during > 3.0:
+        category = AnomalyCategory.ROW_LOCK
+    elif max(cpu_during, io_during) >= saturation_pct:
+        category = AnomalyCategory.POOR_SQL
+    else:
+        category = AnomalyCategory.MDL_LOCK
+    return CategoryVerdict(
+        category=category,
+        qps_ratio=qps_ratio,
+        cpu_during=cpu_during,
+        io_during=io_during,
+        rowlock_ratio=rowlock_ratio,
+    )

@@ -1,0 +1,39 @@
+"""Evaluation substrate: ranking metrics, the synthetic ADAC corpus,
+and the harness that compares PinSQL with the Top-SQL baselines.
+"""
+
+from repro.evaluation.metrics import (
+    hits_at_k,
+    reciprocal_rank,
+    RankingSummary,
+    summarize_ranks,
+)
+from repro.evaluation.dataset import (
+    LabeledCase,
+    CorpusConfig,
+    generate_case,
+    generate_corpus,
+)
+from repro.evaluation.harness import (
+    MethodReport,
+    evaluate_ranker,
+    evaluate_pinsql,
+    top_all_report,
+    evaluate_competition,
+)
+
+__all__ = [
+    "hits_at_k",
+    "reciprocal_rank",
+    "RankingSummary",
+    "summarize_ranks",
+    "LabeledCase",
+    "CorpusConfig",
+    "generate_case",
+    "generate_corpus",
+    "MethodReport",
+    "evaluate_ranker",
+    "evaluate_pinsql",
+    "top_all_report",
+    "evaluate_competition",
+]

@@ -1,0 +1,141 @@
+"""Evaluation harness: run rankers over a corpus, aggregate accuracy.
+
+Produces the rows of the paper's Table I: per method, Hits@1 / Hits@5 /
+MRR and mean running time, separately for R-SQL and H-SQL ground truth.
+``Top-All`` is computed as the per-case best of the three Top-SQL
+variants, matching the paper's definition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.baselines import TopMetricRanker
+from repro.core.pipeline import PinSQL
+from repro.evaluation.dataset import LabeledCase
+from repro.evaluation.metrics import RankingSummary, first_hit_rank, summarize_ranks
+
+__all__ = [
+    "MethodReport",
+    "evaluate_ranker",
+    "evaluate_pinsql",
+    "top_all_report",
+    "evaluate_competition",
+]
+
+
+@dataclass
+class MethodReport:
+    """Per-method evaluation outcome over one corpus."""
+
+    name: str
+    r_ranks: list[int | None] = field(default_factory=list)
+    h_ranks: list[int | None] = field(default_factory=list)
+    #: Per-case wall time for the R-SQL ranking (seconds).
+    r_times: list[float] = field(default_factory=list)
+    #: Per-case wall time for the H-SQL ranking (seconds).
+    h_times: list[float] = field(default_factory=list)
+    #: Per-case anomaly category (parallel to the rank lists).
+    categories: list[str] = field(default_factory=list)
+
+    @property
+    def r_summary(self) -> RankingSummary:
+        return summarize_ranks(self.r_ranks)
+
+    @property
+    def h_summary(self) -> RankingSummary:
+        return summarize_ranks(self.h_ranks)
+
+    @property
+    def mean_r_time(self) -> float:
+        return sum(self.r_times) / len(self.r_times) if self.r_times else 0.0
+
+    @property
+    def mean_h_time(self) -> float:
+        return sum(self.h_times) / len(self.h_times) if self.h_times else 0.0
+
+    def r_summary_by_category(self) -> dict[str, RankingSummary]:
+        """Per-anomaly-category R-SQL summaries (empty without categories)."""
+        out: dict[str, RankingSummary] = {}
+        for category in sorted(set(self.categories)):
+            ranks = [
+                r for r, c in zip(self.r_ranks, self.categories) if c == category
+            ]
+            if ranks:
+                out[category] = summarize_ranks(ranks)
+        return out
+
+    def table_row(self) -> str:
+        r, h = self.r_summary, self.h_summary
+        return (
+            f"{self.name:<10} "
+            f"{r.hits_at_1:6.1f} {r.hits_at_5:6.1f} {r.mrr:6.2f} {_fmt_time(self.mean_r_time):>9}   "
+            f"{h.hits_at_1:6.1f} {h.hits_at_5:6.1f} {h.mrr:6.2f} {_fmt_time(self.mean_h_time):>9}"
+        )
+
+
+def _fmt_time(seconds: float) -> str:
+    if seconds <= 0:
+        return "-"
+    if seconds < 0.1:
+        return f"{seconds * 1000:.2f}ms"
+    return f"{seconds:.2f}s"
+
+
+def evaluate_ranker(ranker: TopMetricRanker, cases: list[LabeledCase]) -> MethodReport:
+    """Evaluate a single-ranking method against both ground truths."""
+    report = MethodReport(name=ranker.name)
+    for labeled in cases:
+        t0 = time.perf_counter()
+        ranking = ranker.rank(labeled.case)
+        elapsed = time.perf_counter() - t0
+        report.r_ranks.append(first_hit_rank(ranking, labeled.r_sqls))
+        report.h_ranks.append(first_hit_rank(ranking, labeled.h_sqls))
+        report.r_times.append(elapsed)
+        report.h_times.append(elapsed)
+        report.categories.append(labeled.category.value)
+    return report
+
+
+def evaluate_pinsql(pinsql: PinSQL, cases: list[LabeledCase], name: str = "PinSQL") -> MethodReport:
+    """Evaluate PinSQL (one analysis yields both rankings and timings)."""
+    report = MethodReport(name=name)
+    for labeled in cases:
+        result = pinsql.analyze(labeled.case)
+        report.r_ranks.append(first_hit_rank(result.rsql_ids, labeled.r_sqls))
+        report.h_ranks.append(first_hit_rank(result.hsql_ids, labeled.h_sqls))
+        report.r_times.append(result.timings.total)
+        report.h_times.append(result.timings.hsql_total)
+        report.categories.append(labeled.category.value)
+    return report
+
+
+def top_all_report(baseline_reports: list[MethodReport]) -> MethodReport:
+    """Per-case best of the Top-SQL variants (the paper's Top-All)."""
+    if not baseline_reports:
+        raise ValueError("baseline_reports must not be empty")
+    n = len(baseline_reports[0].r_ranks)
+    report = MethodReport(name="Top-All")
+    for i in range(n):
+        r_candidates = [rep.r_ranks[i] for rep in baseline_reports if rep.r_ranks[i] is not None]
+        h_candidates = [rep.h_ranks[i] for rep in baseline_reports if rep.h_ranks[i] is not None]
+        report.r_ranks.append(min(r_candidates) if r_candidates else None)
+        report.h_ranks.append(min(h_candidates) if h_candidates else None)
+    report.categories = list(baseline_reports[0].categories)
+    return report
+
+
+def evaluate_competition(
+    cases: list[LabeledCase],
+    pinsql: PinSQL | None = None,
+    baselines: list[TopMetricRanker] | None = None,
+) -> list[MethodReport]:
+    """Run the full Table-I comparison: baselines, Top-All, PinSQL."""
+    from repro.core.baselines import BASELINES
+
+    baselines = baselines if baselines is not None else BASELINES()
+    reports = [evaluate_ranker(b, cases) for b in baselines]
+    reports.append(top_all_report(reports))
+    reports.append(evaluate_pinsql(pinsql or PinSQL(), cases))
+    return reports

@@ -1,0 +1,72 @@
+"""Ranking metrics: Hits@k and MRR (paper Section VIII-A).
+
+The ground truth of each case is a *set* of templates; "the correctly
+found template is considered the first in the rank list that appears in
+the annotated set", so the reciprocal rank of a case is ``1/rank`` of
+the first hit (0 when nothing in the list is correct), and Hits@k is
+whether a hit occurs within the top k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["first_hit_rank", "reciprocal_rank", "hits_at_k", "RankingSummary", "summarize_ranks"]
+
+
+def first_hit_rank(ranked: Sequence[str], truth: Iterable[str]) -> int | None:
+    """1-based rank of the first correct template, or None if absent."""
+    truth_set = set(truth)
+    if not truth_set:
+        raise ValueError("the ground-truth set must not be empty")
+    for i, sql_id in enumerate(ranked, start=1):
+        if sql_id in truth_set:
+            return i
+    return None
+
+
+def reciprocal_rank(ranked: Sequence[str], truth: Iterable[str]) -> float:
+    """``1/rank`` of the first hit; 0.0 when nothing correct is ranked."""
+    rank = first_hit_rank(ranked, truth)
+    return 0.0 if rank is None else 1.0 / rank
+
+
+def hits_at_k(ranked: Sequence[str], truth: Iterable[str], k: int) -> bool:
+    """Whether any of the top-``k`` ranked templates is correct."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    rank = first_hit_rank(ranked, truth)
+    return rank is not None and rank <= k
+
+
+@dataclass(frozen=True)
+class RankingSummary:
+    """Aggregated accuracy over a corpus of cases."""
+
+    n_cases: int
+    hits_at_1: float    # percentage
+    hits_at_5: float    # percentage
+    mrr: float
+
+    def __str__(self) -> str:
+        return (
+            f"H@1={self.hits_at_1:.1f}%  H@5={self.hits_at_5:.1f}%  "
+            f"MRR={self.mrr:.2f}  (n={self.n_cases})"
+        )
+
+
+def summarize_ranks(ranks: Sequence[int | None]) -> RankingSummary:
+    """Aggregate per-case first-hit ranks into H@1 / H@5 / MRR."""
+    if not ranks:
+        raise ValueError("no ranks to summarize")
+    n = len(ranks)
+    h1 = sum(1 for r in ranks if r is not None and r <= 1)
+    h5 = sum(1 for r in ranks if r is not None and r <= 5)
+    mrr = sum(0.0 if r is None else 1.0 / r for r in ranks) / n
+    return RankingSummary(
+        n_cases=n,
+        hits_at_1=100.0 * h1 / n,
+        hits_at_5=100.0 * h5 / n,
+        mrr=mrr,
+    )

@@ -1,0 +1,248 @@
+"""The always-on diagnosis service (DAS-style autonomy loop).
+
+Ties every module together the way the production deployment does
+(paper Section III): the service consumes the broker's query-log and
+performance-metric topics continuously; the real-time detector watches
+the metrics; when an anomaly fires, the service assembles the anomaly
+case from the retention-bounded log store (δs seconds of context), runs
+PinSQL, renders the diagnosis report, plans repair actions per the
+configured rules, and — when an instance handle and auto-execution are
+configured — executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.collection.aggregator import aggregate_logstore
+from repro.collection.logstore import LogStore
+from repro.collection.stream import Broker
+from repro.core.case import AnomalyCase
+from repro.core.config import PinSQLConfig
+from repro.core.pipeline import PinSQL, PinSQLResult
+from repro.core.repair.engine import RepairEngine, RepairPlan
+from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig
+from repro.core.report import DiagnosisReport, render_report
+from repro.dbsim.instance import DatabaseInstance
+from repro.dbsim.monitor import InstanceMetrics
+from repro.detection.case_builder import DetectedAnomaly
+from repro.detection.realtime import RealtimeAnomalyDetector
+from repro.detection.typing import CategoryVerdict, classify_case
+from repro.sqltemplate import TemplateCatalog, fingerprint
+from repro.timeseries import TimeSeries
+
+import numpy as np
+
+__all__ = ["ServiceConfig", "Diagnosis", "PinSqlService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the autonomy loop (the paper's Fig. 5 knobs)."""
+
+    pinsql: PinSQLConfig = field(default_factory=PinSQLConfig)
+    repair: RepairConfig = DEFAULT_REPAIR_CONFIG
+    #: δs — context collected before the detected anomaly start.
+    delta_start_s: int = 900
+    #: Sliding window and cadence of the real-time detector.
+    detector_window_s: int = 1800
+    evaluation_interval_s: int = 60
+    #: Ignore anomalies shorter than this (user-configurable, Sec. IV-B).
+    min_anomaly_duration_s: int = 30
+
+
+@dataclass
+class Diagnosis:
+    """One completed diagnosis produced by the service."""
+
+    anomaly: DetectedAnomaly
+    case: AnomalyCase
+    result: PinSQLResult
+    report: DiagnosisReport
+    plan: RepairPlan
+    executed: bool
+    #: Rule-based anomaly typing (category + evidence).
+    verdict: CategoryVerdict | None = None
+
+
+class PinSqlService:
+    """Consumes the broker topics and diagnoses anomalies autonomously.
+
+    Parameters
+    ----------
+    broker:
+        The message broker carrying ``query_logs`` and
+        ``performance_metrics`` topics.
+    config:
+        Service configuration.
+    instance:
+        Optional live :class:`DatabaseInstance`; when provided *and* the
+        repair config enables auto-execution, planned actions are applied.
+    history_provider:
+        Optional callable ``(sql_id, days_ago, ts, te) → TimeSeries|None``
+        supplying historical execution series for verification.
+    notify:
+        Optional callback invoked with each completed :class:`Diagnosis`
+        (the DingTalk/SMS hook of the paper's Fig. 5).
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        config: ServiceConfig | None = None,
+        instance: DatabaseInstance | None = None,
+        history_provider: Callable[[str, int, int, int], TimeSeries | None] | None = None,
+        notify: Callable[[Diagnosis], None] | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.broker = broker
+        self.instance = instance
+        self.history_provider = history_provider
+        self.notify = notify
+        self.logstore = LogStore()
+        self.catalog = TemplateCatalog()
+        self._log_consumer = broker.consumer("query_logs")
+        self.detector = RealtimeAnomalyDetector(
+            broker.consumer("performance_metrics"),
+            window_s=self.config.detector_window_s,
+            evaluation_interval_s=self.config.evaluation_interval_s,
+        )
+        self._pinsql = PinSQL(self.config.pinsql)
+        self._repair = RepairEngine(self.config.repair)
+        #: Per-metric raw samples retained for case assembly.
+        self._metric_samples: dict[str, dict[int, float]] = {}
+        self.diagnoses: list[Diagnosis] = []
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def _drain_query_logs(self, max_messages: int = 50_000) -> int:
+        from repro.dbsim.query import SecondBatch
+
+        handled = 0
+        while True:
+            messages = self._log_consumer.poll(max_messages)
+            if not messages:
+                break
+            for message in messages:
+                record = message.value
+                sql_id = record["sql_id"]
+                self.logstore.ingest_batch(
+                    SecondBatch(
+                        sql_id=sql_id,
+                        arrive_ms=np.asarray(record["arrive_ms"], dtype=np.int64),
+                        response_ms=np.asarray(record["response_ms"], dtype=np.float64),
+                        examined_rows=np.asarray(record["examined_rows"], dtype=np.float64),
+                    )
+                )
+                if sql_id not in self.catalog and "statement" in record:
+                    self.catalog.register_statement(record["statement"])
+                handled += 1
+        return handled
+
+    def register_statement(self, sql: str) -> None:
+        """Teach the catalog a statement (collectors may also inline them)."""
+        fp = fingerprint(sql)
+        self.catalog.register_template(fp.sql_id, fp.template, fp.kind, fp.tables)
+
+    def register_catalog(self, catalog: TemplateCatalog) -> None:
+        """Merge an external template catalog (e.g. from the workload)."""
+        for info in catalog:
+            self.catalog.register_template(
+                info.sql_id, info.template, info.kind, info.tables
+            )
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    def step(self) -> list[Diagnosis]:
+        """Consume available stream data; diagnose any fresh anomalies."""
+        self._drain_query_logs()
+        events = self.detector.poll()
+        self._capture_metric_samples()
+        produced: list[Diagnosis] = []
+        for event in events:
+            if event.is_update:
+                continue
+            if event.anomaly.duration < self.config.min_anomaly_duration_s:
+                continue
+            diagnosis = self._diagnose(event.anomaly)
+            if diagnosis is not None:
+                self.diagnoses.append(diagnosis)
+                produced.append(diagnosis)
+                if self.notify is not None:
+                    self.notify(diagnosis)
+        return produced
+
+    def run_until_drained(self) -> list[Diagnosis]:
+        """Step until both topics are exhausted."""
+        produced: list[Diagnosis] = []
+        while self._log_consumer.lag > 0 or self.detector.consumer.lag > 0:
+            produced.extend(self.step())
+        return produced
+
+    # ------------------------------------------------------------------
+    def _capture_metric_samples(self) -> None:
+        """Mirror the detector's buffers for case assembly."""
+        for name, buffer in self.detector._buffers.items():
+            samples = self._metric_samples.setdefault(name, {})
+            samples.update(buffer.samples)
+
+    def _metric_series(self, name: str, ts: int, te: int) -> TimeSeries:
+        samples = self._metric_samples.get(name, {})
+        values = np.zeros(te - ts, dtype=np.float64)
+        last = 0.0
+        for i, t in enumerate(range(ts, te)):
+            if t in samples:
+                last = samples[t]
+            values[i] = last
+        return TimeSeries(values, start=ts, name=name)
+
+    def _diagnose(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
+        ts = max(0, anomaly.start - self.config.delta_start_s)
+        te = max(anomaly.end, anomaly.start + 1)
+        metrics = InstanceMetrics(
+            {
+                name: self._metric_series(name, ts, te)
+                for name in self._metric_samples
+            }
+        )
+        if "active_session" not in metrics:
+            return None
+        templates = aggregate_logstore(self.logstore, ts, te)
+        if not templates.sql_ids:
+            return None
+        history: dict[str, dict[int, TimeSeries]] = {}
+        if self.history_provider is not None:
+            for sql_id in templates.sql_ids:
+                for days in self.config.pinsql.history_days:
+                    series = self.history_provider(sql_id, days, ts, te)
+                    if series is not None:
+                        history.setdefault(sql_id, {})[days] = series
+        case = AnomalyCase(
+            metrics=metrics,
+            templates=templates,
+            logs=self.logstore,
+            catalog=self.catalog,
+            anomaly_start=anomaly.start,
+            anomaly_end=min(anomaly.end, te),
+            history=history,
+        )
+        result = self._pinsql.analyze(case)
+        verdict = classify_case(case)
+        plan = self._repair.plan(case, result, anomaly_types=anomaly.types)
+        executed = False
+        if self.instance is not None and self.config.repair.auto_execute:
+            self._repair.execute(plan, self.instance, now_s=te)
+            executed = bool(plan.executed)
+        report = render_report(case, result, plan=plan)
+        return Diagnosis(
+            anomaly=anomaly,
+            case=case,
+            result=result,
+            report=report,
+            plan=plan,
+            executed=executed,
+            verdict=verdict,
+        )

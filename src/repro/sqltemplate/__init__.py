@@ -1,0 +1,34 @@
+"""SQL template (digest) substrate (paper Definition II.3).
+
+Provides a small SQL lexer, literal normalization into ``?`` placeholders,
+a stable ``SQL_ID`` fingerprint, and a template catalog that tracks the
+statement kind and the tables each template touches — the metadata the
+lock simulator and the repairing module rely on.
+"""
+
+from repro.sqltemplate.tokenizer import Token, TokenKind, tokenize
+from repro.sqltemplate.fingerprint import (
+    normalize_statement,
+    sql_id,
+    fingerprint,
+    Fingerprint,
+    StatementKind,
+    classify_statement,
+    extract_tables,
+)
+from repro.sqltemplate.catalog import TemplateCatalog, TemplateInfo
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "normalize_statement",
+    "sql_id",
+    "fingerprint",
+    "Fingerprint",
+    "StatementKind",
+    "classify_statement",
+    "extract_tables",
+    "TemplateCatalog",
+    "TemplateInfo",
+]

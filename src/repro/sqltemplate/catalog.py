@@ -1,0 +1,102 @@
+"""Template catalog: the registry of known SQL templates.
+
+The aggregation pipeline registers every template it sees; downstream
+modules look up statement kind and touched tables by ``SQL_ID``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.sqltemplate.fingerprint import Fingerprint, StatementKind, fingerprint
+
+__all__ = ["TemplateInfo", "TemplateCatalog"]
+
+
+@dataclass
+class TemplateInfo:
+    """Metadata held for one SQL template."""
+
+    sql_id: str
+    template: str
+    kind: StatementKind
+    tables: tuple[str, ...]
+    first_seen: int | None = None
+    query_count: int = 0
+
+    @classmethod
+    def from_fingerprint(cls, fp: Fingerprint, first_seen: int | None = None) -> "TemplateInfo":
+        return cls(
+            sql_id=fp.sql_id,
+            template=fp.template,
+            kind=fp.kind,
+            tables=fp.tables,
+            first_seen=first_seen,
+        )
+
+
+class TemplateCatalog:
+    """A registry mapping ``SQL_ID`` to :class:`TemplateInfo`.
+
+    The catalog is append-mostly: templates are registered the first time
+    a matching query is observed and their counters updated afterwards.
+    """
+
+    def __init__(self) -> None:
+        self._templates: dict[str, TemplateInfo] = {}
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+    def __contains__(self, sql_id: str) -> bool:
+        return sql_id in self._templates
+
+    def __iter__(self) -> Iterator[TemplateInfo]:
+        return iter(self._templates.values())
+
+    def get(self, sql_id: str) -> TemplateInfo | None:
+        return self._templates.get(sql_id)
+
+    def __getitem__(self, sql_id: str) -> TemplateInfo:
+        return self._templates[sql_id]
+
+    @property
+    def sql_ids(self) -> list[str]:
+        return list(self._templates)
+
+    def register_statement(self, sql: str, timestamp: int | None = None) -> TemplateInfo:
+        """Fingerprint a raw statement and register (or update) its template."""
+        fp = fingerprint(sql)
+        return self.register_fingerprint(fp, timestamp)
+
+    def register_fingerprint(
+        self, fp: Fingerprint, timestamp: int | None = None
+    ) -> TemplateInfo:
+        info = self._templates.get(fp.sql_id)
+        if info is None:
+            info = TemplateInfo.from_fingerprint(fp, first_seen=timestamp)
+            self._templates[fp.sql_id] = info
+        info.query_count += 1
+        if timestamp is not None and (info.first_seen is None or timestamp < info.first_seen):
+            info.first_seen = timestamp
+        return info
+
+    def register_template(
+        self,
+        sql_id: str,
+        template: str,
+        kind: StatementKind,
+        tables: tuple[str, ...],
+        first_seen: int | None = None,
+    ) -> TemplateInfo:
+        """Directly register a pre-fingerprinted template (simulator path)."""
+        info = self._templates.get(sql_id)
+        if info is None:
+            info = TemplateInfo(sql_id, template, kind, tables, first_seen)
+            self._templates[sql_id] = info
+        return info
+
+    def templates_on_table(self, table: str) -> list[TemplateInfo]:
+        """All templates that touch ``table``."""
+        return [info for info in self._templates.values() if table in info.tables]

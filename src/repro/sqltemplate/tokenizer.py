@@ -1,0 +1,162 @@
+"""A minimal SQL lexer sufficient for template fingerprinting.
+
+The goal is not a full SQL grammar but a faithful reproduction of what
+statement-digest systems (MySQL Performance Schema digests, Oracle
+workload intelligence) do: split a statement into keywords, identifiers,
+literals, operators and punctuation so literals can be replaced by
+placeholders.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["TokenKind", "Token", "tokenize"]
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    PLACEHOLDER = "placeholder"
+
+
+#: Keywords recognised for classification/normalization purposes.  This is
+#: intentionally the working set used by real digest implementations, not
+#: the full reserved-word list.
+KEYWORDS = frozenset(
+    """
+    select insert update delete replace set from where and or not in is null
+    like between join inner left right outer on group by having order limit
+    offset values into as distinct union all exists case when then else end
+    create alter drop table index view truncate rename add column primary key
+    unique foreign references begin commit rollback show status desc asc
+    count sum avg min max if ifnull coalesce for share lock mode nowait
+    """.split()
+)
+
+_OPERATOR_CHARS = set("=<>!+-*/%&|^~")
+_PUNCT_CHARS = set("(),.;")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL statement.
+
+    Handles single/double-quoted strings with backslash and doubled-quote
+    escapes, numeric literals (including decimals and exponents),
+    backquoted identifiers, line (``--``) and block (``/* */``) comments,
+    and ``?`` placeholders already present in the input.
+    """
+    tokens: list[Token] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        # Comments -----------------------------------------------------
+        if ch == "-" and sql.startswith("--", i):
+            j = sql.find("\n", i)
+            i = n if j == -1 else j + 1
+            continue
+        if ch == "/" and sql.startswith("/*", i):
+            j = sql.find("*/", i + 2)
+            i = n if j == -1 else j + 2
+            continue
+        # String literals ----------------------------------------------
+        if ch in ("'", '"'):
+            quote = ch
+            j = i + 1
+            buf = [quote]
+            while j < n:
+                c = sql[j]
+                buf.append(c)
+                if c == "\\" and j + 1 < n:
+                    buf.append(sql[j + 1])
+                    j += 2
+                    continue
+                if c == quote:
+                    if j + 1 < n and sql[j + 1] == quote:  # doubled quote escape
+                        buf.append(quote)
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                j += 1
+            tokens.append(Token(TokenKind.STRING, "".join(buf)))
+            i = j
+            continue
+        # Backquoted identifiers ---------------------------------------
+        if ch == "`":
+            j = sql.find("`", i + 1)
+            j = n if j == -1 else j + 1
+            text = sql[i:j].strip("`")
+            if text:  # an unterminated/empty backquote yields no token
+                tokens.append(Token(TokenKind.IDENTIFIER, text))
+            i = j
+            continue
+        # Numbers (including a leading sign handled as operator) --------
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_exp = False
+            while j < n:
+                c = sql[j]
+                if c.isdigit() or c == ".":
+                    j += 1
+                elif c in "eE" and not seen_exp and j + 1 < n and (
+                    sql[j + 1].isdigit() or sql[j + 1] in "+-"
+                ):
+                    seen_exp = True
+                    j += 2
+                elif c in "xXabcdefABCDEF" and sql[i] == "0":
+                    j += 1  # hex literals
+                else:
+                    break
+            tokens.append(Token(TokenKind.NUMBER, sql[i:j]))
+            i = j
+            continue
+        # Placeholder ----------------------------------------------------
+        if ch == "?":
+            tokens.append(Token(TokenKind.PLACEHOLDER, "?"))
+            i += 1
+            continue
+        # Words ----------------------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] in "_$"):
+                j += 1
+            word = sql[i:j]
+            kind = (
+                TokenKind.KEYWORD
+                if word.lower() in KEYWORDS
+                else TokenKind.IDENTIFIER
+            )
+            tokens.append(Token(kind, word))
+            i = j
+            continue
+        # Operators and punctuation --------------------------------------
+        if ch in _OPERATOR_CHARS:
+            j = i
+            while j < n and sql[j] in _OPERATOR_CHARS:
+                j += 1
+            tokens.append(Token(TokenKind.OPERATOR, sql[i:j]))
+            i = j
+            continue
+        if ch in _PUNCT_CHARS:
+            tokens.append(Token(TokenKind.PUNCT, ch))
+            i += 1
+            continue
+        # Anything else: treat as punctuation so we never loop forever.
+        tokens.append(Token(TokenKind.PUNCT, ch))
+        i += 1
+    return tokens

@@ -1,0 +1,114 @@
+"""Correlation measures used throughout PinSQL.
+
+Implements the plain Pearson coefficient, the *weighted* Pearson
+coefficient with a Sigmoid-based anomaly-window weight (paper Section V,
+Eq. (1)), and small numerical guards: a correlation involving a
+(near-)constant series is defined as 0.0 rather than NaN, because a flat
+template trivially carries no trend information about the anomaly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.timeseries.series import TimeSeries
+
+__all__ = ["pearson", "weighted_pearson", "sigmoid_anomaly_weights"]
+
+#: Variance floor below which a series is treated as constant.
+_EPS = 1e-12
+
+
+def _as_array(x) -> np.ndarray:
+    if isinstance(x, TimeSeries):
+        return x.values
+    return np.asarray(x, dtype=np.float64)
+
+
+def pearson(x, y) -> float:
+    """Pearson correlation coefficient of two equal-length series.
+
+    Returns 0.0 when either input is (near-)constant or shorter than two
+    samples, so callers never have to special-case NaN.
+    """
+    xa, ya = _as_array(x), _as_array(y)
+    if len(xa) != len(ya):
+        raise ValueError(f"length mismatch: {len(xa)} vs {len(ya)}")
+    if len(xa) < 2:
+        return 0.0
+    xc = xa - xa.mean()
+    yc = ya - ya.mean()
+    vx = float(np.dot(xc, xc))
+    vy = float(np.dot(yc, yc))
+    if vx < _EPS or vy < _EPS:
+        return 0.0
+    r = float(np.dot(xc, yc)) / np.sqrt(vx * vy)
+    return float(np.clip(r, -1.0, 1.0))
+
+
+def weighted_pearson(x, y, weights) -> float:
+    """Weighted Pearson correlation (paper Section V, trend-level score).
+
+    ``cov(X, Y; W) = Σᵢ wᵢ·(xᵢ−m(X;W))(yᵢ−m(Y;W)) / Σᵢ wᵢ`` with the
+    weighted means ``m(·;W)``.  Degenerate inputs yield 0.0.
+    """
+    xa, ya = _as_array(x), _as_array(y)
+    w = np.asarray(weights, dtype=np.float64)
+    if not (len(xa) == len(ya) == len(w)):
+        raise ValueError("x, y and weights must share a length")
+    if len(xa) < 2:
+        return 0.0
+    wsum = float(w.sum())
+    if wsum < _EPS:
+        return 0.0
+    mx = float(np.dot(w, xa)) / wsum
+    my = float(np.dot(w, ya)) / wsum
+    xc = xa - mx
+    yc = ya - my
+    cov = float(np.dot(w, xc * yc)) / wsum
+    vx = float(np.dot(w, xc * xc)) / wsum
+    vy = float(np.dot(w, yc * yc)) / wsum
+    if vx < _EPS or vy < _EPS:
+        return 0.0
+    r = cov / np.sqrt(vx * vy)
+    return float(np.clip(r, -1.0, 1.0))
+
+
+def sigmoid_anomaly_weights(
+    ts: int, te: int, anomaly_start: int, anomaly_end: int, smooth_factor: float
+) -> np.ndarray:
+    """Sigmoid-based weight highlighting the anomaly period (paper Eq. (1)).
+
+    ``Wₜ = σ((t−as)/ks) + σ((ae−t)/ks) − 1`` for ``t ∈ [ts, te)``.  As
+    ``ks → 0`` the weight becomes the anomaly-window indicator; as
+    ``ks → ∞`` it tends to the all-ones weight (plain Pearson).
+
+    Parameters
+    ----------
+    ts, te:
+        Bounds of the analysed window ``[ts, te)`` (1-second steps).
+    anomaly_start, anomaly_end:
+        The detected anomaly period ``[as, ae)``.
+    smooth_factor:
+        ``ks > 0``; the paper's default is 30.
+    """
+    if smooth_factor <= 0:
+        raise ValueError("smooth_factor must be positive")
+    if te <= ts:
+        raise ValueError("empty window: te must exceed ts")
+    t = np.arange(ts, te, dtype=np.float64)
+    ks = float(smooth_factor)
+
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        # Numerically stable logistic function.
+        out = np.empty_like(z)
+        pos = z >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    w = _sigmoid((t - anomaly_start) / ks) + _sigmoid((anomaly_end - t) / ks) - 1.0
+    # The analytic form can dip infinitesimally below zero far from the
+    # window; clamp so downstream weighted sums stay well-defined.
+    return np.clip(w, 0.0, 1.0)

@@ -1,0 +1,84 @@
+"""Anomalous-feature vocabulary shared by detectors and perception layers.
+
+The paper's Basic Perception layer emits *anomalous features* — spike
+up/down and level-shift up/down observed on a performance metric — which
+the Phenomenon Perception layer then combines into typed anomaly
+phenomena (e.g. ``[active_session.spike]``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["FeatureKind", "AnomalousFeature"]
+
+
+class FeatureKind(enum.Enum):
+    """The anomalous feature kinds recognised by the Basic Perception layer."""
+
+    SPIKE_UP = "spike_up"
+    SPIKE_DOWN = "spike_down"
+    LEVEL_SHIFT_UP = "level_shift_up"
+    LEVEL_SHIFT_DOWN = "level_shift_down"
+
+    @property
+    def is_spike(self) -> bool:
+        return self in (FeatureKind.SPIKE_UP, FeatureKind.SPIKE_DOWN)
+
+    @property
+    def is_level_shift(self) -> bool:
+        return self in (FeatureKind.LEVEL_SHIFT_UP, FeatureKind.LEVEL_SHIFT_DOWN)
+
+    @property
+    def is_upward(self) -> bool:
+        return self in (FeatureKind.SPIKE_UP, FeatureKind.LEVEL_SHIFT_UP)
+
+
+@dataclass(frozen=True)
+class AnomalousFeature:
+    """One anomalous feature detected on a metric.
+
+    Attributes
+    ----------
+    metric:
+        Name of the performance metric (e.g. ``"active_session"``).
+    kind:
+        The feature kind.
+    start, end:
+        Timestamps bounding the feature period ``[start, end)``.
+    severity:
+        Detector-specific strength score (robust z-score magnitude).
+    """
+
+    metric: str
+    kind: FeatureKind
+    start: int
+    end: int
+    severity: float
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def matches(self, pattern: str) -> bool:
+        """Check a ``metric.feature`` rule pattern (paper Fig. 5 DSL).
+
+        ``"active_session.spike"`` matches either spike direction,
+        ``"cpu_usage.spike_up"`` matches only upward spikes, and
+        ``"active_session.*"`` (or bare ``"active_session"``) matches any
+        feature on that metric.
+        """
+        if "." in pattern:
+            metric, feature = pattern.split(".", 1)
+        else:
+            metric, feature = pattern, "*"
+        if metric != self.metric:
+            return False
+        if feature in ("*", ""):
+            return True
+        if feature == "spike":
+            return self.kind.is_spike
+        if feature == "level_shift":
+            return self.kind.is_level_shift
+        return feature == self.kind.value

@@ -1,0 +1,63 @@
+"""Workload generation: microservice businesses, templates, anomalies.
+
+The paper's clustering module exploits a production regularity (its
+Fig. 4): templates issued by the APIs of one microservice DAG share an
+``#execution`` trend, while different businesses are near-independent.
+This package builds synthetic populations with exactly that structure —
+per-business latent demand trends driving per-template arrival rates —
+and injects the paper's three R-SQL categories as labelled scenarios.
+"""
+
+from repro.workload.trends import (
+    diurnal_trend,
+    ar1_trend,
+    business_latent_trend,
+    spike_profile,
+    ramp_profile,
+)
+from repro.workload.microservice import Api, BusinessService
+from repro.workload.catalog import Population, build_population
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.scenarios import (
+    AnomalyCategory,
+    InjectedAnomaly,
+    inject_business_spike,
+    inject_poor_sql,
+    inject_mdl_lock,
+    inject_row_lock,
+    inject_composite,
+    inject_anomaly,
+)
+from repro.workload.replay import (
+    ReplayWorkload,
+    infer_spec,
+    inflation_series,
+    estimate_cpu_cores,
+    replay_case,
+)
+
+__all__ = [
+    "diurnal_trend",
+    "ar1_trend",
+    "business_latent_trend",
+    "spike_profile",
+    "ramp_profile",
+    "Api",
+    "BusinessService",
+    "Population",
+    "build_population",
+    "WorkloadGenerator",
+    "AnomalyCategory",
+    "InjectedAnomaly",
+    "inject_business_spike",
+    "inject_poor_sql",
+    "inject_mdl_lock",
+    "inject_row_lock",
+    "inject_composite",
+    "inject_anomaly",
+    "ReplayWorkload",
+    "infer_spec",
+    "inflation_series",
+    "estimate_cpu_cores",
+    "replay_case",
+]

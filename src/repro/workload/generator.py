@@ -1,0 +1,63 @@
+"""WorkloadGenerator: the RateProvider fed to the simulation engine.
+
+Precomputes every template's expected per-second arrival rate from the
+population (business latent trends × API multipliers, plus explicit
+overrides) and serves them second by second.  Exact one-shot schedules
+(injected DDLs) are exposed through ``counts_at``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dbsim.spec import TemplateSpec
+from repro.workload.catalog import Population
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Turns a :class:`Population` into an engine rate provider."""
+
+    def __init__(self, population: Population) -> None:
+        self.population = population
+        self.duration = population.duration
+        self._rates: dict[str, np.ndarray] = {}
+        for sql_id in population.specs:
+            rate = population.expected_rate(sql_id)
+            if rate.max() > 0:
+                self._rates[sql_id] = rate
+
+    @property
+    def specs(self) -> dict[str, TemplateSpec]:
+        return self.population.specs
+
+    def rates_at(self, t: int) -> dict[str, float]:
+        """Per-template arrival rates at second ``t`` (zero rates omitted).
+
+        Seconds beyond the population duration repeat the final second,
+        so open-ended runs (the repair case study) stay well-defined.
+        """
+        idx = min(max(int(t), 0), self.duration - 1)
+        out: dict[str, float] = {}
+        for sql_id, rate in self._rates.items():
+            r = float(rate[idx])
+            if r > 0.0:
+                out[sql_id] = r
+        return out
+
+    def counts_at(self, t: int) -> dict[str, int]:
+        """Exact one-shot arrival counts scheduled for second ``t``."""
+        out: dict[str, int] = {}
+        for sql_id, schedule in self.population.exact_counts.items():
+            n = schedule.get(int(t))
+            if n:
+                out[sql_id] = int(n)
+        return out
+
+    def expected_rate(self, sql_id: str) -> np.ndarray:
+        """Expected rate series of one template (zeros if unknown)."""
+        rate = self._rates.get(sql_id)
+        if rate is None:
+            return np.zeros(self.duration, dtype=np.float64)
+        return rate

@@ -1,0 +1,92 @@
+"""Microservice business model (paper Fig. 4).
+
+A :class:`BusinessService` is one back-end business: a DAG of APIs
+driven by a shared latent demand.  Each API multiplies the latent
+request rate by its fan-in factor (how many times it is called per user
+request) and issues SQL templates at a per-call rate.  Consequently all
+templates of one business share the latent trend — the regularity the
+R-SQL clustering module exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Api", "BusinessService"]
+
+
+@dataclass
+class Api:
+    """One API node of a business DAG.
+
+    ``calls_per_request`` is the expected number of invocations per user
+    request (the product of branch factors along the DAG paths leading to
+    this API).  ``template_calls`` maps ``sql_id → queries per call``.
+    """
+
+    name: str
+    calls_per_request: float = 1.0
+    template_calls: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.calls_per_request < 0:
+            raise ValueError("calls_per_request must be non-negative")
+
+    def add_template(self, sql_id: str, queries_per_call: float = 1.0) -> None:
+        if queries_per_call <= 0:
+            raise ValueError("queries_per_call must be positive")
+        self.template_calls[sql_id] = (
+            self.template_calls.get(sql_id, 0.0) + queries_per_call
+        )
+
+
+@dataclass
+class BusinessService:
+    """One business: a latent demand trend and the APIs it drives."""
+
+    name: str
+    latent: np.ndarray                       # requests/second, per second
+    apis: list[Api] = field(default_factory=list)
+    #: Mean request level the latent trend was built around; kept so that
+    #: statistically-equivalent *history* trends can be regenerated.
+    base_level: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.latent = np.asarray(self.latent, dtype=np.float64)
+        if (self.latent < 0).any():
+            raise ValueError("latent demand must be non-negative")
+
+    @property
+    def duration(self) -> int:
+        return len(self.latent)
+
+    @property
+    def sql_ids(self) -> list[str]:
+        seen: list[str] = []
+        for api in self.apis:
+            for sql_id in api.template_calls:
+                if sql_id not in seen:
+                    seen.append(sql_id)
+        return seen
+
+    def template_multiplier(self, sql_id: str) -> float:
+        """Queries of ``sql_id`` issued per user request, over all APIs."""
+        total = 0.0
+        for api in self.apis:
+            per_call = api.template_calls.get(sql_id)
+            if per_call:
+                total += api.calls_per_request * per_call
+        return total
+
+    def template_rate(self, sql_id: str) -> np.ndarray:
+        """Arrival rate (queries/second) of one template, per second."""
+        return self.latent * self.template_multiplier(sql_id)
+
+    def scale_latent(self, profile: np.ndarray) -> None:
+        """Multiply the latent demand by a per-second profile (injections)."""
+        profile = np.asarray(profile, dtype=np.float64)
+        if len(profile) != len(self.latent):
+            raise ValueError("profile length must match the latent trend")
+        self.latent = self.latent * profile

@@ -1,0 +1,450 @@
+"""Anomaly scenario injection (the paper's three R-SQL categories).
+
+Each injector mutates a :class:`Population` so that, when the population
+is simulated, the instance exhibits the corresponding performance
+anomaly — and returns an :class:`InjectedAnomaly` that records the
+ground-truth root-cause templates.  The causal chain to the H-SQLs then
+emerges inside the simulator (locks block co-table queries, CPU
+saturation slows everything), mirroring how anomalies propagate in
+production rather than being painted onto the metric series.
+
+Category mapping (paper Section II):
+
+* ``BUSINESS_SPIKE`` — a business's demand multiplies (Double-11 style);
+  the spiking templates are both R-SQLs and H-SQLs.
+* ``POOR_SQL``       — a newly rolled-out template examines millions of
+  rows, saturating CPU; piled-up slow queries raise the active session.
+* ``MDL_LOCK``       — a migration issues a series of ALTERs; each holds
+  an exclusive metadata lock that blocks the business's traffic.
+* ``ROW_LOCK``       — a batch UPDATE job holds row locks that delay
+  co-table readers.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dbsim.spec import TemplateSpec
+from repro.sqltemplate import StatementKind, fingerprint
+from repro.workload.catalog import Population, make_statement
+from repro.workload.microservice import Api, BusinessService
+from repro.workload.trends import ramp_profile, spike_profile
+
+__all__ = [
+    "AnomalyCategory",
+    "InjectedAnomaly",
+    "inject_business_spike",
+    "inject_poor_sql",
+    "inject_mdl_lock",
+    "inject_row_lock",
+    "inject_composite",
+    "inject_anomaly",
+]
+
+
+class AnomalyCategory(enum.Enum):
+    BUSINESS_SPIKE = "business_spike"
+    POOR_SQL = "poor_sql"
+    MDL_LOCK = "mdl_lock"
+    ROW_LOCK = "row_lock"
+    #: Two independent root causes in overlapping windows — the paper's
+    #: motivation for the cumulative-threshold cluster selection
+    #: ("the instance session anomaly may be caused by multiple H-SQLs
+    #: with different trends ... affected by different R-SQLs").
+    COMPOSITE = "composite"
+
+
+@dataclass
+class InjectedAnomaly:
+    """Ground truth of one injected anomaly."""
+
+    category: AnomalyCategory
+    r_sql_ids: list[str]
+    anomaly_start: int
+    anomaly_end: int
+    business: str
+    table: str | None = None
+    #: Templates created by the injection (they have no history — they
+    #: are "new SQLs" in the paper's sense).
+    new_sql_ids: list[str] = field(default_factory=list)
+
+
+def _business_volumes(population: Population) -> np.ndarray:
+    """Mean response volume (Σ rate × service time) per business."""
+    volumes = []
+    for business in population.businesses:
+        volume = 0.0
+        mean_latent = float(business.latent.mean())
+        for sql_id in business.sql_ids:
+            spec = population.specs.get(sql_id)
+            if spec is None:
+                continue
+            rate = mean_latent * business.template_multiplier(sql_id)
+            volume += rate * spec.service_time_ms
+        volumes.append(volume)
+    return np.asarray(volumes, dtype=np.float64)
+
+
+def _pick_business(
+    population: Population,
+    rng: np.random.Generator,
+    band: tuple[float, float] = (0.0, 1 / 3),
+) -> BusinessService:
+    """Pick a business from a response-volume rank band.
+
+    Response volume decides how visible a business is in the active
+    session.  Lock and poor-SQL anomalies are injected into heavy
+    businesses (band ``(0, 1/3)``) so the propagation chain is clear;
+    business spikes hit mid-size businesses — in production the business
+    that suddenly multiplies is rarely already the instance's dominant
+    traffic source.
+    """
+    weights = _business_volumes(population)
+    order = np.argsort(weights)[::-1]
+    lo = int(band[0] * len(order))
+    hi = max(lo + 1, int(np.ceil(band[1] * len(order))))
+    return population.businesses[int(rng.choice(order[lo:hi]))]
+
+
+def _busiest_business(population: Population, rng: np.random.Generator) -> BusinessService:
+    """Pick a business among the heaviest third by response volume."""
+    return _pick_business(population, rng, band=(0.0, 1 / 3))
+
+
+def _busiest_table(population: Population, business: BusinessService) -> str:
+    """The business table carrying the most query traffic."""
+    traffic: dict[str, float] = {}
+    for sql_id in business.sql_ids:
+        spec = population.specs.get(sql_id)
+        if spec is None or spec.table is None:
+            continue
+        rate = business.template_multiplier(sql_id)
+        traffic[spec.table] = traffic.get(spec.table, 0.0) + rate
+    if not traffic:
+        raise ValueError(f"business {business.name} touches no tables")
+    return max(traffic, key=traffic.get)
+
+
+def _business_shape(business: BusinessService) -> np.ndarray:
+    """The business latent trend normalised to mean 1 (traffic shape)."""
+    mean = float(business.latent.mean())
+    if mean <= 0:
+        return np.ones_like(business.latent)
+    return business.latent / mean
+
+
+def inject_business_spike(
+    population: Population,
+    rng: np.random.Generator,
+    anomaly_start: int,
+    anomaly_end: int,
+    volume_lift: tuple[float, float] = (1.8, 3.5),
+    max_factor: float = 30.0,
+) -> InjectedAnomaly:
+    """Category 1: a business's demand multiplies during the window.
+
+    The spike magnitude adapts to the business's size: the factor is
+    chosen so the *instance-level* response volume rises by a
+    ``volume_lift`` multiple — a mid-size business must spike much harder
+    than a dominant one to cause the same incident, exactly as in
+    production (a niche feature going viral can 20× its backend traffic).
+    """
+    business = _pick_business(population, rng, band=(0.25, 0.8))
+    volumes = _business_volumes(population)
+    idx = population.businesses.index(business)
+    total = float(volumes.sum())
+    biz = max(float(volumes[idx]), 1e-9)
+    lift = float(rng.uniform(*volume_lift))
+    factor = float(np.clip(1.0 + (lift - 1.0) * total / biz, 3.0, max_factor))
+    profile = spike_profile(
+        population.duration, anomaly_start, anomaly_end, factor, ramp=30
+    )
+    business.scale_latent(profile)
+    # R-SQLs: the business's materially trafficked templates (DBAs label
+    # every template whose QPS visibly spiked).
+    multipliers = {
+        sql_id: business.template_multiplier(sql_id) for sql_id in business.sql_ids
+    }
+    peak = max(multipliers.values()) if multipliers else 0.0
+    r_sqls = [sid for sid, m in multipliers.items() if m >= 0.25 * peak]
+    return InjectedAnomaly(
+        category=AnomalyCategory.BUSINESS_SPIKE,
+        r_sql_ids=r_sqls,
+        anomaly_start=anomaly_start,
+        anomaly_end=anomaly_end,
+        business=business.name,
+    )
+
+
+def inject_poor_sql(
+    population: Population,
+    rng: np.random.Generator,
+    anomaly_start: int,
+    anomaly_end: int,
+    target_rate: tuple[float, float] = (6.0, 18.0),
+    examined_rows: tuple[float, float] = (4e5, 2e6),
+    capacity_hint_ms: float | None = None,
+) -> InjectedAnomaly:
+    """Category 2: roll out a new CPU-hungry template in one business.
+
+    ``capacity_hint_ms`` — the instance's CPU capacity (CPU-ms/s), when
+    known: the rollout rate is then sized to oversubscribe CPU by a
+    1.3–2.2× factor, which is what makes a poor SQL an incident instead
+    of a curiosity.
+    """
+    business = _busiest_business(population, rng)
+    table = _busiest_table(population, business)
+    statement = make_statement(StatementKind.SELECT, table, int(rng.integers(10_000, 99_999)))
+    fp = fingerprint(statement)
+    spec = TemplateSpec(
+        sql_id=fp.sql_id,
+        template=fp.template,
+        kind=fp.kind,
+        tables=fp.tables if fp.tables else (table,),
+        base_response_ms=float(rng.uniform(20.0, 80.0)),
+        examined_rows_mean=float(rng.uniform(*examined_rows)),
+        response_cv=0.3,
+    )
+    if capacity_hint_ms is not None:
+        oversubscribe = float(rng.uniform(1.3, 2.2))
+        rate = float(
+            np.clip(oversubscribe * capacity_hint_ms / spec.cpu_ms_per_query, 4.0, 40.0)
+        )
+    else:
+        rate = float(rng.uniform(*target_rate))
+    # The rollout ramps up at the anomaly start and follows the business
+    # traffic shape, so its #execution clusters with its business.
+    profile = ramp_profile(population.duration, anomaly_start, ramp=60)
+    population.rate_overrides[spec.sql_id] = (
+        rate * profile * _business_shape(business)
+    )
+    api = Api(name=f"{business.name}_rollout", calls_per_request=1.0)
+    population.add_template(business, api, spec)
+    return InjectedAnomaly(
+        category=AnomalyCategory.POOR_SQL,
+        r_sql_ids=[spec.sql_id],
+        anomaly_start=anomaly_start,
+        anomaly_end=anomaly_end,
+        business=business.name,
+        table=table,
+        new_sql_ids=[spec.sql_id],
+    )
+
+
+def inject_mdl_lock(
+    population: Population,
+    rng: np.random.Generator,
+    anomaly_start: int,
+    anomaly_end: int,
+    ddl_duration_ms: tuple[float, float] = (8_000.0, 20_000.0),
+    ddl_interval_s: tuple[int, int] = (25, 50),
+    copy_rate: tuple[float, float] = (3.0, 9.0),
+    activity_bump: tuple[float, float] = (1.15, 1.4),
+) -> InjectedAnomaly:
+    """Category 3(i): a schema migration holds repeated exclusive MDLs.
+
+    Real migrations (pt-online-schema-change style) are *jobs*, not lone
+    ALTERs: a series of DDL steps across the maintenance window plus
+    chunked copy/progress queries running throughout it.  The copy
+    queries give the migration a coherent #execution trend — the business
+    signature the clustering module keys on — and, being co-table with
+    the locked traffic, they are themselves blocked during each DDL step.
+    The deploy activity also bumps the business's own traffic mildly.
+    """
+    business = _busiest_business(population, rng)
+    table = _busiest_table(population, business)
+    statement = make_statement(StatementKind.DDL, table, int(rng.integers(100, 999)))
+    fp = fingerprint(statement)
+    spec = TemplateSpec(
+        sql_id=fp.sql_id,
+        template=fp.template,
+        kind=fp.kind,
+        tables=fp.tables if fp.tables else (table,),
+        base_response_ms=10.0,
+        examined_rows_mean=0.0,
+        ddl_duration_ms=float(rng.uniform(*ddl_duration_ms)),
+    )
+    schedule: dict[int, int] = {}
+    t = anomaly_start
+    while t < anomaly_end:
+        schedule[int(t)] = 1
+        t += int(rng.integers(ddl_interval_s[0], ddl_interval_s[1] + 1))
+    population.exact_counts[spec.sql_id] = schedule
+    api = Api(name=f"{business.name}_migration", calls_per_request=1.0)
+    population.add_template(business, api, spec)
+    # The migration's DDL steps run only on their explicit schedule — the
+    # API attachment is business bookkeeping, not a traffic source.
+    population.rate_overrides[spec.sql_id] = np.zeros(population.duration)
+
+    # Chunked copy queries of the migration job, live through the window.
+    window = spike_profile(
+        population.duration, anomaly_start, anomaly_end, float(rng.uniform(*copy_rate)), ramp=20
+    )
+    window = np.where(window > 1.0, window, 0.0)
+    new_ids = [spec.sql_id]
+    copy_statement = (
+        f"SELECT c0, c1, c2 FROM {table} WHERE id BETWEEN {int(rng.integers(1, 9))} AND ?"
+    )
+    copy_fp = fingerprint(copy_statement)
+    copy_spec = TemplateSpec(
+        sql_id=copy_fp.sql_id,
+        template=copy_fp.template,
+        kind=copy_fp.kind,
+        tables=copy_fp.tables if copy_fp.tables else (table,),
+        base_response_ms=float(rng.uniform(8.0, 25.0)),
+        examined_rows_mean=float(rng.uniform(2_000.0, 10_000.0)),
+    )
+    population.rate_overrides[copy_spec.sql_id] = window * _business_shape(business)
+    population.add_template(business, api, copy_spec)
+    new_ids.append(copy_spec.sql_id)
+
+    # Deploy-time activity bump on the business itself.
+    bump = float(rng.uniform(*activity_bump))
+    business.scale_latent(
+        spike_profile(population.duration, anomaly_start, anomaly_end, bump, ramp=30)
+    )
+    return InjectedAnomaly(
+        category=AnomalyCategory.MDL_LOCK,
+        # The whole migration job is the root cause: stopping it (DDL
+        # steps and copy queries alike) resolves the anomaly, which is
+        # how DBAs label such cases.
+        r_sql_ids=list(new_ids),
+        anomaly_start=anomaly_start,
+        anomaly_end=anomaly_end,
+        business=business.name,
+        table=table,
+        new_sql_ids=list(new_ids),
+    )
+
+
+def inject_row_lock(
+    population: Population,
+    rng: np.random.Generator,
+    anomaly_start: int,
+    anomaly_end: int,
+    target_rate: tuple[float, float] = (6.0, 16.0),
+    lock_hold_ms: tuple[float, float] = (250.0, 450.0),
+    activity_bump: tuple[float, float] = (1.15, 1.4),
+) -> InjectedAnomaly:
+    """Category 3(ii): a batch UPDATE job holds row locks on a hot table.
+
+    As with migrations, batch jobs run alongside elevated business
+    activity (they are usually triggered by it), so the business's own
+    traffic bumps mildly during the window — the co-trend that lets the
+    clustering module place the job with its business.
+    """
+    business = _busiest_business(population, rng)
+    table = _busiest_table(population, business)
+    statement = make_statement(StatementKind.UPDATE, table, int(rng.integers(10_000, 99_999)))
+    fp = fingerprint(statement)
+    hold = float(rng.uniform(*lock_hold_ms))
+    spec = TemplateSpec(
+        sql_id=fp.sql_id,
+        template=fp.template,
+        kind=fp.kind,
+        tables=fp.tables if fp.tables else (table,),
+        # A chunked batch UPDATE holds its row locks for about as long
+        # as the statement runs — which also makes the hold duration
+        # recoverable from query logs (counterfactual replay needs that).
+        base_response_ms=hold * float(rng.uniform(0.8, 1.0)),
+        examined_rows_mean=float(rng.uniform(500.0, 5_000.0)),
+        lock_hold_ms=hold,
+    )
+    rate = float(rng.uniform(*target_rate))
+    profile = spike_profile(population.duration, anomaly_start, anomaly_end, rate, ramp=30)
+    # The job runs only inside the window: zero traffic elsewhere.
+    profile = np.where(profile > 1.0, profile, 0.0)
+    population.rate_overrides[spec.sql_id] = profile * _business_shape(business)
+    api = Api(name=f"{business.name}_batchjob", calls_per_request=1.0)
+    population.add_template(business, api, spec)
+    bump = float(rng.uniform(*activity_bump))
+    business.scale_latent(
+        spike_profile(population.duration, anomaly_start, anomaly_end, bump, ramp=30)
+    )
+    return InjectedAnomaly(
+        category=AnomalyCategory.ROW_LOCK,
+        r_sql_ids=[spec.sql_id],
+        anomaly_start=anomaly_start,
+        anomaly_end=anomaly_end,
+        business=business.name,
+        table=table,
+        new_sql_ids=[spec.sql_id],
+    )
+
+
+def inject_composite(
+    population: Population,
+    rng: np.random.Generator,
+    anomaly_start: int,
+    anomaly_end: int,
+    categories: tuple[AnomalyCategory, AnomalyCategory] | None = None,
+    **kwargs,
+) -> InjectedAnomaly:
+    """Two independent root causes with overlapping windows.
+
+    Draws two distinct single-cause categories (by default one lock-type
+    plus one of the others), injects the first over the full window and
+    the second over a sub-window shifted into it, and returns the union
+    of the ground truths.  Multi-cause incidents are what the cumulative
+    threshold (paper Section VI) exists for: the top cluster's sessions
+    alone cannot explain the whole session anomaly, so the selection must
+    keep extending.
+    """
+    if categories is None:
+        lock = (AnomalyCategory.MDL_LOCK, AnomalyCategory.ROW_LOCK)
+        other = (AnomalyCategory.BUSINESS_SPIKE, AnomalyCategory.POOR_SQL,
+                 AnomalyCategory.ROW_LOCK)
+        first = lock[int(rng.integers(0, len(lock)))]
+        second = first
+        while second is first:
+            second = other[int(rng.integers(0, len(other)))]
+        categories = (first, second)
+    if AnomalyCategory.COMPOSITE in categories:
+        raise ValueError("composite scenarios cannot nest")
+    length = anomaly_end - anomaly_start
+    # The second cause starts partway into the window.
+    offset = int(rng.integers(length // 4, max(length // 2, length // 4 + 1)))
+    # Sub-injectors get no extra kwargs: category-specific parameters do
+    # not transfer across categories.
+    first_truth = _INJECTORS[categories[0]](
+        population, rng, anomaly_start, anomaly_end
+    )
+    second_truth = _INJECTORS[categories[1]](
+        population, rng, anomaly_start + offset, anomaly_end
+    )
+    return InjectedAnomaly(
+        category=AnomalyCategory.COMPOSITE,
+        r_sql_ids=list(dict.fromkeys(first_truth.r_sql_ids + second_truth.r_sql_ids)),
+        anomaly_start=anomaly_start,
+        anomaly_end=anomaly_end,
+        business=f"{first_truth.business}+{second_truth.business}",
+        table=first_truth.table or second_truth.table,
+        new_sql_ids=first_truth.new_sql_ids + second_truth.new_sql_ids,
+    )
+
+
+_INJECTORS = {
+    AnomalyCategory.BUSINESS_SPIKE: inject_business_spike,
+    AnomalyCategory.POOR_SQL: inject_poor_sql,
+    AnomalyCategory.MDL_LOCK: inject_mdl_lock,
+    AnomalyCategory.ROW_LOCK: inject_row_lock,
+}
+_INJECTORS[AnomalyCategory.COMPOSITE] = inject_composite
+
+
+def inject_anomaly(
+    population: Population,
+    rng: np.random.Generator,
+    category: AnomalyCategory,
+    anomaly_start: int,
+    anomaly_end: int,
+    **kwargs,
+) -> InjectedAnomaly:
+    """Inject an anomaly of the given category into the population."""
+    if not 0 <= anomaly_start < anomaly_end <= population.duration:
+        raise ValueError("anomaly window must lie within the population duration")
+    injector = _INJECTORS[category]
+    return injector(population, rng, anomaly_start, anomaly_end, **kwargs)

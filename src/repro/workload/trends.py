@@ -1,0 +1,117 @@
+"""Trend primitives for arrival-rate time series.
+
+All primitives return a non-negative float array with one value per
+second.  Business demand is modelled as a smooth diurnal baseline times
+a slowly-varying AR(1) fluctuation — enough temporal structure that
+templates sharing a latent trend correlate strongly (the property the
+clustering module needs) while independent businesses do not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "diurnal_trend",
+    "ar1_trend",
+    "business_latent_trend",
+    "spike_profile",
+    "ramp_profile",
+]
+
+
+def diurnal_trend(
+    duration: int,
+    period: float = 86_400.0,
+    phase: float = 0.0,
+    depth: float = 0.3,
+) -> np.ndarray:
+    """Multiplicative diurnal factor around 1.0 with the given ``depth``."""
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    t = np.arange(duration, dtype=np.float64)
+    return 1.0 + depth * np.sin(2.0 * np.pi * (t + phase) / period)
+
+
+def ar1_trend(
+    duration: int,
+    rng: np.random.Generator,
+    rho: float = 0.999,
+    sigma: float = 0.25,
+    smooth: int = 120,
+) -> np.ndarray:
+    """Slowly-varying multiplicative AR(1) fluctuation around 1.0.
+
+    The innovation scale is chosen so the stationary standard deviation is
+    ``sigma``; the result is additionally moving-average smoothed over
+    ``smooth`` seconds so per-second jitter does not leak into the trend.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not 0.0 <= rho < 1.0:
+        raise ValueError("rho must lie in [0, 1)")
+    innovation = sigma * np.sqrt(1.0 - rho**2)
+    noise = rng.normal(0.0, innovation, size=duration)
+    x = np.empty(duration, dtype=np.float64)
+    acc = rng.normal(0.0, sigma)
+    for i in range(duration):
+        acc = rho * acc + noise[i]
+        x[i] = acc
+    smooth = min(smooth, duration)
+    if smooth > 1:
+        kernel = np.ones(smooth) / smooth
+        x = np.convolve(x, kernel, mode="same")
+    return np.clip(1.0 + x, 0.05, None)
+
+
+def business_latent_trend(
+    duration: int,
+    rng: np.random.Generator,
+    base_level: float = 1.0,
+    diurnal_depth: float = 0.25,
+    fluctuation: float = 0.25,
+) -> np.ndarray:
+    """Latent demand of one business: diurnal × AR(1), scaled by level."""
+    phase = rng.uniform(0.0, 86_400.0)
+    trend = (
+        base_level
+        * diurnal_trend(duration, phase=phase, depth=diurnal_depth)
+        * ar1_trend(duration, rng, sigma=fluctuation)
+    )
+    return np.clip(trend, 0.0, None)
+
+
+def spike_profile(
+    duration: int, start: int, end: int, magnitude: float, ramp: int = 30
+) -> np.ndarray:
+    """Multiplicative spike factor: 1 outside [start, end), ``magnitude``
+    inside, with linear ramps of ``ramp`` seconds at both edges."""
+    if not 0 <= start <= end <= duration:
+        raise ValueError("spike window must lie within [0, duration]")
+    if magnitude < 0:
+        raise ValueError("magnitude must be non-negative")
+    profile = np.ones(duration, dtype=np.float64)
+    if end == start:
+        return profile
+    profile[start:end] = magnitude
+    ramp = max(0, min(ramp, (end - start) // 2))
+    if ramp > 0:
+        profile[start : start + ramp] = np.linspace(1.0, magnitude, ramp, endpoint=False)
+        profile[end - ramp : end] = np.linspace(magnitude, 1.0, ramp, endpoint=False)
+    return profile
+
+
+def ramp_profile(duration: int, start: int, ramp: int = 60) -> np.ndarray:
+    """0 before ``start``, linear 0→1 over ``ramp`` seconds, 1 afterwards.
+
+    Models a new template's rollout: absent before deployment, ramping to
+    full traffic.
+    """
+    if not 0 <= start <= duration:
+        raise ValueError("start must lie within [0, duration]")
+    profile = np.zeros(duration, dtype=np.float64)
+    ramp = max(1, ramp)
+    ramp_end = min(duration, start + ramp)
+    profile[start:ramp_end] = np.linspace(0.0, 1.0, ramp_end - start, endpoint=False)
+    profile[ramp_end:] = 1.0
+    return profile

@@ -1,0 +1,61 @@
+"""Tests for LogStore-based aggregation (the service's case-assembly path)."""
+
+import numpy as np
+import pytest
+
+from repro.collection import LogStore, aggregate_logstore, aggregate_query_log
+from repro.dbsim import QueryLog, SecondBatch
+
+
+def make_log():
+    log = QueryLog()
+    log.append(
+        SecondBatch(
+            "A",
+            np.array([5_000, 5_500, 7_200], dtype=np.int64),
+            np.array([10.0, 20.0, 30.0]),
+            np.array([100.0, 200.0, 300.0]),
+        )
+    )
+    log.append(
+        SecondBatch(
+            "B",
+            np.array([6_100], dtype=np.int64),
+            np.array([5.0]),
+            np.array([50.0]),
+        )
+    )
+    return log
+
+
+class TestAggregateLogstore:
+    def test_matches_query_log_aggregation(self):
+        log = make_log()
+        store = LogStore()
+        store.ingest_query_log(log)
+        from_store = aggregate_logstore(store, 5, 8)
+        from_log = aggregate_query_log(log, 5, 8)
+        assert set(from_store.sql_ids) == set(from_log.sql_ids)
+        for sid in from_log.sql_ids:
+            for metric in ("#execution", "total_tres", "total_examined_rows"):
+                assert np.allclose(
+                    from_store.get(sid, metric).values,
+                    from_log.get(sid, metric).values,
+                )
+
+    def test_window_restriction(self):
+        store = LogStore()
+        store.ingest_query_log(make_log())
+        sub = aggregate_logstore(store, 6, 7)
+        assert sub.executions("B").total() == 1.0
+        assert sub.executions("A").total() == 0.0
+
+    def test_empty_window(self):
+        store = LogStore()
+        store.ingest_query_log(make_log())
+        out = aggregate_logstore(store, 100, 200)
+        assert out.sql_ids == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            aggregate_logstore(LogStore(), 5, 5)

@@ -1,0 +1,77 @@
+"""Tests for the in-process broker."""
+
+import pytest
+
+from repro.collection import Broker
+
+
+class TestBroker:
+    def test_publish_and_read(self):
+        broker = Broker()
+        broker.publish("t", key="a", value=1)
+        broker.publish("t", key="b", value=2)
+        messages = broker.read("t", 0, 10)
+        assert [m.value for m in messages] == [1, 2]
+        assert [m.offset for m in messages] == [0, 1]
+
+    def test_topics_autocreated(self):
+        broker = Broker()
+        broker.publish("x", key="k", value=0)
+        assert "x" in broker.topics
+
+    def test_create_topic_idempotent(self):
+        broker = Broker()
+        broker.create_topic("t")
+        broker.publish("t", key="k", value=1)
+        broker.create_topic("t")
+        assert broker.size("t") == 1
+
+    def test_read_bounds(self):
+        broker = Broker()
+        for i in range(5):
+            broker.publish("t", key="k", value=i)
+        assert [m.value for m in broker.read("t", 3, 10)] == [3, 4]
+        assert broker.read("t", 10, 5) == []
+
+    def test_invalid_read_args(self):
+        with pytest.raises(ValueError):
+            Broker().read("t", -1, 5)
+
+
+class TestConsumer:
+    def test_poll_advances_offset(self):
+        broker = Broker()
+        for i in range(10):
+            broker.publish("t", key="k", value=i)
+        consumer = broker.consumer("t")
+        first = consumer.poll(4)
+        second = consumer.poll(4)
+        assert [m.value for m in first] == [0, 1, 2, 3]
+        assert [m.value for m in second] == [4, 5, 6, 7]
+        assert consumer.lag == 2
+
+    def test_independent_consumers(self):
+        broker = Broker()
+        broker.publish("t", key="k", value=1)
+        c1, c2 = broker.consumer("t"), broker.consumer("t")
+        assert c1.poll() and c2.poll()
+
+    def test_seek_replays(self):
+        broker = Broker()
+        for i in range(3):
+            broker.publish("t", key="k", value=i)
+        consumer = broker.consumer("t")
+        consumer.poll()
+        consumer.seek(0)
+        assert [m.value for m in consumer.poll()] == [0, 1, 2]
+
+    def test_seek_negative_rejected(self):
+        broker = Broker()
+        with pytest.raises(ValueError):
+            broker.consumer("t").seek(-1)
+
+    def test_poll_on_empty_topic(self):
+        broker = Broker()
+        consumer = broker.consumer("empty")
+        assert consumer.poll() == []
+        assert consumer.lag == 0

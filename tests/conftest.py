@@ -1,0 +1,41 @@
+"""Shared fixtures: small labelled anomaly cases, generated once per session."""
+
+import pytest
+
+from repro.evaluation import CorpusConfig, generate_case
+from repro.workload import AnomalyCategory
+
+#: A compact configuration so test cases generate in about a second.
+FAST_CORPUS = CorpusConfig(
+    n_cases=4,
+    seed=123,
+    delta_start_s=420,
+    anomaly_length_s=(150, 240),
+    n_businesses=(4, 6),
+    cpu_cores_choices=(8, 16),
+)
+
+
+@pytest.fixture(scope="session")
+def poor_sql_case():
+    return generate_case(11, FAST_CORPUS, category=AnomalyCategory.POOR_SQL)
+
+
+@pytest.fixture(scope="session")
+def row_lock_case():
+    return generate_case(12, FAST_CORPUS, category=AnomalyCategory.ROW_LOCK)
+
+
+@pytest.fixture(scope="session")
+def mdl_lock_case():
+    return generate_case(13, FAST_CORPUS, category=AnomalyCategory.MDL_LOCK)
+
+
+@pytest.fixture(scope="session")
+def spike_case():
+    return generate_case(14, FAST_CORPUS, category=AnomalyCategory.BUSINESS_SPIKE)
+
+
+@pytest.fixture(scope="session")
+def all_cases(poor_sql_case, row_lock_case, mdl_lock_case, spike_case):
+    return [poor_sql_case, row_lock_case, mdl_lock_case, spike_case]

@@ -1,0 +1,57 @@
+"""Tests for the Granger-causality extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.autoregressive import GrangerRanker
+from repro.evaluation.metrics import first_hit_rank
+
+
+class TestCausalityScore:
+    def test_causal_driver_scores_higher(self):
+        # session[t] responds to execution[t-1]; noise does not.
+        rng = np.random.default_rng(0)
+        n = 300
+        execution = np.abs(rng.normal(10, 3, n))
+        session = np.zeros(n)
+        for t in range(1, n):
+            session[t] = 0.5 * session[t - 1] + 0.8 * execution[t - 1] + rng.normal(0, 0.5)
+        noise = np.abs(rng.normal(10, 3, n))
+        ranker = GrangerRanker(lags=3, interval_s=1)
+        causal = ranker.causality_score(session, execution)
+        spurious = ranker.causality_score(session, noise)
+        assert causal > spurious
+        assert causal > 0.1
+
+    def test_short_series_scores_zero(self):
+        ranker = GrangerRanker(lags=5, interval_s=1)
+        assert ranker.causality_score(np.ones(8), np.ones(8)) == 0.0
+
+    def test_invalid_lags(self):
+        with pytest.raises(ValueError):
+            GrangerRanker(lags=0)
+
+
+class TestRankOnCases:
+    def test_produces_full_ranking(self, poor_sql_case):
+        ranker = GrangerRanker(interval_s=60)
+        ranking = ranker.rank(poor_sql_case.case)
+        assert sorted(ranking) == sorted(poor_sql_case.case.sql_ids)
+
+    def test_max_templates_cap(self, poor_sql_case):
+        ranker = GrangerRanker(interval_s=60, max_templates=5)
+        ranking = ranker.rank(poor_sql_case.case)
+        assert sorted(ranking) == sorted(poor_sql_case.case.sql_ids)
+
+    def test_collinearity_degrades_attribution(self, all_cases):
+        # The paper's argument: at template scale, autoregressive methods
+        # stop pinpointing.  On our cases the Granger ranker is expected
+        # to be far from reliable — assert only that it runs and that it
+        # is not systematically perfect (which would contradict the
+        # premise for skipping it).
+        ranker = GrangerRanker(interval_s=60)
+        ranks = []
+        for labeled in all_cases:
+            ranking = ranker.rank(labeled.case)
+            ranks.append(first_hit_rank(ranking, labeled.r_sqls))
+        assert any(r is None or r > 1 for r in ranks)

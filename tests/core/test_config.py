@@ -1,0 +1,75 @@
+"""Tests for PinSQLConfig."""
+
+import pytest
+
+from repro.core import PinSQLConfig, SessionEstimationMode
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        cfg = PinSQLConfig()
+        assert cfg.delta_start_s == 1800          # δs = 30 min
+        assert cfg.smooth_factor == 30.0          # ks
+        assert cfg.cluster_threshold == 0.8       # τ
+        assert cfg.max_clusters == 5              # Kc
+        assert cfg.cumulative_threshold == 0.95   # τc
+        assert cfg.session_buckets == 10          # K
+        assert cfg.history_days == (1, 3, 7)
+        assert cfg.session_estimation is SessionEstimationMode.BUCKETS
+
+    def test_all_components_enabled_by_default(self):
+        cfg = PinSQLConfig()
+        assert cfg.use_trend_score
+        assert cfg.use_scale_score
+        assert cfg.use_scale_trend_score
+        assert cfg.use_weighted_final_score
+        assert cfg.use_cumulative_threshold
+        assert cfg.use_direct_cause_ranking
+        assert cfg.use_history_verification
+        assert cfg.use_metric_temp_nodes
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"delta_start_s": -1},
+            {"session_buckets": 0},
+            {"smooth_factor": 0},
+            {"cluster_threshold": 1.5},
+            {"max_clusters": 0},
+            {"cumulative_threshold": -2.0},
+            {"clustering_interval_s": 0},
+        ],
+    )
+    def test_invalid_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PinSQLConfig(**kwargs)
+
+
+class TestAblations:
+    def test_each_named_ablation(self):
+        base = PinSQLConfig()
+        assert base.without("estimate_session").session_estimation is (
+            SessionEstimationMode.RESPONSE_TIME
+        )
+        assert base.without("buckets").session_estimation is (
+            SessionEstimationMode.NO_BUCKETS
+        )
+        assert not base.without("trend_score").use_trend_score
+        assert not base.without("scale_score").use_scale_score
+        assert not base.without("scale_trend_score").use_scale_trend_score
+        assert not base.without("weighted_final_score").use_weighted_final_score
+        assert not base.without("cumulative_threshold").use_cumulative_threshold
+        assert not base.without("direct_cause_ranking").use_direct_cause_ranking
+        assert not base.without("history_verification").use_history_verification
+        assert not base.without("metric_temp_nodes").use_metric_temp_nodes
+
+    def test_ablation_does_not_mutate_original(self):
+        base = PinSQLConfig()
+        base.without("trend_score")
+        assert base.use_trend_score
+
+    def test_unknown_ablation_rejected(self):
+        with pytest.raises(ValueError, match="unknown ablation"):
+            PinSQLConfig().without("nonsense")

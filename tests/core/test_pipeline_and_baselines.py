@@ -1,0 +1,144 @@
+"""Tests for the PinSQL pipeline, baselines and evaluation metrics."""
+
+import pytest
+
+from repro.core import PinSQL, PinSQLConfig, top_en, top_er, top_rt
+from repro.evaluation import (
+    evaluate_pinsql,
+    evaluate_ranker,
+    hits_at_k,
+    reciprocal_rank,
+    summarize_ranks,
+    top_all_report,
+)
+from repro.evaluation.metrics import first_hit_rank
+
+
+class TestMetrics:
+    def test_first_hit_rank(self):
+        assert first_hit_rank(["a", "b", "c"], {"b", "c"}) == 2
+        assert first_hit_rank(["a"], {"z"}) is None
+
+    def test_empty_truth_rejected(self):
+        with pytest.raises(ValueError):
+            first_hit_rank(["a"], set())
+
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["a", "b"], {"b"}) == pytest.approx(0.5)
+        assert reciprocal_rank(["a"], {"z"}) == 0.0
+
+    def test_hits_at_k(self):
+        assert hits_at_k(["a", "b"], {"b"}, 5)
+        assert not hits_at_k(["a", "b"], {"b"}, 1)
+        with pytest.raises(ValueError):
+            hits_at_k(["a"], {"a"}, 0)
+
+    def test_summarize(self):
+        summary = summarize_ranks([1, 2, None, 1])
+        assert summary.hits_at_1 == pytest.approx(50.0)
+        assert summary.hits_at_5 == pytest.approx(75.0)
+        assert summary.mrr == pytest.approx((1 + 0.5 + 0 + 1) / 4)
+        assert "H@1" in str(summary)
+
+    def test_summarize_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ranks([])
+
+
+class TestBaselines:
+    def test_rankings_cover_all_templates(self, poor_sql_case):
+        case = poor_sql_case.case
+        for ranker in (top_rt(), top_er(), top_en()):
+            ranking = ranker.rank(case)
+            assert sorted(ranking) == sorted(case.sql_ids)
+
+    def test_top_er_finds_poor_sql_quickly(self, poor_sql_case):
+        # A full-scan template tops the examined-rows page.
+        ranking = top_er().rank(poor_sql_case.case)
+        rank = first_hit_rank(ranking, poor_sql_case.r_sqls)
+        assert rank is not None and rank <= 10
+
+    def test_names(self):
+        assert top_rt().name == "Top-RT"
+        assert top_er().name == "Top-ER"
+        assert top_en().name == "Top-EN"
+
+
+class TestPipeline:
+    def test_analyze_produces_complete_result(self, row_lock_case):
+        result = PinSQL().analyze(row_lock_case.case)
+        assert result.hsql_ids
+        assert result.rsql_ids
+        assert result.timings.total > 0
+        assert result.timings.session_estimation > 0
+        assert result.timings.hsql_total < result.timings.total
+
+    def test_finds_row_lock_root_cause(self, row_lock_case):
+        result = PinSQL().analyze(row_lock_case.case)
+        rank = first_hit_rank(result.rsql_ids, row_lock_case.r_sqls)
+        assert rank is not None and rank <= 5
+
+    def test_finds_poor_sql_root_cause(self, poor_sql_case):
+        result = PinSQL().analyze(poor_sql_case.case)
+        rank = first_hit_rank(result.rsql_ids, poor_sql_case.r_sqls)
+        assert rank is not None and rank <= 5
+
+    def test_finds_hsql_top1(self, all_cases):
+        pinsql = PinSQL()
+        hits = 0
+        for labeled in all_cases:
+            result = pinsql.analyze(labeled.case)
+            if first_hit_rank(result.hsql_ids, labeled.h_sqls) == 1:
+                hits += 1
+        assert hits >= 3  # at least 3 of 4 categories top-1
+
+    def test_ranker_protocol_adapters(self, poor_sql_case):
+        pinsql = PinSQL()
+        assert pinsql.rank(poor_sql_case.case) == pinsql.analyze(poor_sql_case.case).rsql_ids
+        assert pinsql.rank_hsql(poor_sql_case.case)
+
+    def test_ablated_configs_still_run(self, poor_sql_case):
+        for ablation in (
+            "estimate_session",
+            "buckets",
+            "trend_score",
+            "scale_score",
+            "scale_trend_score",
+            "weighted_final_score",
+            "cumulative_threshold",
+            "direct_cause_ranking",
+            "history_verification",
+        ):
+            cfg = PinSQLConfig().without(ablation)
+            result = PinSQL(cfg).analyze(poor_sql_case.case)
+            assert result.hsql_ids, ablation
+
+
+class TestHarness:
+    def test_evaluate_ranker(self, all_cases):
+        report = evaluate_ranker(top_rt(), all_cases)
+        assert len(report.r_ranks) == len(all_cases)
+        assert report.mean_r_time > 0
+        assert 0 <= report.r_summary.hits_at_1 <= 100
+
+    def test_evaluate_pinsql(self, all_cases):
+        report = evaluate_pinsql(PinSQL(), all_cases)
+        assert len(report.h_ranks) == len(all_cases)
+        assert report.h_summary.hits_at_1 >= 50.0
+
+    def test_top_all_is_per_case_best(self, all_cases):
+        reports = [evaluate_ranker(r, all_cases) for r in (top_rt(), top_er(), top_en())]
+        top_all = top_all_report(reports)
+        for i in range(len(all_cases)):
+            candidates = [rep.r_ranks[i] for rep in reports if rep.r_ranks[i] is not None]
+            expected = min(candidates) if candidates else None
+            assert top_all.r_ranks[i] == expected
+
+    def test_top_all_requires_reports(self):
+        with pytest.raises(ValueError):
+            top_all_report([])
+
+    def test_table_row_formatting(self, all_cases):
+        report = evaluate_ranker(top_rt(), all_cases)
+        row = report.table_row()
+        assert "Top-RT" in row

@@ -1,0 +1,175 @@
+"""Tests for the Repairing Module (paper Section VII)."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_REPAIR_CONFIG,
+    AutoScaleAction,
+    PinSQL,
+    QueryOptimizationAction,
+    RepairConfig,
+    RepairEngine,
+    RepairRule,
+    SqlThrottleAction,
+    plan_optimization,
+)
+from repro.dbsim import DatabaseInstance, TemplateSpec
+from repro.sqltemplate import StatementKind
+
+
+class TestRules:
+    def test_rule_matching(self):
+        rule = RepairRule(("cpu_anomaly",), "query_optimization")
+        assert rule.matches(("cpu_anomaly", "active_session_anomaly"))
+        assert not rule.matches(("iops_anomaly",))
+
+    def test_wildcard_rule(self):
+        rule = RepairRule(("*",), "sql_throttle")
+        assert rule.matches(("anything",))
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(ValueError):
+            RepairRule(("x",), "reboot_the_world")
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(ValueError):
+            RepairRule((), "sql_throttle")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RepairConfig(rules=())
+        with pytest.raises(ValueError):
+            RepairConfig(rules=DEFAULT_REPAIR_CONFIG.rules, top_k=0)
+
+    def test_default_config_shape(self):
+        # Paper default: throttling first, then query optimization.
+        actions = [r.action for r in DEFAULT_REPAIR_CONFIG.rules]
+        assert actions == ["sql_throttle", "query_optimization"]
+        assert not DEFAULT_REPAIR_CONFIG.auto_execute
+
+
+class TestPlanning:
+    def test_plan_optimization_gains_from_observed_rows(self, poor_sql_case):
+        sql_id = next(iter(poor_sql_case.r_sqls))
+        action = plan_optimization(poor_sql_case.case, sql_id)
+        assert action.rows_gain > 0.9  # full scan → huge gain
+        assert 0 < action.tres_gain <= action.rows_gain
+
+    def test_plan_optimization_small_for_cheap_template(self, poor_sql_case):
+        case = poor_sql_case.case
+        cheap = min(
+            case.sql_ids,
+            key=lambda sid: case.templates.get(sid, "total_examined_rows").total(),
+        )
+        action = plan_optimization(case, cheap)
+        assert action.rows_gain < 0.9
+
+    def test_engine_plans_for_top_rsql(self, poor_sql_case):
+        result = PinSQL().analyze(poor_sql_case.case)
+        engine = RepairEngine(DEFAULT_REPAIR_CONFIG)
+        plan = engine.plan(
+            poor_sql_case.case, result, anomaly_types=("cpu_anomaly",)
+        )
+        assert "QueryOptimizationAction" in plan.suggested_kinds
+        assert plan.session_lift > 0
+
+    def test_throttle_gated_by_session_lift(self, poor_sql_case):
+        result = PinSQL().analyze(poor_sql_case.case)
+        config = RepairConfig(
+            rules=(
+                RepairRule(
+                    ("active_session_anomaly",),
+                    "sql_throttle",
+                    min_session_lift=1e9,  # unreachable threshold
+                ),
+            ),
+        )
+        plan = RepairEngine(config).plan(
+            poor_sql_case.case, result, anomaly_types=("active_session_anomaly",)
+        )
+        assert plan.actions == []
+
+    def test_empty_rsql_list_plans_nothing(self, poor_sql_case):
+        result = PinSQL().analyze(poor_sql_case.case)
+        result.rsql.ranked = []
+        plan = RepairEngine().plan(poor_sql_case.case, result)
+        assert plan.actions == []
+
+
+class TestExecution:
+    def _spec(self):
+        return TemplateSpec(
+            sql_id="POOR0001",
+            template="SELECT * FROM t WHERE x = ?",
+            kind=StatementKind.SELECT,
+            tables=("t",),
+            base_response_ms=50.0,
+            examined_rows_mean=1_000_000.0,
+        )
+
+    def _workload(self):
+        from tests.dbsim.test_engine import ConstantWorkload
+
+        return ConstantWorkload([self._spec()], {"POOR0001": 10.0})
+
+    def test_throttle_action_executes(self):
+        inst = DatabaseInstance(seed=1)
+        engine = inst.start(self._workload())
+        SqlThrottleAction("POOR0001", factor=0.0, duration_s=10).execute(inst, now_s=0)
+        engine.run(5)
+        result = inst.finish()
+        assert result.metrics["qps"].total() == 0.0
+
+    def test_optimization_action_executes(self):
+        inst = DatabaseInstance(cpu_cores=2, seed=1)
+        engine = inst.start(self._workload())
+        QueryOptimizationAction("POOR0001", rows_gain=0.95, tres_gain=0.9).execute(inst, 0)
+        engine.run(10)
+        result = inst.finish()
+        assert result.metrics.cpu_usage.mean() < 60.0
+
+    def test_autoscale_action_executes(self):
+        inst = DatabaseInstance(cpu_cores=2, seed=1)
+        inst.start(self._workload())
+        AutoScaleAction(sql_id="", new_cores=16).execute(inst, 0)
+        assert inst.resources.cpu_cores == 16
+        inst.finish()
+
+    def test_auto_execute_flag_respected(self, poor_sql_case):
+        result = PinSQL().analyze(poor_sql_case.case)
+        engine = RepairEngine(DEFAULT_REPAIR_CONFIG)  # auto_execute=False
+        plan = engine.plan(poor_sql_case.case, result, anomaly_types=("cpu_anomaly",))
+        inst = DatabaseInstance(seed=1)
+        inst.start(self._workload())
+        executed = engine.execute(plan, inst, now_s=0)
+        assert executed == []
+        inst.finish()
+
+
+class TestAutoScaleReadReplicas:
+    def test_read_offload_executes(self):
+        from tests.dbsim.test_engine import ConstantWorkload, select_spec
+
+        inst = DatabaseInstance(cpu_cores=2, seed=1)
+        inst.start(ConstantWorkload([select_spec()], {"SEL00001": 10.0}))
+        AutoScaleAction(sql_id="", new_cores=8, read_offload=0.5).execute(inst, 0)
+        assert inst.resources.cpu_cores == 8
+        assert inst.engine.read_offload_fraction == 0.5
+        inst.finish()
+
+    def test_engine_builds_action_with_offload(self, poor_sql_case):
+        from repro.core import PinSQL, RepairConfig, RepairEngine, RepairRule
+
+        result = PinSQL().analyze(poor_sql_case.case)
+        config = RepairConfig(
+            rules=(
+                RepairRule(
+                    ("*",), "autoscale",
+                    params=(("new_cores", 64), ("read_offload", 0.3)),
+                ),
+            ),
+        )
+        plan = RepairEngine(config).plan(poor_sql_case.case, result)
+        (action,) = plan.actions
+        assert action.new_cores == 64
+        assert action.read_offload == 0.3

@@ -1,0 +1,283 @@
+"""Integration tests: engine + instance causal behaviour.
+
+These verify the couplings PinSQL's diagnosis depends on:
+CPU saturation slows queries, DDL piles up sessions, row locks
+delay co-table readers, throttling reduces traffic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dbsim import DatabaseInstance, TemplateSpec, Throttle
+from repro.sqltemplate import StatementKind
+
+
+class ConstantWorkload:
+    """Minimal RateProvider with constant rates, optional time windows
+    and optional exact one-shot counts (``counts``: sql_id → {t: n})."""
+
+    def __init__(self, specs, rates, windows=None, counts=None):
+        self._specs = {s.sql_id: s for s in specs}
+        self._rates = dict(rates)
+        self._windows = windows or {}
+        self._counts = counts or {}
+
+    @property
+    def specs(self):
+        return self._specs
+
+    def rates_at(self, t):
+        out = {}
+        for sql_id, rate in self._rates.items():
+            window = self._windows.get(sql_id)
+            if window is not None and not (window[0] <= t < window[1]):
+                continue
+            out[sql_id] = rate
+        return out
+
+    def counts_at(self, t):
+        out = {}
+        for sql_id, schedule in self._counts.items():
+            if t in schedule:
+                out[sql_id] = schedule[t]
+        return out
+
+
+def select_spec(sql_id="SEL00001", table="t", rows=100.0, base=2.0):
+    return TemplateSpec(
+        sql_id=sql_id,
+        template=f"SELECT * FROM {table} WHERE id = ?",
+        kind=StatementKind.SELECT,
+        tables=(table,),
+        base_response_ms=base,
+        examined_rows_mean=rows,
+    )
+
+
+def update_spec(sql_id="UPD00001", table="t", hold=200.0, rate_rows=50.0):
+    return TemplateSpec(
+        sql_id=sql_id,
+        template=f"UPDATE {table} SET x = ? WHERE id = ?",
+        kind=StatementKind.UPDATE,
+        tables=(table,),
+        base_response_ms=3.0,
+        examined_rows_mean=rate_rows,
+        lock_hold_ms=hold,
+    )
+
+
+def ddl_spec(sql_id="DDL00001", table="t", duration=20_000.0):
+    return TemplateSpec(
+        sql_id=sql_id,
+        template=f"ALTER TABLE {table} ADD COLUMN c INT",
+        kind=StatementKind.DDL,
+        tables=(table,),
+        base_response_ms=5.0,
+        examined_rows_mean=0.0,
+        ddl_duration_ms=duration,
+    )
+
+
+class TestBasicRun:
+    def test_logs_and_metrics_produced(self):
+        wl = ConstantWorkload([select_spec()], {"SEL00001": 50.0})
+        inst = DatabaseInstance(seed=1)
+        result = inst.run(wl, duration=30)
+        assert result.query_log.total_queries > 1000
+        assert len(result.metrics.active_session) == 30
+        assert result.metrics["qps"].mean() == pytest.approx(50.0, rel=0.2)
+        assert result.duration == 30
+
+    def test_deterministic_given_seed(self):
+        wl = ConstantWorkload([select_spec()], {"SEL00001": 20.0})
+        r1 = DatabaseInstance(seed=7).run(wl, duration=10)
+        r2 = DatabaseInstance(seed=7).run(wl, duration=10)
+        assert np.array_equal(
+            r1.metrics.active_session.values, r2.metrics.active_session.values
+        )
+        assert r1.query_log.total_queries == r2.query_log.total_queries
+
+    def test_different_seeds_differ(self):
+        wl = ConstantWorkload([select_spec(base=200.0)], {"SEL00001": 20.0})
+        r1 = DatabaseInstance(seed=1).run(wl, duration=10)
+        r2 = DatabaseInstance(seed=2).run(wl, duration=10)
+        assert not np.array_equal(
+            r1.metrics.active_session.values, r2.metrics.active_session.values
+        )
+
+    def test_start_time_offsets_series(self):
+        wl = ConstantWorkload([select_spec()], {"SEL00001": 10.0})
+        result = DatabaseInstance(seed=1).run(wl, duration=5, start_time=1000)
+        assert result.metrics.active_session.start == 1000
+        assert result.end_time == 1005
+
+    def test_active_session_reflects_load(self):
+        # Roughly rate × response: 50 qps × ~2.1 ms → session ≈ 0.1, while
+        # 50 qps of 500 ms queries → session ≈ 25.
+        light = ConstantWorkload([select_spec()], {"SEL00001": 50.0})
+        heavy = ConstantWorkload(
+            [select_spec(base=500.0)], {"SEL00001": 50.0}
+        )
+        light_session = DatabaseInstance(seed=3).run(light, 30).metrics.active_session.mean()
+        heavy_session = DatabaseInstance(seed=3).run(heavy, 30).metrics.active_session.mean()
+        assert heavy_session > light_session + 10
+
+
+class TestCpuSaturation:
+    def test_poor_sql_raises_cpu_and_sessions(self):
+        normal = select_spec("SEL00001", rows=100.0)
+        poor = select_spec("POOR0001", rows=3_000_000.0, base=50.0)
+        wl_quiet = ConstantWorkload([normal], {"SEL00001": 100.0})
+        wl_poor = ConstantWorkload(
+            [normal, poor],
+            {"SEL00001": 100.0, "POOR0001": 10.0},
+        )
+        inst_q = DatabaseInstance(cpu_cores=4, seed=5)
+        quiet = inst_q.run(wl_quiet, duration=60)
+        inst_p = DatabaseInstance(cpu_cores=4, seed=5)
+        loaded = inst_p.run(wl_poor, duration=60)
+        assert loaded.metrics.cpu_usage.mean() > quiet.metrics.cpu_usage.mean() + 30
+        assert loaded.metrics.active_session.mean() > quiet.metrics.active_session.mean()
+
+    def test_autoscale_relieves_cpu(self):
+        poor = select_spec("POOR0001", rows=2_000_000.0, base=50.0)
+        wl = ConstantWorkload([poor], {"POOR0001": 10.0})
+        small = DatabaseInstance(cpu_cores=2, seed=5).run(wl, 40)
+        big = DatabaseInstance(cpu_cores=32, seed=5).run(wl, 40)
+        assert big.metrics.cpu_usage.mean() < small.metrics.cpu_usage.mean()
+
+
+class TestLockEffects:
+    def test_ddl_blocks_co_table_queries(self):
+        sel = select_spec("SEL00001", table="sales")
+        ddl = ddl_spec("DDL00001", table="sales", duration=20_000.0)
+        wl = ConstantWorkload(
+            [sel, ddl],
+            {"SEL00001": 50.0},
+            counts={"DDL00001": {30: 1}},  # exactly one DDL at t=30
+        )
+        result = DatabaseInstance(seed=9).run(wl, duration=90)
+        session = result.metrics.active_session.values
+        before = session[:28].mean()
+        during = session[35:48].mean()
+        assert during > before + 100  # massive pile-up
+
+    def test_ddl_does_not_block_other_tables(self):
+        sel = select_spec("SEL00001", table="orders")
+        ddl = ddl_spec("DDL00001", table="sales")
+        wl = ConstantWorkload(
+            [sel, ddl],
+            {"SEL00001": 50.0},
+            counts={"DDL00001": {30: 1}},
+        )
+        result = DatabaseInstance(seed=9).run(wl, duration=90)
+        session = result.metrics.active_session.values
+        # The lone DDL session itself is active, hence the +2 allowance.
+        assert session[35:48].mean() < session[:28].mean() + 2
+
+    def test_row_locks_slow_readers_and_bump_counters(self):
+        sel = select_spec("SEL00001", table="sales")
+        upd = update_spec("UPD00001", table="sales", hold=300.0)
+        quiet = ConstantWorkload([sel], {"SEL00001": 80.0})
+        hot = ConstantWorkload(
+            [sel, upd], {"SEL00001": 80.0, "UPD00001": 40.0}
+        )
+        rq = DatabaseInstance(seed=11).run(quiet, 40)
+        rh = DatabaseInstance(seed=11).run(hot, 40)
+        assert rh.metrics["innodb_row_lock_waits"].total() > 100
+        assert rq.metrics["innodb_row_lock_waits"].total() == 0
+        assert rh.metrics.active_session.mean() > rq.metrics.active_session.mean()
+
+
+class TestRepairHooks:
+    def test_throttle_cuts_traffic(self):
+        sel = select_spec()
+        wl = ConstantWorkload([sel], {"SEL00001": 100.0})
+        inst = DatabaseInstance(seed=13)
+        engine = inst.start(wl)
+        inst.throttle("SEL00001", factor=0.0, start=10, end=20)
+        engine.run(30)
+        result = inst.finish()
+        qps = result.metrics["qps"].values
+        assert qps[:10].mean() > 80
+        assert qps[10:20].mean() == 0.0
+        assert qps[20:].mean() > 80
+
+    def test_invalid_throttle_factor(self):
+        with pytest.raises(ValueError):
+            Throttle("X", factor=1.5, start=0, end=10)
+
+    def test_optimization_override_takes_effect(self):
+        poor = select_spec("POOR0001", rows=2_000_000.0, base=50.0)
+        wl = ConstantWorkload([poor], {"POOR0001": 10.0})
+        inst = DatabaseInstance(cpu_cores=4, seed=15)
+        engine = inst.start(wl)
+        engine.run(20)
+        inst.apply_optimization(poor, rows_gain=0.99, tres_gain=0.9)
+        # The accumulated CPU backlog takes a while to drain before the
+        # optimization's effect becomes visible in the usage metric.
+        engine.run(120)
+        result = inst.finish()
+        cpu = result.metrics.cpu_usage.values
+        assert cpu[-20:].mean() < cpu[5:20].mean() * 0.5
+
+    def test_engine_access_requires_run(self):
+        inst = DatabaseInstance()
+        with pytest.raises(RuntimeError):
+            _ = inst.engine
+
+    def test_on_second_callback(self):
+        wl = ConstantWorkload([select_spec()], {"SEL00001": 10.0})
+        seen = []
+        DatabaseInstance(seed=1).run(
+            wl, duration=5, on_second=lambda t, eng: seen.append(t)
+        )
+        assert seen == [0, 1, 2, 3, 4]
+
+
+class TestTruthSampler:
+    def test_sampled_session_matches_truth_at_t3(self):
+        wl = ConstantWorkload([select_spec(base=100.0)], {"SEL00001": 50.0})
+        result = DatabaseInstance(seed=17).run(wl, duration=20)
+        truth_at_t3 = result.truth.active_at(result.t3_ms)
+        assert np.array_equal(
+            truth_at_t3, result.metrics.active_session.values.astype(int)
+        )
+
+    def test_t3_within_each_second(self):
+        wl = ConstantWorkload([select_spec()], {"SEL00001": 5.0})
+        result = DatabaseInstance(seed=17).run(wl, duration=10, start_time=100)
+        seconds = result.t3_ms // 1000
+        assert np.array_equal(seconds, np.arange(100, 110))
+
+
+class TestReadReplicaOffload:
+    def test_offload_sheds_read_traffic(self):
+        sel = select_spec()
+        upd = update_spec("UPD00001", table="t")
+        wl = ConstantWorkload([sel, upd], {"SEL00001": 100.0, "UPD00001": 20.0})
+        inst = DatabaseInstance(seed=21)
+        engine = inst.start(wl)
+        engine.run(20)
+        inst.add_read_replicas(0.8)
+        engine.run(20)
+        result = inst.finish()
+        log = result.query_log
+        sel_q = log.queries_of("SEL00001")
+        sel_before = ((sel_q.arrive_ms // 1000) < 20).sum()
+        sel_after = ((sel_q.arrive_ms // 1000) >= 20).sum()
+        # Roughly 80 % of SELECTs vanish from the primary's logs.
+        assert sel_after < 0.45 * sel_before
+        # Writes keep flowing to the primary.
+        upd_q = log.queries_of("UPD00001")
+        upd_after = ((upd_q.arrive_ms // 1000) >= 20).sum()
+        assert upd_after > 0.5 * ((upd_q.arrive_ms // 1000) < 20).sum()
+
+    def test_invalid_offload_rejected(self):
+        inst = DatabaseInstance(seed=1)
+        inst.start(ConstantWorkload([select_spec()], {"SEL00001": 1.0}))
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            inst.add_read_replicas(1.0)
+        inst.finish()

@@ -1,0 +1,90 @@
+"""Tests for the monitor: true active session and metric assembly."""
+
+import numpy as np
+import pytest
+
+from repro.dbsim import QueryLog, SecondBatch
+from repro.dbsim.monitor import ActiveSessionSampler, InstanceMetrics, Monitor
+from repro.timeseries import TimeSeries
+
+
+def log_with(intervals):
+    """intervals: list of (arrive_ms, response_ms)."""
+    log = QueryLog()
+    arrive = np.array([a for a, _ in intervals], dtype=np.int64)
+    resp = np.array([r for _, r in intervals], dtype=np.float64)
+    log.append(SecondBatch("Q", arrive, resp, np.ones(len(intervals))))
+    return log
+
+
+class TestActiveSessionSampler:
+    def test_counts_overlapping_queries(self):
+        sampler = ActiveSessionSampler(
+            log_with([(0, 1000.0), (500, 1000.0), (2000, 100.0)])
+        )
+        assert sampler.active_at(250.0) == 1
+        assert sampler.active_at(750.0) == 2
+        assert sampler.active_at(1200.0) == 1
+        assert sampler.active_at(1600.0) == 0
+        assert sampler.active_at(2050.0) == 1
+
+    def test_half_open_semantics(self):
+        sampler = ActiveSessionSampler(log_with([(100, 400.0)]))
+        assert sampler.active_at(100.0) == 1   # inclusive start
+        assert sampler.active_at(500.0) == 0   # exclusive end
+
+    def test_vectorized(self):
+        sampler = ActiveSessionSampler(log_with([(0, 1000.0)]))
+        out = sampler.active_at(np.array([500.0, 1500.0]))
+        assert list(out) == [1, 0]
+
+    def test_empty_log(self):
+        sampler = ActiveSessionSampler(QueryLog())
+        assert sampler.active_at(123.0) == 0
+
+
+class TestMonitor:
+    def test_finalize_produces_all_metrics(self):
+        monitor = Monitor(start_time=10, rng=np.random.default_rng(0))
+        for _ in range(5):
+            monitor.record_second(50.0, 20.0, 40.0, 100.0, 2.0, 30.0)
+        log = log_with([(10_000, 3000.0)])
+        metrics, sampler, t3 = monitor.finalize(log)
+        for name in Monitor.METRIC_NAMES:
+            assert name in metrics
+            assert len(metrics[name]) == 5
+            assert metrics[name].start == 10
+        assert len(t3) == 5
+        # t3 instants lie inside their seconds.
+        assert np.array_equal(t3 // 1000, np.arange(10, 15))
+
+    def test_sampled_session_consistent_with_truth(self):
+        monitor = Monitor(start_time=0, rng=np.random.default_rng(1))
+        for _ in range(3):
+            monitor.record_second(0, 0, 0, 0, 0, 0)
+        log = log_with([(0, 2500.0), (500, 1000.0)])
+        metrics, sampler, t3 = monitor.finalize(log)
+        truth = sampler.active_at(t3)
+        assert np.array_equal(metrics.active_session.values, truth.astype(float))
+
+
+class TestInstanceMetrics:
+    def test_window(self):
+        metrics = InstanceMetrics(
+            {
+                "active_session": TimeSeries(np.arange(10.0), start=0, name="active_session"),
+                "cpu_usage": TimeSeries(np.arange(10.0) * 2, start=0, name="cpu_usage"),
+            }
+        )
+        sub = metrics.window(3, 7)
+        assert len(sub.active_session) == 4
+        assert sub.cpu_usage.values[0] == 6.0
+
+    def test_names_and_access(self):
+        metrics = InstanceMetrics(
+            {"qps": TimeSeries(np.ones(3), name="qps")}
+        )
+        assert metrics.names == ["qps"]
+        assert "qps" in metrics
+        with pytest.raises(KeyError):
+            metrics["nope"]

@@ -1,0 +1,82 @@
+"""Tests for the Performance Schema overhead model (Table IV substrate)."""
+
+import pytest
+
+from repro.dbsim import (
+    PerformanceSchemaConfig,
+    StressWorkloadKind,
+    run_stress_test,
+)
+from repro.dbsim.perfschema import instrumentation_overhead_ms
+
+
+class TestConfig:
+    def test_labels(self):
+        assert PerformanceSchemaConfig.normal().label == "normal"
+        assert PerformanceSchemaConfig.pfs().label == "pfs"
+        assert PerformanceSchemaConfig.pfs_ins().label == "pfs+ins"
+        assert PerformanceSchemaConfig.pfs_con().label == "pfs+con"
+        assert PerformanceSchemaConfig.pfs_con_ins().label == "pfs+con+ins"
+
+    def test_requires_enabled(self):
+        with pytest.raises(ValueError):
+            PerformanceSchemaConfig(enabled=False, all_instruments=True)
+
+
+class TestOverheadModel:
+    def test_normal_has_zero_overhead(self):
+        for wl in StressWorkloadKind:
+            assert instrumentation_overhead_ms(PerformanceSchemaConfig.normal(), wl) == 0.0
+
+    def test_overhead_ordering(self):
+        for wl in StressWorkloadKind:
+            base = instrumentation_overhead_ms(PerformanceSchemaConfig.pfs(), wl)
+            ins = instrumentation_overhead_ms(PerformanceSchemaConfig.pfs_ins(), wl)
+            con = instrumentation_overhead_ms(PerformanceSchemaConfig.pfs_con(), wl)
+            both = instrumentation_overhead_ms(PerformanceSchemaConfig.pfs_con_ins(), wl)
+            assert 0 < base < ins < both
+            assert base < con < both
+
+
+class TestStressTest:
+    def test_normal_qps_near_paper_values(self):
+        ro = run_stress_test(PerformanceSchemaConfig.normal(), StressWorkloadKind.READ_ONLY)
+        rw = run_stress_test(PerformanceSchemaConfig.normal(), StressWorkloadKind.READ_WRITE)
+        wo = run_stress_test(PerformanceSchemaConfig.normal(), StressWorkloadKind.WRITE_ONLY)
+        assert ro.qps == pytest.approx(72_983, rel=0.05)
+        assert rw.qps == pytest.approx(41_867, rel=0.05)
+        assert wo.qps == pytest.approx(37_400, rel=0.05)
+
+    def test_decline_band_matches_paper_shape(self):
+        # Paper Table IV: declines range ~8 % (pfs alone) to ~30 %
+        # (pfs+con+ins) depending on workload.
+        for wl in StressWorkloadKind:
+            normal = run_stress_test(PerformanceSchemaConfig.normal(), wl, seed=1)
+            pfs = run_stress_test(PerformanceSchemaConfig.pfs(), wl, seed=2)
+            full = run_stress_test(PerformanceSchemaConfig.pfs_con_ins(), wl, seed=3)
+            d_pfs = pfs.decline_vs(normal)
+            d_full = full.decline_vs(normal)
+            assert 5.0 < d_pfs < 20.0
+            assert 20.0 < d_full < 40.0
+            assert d_full > d_pfs
+
+    def test_decline_requires_positive_baseline(self):
+        normal = run_stress_test(PerformanceSchemaConfig.normal(), StressWorkloadKind.READ_ONLY)
+        broken = type(normal)(
+            config=normal.config, workload=normal.workload, qps=0.0,
+            per_second_qps=normal.per_second_qps,
+        )
+        with pytest.raises(ValueError):
+            normal.decline_vs(broken)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            run_stress_test(
+                PerformanceSchemaConfig.normal(), StressWorkloadKind.READ_ONLY, threads=0
+            )
+
+    def test_per_second_series_length(self):
+        res = run_stress_test(
+            PerformanceSchemaConfig.pfs(), StressWorkloadKind.READ_ONLY, duration_s=30
+        )
+        assert len(res.per_second_qps) == 30

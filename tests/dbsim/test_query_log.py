@@ -1,0 +1,84 @@
+"""Tests for the columnar query log."""
+
+import numpy as np
+import pytest
+
+from repro.dbsim import QueryLog, SecondBatch
+
+
+def make_batch(sql_id="Q1", arrive=(0, 100, 200), resp=(10.0, 20.0, 30.0), rows=(1.0, 2.0, 3.0)):
+    return SecondBatch(
+        sql_id=sql_id,
+        arrive_ms=np.asarray(arrive, dtype=np.int64),
+        response_ms=np.asarray(resp, dtype=np.float64),
+        examined_rows=np.asarray(rows, dtype=np.float64),
+    )
+
+
+class TestSecondBatch:
+    def test_length(self):
+        assert len(make_batch()) == 3
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            SecondBatch(
+                "Q1",
+                np.array([1, 2], dtype=np.int64),
+                np.array([1.0]),
+                np.array([1.0, 2.0]),
+            )
+
+
+class TestQueryLog:
+    def test_append_and_count(self):
+        log = QueryLog()
+        log.append(make_batch())
+        log.append(make_batch(arrive=(1000,), resp=(5.0,), rows=(1.0,)))
+        assert log.total_queries == 4
+        assert log.sql_ids == ["Q1"]
+        assert "Q1" in log
+
+    def test_empty_batch_ignored(self):
+        log = QueryLog()
+        log.append(make_batch(arrive=(), resp=(), rows=()))
+        assert log.total_queries == 0
+        assert log.sql_ids == []
+
+    def test_queries_of_sorted_by_arrival(self):
+        log = QueryLog()
+        log.append(make_batch(arrive=(2000, 2100), resp=(1.0, 1.0), rows=(1.0, 1.0)))
+        log.append(make_batch(arrive=(0, 100), resp=(1.0, 1.0), rows=(1.0, 1.0)))
+        tq = log.queries_of("Q1")
+        assert list(tq.arrive_ms) == [0, 100, 2000, 2100]
+        assert len(tq) == 4
+
+    def test_queries_of_unknown_template_empty(self):
+        log = QueryLog()
+        tq = log.queries_of("NOPE")
+        assert len(tq) == 0
+        assert tq.end_ms.shape == (0,)
+
+    def test_end_ms(self):
+        log = QueryLog()
+        log.append(make_batch(arrive=(0, 100), resp=(10.0, 20.0), rows=(1.0, 1.0)))
+        tq = log.queries_of("Q1")
+        assert list(tq.end_ms) == [10.0, 120.0]
+
+    def test_all_intervals(self):
+        log = QueryLog()
+        log.append(make_batch(sql_id="A", arrive=(0,), resp=(10.0,), rows=(1.0,)))
+        log.append(make_batch(sql_id="B", arrive=(5,), resp=(10.0,), rows=(1.0,)))
+        arrive, end = log.all_intervals()
+        assert len(arrive) == 2
+        assert set(end) == {10.0, 15.0}
+
+    def test_all_intervals_empty(self):
+        arrive, end = QueryLog().all_intervals()
+        assert len(arrive) == 0 and len(end) == 0
+
+    def test_iter_templates(self):
+        log = QueryLog()
+        log.append(make_batch(sql_id="A"))
+        log.append(make_batch(sql_id="B"))
+        ids = {tq.sql_id for tq in log.iter_templates()}
+        assert ids == {"A", "B"}

@@ -1,0 +1,159 @@
+"""Tests for TemplateSpec, Schema and the resource model."""
+
+import pytest
+
+from repro.dbsim import ResourceModel, Schema, Table, TemplateSpec
+from repro.sqltemplate import StatementKind
+
+
+def make_spec(**kwargs):
+    defaults = dict(
+        sql_id="AAAA0001",
+        template="SELECT * FROM t WHERE id = ?",
+        kind=StatementKind.SELECT,
+        tables=("t",),
+    )
+    defaults.update(kwargs)
+    return TemplateSpec(**defaults)
+
+
+class TestTemplateSpec:
+    def test_service_time_grows_with_examined_rows(self):
+        cheap = make_spec(examined_rows_mean=100)
+        poor = make_spec(examined_rows_mean=1_000_000)
+        assert poor.service_time_ms > cheap.service_time_ms
+        assert poor.cpu_ms_per_query > cheap.cpu_ms_per_query
+        assert poor.io_per_query > cheap.io_per_query
+
+    def test_kind_flags(self):
+        assert make_spec(kind=StatementKind.UPDATE).is_write
+        assert not make_spec().is_write
+        assert make_spec(kind=StatementKind.DDL).is_ddl
+
+    def test_primary_table(self):
+        assert make_spec().table == "t"
+        assert make_spec(tables=()).table is None
+
+    def test_invalid_base_response(self):
+        with pytest.raises(ValueError):
+            make_spec(base_response_ms=0)
+
+    def test_invalid_examined_rows(self):
+        with pytest.raises(ValueError):
+            make_spec(examined_rows_mean=-1)
+
+    def test_optimized_reduces_costs(self):
+        spec = make_spec(examined_rows_mean=500_000, base_response_ms=10.0)
+        opt = spec.optimized(rows_gain=0.9, tres_gain=0.8)
+        assert opt.examined_rows_mean == pytest.approx(50_000)
+        assert opt.base_response_ms == pytest.approx(2.0)
+        assert opt.sql_id == spec.sql_id
+        # Original untouched.
+        assert spec.examined_rows_mean == 500_000
+
+    def test_optimized_rejects_bad_gains(self):
+        spec = make_spec()
+        with pytest.raises(ValueError):
+            spec.optimized(rows_gain=1.0, tres_gain=0.5)
+        with pytest.raises(ValueError):
+            spec.optimized(rows_gain=0.5, tres_gain=-0.1)
+
+
+class TestSchema:
+    def test_add_and_lookup(self):
+        schema = Schema([Table("a", 1000)])
+        assert "a" in schema
+        assert schema["a"].row_count == 1000
+        assert schema.get("b") is None
+
+    def test_duplicate_rejected(self):
+        schema = Schema([Table("a")])
+        with pytest.raises(ValueError, match="already exists"):
+            schema.add_table(Table("a"))
+
+    def test_ensure_table_idempotent(self):
+        schema = Schema()
+        t1 = schema.ensure_table("x", row_count=5)
+        t2 = schema.ensure_table("x", row_count=99)
+        assert t1 is t2
+        assert t1.row_count == 5
+
+    def test_indexes(self):
+        t = Table("a", indexes={"id"})
+        assert t.has_index("id")
+        assert not t.add_index("id")
+        assert t.add_index("uid")
+        assert t.has_index("uid")
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(ValueError):
+            Table("a", row_count=-1)
+
+    def test_iteration_and_names(self):
+        schema = Schema([Table("a"), Table("b")])
+        assert schema.table_names == ["a", "b"]
+        assert len(schema) == 2
+
+
+class TestResourceModel:
+    def test_idle_instance(self):
+        model = ResourceModel(cpu_cores=4)
+        usage = model.step(cpu_demand_ms=100.0, io_demand=10.0)
+        assert usage.cpu_usage == pytest.approx(2.5)
+        assert usage.cpu_slowdown == 1.0
+        assert usage.io_slowdown == 1.0
+
+    def test_saturation_builds_backlog(self):
+        model = ResourceModel(cpu_cores=1)  # 1000 cpu-ms capacity
+        u1 = model.step(cpu_demand_ms=2000.0, io_demand=0.0)
+        assert u1.cpu_usage == 100.0
+        assert u1.cpu_slowdown == pytest.approx(2.0)
+        # Backlog of 1000 ms carries into the next second.
+        u2 = model.step(cpu_demand_ms=1500.0, io_demand=0.0)
+        assert u2.cpu_slowdown == pytest.approx(2.5)
+
+    def test_backlog_drains(self):
+        model = ResourceModel(cpu_cores=1)
+        model.step(cpu_demand_ms=1500.0, io_demand=0.0)
+        usage = model.step(cpu_demand_ms=0.0, io_demand=0.0)
+        assert usage.cpu_slowdown == 1.0
+        usage = model.step(cpu_demand_ms=0.0, io_demand=0.0)
+        assert usage.cpu_usage == 0.0
+
+    def test_io_saturation(self):
+        model = ResourceModel(cpu_cores=16, iops_capacity=100.0)
+        usage = model.step(cpu_demand_ms=0.0, io_demand=300.0)
+        assert usage.iops_usage == 100.0
+        assert usage.io_slowdown == pytest.approx(3.0)
+
+    def test_scale_cores(self):
+        model = ResourceModel(cpu_cores=2)
+        model.scale_cores(8)
+        usage = model.step(cpu_demand_ms=4000.0, io_demand=0.0)
+        assert usage.cpu_usage == pytest.approx(50.0)
+
+    def test_reset_clears_backlog(self):
+        model = ResourceModel(cpu_cores=1)
+        model.step(cpu_demand_ms=5000.0, io_demand=0.0)
+        model.reset()
+        usage = model.step(cpu_demand_ms=0.0, io_demand=0.0)
+        assert usage.cpu_usage == 0.0
+
+    def test_mem_usage_tracks_io(self):
+        model = ResourceModel(cpu_cores=16, iops_capacity=100.0)
+        low = [model.step(0.0, 0.0).mem_usage for _ in range(5)][-1]
+        model.reset()
+        high = None
+        for _ in range(50):
+            high = model.step(0.0, 100.0).mem_usage
+        assert high > low
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ResourceModel(cpu_cores=0)
+        with pytest.raises(ValueError):
+            ResourceModel(iops_capacity=0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceModel().step(-1.0, 0.0)

@@ -1,0 +1,166 @@
+"""Tests for the anomaly-detection module (both perception layers)."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (
+    BasicPerception,
+    CaseBuilder,
+    DEFAULT_RULES,
+    PhenomenonPerception,
+    PhenomenonRule,
+)
+from repro.dbsim.monitor import InstanceMetrics
+from repro.timeseries import AnomalousFeature, FeatureKind, TimeSeries
+
+
+def noisy(n, seed=0, loc=10.0):
+    return loc + np.random.default_rng(seed).normal(size=n)
+
+
+def metrics_with_spike(metric="active_session", at=(300, 340), n=900):
+    values = noisy(n)
+    values[at[0]:at[1]] += 60.0
+    series = {metric: TimeSeries(values, start=0, name=metric)}
+    # A quiet second metric for realism.
+    series["qps"] = TimeSeries(noisy(n, seed=99, loc=100.0), start=0, name="qps")
+    return InstanceMetrics(series)
+
+
+class TestBasicPerception:
+    def test_detects_active_session_spike(self):
+        features = BasicPerception().perceive(metrics_with_spike())
+        spikes = [f for f in features if f.metric == "active_session"]
+        assert len(spikes) >= 1
+        assert spikes[0].kind is FeatureKind.SPIKE_UP
+        assert 290 <= spikes[0].start <= 310
+
+    def test_quiet_metrics_produce_nothing(self):
+        metrics = InstanceMetrics(
+            {"cpu_usage": TimeSeries(noisy(600), name="cpu_usage")}
+        )
+        assert BasicPerception().perceive(metrics) == []
+
+    def test_min_spike_length_filters_blips(self):
+        values = noisy(600)
+        values[100] += 60.0
+        metrics = InstanceMetrics({"m": TimeSeries(values, name="m")})
+        assert BasicPerception(min_spike_length=3).perceive(metrics) == []
+
+    def test_features_sorted_by_start(self):
+        values = noisy(900)
+        values[100:140] += 60.0
+        values[500:540] += 60.0
+        metrics = InstanceMetrics({"m": TimeSeries(values, name="m")})
+        features = BasicPerception().perceive(metrics)
+        starts = [f.start for f in features]
+        assert starts == sorted(starts)
+
+
+class TestPhenomenonPerception:
+    def _feature(self, metric, kind, start, end):
+        return AnomalousFeature(metric, kind, start, end, severity=5.0)
+
+    def test_default_rule_fires_on_session_spike(self):
+        features = [
+            self._feature("active_session", FeatureKind.SPIKE_UP, 100, 160)
+        ]
+        phenomena = PhenomenonPerception().recognise(features)
+        assert len(phenomena) == 1
+        assert phenomena[0].rule == "active_session_anomaly"
+        assert phenomena[0].start == 100 and phenomena[0].end == 160
+
+    def test_level_shift_also_matches(self):
+        features = [
+            self._feature("active_session", FeatureKind.LEVEL_SHIFT_UP, 100, 400)
+        ]
+        assert PhenomenonPerception().recognise(features)
+
+    def test_downward_features_ignored_by_defaults(self):
+        features = [
+            self._feature("active_session", FeatureKind.SPIKE_DOWN, 100, 160)
+        ]
+        assert PhenomenonPerception().recognise(features) == []
+
+    def test_overlapping_features_grouped(self):
+        features = [
+            self._feature("cpu_usage", FeatureKind.SPIKE_UP, 100, 150),
+            self._feature("cpu_usage", FeatureKind.SPIKE_UP, 140, 200),
+        ]
+        phenomena = PhenomenonPerception().recognise(features)
+        assert len(phenomena) == 1
+        assert phenomena[0].end == 200
+
+    def test_disjoint_features_separate(self):
+        features = [
+            self._feature("cpu_usage", FeatureKind.SPIKE_UP, 100, 150),
+            self._feature("cpu_usage", FeatureKind.SPIKE_UP, 500, 550),
+        ]
+        assert len(PhenomenonPerception().recognise(features)) == 2
+
+    def test_custom_rule(self):
+        rule = PhenomenonRule("rowlock_anomaly", ("innodb_row_lock_waits.spike_up",))
+        perception = PhenomenonPerception((rule,))
+        features = [
+            self._feature("innodb_row_lock_waits", FeatureKind.SPIKE_UP, 10, 40)
+        ]
+        assert perception.recognise(features)[0].rule == "rowlock_anomaly"
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(ValueError):
+            PhenomenonRule("x", ())
+        with pytest.raises(ValueError):
+            PhenomenonPerception(())
+
+
+class TestCaseBuilder:
+    def _phen(self, rule, start, end):
+        from repro.detection.phenomenon import AnomalyPhenomenon
+
+        return AnomalyPhenomenon(rule=rule, start=start, end=end)
+
+    def test_merges_close_same_type(self):
+        anomalies = CaseBuilder(merge_gap_s=120).build(
+            [self._phen("a", 100, 200), self._phen("a", 250, 300)]
+        )
+        assert len(anomalies) == 1
+        assert anomalies[0].start == 100 and anomalies[0].end == 300
+
+    def test_distant_same_type_separate(self):
+        anomalies = CaseBuilder(merge_gap_s=60, min_duration_s=10).build(
+            [self._phen("a", 100, 200), self._phen("a", 500, 600)]
+        )
+        assert len(anomalies) == 2
+
+    def test_overlapping_types_merge_into_one_case(self):
+        anomalies = CaseBuilder(min_duration_s=10).build(
+            [self._phen("a", 100, 200), self._phen("b", 150, 260)]
+        )
+        assert len(anomalies) == 1
+        assert anomalies[0].types == ("a", "b")
+
+    def test_min_duration_filter(self):
+        anomalies = CaseBuilder(min_duration_s=60).build(
+            [self._phen("a", 100, 120)]
+        )
+        assert anomalies == []
+
+    def test_empty_input(self):
+        assert CaseBuilder().build([]) == []
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            CaseBuilder(merge_gap_s=-1)
+
+
+class TestEndToEndDetection:
+    def test_spike_detected_into_case(self):
+        metrics = metrics_with_spike(at=(300, 360))
+        features = BasicPerception().perceive(metrics)
+        phenomena = PhenomenonPerception().recognise(features)
+        anomalies = CaseBuilder(min_duration_s=30).build(phenomena)
+        assert len(anomalies) == 1
+        a = anomalies[0]
+        assert "active_session_anomaly" in a.types
+        assert 280 <= a.start <= 310
+        assert 350 <= a.end <= 380

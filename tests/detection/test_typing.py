@@ -1,0 +1,41 @@
+"""Tests for the anomaly-category classifier."""
+
+import pytest
+
+from repro.detection import classify_case
+from repro.workload import AnomalyCategory
+
+
+class TestClassifyFixtures:
+    def test_business_spike_typed(self, spike_case):
+        verdict = classify_case(spike_case.case)
+        assert verdict.category is AnomalyCategory.BUSINESS_SPIKE
+        assert verdict.qps_ratio >= 2.0
+
+    def test_poor_sql_typed(self, poor_sql_case):
+        verdict = classify_case(poor_sql_case.case)
+        assert verdict.category is AnomalyCategory.POOR_SQL
+        assert max(verdict.cpu_during, verdict.io_during) >= 85.0
+
+    def test_mdl_lock_typed(self, mdl_lock_case):
+        verdict = classify_case(mdl_lock_case.case)
+        assert verdict.category is AnomalyCategory.MDL_LOCK
+
+    def test_row_lock_typed(self, row_lock_case):
+        verdict = classify_case(row_lock_case.case)
+        assert verdict.category in (
+            AnomalyCategory.ROW_LOCK,
+            AnomalyCategory.MDL_LOCK,  # a mild lock storm can look MDL-ish
+        )
+
+    def test_evidence_string(self, poor_sql_case):
+        verdict = classify_case(poor_sql_case.case)
+        assert "cpu" in verdict.evidence and "qps" in verdict.evidence
+
+
+class TestClassifierAccuracy:
+    def test_majority_accuracy_over_fixture_set(self, all_cases):
+        hits = sum(
+            classify_case(lc.case).category is lc.category for lc in all_cases
+        )
+        assert hits >= 3  # at least 3 of the 4 categories typed correctly

@@ -1,0 +1,123 @@
+"""Tests for the synthetic ADAC dataset generator."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import CorpusConfig, generate_case, generate_corpus
+from repro.workload import AnomalyCategory
+from tests.conftest import FAST_CORPUS
+
+
+class TestCorpusConfig:
+    def test_defaults_valid(self):
+        cfg = CorpusConfig()
+        assert cfg.n_cases == 40
+        assert sum(w for _, w in cfg.category_weights) == pytest.approx(1.0)
+
+    def test_invalid_n_cases(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(n_cases=0)
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(category_weights=((AnomalyCategory.POOR_SQL, 0.0),))
+
+
+class TestGeneratedCase:
+    def test_case_structure(self, poor_sql_case):
+        case = poor_sql_case.case
+        assert case.ts == 0
+        assert case.te == case.duration
+        assert case.ts <= case.anomaly_start < case.anomaly_end <= case.te
+        assert len(case.sql_ids) > 20
+        assert case.metrics.active_session.values.max() > 0
+        assert case.logs.total_queries() > 0
+
+    def test_r_sqls_observed_in_case(self, all_cases):
+        for labeled in all_cases:
+            assert labeled.r_sqls
+            assert labeled.r_sqls <= set(labeled.case.sql_ids)
+
+    def test_h_sqls_nonempty(self, all_cases):
+        for labeled in all_cases:
+            assert labeled.h_sqls
+
+    def test_new_templates_have_no_history(self, poor_sql_case):
+        for sql_id in poor_sql_case.injected.new_sql_ids:
+            assert poor_sql_case.case.history_of(sql_id, 1) is None
+
+    def test_existing_templates_have_history(self, poor_sql_case):
+        case = poor_sql_case.case
+        with_history = [sid for sid in case.sql_ids if case.history_of(sid, 1) is not None]
+        # The vast majority of observed templates have day-1 history.
+        assert len(with_history) > 0.5 * len(case.sql_ids)
+        series = case.history_of(with_history[0], 1)
+        assert series.interval == 60
+        assert series.start == case.ts
+
+    def test_catalog_covers_observed_templates(self, poor_sql_case):
+        case = poor_sql_case.case
+        covered = sum(1 for sid in case.sql_ids if sid in case.catalog)
+        assert covered >= 0.95 * len(case.sql_ids)
+
+    def test_determinism(self):
+        a = generate_case(99, FAST_CORPUS, category=AnomalyCategory.POOR_SQL)
+        b = generate_case(99, FAST_CORPUS, category=AnomalyCategory.POOR_SQL)
+        assert a.r_sqls == b.r_sqls
+        assert a.case.anomaly_start == b.case.anomaly_start
+        assert np.array_equal(
+            a.case.metrics.active_session.values,
+            b.case.metrics.active_session.values,
+        )
+
+    def test_anomaly_visible_in_session(self, all_cases):
+        for labeled in all_cases:
+            session = labeled.case.active_session.values
+            lo, hi = labeled.case.anomaly_indices()
+            baseline = session[30:max(lo - 10, 31)].mean()
+            during = session[lo:hi].mean()
+            assert during > baseline * 1.5, labeled.category
+
+
+class TestCorpus:
+    def test_generate_corpus_counts_and_mix(self):
+        cfg = CorpusConfig(
+            n_cases=3,
+            seed=5,
+            delta_start_s=360,
+            anomaly_length_s=(120, 180),
+            n_businesses=(4, 5),
+        )
+        corpus = generate_corpus(cfg)
+        assert len(corpus) == 3
+        assert len({lc.seed for lc in corpus}) == 3
+
+
+class TestStratifiedComposition:
+    def test_every_category_represented(self):
+        from repro.evaluation.dataset import _stratified_categories
+
+        cfg = CorpusConfig(n_cases=32)
+        assignment = _stratified_categories(cfg)
+        assert len(assignment) == 32
+        present = set(assignment)
+        configured = {c for c, w in cfg.category_weights if w > 0}
+        assert present == configured
+
+    def test_counts_match_weights(self):
+        from collections import Counter
+        from repro.evaluation.dataset import _stratified_categories
+
+        cfg = CorpusConfig(n_cases=100)
+        counts = Counter(_stratified_categories(cfg))
+        for category, weight in cfg.category_weights:
+            assert abs(counts[category] - weight * 100) <= 1
+
+    def test_deterministic_per_seed(self):
+        from repro.evaluation.dataset import _stratified_categories
+
+        a = _stratified_categories(CorpusConfig(n_cases=20, seed=5))
+        b = _stratified_categories(CorpusConfig(n_cases=20, seed=5))
+        c = _stratified_categories(CorpusConfig(n_cases=20, seed=6))
+        assert a == b
+        assert a != c or len(set(a)) == 1

@@ -1,0 +1,159 @@
+"""Tests for the autonomous diagnosis service."""
+
+import numpy as np
+import pytest
+
+from repro.collection import Broker, MetricsCollector, QueryLogCollector
+from repro.dbsim import DatabaseInstance
+from repro.service import Diagnosis, PinSqlService, ServiceConfig
+from repro.workload import (
+    AnomalyCategory,
+    WorkloadGenerator,
+    build_population,
+    inject_anomaly,
+)
+
+
+@pytest.fixture(scope="module")
+def anomaly_stream():
+    """A broker loaded with a simulated run containing a row-lock anomaly."""
+    duration, onset = 900, 600
+    rng = np.random.default_rng(55)
+    population = build_population(duration, rng, n_businesses=5)
+    truth = inject_anomaly(
+        population, rng, AnomalyCategory.ROW_LOCK, onset, duration,
+        target_rate=(25.0, 35.0), lock_hold_ms=(300.0, 400.0),
+    )
+    instance = DatabaseInstance(schema=population.schema, cpu_cores=8, seed=4)
+    result = instance.run(WorkloadGenerator(population), duration=duration)
+    broker = Broker()
+    QueryLogCollector(broker).collect(result.query_log)
+    MetricsCollector(broker).collect(result.metrics)
+    return broker, population, truth, onset
+
+
+class TestServiceLoop:
+    def test_detects_and_diagnoses(self, anomaly_stream):
+        broker, population, truth, onset = anomaly_stream
+        service = PinSqlService(
+            broker,
+            ServiceConfig(delta_start_s=500, detector_window_s=900),
+        )
+        # Teach the service the statement catalog (production collectors
+        # ship statements; our simulated topic carries only metrics).
+        for spec in population.specs.values():
+            service.register_statement(spec.template.replace("?", "1"))
+        diagnoses = service.run_until_drained()
+        assert diagnoses, "the anomaly must be diagnosed"
+        diagnosis = diagnoses[0]
+        # The detected window must cover the injected anomaly (nearby
+        # phenomena may merge in, extending the window's start earlier).
+        assert diagnosis.anomaly.start < onset + 120
+        assert diagnosis.anomaly.end > onset + 60
+        assert diagnosis.result.rsql_ids
+        assert diagnosis.result.rsql_ids[0] in truth.r_sql_ids
+        assert "PinSQL diagnosis report" in diagnosis.report.text
+
+    def test_notification_hook_invoked(self, anomaly_stream):
+        broker, population, truth, onset = anomaly_stream
+        # Fresh consumers: new service instance re-reads the topics.
+        received = []
+        service = PinSqlService(
+            broker,
+            ServiceConfig(delta_start_s=500, detector_window_s=900),
+            notify=received.append,
+        )
+        service.run_until_drained()
+        assert received
+        assert isinstance(received[0], Diagnosis)
+
+    def test_register_catalog_merges(self, anomaly_stream):
+        broker, population, _, _ = anomaly_stream
+        from repro.sqltemplate import TemplateCatalog
+
+        external = TemplateCatalog()
+        for spec in population.specs.values():
+            external.register_template(spec.sql_id, spec.template, spec.kind, spec.tables)
+        service = PinSqlService(broker)
+        service.register_catalog(external)
+        some_id = next(iter(population.specs))
+        assert some_id in service.catalog
+
+    def test_quiet_stream_produces_no_diagnoses(self):
+        duration = 400
+        rng = np.random.default_rng(66)
+        population = build_population(duration, rng, n_businesses=4)
+        instance = DatabaseInstance(schema=population.schema, cpu_cores=16, seed=3)
+        result = instance.run(WorkloadGenerator(population), duration=duration)
+        broker = Broker()
+        QueryLogCollector(broker).collect(result.query_log)
+        MetricsCollector(broker).collect(result.metrics)
+        service = PinSqlService(broker, ServiceConfig(detector_window_s=400))
+        assert service.run_until_drained() == []
+
+    def test_min_duration_filter(self, anomaly_stream):
+        broker, *_ = anomaly_stream
+        service = PinSqlService(
+            broker,
+            ServiceConfig(
+                delta_start_s=500,
+                detector_window_s=900,
+                min_anomaly_duration_s=10_000,  # unreachably long
+            ),
+        )
+        assert service.run_until_drained() == []
+
+
+class TestServiceExtras:
+    def test_history_provider_consulted(self, anomaly_stream):
+        broker, population, truth, onset = anomaly_stream
+        queried = []
+
+        def provider(sql_id, days, ts, te):
+            queried.append((sql_id, days))
+            return None
+
+        service = PinSqlService(
+            broker,
+            ServiceConfig(delta_start_s=500, detector_window_s=900),
+            history_provider=provider,
+        )
+        diagnoses = service.run_until_drained()
+        assert diagnoses
+        assert queried  # the provider was asked for history
+        days_asked = {d for _, d in queried}
+        assert days_asked <= {1, 3, 7}
+
+    def test_verdict_attached(self, anomaly_stream):
+        broker, *_ = anomaly_stream
+        service = PinSqlService(
+            broker, ServiceConfig(delta_start_s=500, detector_window_s=900)
+        )
+        diagnoses = service.run_until_drained()
+        assert diagnoses
+        verdict = diagnoses[0].verdict
+        assert verdict is not None
+        assert verdict.category in AnomalyCategory
+        assert "qps" in verdict.evidence
+
+    def test_auto_execution_with_instance(self, anomaly_stream):
+        from repro.core import RepairConfig, RepairRule
+
+        broker, population, truth, onset = anomaly_stream
+        config = ServiceConfig(
+            delta_start_s=500,
+            detector_window_s=900,
+            repair=RepairConfig(
+                rules=(RepairRule(("*",), "sql_throttle"),),
+                auto_execute=True,
+            ),
+        )
+        # A live instance handle for the service to act on.
+        live = DatabaseInstance(schema=population.schema, cpu_cores=8, seed=9)
+        live.start(WorkloadGenerator(population))
+        service = PinSqlService(broker, config, instance=live)
+        diagnoses = service.run_until_drained()
+        assert diagnoses
+        assert diagnoses[0].executed
+        assert diagnoses[0].plan.executed
+        live.finish()

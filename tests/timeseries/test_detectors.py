@@ -1,0 +1,163 @@
+"""Tests for spike / level-shift / Tukey detectors."""
+
+import numpy as np
+import pytest
+
+from repro.timeseries import (
+    FeatureKind,
+    LevelShiftDetector,
+    SpikeDetector,
+    TimeSeries,
+    TukeyDetector,
+    detect_anomalous_features,
+)
+
+
+def _noise(n, seed=0, scale=1.0, loc=10.0):
+    rng = np.random.default_rng(seed)
+    return loc + scale * rng.normal(size=n)
+
+
+class TestSpikeDetector:
+    def test_detects_upward_spike(self):
+        v = _noise(600)
+        v[300:320] += 40.0
+        dets = SpikeDetector().detect(v)
+        ups = [d for d in dets if d.kind is FeatureKind.SPIKE_UP]
+        assert len(ups) == 1
+        assert 295 <= ups[0].start_index <= 305
+        assert 315 <= ups[0].end_index <= 325
+
+    def test_detects_downward_spike(self):
+        v = _noise(600, loc=100.0)
+        v[100:110] -= 80.0
+        dets = SpikeDetector().detect(v)
+        assert any(d.kind is FeatureKind.SPIKE_DOWN for d in dets)
+
+    def test_flat_series_no_detection(self):
+        assert SpikeDetector().detect(np.full(100, 5.0)) == []
+
+    def test_unrecovered_tail_not_a_spike(self):
+        v = _noise(600)
+        v[550:] += 40.0  # extends to window end: level shift, not spike
+        dets = SpikeDetector().detect(v)
+        assert all(d.kind is not FeatureKind.SPIKE_UP for d in dets)
+
+    def test_short_series_no_crash(self):
+        assert SpikeDetector().detect(np.array([1.0, 2.0])) == []
+
+    def test_min_length_filters_blips(self):
+        v = _noise(300)
+        v[100] += 50.0  # single-sample blip
+        dets = SpikeDetector(min_length=3).detect(v)
+        assert dets == []
+
+    def test_severity_positive(self):
+        v = _noise(300)
+        v[100:105] += 30.0
+        dets = SpikeDetector().detect(v)
+        assert all(d.severity > 0 for d in dets)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SpikeDetector(threshold=0)
+
+
+class TestLevelShiftDetector:
+    def test_detects_upward_shift(self):
+        v = np.concatenate([_noise(300, seed=1), _noise(300, seed=2, loc=50.0)])
+        dets = LevelShiftDetector().detect(v)
+        assert len(dets) == 1
+        d = dets[0]
+        assert d.kind is FeatureKind.LEVEL_SHIFT_UP
+        assert 280 <= d.start_index <= 320
+
+    def test_detects_downward_shift(self):
+        v = np.concatenate([_noise(300, seed=1, loc=50.0), _noise(300, seed=2, loc=10.0)])
+        dets = LevelShiftDetector().detect(v)
+        assert len(dets) == 1
+        assert dets[0].kind is FeatureKind.LEVEL_SHIFT_DOWN
+
+    def test_spike_is_not_a_level_shift(self):
+        v = _noise(600, seed=3)
+        v[300:310] += 40.0
+        assert LevelShiftDetector().detect(v) == []
+
+    def test_flat_series_no_detection(self):
+        assert LevelShiftDetector().detect(np.full(200, 3.0)) == []
+
+    def test_too_short_series(self):
+        assert LevelShiftDetector().detect(np.array([1.0, 2.0, 3.0])) == []
+
+
+class TestTukeyDetector:
+    def test_mask_flags_outliers(self):
+        v = _noise(500, seed=4)
+        v[100] += 100.0
+        mask = TukeyDetector().mask(v)
+        assert mask[100]
+        assert mask.sum() <= 5
+
+    def test_has_anomaly_upward_only(self):
+        v = _noise(500, seed=5, loc=100.0)
+        v[50] -= 90.0  # downward outlier
+        det = TukeyDetector()
+        assert not det.has_anomaly(v, upward_only=True)
+        assert det.has_anomaly(v, upward_only=False)
+
+    def test_window_restriction(self):
+        v = _noise(500, seed=6)
+        v[400] += 100.0
+        det = TukeyDetector()
+        assert det.has_anomaly(v, window=(390, 410))
+        assert not det.has_anomaly(v, window=(0, 100))
+
+    def test_empty_series(self):
+        det = TukeyDetector()
+        assert not det.has_anomaly(np.array([]))
+        assert det.mask(np.array([])).shape == (0,)
+
+    def test_empty_window(self):
+        v = _noise(100)
+        assert not TukeyDetector().has_anomaly(v, window=(50, 50))
+
+    def test_constant_series_flags_deviants(self):
+        v = np.full(100, 7.0)
+        v[10] = 8.0
+        mask = TukeyDetector().mask(v)
+        assert mask[10]
+        assert mask.sum() == 1
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            TukeyDetector(k=0)
+
+
+class TestDetectAnomalousFeatures:
+    def test_feature_timestamps_on_series_axis(self):
+        v = _noise(600, seed=8)
+        v[300:320] += 40.0
+        series = TimeSeries(v, start=10_000, name="active_session")
+        feats = detect_anomalous_features("active_session", series)
+        assert len(feats) >= 1
+        f = feats[0]
+        assert f.metric == "active_session"
+        assert 10_290 <= f.start <= 10_310
+        assert f.duration > 0
+
+    def test_pattern_matching(self):
+        v = _noise(600, seed=9)
+        v[300:320] += 40.0
+        series = TimeSeries(v, start=0)
+        feats = detect_anomalous_features("cpu_usage", series)
+        spike = next(f for f in feats if f.kind.is_spike)
+        assert spike.matches("cpu_usage.spike")
+        assert spike.matches("cpu_usage.spike_up")
+        assert spike.matches("cpu_usage.*")
+        assert spike.matches("cpu_usage")
+        assert not spike.matches("cpu_usage.level_shift")
+        assert not spike.matches("iops_usage.spike")
+
+    def test_no_features_on_quiet_series(self):
+        series = TimeSeries(_noise(600, seed=10), start=0)
+        assert detect_anomalous_features("m", series) == []

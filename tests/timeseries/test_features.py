@@ -1,0 +1,54 @@
+"""Tests for the anomalous-feature vocabulary."""
+
+import pytest
+
+from repro.timeseries import AnomalousFeature, FeatureKind
+
+
+def feature(kind, metric="active_session", start=100, end=200):
+    return AnomalousFeature(metric=metric, kind=kind, start=start, end=end, severity=4.0)
+
+
+class TestFeatureKind:
+    def test_spike_classification(self):
+        assert FeatureKind.SPIKE_UP.is_spike
+        assert FeatureKind.SPIKE_DOWN.is_spike
+        assert not FeatureKind.LEVEL_SHIFT_UP.is_spike
+
+    def test_level_shift_classification(self):
+        assert FeatureKind.LEVEL_SHIFT_UP.is_level_shift
+        assert FeatureKind.LEVEL_SHIFT_DOWN.is_level_shift
+        assert not FeatureKind.SPIKE_UP.is_level_shift
+
+    def test_direction(self):
+        assert FeatureKind.SPIKE_UP.is_upward
+        assert FeatureKind.LEVEL_SHIFT_UP.is_upward
+        assert not FeatureKind.SPIKE_DOWN.is_upward
+        assert not FeatureKind.LEVEL_SHIFT_DOWN.is_upward
+
+
+class TestPatternMatching:
+    def test_exact_feature_pattern(self):
+        f = feature(FeatureKind.SPIKE_UP)
+        assert f.matches("active_session.spike_up")
+        assert not f.matches("active_session.spike_down")
+
+    def test_family_patterns(self):
+        up = feature(FeatureKind.SPIKE_UP)
+        shift = feature(FeatureKind.LEVEL_SHIFT_DOWN)
+        assert up.matches("active_session.spike")
+        assert not up.matches("active_session.level_shift")
+        assert shift.matches("active_session.level_shift")
+        assert not shift.matches("active_session.spike")
+
+    def test_wildcard_and_bare_metric(self):
+        f = feature(FeatureKind.SPIKE_UP)
+        assert f.matches("active_session.*")
+        assert f.matches("active_session")
+
+    def test_metric_mismatch(self):
+        f = feature(FeatureKind.SPIKE_UP, metric="cpu_usage")
+        assert not f.matches("active_session.spike")
+
+    def test_duration(self):
+        assert feature(FeatureKind.SPIKE_UP, start=10, end=40).duration == 30

@@ -1,0 +1,48 @@
+"""Tests for synthetic statement generation and its fingerprint round trip."""
+
+import pytest
+
+from repro.sqltemplate import StatementKind, fingerprint
+from repro.workload.catalog import make_statement
+
+
+class TestMakeStatement:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            StatementKind.SELECT,
+            StatementKind.UPDATE,
+            StatementKind.INSERT,
+            StatementKind.DELETE,
+            StatementKind.DDL,
+            StatementKind.OTHER,
+        ],
+    )
+    def test_kind_round_trips_through_fingerprint(self, kind):
+        statement = make_statement(kind, "orders", variant=7)
+        fp = fingerprint(statement)
+        assert fp.kind is kind
+
+    @pytest.mark.parametrize(
+        "kind",
+        [StatementKind.SELECT, StatementKind.UPDATE, StatementKind.INSERT,
+         StatementKind.DELETE, StatementKind.DDL],
+    )
+    def test_table_recovered(self, kind):
+        statement = make_statement(kind, "orders", variant=3)
+        fp = fingerprint(statement)
+        assert "orders" in fp.tables
+
+    def test_variants_produce_distinct_digests(self):
+        ids = {
+            fingerprint(make_statement(StatementKind.SELECT, "t", v)).sql_id
+            for v in range(20)
+        }
+        assert len(ids) > 1
+
+    def test_literals_do_not_change_digest(self):
+        a = fingerprint(make_statement(StatementKind.UPDATE, "t", 5))
+        b = fingerprint(
+            make_statement(StatementKind.UPDATE, "t", 5).replace("= 5", "= 99")
+        )
+        assert a.sql_id == b.sql_id

@@ -1,0 +1,167 @@
+"""Tests for anomaly scenario injection, including end-to-end simulation."""
+
+import numpy as np
+import pytest
+
+from repro.dbsim import DatabaseInstance
+from repro.sqltemplate import StatementKind
+from repro.workload import (
+    AnomalyCategory,
+    WorkloadGenerator,
+    build_population,
+    inject_anomaly,
+)
+
+DURATION = 900
+AS_, AE = 500, 800
+
+
+def make_population(seed):
+    return build_population(DURATION, np.random.default_rng(seed), n_businesses=6)
+
+
+class TestInjectionBookkeeping:
+    def test_business_spike_labels(self):
+        pop = make_population(0)
+        rng = np.random.default_rng(1)
+        truth = inject_anomaly(pop, rng, AnomalyCategory.BUSINESS_SPIKE, AS_, AE)
+        assert truth.category is AnomalyCategory.BUSINESS_SPIKE
+        assert truth.r_sql_ids
+        assert truth.new_sql_ids == []
+        business = next(b for b in pop.businesses if b.name == truth.business)
+        # The latent demand actually spiked inside the window.
+        assert business.latent[AS_ + 50 : AE - 50].mean() > 3 * business.latent[:AS_].mean()
+
+    def test_poor_sql_creates_new_heavy_template(self):
+        pop = make_population(2)
+        before = set(pop.sql_ids)
+        truth = inject_anomaly(pop, np.random.default_rng(3), AnomalyCategory.POOR_SQL, AS_, AE)
+        (new_id,) = truth.r_sql_ids
+        assert new_id not in before
+        spec = pop.specs[new_id]
+        assert spec.examined_rows_mean > 1e6
+        assert spec.kind is StatementKind.SELECT
+        rate = pop.expected_rate(new_id)
+        assert rate[:AS_].sum() == 0.0
+        assert rate[AS_ + 100 :].mean() > 1.0
+
+    def test_mdl_lock_schedules_ddls(self):
+        pop = make_population(4)
+        truth = inject_anomaly(pop, np.random.default_rng(5), AnomalyCategory.MDL_LOCK, AS_, AE)
+        # The migration job: one DDL template plus its copy queries.
+        specs = [pop.specs[sid] for sid in truth.r_sql_ids]
+        ddl_specs = [s for s in specs if s.kind is StatementKind.DDL]
+        assert len(ddl_specs) == 1
+        ddl = ddl_specs[0]
+        schedule = pop.exact_counts[ddl.sql_id]
+        assert all(AS_ <= t < AE for t in schedule)
+        assert len(schedule) >= 2
+        assert truth.table in ddl.tables
+        # The DDL has no background rate — only its schedule.
+        assert pop.expected_rate(ddl.sql_id).sum() == 0.0
+        # Copy queries run only inside the window.
+        copies = [s for s in specs if s.kind is not StatementKind.DDL]
+        assert copies
+        for copy in copies:
+            rate = pop.expected_rate(copy.sql_id)
+            assert rate[:AS_].sum() == 0.0
+            assert rate[AS_ + 50 : AE - 50].mean() > 0.5
+
+    def test_row_lock_creates_batch_update(self):
+        pop = make_population(6)
+        truth = inject_anomaly(pop, np.random.default_rng(7), AnomalyCategory.ROW_LOCK, AS_, AE)
+        (upd_id,) = truth.r_sql_ids
+        spec = pop.specs[upd_id]
+        assert spec.kind is StatementKind.UPDATE
+        assert spec.lock_hold_ms >= 100.0
+        rate = pop.expected_rate(upd_id)
+        assert rate[:AS_].sum() == 0.0
+        assert rate[AE + 20 :].sum() == 0.0
+        assert rate[AS_ + 60 : AE - 60].mean() > 3.0
+
+    def test_invalid_window_rejected(self):
+        pop = make_population(8)
+        with pytest.raises(ValueError):
+            inject_anomaly(
+                pop, np.random.default_rng(0), AnomalyCategory.ROW_LOCK, 800, 100
+            )
+
+
+@pytest.mark.slow
+class TestEndToEndAnomalies:
+    """Simulate each category and check the anomaly actually manifests."""
+
+    def _session_lift(self, category, seed, **kwargs):
+        pop = make_population(seed)
+        inject_anomaly(pop, np.random.default_rng(seed + 1), category, AS_, AE, **kwargs)
+        gen = WorkloadGenerator(pop)
+        inst = DatabaseInstance(schema=pop.schema, cpu_cores=8, seed=seed + 2)
+        result = inst.run(gen, duration=DURATION)
+        session = result.metrics.active_session.values
+        baseline = session[100:AS_ - 20].mean()
+        during = session[AS_ + 60 : AE - 20].mean()
+        return baseline, during, result
+
+    def test_business_spike_raises_session(self):
+        baseline, during, _ = self._session_lift(AnomalyCategory.BUSINESS_SPIKE, 10)
+        assert during > baseline * 2
+
+    def test_poor_sql_saturates_cpu(self):
+        baseline, during, result = self._session_lift(AnomalyCategory.POOR_SQL, 20)
+        cpu = result.metrics.cpu_usage.values
+        assert cpu[AS_ + 100 : AE].mean() > cpu[100:AS_].mean() + 25
+        assert during > baseline + 3
+
+    def test_mdl_lock_piles_up_sessions(self):
+        baseline, during, _ = self._session_lift(AnomalyCategory.MDL_LOCK, 30)
+        assert during > baseline + 50
+
+    def test_row_lock_raises_lock_metrics_and_session(self):
+        baseline, during, result = self._session_lift(AnomalyCategory.ROW_LOCK, 40)
+        waits = result.metrics["innodb_row_lock_waits"].values
+        assert waits[AS_ + 60 : AE].mean() > 2.5 * max(waits[100:AS_].mean(), 1.0)
+        assert during > baseline + 3
+
+
+class TestCompositeInjection:
+    def test_union_of_ground_truths(self):
+        pop = make_population(30)
+        truth = inject_anomaly(
+            pop, np.random.default_rng(31), AnomalyCategory.COMPOSITE, AS_, AE
+        )
+        assert truth.category is AnomalyCategory.COMPOSITE
+        assert len(truth.r_sql_ids) >= 2
+        assert "+" in truth.business
+        # All root templates are registered.
+        for sid in truth.r_sql_ids:
+            assert sid in pop.specs
+
+    def test_nesting_rejected(self):
+        pop = make_population(32)
+        with pytest.raises(ValueError, match="nest"):
+            inject_anomaly(
+                pop, np.random.default_rng(33), AnomalyCategory.COMPOSITE, AS_, AE,
+                categories=(AnomalyCategory.COMPOSITE, AnomalyCategory.POOR_SQL),
+            )
+
+    def test_explicit_categories(self):
+        pop = make_population(34)
+        truth = inject_anomaly(
+            pop, np.random.default_rng(35), AnomalyCategory.COMPOSITE, AS_, AE,
+            categories=(AnomalyCategory.ROW_LOCK, AnomalyCategory.POOR_SQL),
+        )
+        kinds = {pop.specs[sid].kind for sid in truth.r_sql_ids}
+        assert StatementKind.UPDATE in kinds
+        assert StatementKind.SELECT in kinds
+
+    def test_end_to_end_composite_case(self):
+        from tests.conftest import FAST_CORPUS
+        from repro.evaluation import generate_case
+        from repro.core import PinSQL
+        from repro.evaluation.metrics import first_hit_rank
+
+        lc = generate_case(77, FAST_CORPUS, category=AnomalyCategory.COMPOSITE)
+        assert lc.category is AnomalyCategory.COMPOSITE
+        result = PinSQL().analyze(lc.case)
+        rank = first_hit_rank(result.rsql_ids, lc.r_sqls)
+        assert rank is not None and rank <= 5

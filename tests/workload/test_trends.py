@@ -1,0 +1,108 @@
+"""Tests for trend primitives."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    ar1_trend,
+    business_latent_trend,
+    diurnal_trend,
+    ramp_profile,
+    spike_profile,
+)
+
+
+class TestDiurnal:
+    def test_centered_on_one(self):
+        trend = diurnal_trend(86_400, depth=0.3)
+        assert trend.mean() == pytest.approx(1.0, abs=0.01)
+        assert trend.max() <= 1.3 + 1e-9
+        assert trend.min() >= 0.7 - 1e-9
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            diurnal_trend(0)
+
+    def test_phase_shifts(self):
+        a = diurnal_trend(1000, phase=0.0)
+        b = diurnal_trend(1000, phase=21_600.0)
+        assert not np.allclose(a, b)
+
+
+class TestAr1:
+    def test_positive_and_smooth(self):
+        rng = np.random.default_rng(0)
+        trend = ar1_trend(3600, rng)
+        assert (trend > 0).all()
+        # Smoothing caps the second-to-second jumps.
+        assert np.abs(np.diff(trend)).max() < 0.05
+
+    def test_has_variation(self):
+        rng = np.random.default_rng(1)
+        trend = ar1_trend(3600, rng, sigma=0.25)
+        assert trend.std() > 0.02
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            ar1_trend(100, np.random.default_rng(0), rho=1.0)
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            ar1_trend(0, np.random.default_rng(0))
+
+
+class TestBusinessLatent:
+    def test_scales_with_level(self):
+        rng = np.random.default_rng(2)
+        low = business_latent_trend(2000, rng, base_level=1.0)
+        rng = np.random.default_rng(2)
+        high = business_latent_trend(2000, rng, base_level=10.0)
+        assert high.mean() == pytest.approx(10 * low.mean(), rel=1e-6)
+
+    def test_non_negative(self):
+        rng = np.random.default_rng(3)
+        trend = business_latent_trend(2000, rng, fluctuation=0.8)
+        assert (trend >= 0).all()
+
+
+class TestSpikeProfile:
+    def test_shape(self):
+        p = spike_profile(1000, 400, 600, 5.0, ramp=20)
+        assert p[:400].max() == 1.0
+        assert p[450:550].min() == 5.0
+        assert p[650:].max() == 1.0
+        # Ramps are monotone.
+        assert (np.diff(p[400:420]) >= 0).all()
+        assert (np.diff(p[580:600]) <= 0).all()
+
+    def test_zero_length_window(self):
+        p = spike_profile(100, 50, 50, 5.0)
+        assert np.allclose(p, 1.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            spike_profile(100, 90, 200, 2.0)
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            spike_profile(100, 10, 20, -1.0)
+
+    def test_downward_spike_supported(self):
+        p = spike_profile(100, 40, 60, 0.1, ramp=0)
+        assert p[50] == pytest.approx(0.1)
+
+
+class TestRampProfile:
+    def test_shape(self):
+        p = ramp_profile(1000, 500, ramp=100)
+        assert p[:500].max() == 0.0
+        assert p[650:].min() == 1.0
+        assert 0.0 < p[550] < 1.0
+
+    def test_start_at_zero(self):
+        p = ramp_profile(100, 0, ramp=10)
+        assert p[50] == 1.0
+
+    def test_start_beyond_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ramp_profile(100, 150)
