@@ -1,11 +1,16 @@
 """Command-line interface.
 
-Four subcommands cover the adoption path:
+Five subcommands cover the adoption path:
 
 * ``repro generate``  — synthesise a labelled anomaly case to a file;
 * ``repro diagnose``  — run PinSQL on a saved case and print the report;
 * ``repro evaluate``  — run the Table-I comparison over a corpus;
-* ``repro demo``      — generate-and-diagnose in one go.
+* ``repro demo``      — generate-and-diagnose in one go;
+* ``repro obs``       — exercise the pipeline and dump its self-telemetry
+  (metrics snapshot as summary / JSON / Prometheus text exposition).
+
+``demo`` and ``evaluate`` additionally accept ``--telemetry`` to print
+the metrics snapshot and the span tree of the run.
 
 Invoke as ``python -m repro <subcommand>``.
 """
@@ -53,6 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     group.add_argument("--generate", type=int, metavar="N",
                        help="generate N cases on the fly")
     ev.add_argument("--seed", type=int, default=0)
+    ev.add_argument("--telemetry", action="store_true",
+                    help="print the metrics snapshot and span tree afterwards")
 
     demo = sub.add_parser("demo", help="generate and diagnose one case")
     demo.add_argument("--seed", type=int, default=42)
@@ -61,6 +68,26 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["business_spike", "poor_sql", "mdl_lock", "row_lock"],
         default="row_lock",
     )
+    demo.add_argument("--telemetry", action="store_true",
+                      help="print the metrics snapshot and span tree afterwards")
+
+    obs = sub.add_parser(
+        "obs", help="exercise the pipeline and dump its self-telemetry"
+    )
+    obs.add_argument("--seed", type=int, default=42)
+    obs.add_argument(
+        "--category",
+        choices=["business_spike", "poor_sql", "mdl_lock", "row_lock"],
+        default="row_lock",
+    )
+    obs.add_argument(
+        "--format",
+        choices=["summary", "json", "prometheus"],
+        default="summary",
+        help="metrics output format",
+    )
+    obs.add_argument("--log-format", choices=["kv", "json"], default="kv",
+                     help="structured-log line format on stderr")
     return parser
 
 
@@ -121,10 +148,24 @@ def cmd_diagnose(args) -> int:
     return 0
 
 
+def _print_telemetry() -> None:
+    """Dump the global registry and last span tree (the --telemetry flag)."""
+    from repro.telemetry import get_registry, get_tracer, render_summary
+
+    print("\n=== telemetry: metrics snapshot ===")
+    print(render_summary(get_registry()))
+    print("\n=== telemetry: span tree (last trace) ===")
+    print(get_tracer().format_tree())
+
+
 def cmd_evaluate(args) -> int:
     from repro.evaluation import CorpusConfig, evaluate_competition, generate_corpus
     from repro.evaluation.persistence import load_corpus
 
+    if getattr(args, "telemetry", False):
+        from repro.telemetry import configure_telemetry
+
+        configure_telemetry()
     if args.cases is not None:
         corpus = load_corpus(args.cases)
         if not corpus:
@@ -139,6 +180,8 @@ def cmd_evaluate(args) -> int:
     )
     for report in reports:
         print(report.table_row())
+    if getattr(args, "telemetry", False):
+        _print_telemetry()
     return 0
 
 
@@ -148,6 +191,10 @@ def cmd_demo(args) -> int:
     from repro.evaluation import CorpusConfig, generate_case
     from repro.workload import AnomalyCategory
 
+    if getattr(args, "telemetry", False):
+        from repro.telemetry import configure_telemetry
+
+        configure_telemetry()
     cfg = CorpusConfig(delta_start_s=600, anomaly_length_s=(240, 360))
     print(f"generating a {args.category} anomaly case (seed {args.seed}) ...")
     labeled = generate_case(args.seed, cfg, category=AnomalyCategory(args.category))
@@ -155,6 +202,41 @@ def cmd_demo(args) -> int:
     print(render_report(labeled.case, result).text)
     hit = result.rsql_ids and result.rsql_ids[0] in labeled.r_sqls
     print(f"ground truth check: top-1 R-SQL is {'CORRECT' if hit else 'WRONG'}")
+    if getattr(args, "telemetry", False):
+        _print_telemetry()
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Exercise the full pipeline, then dump the self-telemetry."""
+    import json
+
+    from repro.core import PinSQL
+    from repro.evaluation import CorpusConfig, generate_case
+    from repro.telemetry import (
+        configure_telemetry,
+        get_registry,
+        get_tracer,
+        render_summary,
+        reset_telemetry,
+    )
+    from repro.workload import AnomalyCategory
+
+    configure_telemetry(fmt=args.log_format)
+    reset_telemetry()  # metrics below describe this run only
+    cfg = CorpusConfig(delta_start_s=600, anomaly_length_s=(240, 360))
+    labeled = generate_case(args.seed, cfg, category=AnomalyCategory(args.category))
+    PinSQL().analyze(labeled.case)
+    registry = get_registry()
+    if args.format == "prometheus":
+        sys.stdout.write(registry.render_prometheus())
+    elif args.format == "json":
+        print(json.dumps(registry.snapshot(), indent=2))
+    else:
+        print("=== metrics snapshot ===")
+        print(render_summary(registry))
+        print("\n=== span tree (last trace) ===")
+        print(get_tracer().format_tree())
     return 0
 
 
@@ -163,6 +245,7 @@ _COMMANDS = {
     "diagnose": cmd_diagnose,
     "evaluate": cmd_evaluate,
     "demo": cmd_demo,
+    "obs": cmd_obs,
 }
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.dbsim.query import QueryLog, SecondBatch, TemplateQueries
+from repro.telemetry import MetricsRegistry, get_registry
 
 __all__ = ["LogStore"]
 
@@ -21,11 +22,43 @@ DEFAULT_RETENTION_S = 3 * 24 * 3600
 class LogStore:
     """Stores raw query records with time-based expiry."""
 
-    def __init__(self, retention_s: int = DEFAULT_RETENTION_S) -> None:
+    def __init__(
+        self,
+        retention_s: int = DEFAULT_RETENTION_S,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if retention_s <= 0:
             raise ValueError("retention_s must be positive")
         self.retention_s = int(retention_s)
         self._batches: dict[str, list[SecondBatch]] = {}
+        registry = registry or get_registry()
+        self._m_batches = registry.counter(
+            "logstore_batches_ingested_total", help="Second-batches absorbed."
+        )
+        self._m_queries = registry.counter(
+            "logstore_queries_ingested_total", help="Raw query records absorbed."
+        )
+        self._m_evicted = registry.counter(
+            "logstore_evicted_queries_total",
+            help="Query records dropped by retention expiry.",
+        )
+        self._g_bytes = registry.gauge(
+            "logstore_resident_bytes", help="Approximate bytes of stored arrays."
+        )
+        self._g_templates = registry.gauge(
+            "logstore_templates", help="Distinct SQL templates resident."
+        )
+        self._resident_bytes = 0
+
+    def _account(self, batch: SecondBatch, sign: int) -> None:
+        nbytes = (
+            batch.arrive_ms.nbytes
+            + batch.response_ms.nbytes
+            + batch.examined_rows.nbytes
+        )
+        self._resident_bytes += sign * nbytes
+        self._g_bytes.set(self._resident_bytes)
+        self._g_templates.set(len(self._batches))
 
     # ------------------------------------------------------------------
     # Ingest
@@ -43,6 +76,9 @@ class LogStore:
                 examined_rows=tq.examined_rows,
             )
             self._batches.setdefault(tq.sql_id, []).append(batch)
+            self._m_batches.inc()
+            self._m_queries.inc(len(batch))
+            self._account(batch, +1)
             stored += len(batch)
         return stored
 
@@ -50,6 +86,9 @@ class LogStore:
         if len(batch) == 0:
             return
         self._batches.setdefault(batch.sql_id, []).append(batch)
+        self._m_batches.inc()
+        self._m_queries.inc(len(batch))
+        self._account(batch, +1)
 
     # ------------------------------------------------------------------
     # Query
@@ -97,17 +136,22 @@ class LogStore:
                 dropped += len(batch) - n_keep
                 if n_keep == len(batch):
                     kept.append(batch)
-                elif n_keep > 0:
-                    kept.append(
-                        SecondBatch(
-                            sql_id=sql_id,
-                            arrive_ms=batch.arrive_ms[mask],
-                            response_ms=batch.response_ms[mask],
-                            examined_rows=batch.examined_rows[mask],
-                        )
+                    continue
+                self._account(batch, -1)
+                if n_keep > 0:
+                    trimmed = SecondBatch(
+                        sql_id=sql_id,
+                        arrive_ms=batch.arrive_ms[mask],
+                        response_ms=batch.response_ms[mask],
+                        examined_rows=batch.examined_rows[mask],
                     )
+                    kept.append(trimmed)
+                    self._account(trimmed, +1)
             if kept:
                 self._batches[sql_id] = kept
             else:
                 del self._batches[sql_id]
+        if dropped:
+            self._m_evicted.inc(dropped)
+        self._g_templates.set(len(self._batches))
         return dropped

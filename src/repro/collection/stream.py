@@ -4,12 +4,23 @@ Topics hold append-only message logs; consumers poll with independent
 offsets, so multiple downstream components (aggregator, anomaly
 detector, archiver) can each read the full stream — the same
 subscribe-and-replay semantics the production pipeline relies on.
+
+The broker self-reports through :mod:`repro.telemetry`: published
+message counters per topic, poll-batch-size histograms, and per-consumer
+lag gauges — the first things an operator checks when the diagnosis
+loop stalls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Any
+
+from repro.telemetry import (
+    DEFAULT_COUNT_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
 
 __all__ = ["Message", "Broker", "Consumer"]
 
@@ -27,8 +38,10 @@ class Message:
 class Broker:
     """A minimal polling broker with per-consumer offsets."""
 
-    def __init__(self) -> None:
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self._topics: dict[str, list[Message]] = {}
+        self._consumer_seq: dict[str, int] = {}
+        self.registry = registry or get_registry()
 
     def create_topic(self, topic: str) -> None:
         """Create a topic (idempotent)."""
@@ -43,6 +56,11 @@ class Broker:
         log = self._topics.setdefault(topic, [])
         message = Message(topic=topic, offset=len(log), key=key, value=value)
         log.append(message)
+        self.registry.counter(
+            "broker_messages_published_total",
+            help="Messages appended per topic.",
+            topic=topic,
+        ).inc()
         return message
 
     def size(self, topic: str) -> int:
@@ -58,16 +76,33 @@ class Broker:
     def consumer(self, topic: str) -> "Consumer":
         """A new consumer starting at the beginning of ``topic``."""
         self.create_topic(topic)
-        return Consumer(self, topic)
+        seq = self._consumer_seq.get(topic, 0)
+        self._consumer_seq[topic] = seq + 1
+        return Consumer(self, topic, name=f"{topic}/{seq}")
 
 
 class Consumer:
     """A polling consumer with its own offset into one topic."""
 
-    def __init__(self, broker: Broker, topic: str) -> None:
+    def __init__(self, broker: Broker, topic: str, name: str | None = None) -> None:
         self._broker = broker
         self.topic = topic
+        self.name = name or topic
         self.offset = 0
+        registry = broker.registry
+        self._batch_hist = registry.histogram(
+            "broker_poll_batch_size",
+            help="Messages returned per poll.",
+            buckets=DEFAULT_COUNT_BUCKETS,
+            topic=topic,
+        )
+        self._lag_gauge = registry.gauge(
+            "broker_consumer_lag",
+            help="Messages published but not yet consumed.",
+            topic=topic,
+            consumer=self.name,
+        )
+        self._lag_gauge.set(self.lag)
 
     @property
     def lag(self) -> int:
@@ -78,6 +113,8 @@ class Consumer:
         """Fetch the next batch of messages and advance the offset."""
         messages = self._broker.read(self.topic, self.offset, max_messages)
         self.offset += len(messages)
+        self._batch_hist.observe(len(messages))
+        self._lag_gauge.set(self.lag)
         return messages
 
     def seek(self, offset: int) -> None:
@@ -85,3 +122,4 @@ class Consumer:
         if offset < 0:
             raise ValueError("offset must be non-negative")
         self.offset = offset
+        self._lag_gauge.set(self.lag)

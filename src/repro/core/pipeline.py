@@ -9,7 +9,6 @@ wall-clock timings recorded (they are part of the paper's Table I).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.case import AnomalyCase
@@ -17,6 +16,7 @@ from repro.core.config import PinSQLConfig
 from repro.core.hsql import HsqlIdentifier, HsqlRanking
 from repro.core.rsql import RsqlIdentifier, RsqlResult
 from repro.core.session_estimation import SessionEstimate, SessionEstimator
+from repro.telemetry import Tracer, get_tracer
 
 __all__ = ["StageTimings", "PinSQLResult", "PinSQL"]
 
@@ -68,8 +68,13 @@ class PinSQL:
 
     name = "PinSQL"
 
-    def __init__(self, config: PinSQLConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: PinSQLConfig | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.config = config or PinSQLConfig()
+        self.tracer = tracer or get_tracer()
         cfg = self.config
         self._estimator = SessionEstimator(
             mode=cfg.session_estimation, buckets=cfg.session_buckets
@@ -92,25 +97,26 @@ class PinSQL:
             use_history_verification=cfg.use_history_verification,
             history_days=cfg.history_days,
             tukey_k=cfg.tukey_k,
+            tracer=self.tracer,
         )
 
     def analyze(self, case: AnomalyCase) -> PinSQLResult:
         """Run the full root-cause analysis on one anomaly case."""
-        t0 = time.perf_counter()
-        sessions = self._estimator.estimate(
-            case.logs, case.sql_ids, case.active_session
-        )
-        t1 = time.perf_counter()
-        hsql = self._hsql.identify(case, sessions)
-        t2 = time.perf_counter()
-        rsql = self._rsql.identify(case, hsql, sessions)
+        with self.tracer.span("pinsql.analyze"):
+            with self.tracer.span("session_estimation") as s_est:
+                sessions = self._estimator.estimate(
+                    case.logs, case.sql_ids, case.active_session
+                )
+            with self.tracer.span("hsql_ranking") as s_hsql:
+                hsql = self._hsql.identify(case, sessions)
+            rsql = self._rsql.identify(case, hsql, sessions)
         return PinSQLResult(
             hsql=hsql,
             rsql=rsql,
             sessions=sessions,
             timings=StageTimings(
-                session_estimation=t1 - t0,
-                hsql_ranking=t2 - t1,
+                session_estimation=s_est.elapsed,
+                hsql_ranking=s_hsql.elapsed,
                 clustering_and_filtering=rsql.clustering_seconds,
                 history_verification=rsql.verification_seconds,
             ),

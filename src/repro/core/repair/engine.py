@@ -17,8 +17,11 @@ from repro.core.repair.actions import (
 )
 from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig
 from repro.dbsim.instance import DatabaseInstance
+from repro.telemetry import MetricsRegistry, get_logger, get_registry
 
 __all__ = ["RepairPlan", "RepairEngine"]
+
+_log = get_logger("repair")
 
 
 @dataclass
@@ -38,8 +41,21 @@ class RepairPlan:
 class RepairEngine:
     """Plans and (optionally) executes repair actions on R-SQLs."""
 
-    def __init__(self, config: RepairConfig = DEFAULT_REPAIR_CONFIG) -> None:
+    def __init__(
+        self,
+        config: RepairConfig = DEFAULT_REPAIR_CONFIG,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self.config = config
+        self._registry = registry or get_registry()
+
+    def _count_action(self, outcome: str, kind: str, amount: float = 1.0) -> None:
+        self._registry.counter(
+            "repair_actions_total",
+            help="Repair actions by outcome (planned/executed/refused) and kind.",
+            outcome=outcome,
+            kind=kind,
+        ).inc(amount)
 
     # ------------------------------------------------------------------
     # Planning
@@ -58,11 +74,20 @@ class RepairEngine:
             return plan
         for rule in self.config.rules:
             if not rule.matches(anomaly_types):
+                self._count_action("refused_type_mismatch", rule.action)
                 continue
             if lift < rule.min_session_lift:
+                self._count_action("refused_lift_below_threshold", rule.action)
+                _log.debug(
+                    "repair rule gated by session lift",
+                    extra={"action": rule.action, "lift": round(lift, 3),
+                           "min_lift": rule.min_session_lift},
+                )
                 continue
             for sql_id in targets:
-                plan.actions.append(self._make_action(rule, case, sql_id))
+                action = self._make_action(rule, case, sql_id)
+                plan.actions.append(action)
+                self._count_action("planned", action.kind)
         return plan
 
     def _make_action(self, rule, case: AnomalyCase, sql_id: str) -> RepairAction:
@@ -107,8 +132,16 @@ class RepairEngine:
     ) -> list[RepairAction]:
         """Execute the plan's actions (only if auto-execution is enabled)."""
         if not self.config.auto_execute:
+            for action in plan.actions:
+                self._count_action("refused_auto_execute_disabled", action.kind)
             return []
         for action in plan.actions:
             action.execute(instance, now_s)
             plan.executed.append(action)
+            self._count_action("executed", action.kind)
+            _log.info(
+                "repair action executed",
+                extra={"kind": action.kind, "sql_id": action.sql_id,
+                       "now_s": now_s},
+            )
         return plan.executed

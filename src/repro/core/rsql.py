@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.case import AnomalyCase
 from repro.core.hsql import HsqlRanking
 from repro.core.session_estimation import SessionEstimate
+from repro.telemetry import Tracer, get_tracer
 from repro.timeseries import TimeSeries, TukeyDetector, pearson
 
 __all__ = ["Cluster", "RsqlResult", "RsqlIdentifier"]
@@ -71,7 +72,9 @@ class RsqlIdentifier:
         use_history_verification: bool = True,
         history_days: tuple[int, ...] = (1, 3, 7),
         tukey_k: float = 3.0,
+        tracer: Tracer | None = None,
     ) -> None:
+        self.tracer = tracer or get_tracer()
         self.cluster_threshold = float(cluster_threshold)
         self.clustering_interval_s = int(clustering_interval_s)
         self.use_metric_temp_nodes = use_metric_temp_nodes
@@ -226,30 +229,27 @@ class RsqlIdentifier:
         hsql: HsqlRanking,
         sessions: SessionEstimate,
     ) -> RsqlResult:
-        import time
-
-        t0 = time.perf_counter()
-        clusters = self.cluster_templates(case)
-        clusters = self.rank_clusters(case, clusters, hsql)
-        candidates = self.select_clusters(case, clusters, sessions)
-        t1 = time.perf_counter()
-        verified = self.verify_history(case, candidates)
-        widened = False
-        if not verified and self.use_history_verification:
-            # Verification rejected every candidate: the root cause is
-            # likely in a cluster the cumulative threshold stopped short
-            # of (its H-SQLs explained the session on their own, but none
-            # of them shows the execution surge a root cause must have).
-            # Fall back to verifying every template — at this point the
-            # history filter itself is what narrows the range.
-            widened = True
-            wide = [sql_id for cluster in clusters for sql_id in cluster.sql_ids]
-            verified = self.verify_history(case, wide)
-        # Last-resort fallback: never answer with nothing when candidates
-        # existed — production systems page a DBA with *something* ranked.
-        effective = verified if verified else candidates
-        ranked = self.rank_candidates(case, effective)
-        t2 = time.perf_counter()
+        with self.tracer.span("clustering_and_filtering") as s_cluster:
+            clusters = self.cluster_templates(case)
+            clusters = self.rank_clusters(case, clusters, hsql)
+            candidates = self.select_clusters(case, clusters, sessions)
+        with self.tracer.span("history_verification") as s_verify:
+            verified = self.verify_history(case, candidates)
+            widened = False
+            if not verified and self.use_history_verification:
+                # Verification rejected every candidate: the root cause is
+                # likely in a cluster the cumulative threshold stopped short
+                # of (its H-SQLs explained the session on their own, but none
+                # of them shows the execution surge a root cause must have).
+                # Fall back to verifying every template — at this point the
+                # history filter itself is what narrows the range.
+                widened = True
+                wide = [sql_id for cluster in clusters for sql_id in cluster.sql_ids]
+                verified = self.verify_history(case, wide)
+            # Last-resort fallback: never answer with nothing when candidates
+            # existed — production systems page a DBA with *something* ranked.
+            effective = verified if verified else candidates
+            ranked = self.rank_candidates(case, effective)
         return RsqlResult(
             ranked=ranked,
             clusters=clusters,
@@ -257,8 +257,8 @@ class RsqlIdentifier:
             candidates=candidates,
             verified=verified,
             widened=widened,
-            clustering_seconds=t1 - t0,
-            verification_seconds=t2 - t1,
+            clustering_seconds=s_cluster.elapsed,
+            verification_seconds=s_verify.elapsed,
         )
 
 

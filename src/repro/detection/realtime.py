@@ -12,6 +12,8 @@ follow-up events when an ongoing anomaly grows).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -19,6 +21,7 @@ from repro.collection.stream import Consumer
 from repro.detection.basic import BasicPerception
 from repro.detection.case_builder import CaseBuilder, DetectedAnomaly
 from repro.detection.phenomenon import PhenomenonPerception
+from repro.telemetry import MetricsRegistry, get_registry
 from repro.timeseries import TimeSeries
 
 __all__ = ["AnomalyEvent", "RealtimeAnomalyDetector"]
@@ -93,6 +96,7 @@ class RealtimeAnomalyDetector:
         basic: BasicPerception | None = None,
         phenomenon: PhenomenonPerception | None = None,
         case_builder: CaseBuilder | None = None,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         if window_s <= 0 or evaluation_interval_s <= 0:
             raise ValueError("window_s and evaluation_interval_s must be positive")
@@ -107,15 +111,46 @@ class RealtimeAnomalyDetector:
         self._last_evaluation: int | None = None
         #: start → end of anomalies already emitted (for dedup/updates).
         self._emitted: dict[tuple[str, int], int] = {}
+        registry = registry or get_registry()
+        self._m_points = registry.counter(
+            "detector_points_consumed_total", help="Metric points consumed."
+        )
+        self._m_evaluations = registry.counter(
+            "detector_evaluations_total", help="Sliding-window re-analyses run."
+        )
+        self._m_events_new = registry.counter(
+            "detector_events_total", help="Anomaly events emitted.", kind="new"
+        )
+        self._m_events_update = registry.counter(
+            "detector_events_total", help="Anomaly events emitted.", kind="update"
+        )
 
     @property
     def stream_time(self) -> int | None:
         """Largest metric timestamp observed so far."""
         return self._stream_time
 
+    @property
+    def metric_names(self) -> list[str]:
+        """Names of the metrics buffered so far."""
+        return list(self._buffers)
+
+    def iter_buffer_samples(self) -> Iterator[tuple[str, Mapping[int, float]]]:
+        """Read-only views of the per-metric raw sample buffers.
+
+        Yields ``(metric_name, {timestamp: value})`` pairs; the mappings
+        are live read-only proxies (no copy), valid until the next
+        :meth:`poll`.  This is the supported way for the service layer to
+        mirror detector state — the buffers themselves stay private.
+        """
+        for name, buffer in self._buffers.items():
+            yield name, MappingProxyType(buffer.samples)
+
     def poll(self, max_messages: int = 10_000) -> list[AnomalyEvent]:
         """Consume available metric points; return newly detected anomalies."""
         messages = self.consumer.poll(max_messages)
+        if messages:
+            self._m_points.inc(len(messages))
         for message in messages:
             record = message.value
             name = record["metric"]
@@ -151,6 +186,7 @@ class RealtimeAnomalyDetector:
 
     # ------------------------------------------------------------------
     def _evaluate(self, now: int) -> list[AnomalyEvent]:
+        self._m_evaluations.inc()
         features = []
         for name, buffer in self._buffers.items():
             buffer.trim(now)
@@ -168,9 +204,11 @@ class RealtimeAnomalyDetector:
             if previous_end is None:
                 self._emitted[key] = anomaly.end
                 events.append(AnomalyEvent(anomaly, detected_at=now))
+                self._m_events_new.inc()
             elif anomaly.end > previous_end + self.evaluation_interval_s:
                 self._emitted[key] = anomaly.end
                 events.append(AnomalyEvent(anomaly, detected_at=now, is_update=True))
+                self._m_events_update.inc()
         return events
 
     def _key_for(self, anomaly: DetectedAnomaly) -> tuple[str, int]:

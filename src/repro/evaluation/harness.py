@@ -8,13 +8,13 @@ variants, matching the paper's definition.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 from repro.core.baselines import TopMetricRanker
 from repro.core.pipeline import PinSQL
 from repro.evaluation.dataset import LabeledCase
 from repro.evaluation.metrics import RankingSummary, first_hit_rank, summarize_ranks
+from repro.telemetry import get_tracer
 
 __all__ = [
     "MethodReport",
@@ -86,10 +86,13 @@ def _fmt_time(seconds: float) -> str:
 def evaluate_ranker(ranker: TopMetricRanker, cases: list[LabeledCase]) -> MethodReport:
     """Evaluate a single-ranking method against both ground truths."""
     report = MethodReport(name=ranker.name)
+    tracer = get_tracer()
     for labeled in cases:
-        t0 = time.perf_counter()
-        ranking = ranker.rank(labeled.case)
-        elapsed = time.perf_counter() - t0
+        # The shared telemetry timer is the single place wall-clock
+        # measurement lives; the span doubles as a per-method histogram.
+        with tracer.span("evaluate.rank", method=ranker.name) as span:
+            ranking = ranker.rank(labeled.case)
+        elapsed = span.elapsed
         report.r_ranks.append(first_hit_rank(ranking, labeled.r_sqls))
         report.h_ranks.append(first_hit_rank(ranking, labeled.h_sqls))
         report.r_times.append(elapsed)

@@ -30,11 +30,22 @@ from repro.detection.case_builder import DetectedAnomaly
 from repro.detection.realtime import RealtimeAnomalyDetector
 from repro.detection.typing import CategoryVerdict, classify_case
 from repro.sqltemplate import TemplateCatalog, fingerprint
+from repro.telemetry import (
+    MetricsRegistry,
+    SelfMonitor,
+    Tracer,
+    get_logger,
+    get_registry,
+    get_tracer,
+)
+from repro.telemetry.selfmon import forward_fill_series
 from repro.timeseries import TimeSeries
 
 import numpy as np
 
 __all__ = ["ServiceConfig", "Diagnosis", "PinSqlService"]
+
+_log = get_logger("service")
 
 
 @dataclass(frozen=True)
@@ -85,6 +96,11 @@ class PinSqlService:
     notify:
         Optional callback invoked with each completed :class:`Diagnosis`
         (the DingTalk/SMS hook of the paper's Fig. 5).
+    registry / tracer:
+        Optional telemetry sinks; by default the process-wide registry
+        and tracer from :mod:`repro.telemetry` are used.  Passing a
+        fresh registry isolates this service's metrics (and creates a
+        matching tracer bound to it unless one is supplied).
     """
 
     def __init__(
@@ -94,25 +110,64 @@ class PinSqlService:
         instance: DatabaseInstance | None = None,
         history_provider: Callable[[str, int, int, int], TimeSeries | None] | None = None,
         notify: Callable[[Diagnosis], None] | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.broker = broker
         self.instance = instance
         self.history_provider = history_provider
         self.notify = notify
-        self.logstore = LogStore()
+        if tracer is None:
+            tracer = get_tracer() if registry is None else Tracer(registry=registry)
+        self.registry = registry or get_registry()
+        self.tracer = tracer
+        self.logstore = LogStore(registry=self.registry)
         self.catalog = TemplateCatalog()
         self._log_consumer = broker.consumer("query_logs")
         self.detector = RealtimeAnomalyDetector(
             broker.consumer("performance_metrics"),
             window_s=self.config.detector_window_s,
             evaluation_interval_s=self.config.evaluation_interval_s,
+            registry=self.registry,
         )
-        self._pinsql = PinSQL(self.config.pinsql)
-        self._repair = RepairEngine(self.config.repair)
-        #: Per-metric raw samples retained for case assembly.
+        self._pinsql = PinSQL(self.config.pinsql, tracer=self.tracer)
+        self._repair = RepairEngine(self.config.repair, registry=self.registry)
+        #: Self-monitoring: gauge/counter history of this very service,
+        #: exposed as TimeSeries so the repo's detectors can watch it.
+        self.selfmon = SelfMonitor(
+            self.registry, window_s=self.config.detector_window_s
+        )
+        #: Per-metric raw samples retained for case assembly; bounded by
+        #: the detector window extended by δs (see _capture_metric_samples).
         self._metric_samples: dict[str, dict[int, float]] = {}
         self.diagnoses: list[Diagnosis] = []
+        reg = self.registry
+        self._m_steps = reg.counter(
+            "service_steps_total", help="Service loop iterations."
+        )
+        self._m_diagnoses = reg.counter(
+            "service_diagnoses_total", help="Completed diagnoses."
+        )
+        self._m_log_messages = reg.counter(
+            "service_querylog_messages_total",
+            help="Query-log messages drained into the LogStore.",
+        )
+        self._m_samples_evicted = reg.counter(
+            "service_metric_samples_evicted_total",
+            help="Mirrored metric samples dropped by the retention bound.",
+        )
+        self._g_sample_count = reg.gauge(
+            "service_metric_samples_resident",
+            help="Mirrored metric samples currently retained.",
+        )
+
+    def _count_skip(self, reason: str) -> None:
+        self.registry.counter(
+            "service_anomalies_skipped_total",
+            help="Anomaly events not diagnosed, by reason.",
+            reason=reason,
+        ).inc()
 
     # ------------------------------------------------------------------
     # Stream consumption
@@ -158,48 +213,122 @@ class PinSqlService:
     # ------------------------------------------------------------------
     def step(self) -> list[Diagnosis]:
         """Consume available stream data; diagnose any fresh anomalies."""
-        self._drain_query_logs()
+        self._m_steps.inc()
+        handled = self._drain_query_logs()
+        if handled:
+            self._m_log_messages.inc(handled)
         events = self.detector.poll()
         self._capture_metric_samples()
         produced: list[Diagnosis] = []
         for event in events:
             if event.is_update:
+                self._count_skip("update")
                 continue
             if event.anomaly.duration < self.config.min_anomaly_duration_s:
+                self._count_skip("too_short")
                 continue
             diagnosis = self._diagnose(event.anomaly)
             if diagnosis is not None:
                 self.diagnoses.append(diagnosis)
                 produced.append(diagnosis)
+                self._m_diagnoses.inc()
+                _log.info(
+                    "anomaly diagnosed",
+                    extra={
+                        "anomaly_start": event.anomaly.start,
+                        "anomaly_end": event.anomaly.end,
+                        "types": "|".join(event.anomaly.types),
+                        "top_rsql": (
+                            diagnosis.result.rsql_ids[0]
+                            if diagnosis.result.rsql_ids
+                            else ""
+                        ),
+                        "executed": diagnosis.executed,
+                    },
+                )
                 if self.notify is not None:
                     self.notify(diagnosis)
+        if self.detector.stream_time is not None:
+            self.selfmon.sample(self.detector.stream_time)
         return produced
 
-    def run_until_drained(self) -> list[Diagnosis]:
-        """Step until both topics are exhausted."""
+    def run_until_drained(self, max_idle_iterations: int = 25) -> list[Diagnosis]:
+        """Step until both topics are exhausted.
+
+        Guarded against a non-advancing broker: when the lag stays
+        positive but :meth:`step` makes no progress for
+        ``max_idle_iterations`` consecutive iterations (offsets frozen,
+        nothing diagnosed), the loop logs a warning with the stuck topic
+        lags and breaks rather than spinning forever.
+        """
         produced: list[Diagnosis] = []
+        idle = 0
         while self._log_consumer.lag > 0 or self.detector.consumer.lag > 0:
-            produced.extend(self.step())
+            offsets = (self._log_consumer.offset, self.detector.consumer.offset)
+            step_produced = self.step()
+            produced.extend(step_produced)
+            advanced = (
+                (self._log_consumer.offset, self.detector.consumer.offset)
+                != offsets
+            )
+            if advanced or step_produced:
+                idle = 0
+                continue
+            idle += 1
+            if idle >= max_idle_iterations:
+                _log.warning(
+                    "broker not advancing; abandoning drain",
+                    extra={
+                        "idle_iterations": idle,
+                        "query_logs_lag": self._log_consumer.lag,
+                        "performance_metrics_lag": self.detector.consumer.lag,
+                    },
+                )
+                self._count_skip("drain_stalled")
+                break
         return produced
 
     # ------------------------------------------------------------------
     def _capture_metric_samples(self) -> None:
-        """Mirror the detector's buffers for case assembly."""
-        for name, buffer in self.detector._buffers.items():
-            samples = self._metric_samples.setdefault(name, {})
-            samples.update(buffer.samples)
+        """Mirror the detector's buffers for case assembly (bounded).
+
+        Uses the detector's public read-only buffer views, and bounds the
+        mirror with the detector's own retention window extended by δs:
+        an anomaly can start up to ``window_s`` in the past and the case
+        needs ``delta_start_s`` of context before that, so anything older
+        than ``stream_time - (window_s + δs)`` can never be referenced
+        again and is evicted (reported via the telemetry gauges).
+        """
+        for name, samples in self.detector.iter_buffer_samples():
+            mirror = self._metric_samples.setdefault(name, {})
+            mirror.update(samples)
+        now = self.detector.stream_time
+        resident = 0
+        if now is not None:
+            cutoff = now - (self.detector.window_s + self.config.delta_start_s)
+            evicted = 0
+            for mirror in self._metric_samples.values():
+                stale = [t for t in mirror if t < cutoff]
+                for t in stale:
+                    del mirror[t]
+                evicted += len(stale)
+                resident += len(mirror)
+            if evicted:
+                self._m_samples_evicted.inc(evicted)
+        self._g_sample_count.set(resident)
 
     def _metric_series(self, name: str, ts: int, te: int) -> TimeSeries:
-        samples = self._metric_samples.get(name, {})
-        values = np.zeros(te - ts, dtype=np.float64)
-        last = 0.0
-        for i, t in enumerate(range(ts, te)):
-            if t in samples:
-                last = samples[t]
-            values[i] = last
-        return TimeSeries(values, start=ts, name=name)
+        return forward_fill_series(
+            self._metric_samples.get(name, {}), ts, te, name=name
+        )
 
     def _diagnose(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
+        with self.tracer.span("service.diagnose") as span:
+            diagnosis = self._diagnose_inner(anomaly)
+        span.attrs["produced"] = diagnosis is not None
+        return diagnosis
+
+    def _diagnose_inner(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
         ts = max(0, anomaly.start - self.config.delta_start_s)
         te = max(anomaly.end, anomaly.start + 1)
         metrics = InstanceMetrics(
@@ -209,9 +338,11 @@ class PinSqlService:
             }
         )
         if "active_session" not in metrics:
+            self._count_skip("no_session_metric")
             return None
         templates = aggregate_logstore(self.logstore, ts, te)
         if not templates.sql_ids:
+            self._count_skip("no_templates")
             return None
         history: dict[str, dict[int, TimeSeries]] = {}
         if self.history_provider is not None:

@@ -1,0 +1,82 @@
+"""Self-telemetry for the PinSQL service (metrics, tracing, logging).
+
+PinSQL diagnoses other databases; this package instruments PinSQL
+itself so the paper's production-deployment story (Sec. III Fig. 5,
+Table IV's overhead budget) is observable in the reproduction:
+
+* :class:`MetricsRegistry` — counters / gauges / fixed-bucket
+  histograms, exportable as JSON or Prometheus text exposition;
+* :class:`Tracer` — nested context-manager spans replacing the old
+  ad-hoc ``perf_counter`` sites while still feeding ``StageTimings``;
+* structured logging (``key=value`` or JSON lines) behind a single
+  :func:`configure_telemetry` entry point;
+* :class:`SelfMonitor` — adapts the registry's own gauge/counter
+  histories into :class:`~repro.timeseries.TimeSeries` so the repo's
+  detectors can watch the watcher.
+
+A process-wide default registry and tracer back every instrumented
+component; all of them also accept explicit instances for isolation
+(tests, side-by-side services).
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_LATENCY_BUCKETS,
+    labeled_name,
+    render_summary,
+)
+from repro.telemetry.tracing import Span, Tracer
+from repro.telemetry.logs import (
+    JsonFormatter,
+    KeyValueFormatter,
+    configure_telemetry,
+    get_logger,
+)
+from repro.telemetry.selfmon import SelfMonitor, forward_fill_series
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_COUNT_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "labeled_name",
+    "render_summary",
+    "Span",
+    "Tracer",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "configure_telemetry",
+    "get_logger",
+    "SelfMonitor",
+    "forward_fill_series",
+    "get_registry",
+    "get_tracer",
+    "reset_telemetry",
+]
+
+#: Process-wide defaults used by every instrumented component unless an
+#: explicit registry/tracer is injected.
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer(registry=_REGISTRY)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default metrics registry."""
+    return _REGISTRY
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (bound to the default registry)."""
+    return _TRACER
+
+
+def reset_telemetry() -> None:
+    """Clear the default registry and tracer (tests, CLI runs)."""
+    _REGISTRY.reset()
+    _TRACER.reset()

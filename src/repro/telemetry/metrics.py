@@ -1,0 +1,323 @@
+"""Process-local metrics registry (counters, gauges, histograms).
+
+PinSQL is itself an observability system; this module is the substrate
+that lets it watch itself (the paper's production deployment, Sec. III
+Fig. 5, runs on exactly this kind of self-telemetry).  The registry is
+deliberately Prometheus-shaped — counter / gauge / fixed-bucket
+histogram instruments addressed by ``(name, labels)`` — so snapshots
+export both as JSON and as the Prometheus text-exposition format.
+
+No background threads, no locks beyond the GIL: instruments are plain
+objects mutated in-process, cheap enough for per-message hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from bisect import bisect_left
+from typing import Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "labeled_name",
+    "render_summary",
+]
+
+#: Latency buckets (seconds) sized for the pipeline's sub-second stages
+#: up to multi-second whole-corpus analyses.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Size buckets for batch/queue observations (messages per poll etc.).
+DEFAULT_COUNT_BUCKETS: tuple[float, ...] = (
+    0, 1, 5, 10, 50, 100, 500, 1000, 5000, 10_000, 50_000,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (upper bounds + implicit +Inf bucket)."""
+
+    __slots__ = ("uppers", "counts", "sum", "count")
+
+    def __init__(self, buckets: tuple[float, ...]) -> None:
+        if not buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        uppers = tuple(float(b) for b in buckets)
+        if list(uppers) != sorted(set(uppers)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.uppers = uppers
+        self.counts = [0] * (len(uppers) + 1)  # last = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.uppers, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for upper, n in zip(self.uppers, self.counts):
+            running += n
+            out.append((upper, running))
+        out.append((math.inf, running + self.counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _Family:
+    """All series (label combinations) of one metric name."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "series")
+
+    def __init__(self, name: str, kind: str, help: str,
+                 buckets: tuple[float, ...] | None = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.series: dict[_LabelKey, Counter | Gauge | Histogram] = {}
+
+
+def _label_key(labels: Mapping[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def labeled_name(name: str, labels: Mapping[str, str] | _LabelKey = ()) -> str:
+    """Canonical ``name{k=v,...}`` string for a series (no quoting)."""
+    items = labels if isinstance(labels, tuple) else _label_key(labels)
+    if not items:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in items) + "}"
+
+
+class MetricsRegistry:
+    """Named, labeled instruments with JSON and Prometheus export.
+
+    ``counter`` / ``gauge`` / ``histogram`` create-or-return the series
+    for ``(name, labels)``, so call sites just ask for the instrument
+    each time — creation is cached, lookups are a dict hit.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    # Instrument accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._series(name, "counter", help, None, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._series(name, "gauge", help, None, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._series(name, "histogram", help, tuple(buckets), labels)
+
+    def _series(self, name, kind, help, buckets, labels):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, "
+                f"requested as {kind}"
+            )
+        key = _label_key(labels)
+        instrument = family.series.get(key)
+        if instrument is None:
+            if kind == "counter":
+                instrument = Counter()
+            elif kind == "gauge":
+                instrument = Gauge()
+            else:
+                instrument = Histogram(family.buckets)
+            family.series[key] = instrument
+        return instrument
+
+    def get(self, name: str, **labels: str):
+        """The existing instrument for ``(name, labels)``, or None."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.series.get(_label_key(labels))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._families
+
+    def names(self) -> list[str]:
+        return sorted(self._families)
+
+    def reset(self) -> None:
+        """Drop every family (tests / fresh CLI invocations)."""
+        self._families.clear()
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of every series.
+
+        Histogram bucket bounds are serialised as floats except +Inf,
+        which becomes the string ``"+Inf"`` so the snapshot survives a
+        strict JSON round-trip.
+        """
+        counters, gauges, histograms = [], [], []
+        for name in sorted(self._families):
+            family = self._families[name]
+            for key in sorted(family.series):
+                inst = family.series[key]
+                entry = {"name": name, "labels": dict(key)}
+                if family.kind == "counter":
+                    counters.append({**entry, "value": inst.value})
+                elif family.kind == "gauge":
+                    gauges.append({**entry, "value": inst.value})
+                else:
+                    entry["buckets"] = [
+                        ["+Inf" if math.isinf(u) else u, c]
+                        for u, c in inst.cumulative()
+                    ]
+                    entry["sum"] = inst.sum
+                    entry["count"] = inst.count
+                    histograms.append(entry)
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family.help:
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {name} {family.kind}")
+            for key in sorted(family.series):
+                inst = family.series[key]
+                if family.kind in ("counter", "gauge"):
+                    lines.append(f"{name}{_fmt_labels(key)} {_fmt_value(inst.value)}")
+                    continue
+                for upper, cum in inst.cumulative():
+                    le = "+Inf" if math.isinf(upper) else _fmt_value(upper)
+                    lines.append(
+                        f"{name}_bucket{_fmt_labels(key + (('le', le),))} {cum}"
+                    )
+                lines.append(f"{name}_sum{_fmt_labels(key)} {_fmt_value(inst.sum)}")
+                lines.append(f"{name}_count{_fmt_labels(key)} {inst.count}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def __iter__(self) -> Iterator[tuple[str, str, _LabelKey, object]]:
+        """Yield ``(name, kind, label_key, instrument)`` for every series."""
+        for name, family in self._families.items():
+            for key, inst in family.series.items():
+                yield name, family.kind, key, inst
+
+
+def _fmt_labels(key: _LabelKey) -> str:
+    if not key:
+        return ""
+    parts = (f'{k}="{_escape_label(v)}"' for k, v in key)
+    return "{" + ",".join(parts) + "}"
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_summary(registry: MetricsRegistry, max_buckets: int = 4) -> str:
+    """Human-readable one-line-per-series dump for CLI output."""
+    snap = registry.snapshot()
+    lines: list[str] = []
+    if snap["counters"]:
+        lines.append("counters:")
+        for entry in snap["counters"]:
+            lines.append(
+                f"  {labeled_name(entry['name'], entry['labels']):<58} "
+                f"{_fmt_value(entry['value'])}"
+            )
+    if snap["gauges"]:
+        lines.append("gauges:")
+        for entry in snap["gauges"]:
+            lines.append(
+                f"  {labeled_name(entry['name'], entry['labels']):<58} "
+                f"{_fmt_value(entry['value'])}"
+            )
+    if snap["histograms"]:
+        lines.append("histograms:")
+        for entry in snap["histograms"]:
+            count = entry["count"]
+            mean = entry["sum"] / count if count else 0.0
+            occupied = [
+                f"le={u}:{c}" for u, c in entry["buckets"] if c > 0
+            ][:max_buckets]
+            lines.append(
+                f"  {labeled_name(entry['name'], entry['labels']):<58} "
+                f"count={count} mean={mean:.6g} {' '.join(occupied)}"
+            )
+    return "\n".join(lines)

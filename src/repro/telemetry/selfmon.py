@@ -1,0 +1,111 @@
+"""Self-monitoring: turn the registry's own metrics into TimeSeries.
+
+Closes the observability loop: the service's exported gauges and
+counters become :class:`~repro.timeseries.TimeSeries` objects, so the
+repo's *own* anomaly detectors (spike, level shift, Tukey) can watch
+the diagnosis service the same way the service watches databases —
+the "watch the watcher" requirement of running PinSQL in production
+(paper Sec. III; ExplainIt!-style RCA over self-metrics).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.telemetry.metrics import MetricsRegistry, labeled_name
+from repro.timeseries import TimeSeries
+
+__all__ = ["SelfMonitor", "forward_fill_series"]
+
+
+def forward_fill_series(
+    samples: Mapping[int, float], ts: int, te: int, name: str = ""
+) -> TimeSeries:
+    """Forward-filled 1 Hz series over ``[ts, te)`` from sparse samples.
+
+    Seconds before the first sample hold 0.0; afterwards each second
+    carries the most recent sample value (the same convention the
+    service uses when reconstructing detector metric buffers).
+    """
+    if te <= ts:
+        raise ValueError("te must be greater than ts")
+    values = np.zeros(te - ts, dtype=np.float64)
+    last = 0.0
+    for i, t in enumerate(range(ts, te)):
+        if t in samples:
+            last = samples[t]
+        values[i] = last
+    return TimeSeries(values, start=ts, name=name)
+
+
+class SelfMonitor:
+    """Periodically samples a registry into per-metric histories.
+
+    Call :meth:`sample` with the current (stream) time from the service
+    loop; every counter and gauge value is recorded under its
+    ``name{label=value,...}`` key.  Histories are bounded by
+    ``window_s`` — samples older than ``now - window_s`` are evicted on
+    every call, mirroring the detector's sliding-window retention.
+    """
+
+    def __init__(self, registry: MetricsRegistry, window_s: int = 3600,
+                 include_counters: bool = True) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.registry = registry
+        self.window_s = int(window_s)
+        self.include_counters = include_counters
+        self._samples: dict[str, dict[int, float]] = {}
+        self._last_sample_at: int | None = None
+
+    def sample(self, now_s: int) -> int:
+        """Record the current value of every gauge (and counter).
+
+        Returns the number of series sampled.
+        """
+        now_s = int(now_s)
+        sampled = 0
+        for name, kind, key, inst in self.registry:
+            if kind == "histogram":
+                continue
+            if kind == "counter" and not self.include_counters:
+                continue
+            history = self._samples.setdefault(labeled_name(name, key), {})
+            history[now_s] = inst.value
+            sampled += 1
+        self._last_sample_at = now_s
+        cutoff = now_s - self.window_s
+        for history in self._samples.values():
+            stale = [t for t in history if t < cutoff]
+            for t in stale:
+                del history[t]
+        return sampled
+
+    def names(self) -> list[str]:
+        return sorted(self._samples)
+
+    def series(self, name: str, ts: int | None = None,
+               te: int | None = None) -> TimeSeries | None:
+        """The recorded history of one series as a forward-filled TimeSeries.
+
+        ``name`` is the ``name{label=value,...}`` key from :meth:`names`.
+        Returns None when the series has no samples yet.
+        """
+        history = self._samples.get(name)
+        if not history:
+            return None
+        lo = min(history) if ts is None else int(ts)
+        hi = (max(history) + 1) if te is None else int(te)
+        return forward_fill_series(history, lo, hi, name=name)
+
+    def all_series(self, ts: int | None = None,
+                   te: int | None = None) -> dict[str, TimeSeries]:
+        """Every recorded series (skipping ones empty in the window)."""
+        out: dict[str, TimeSeries] = {}
+        for name in self._samples:
+            series = self.series(name, ts, te)
+            if series is not None:
+                out[name] = series
+        return out

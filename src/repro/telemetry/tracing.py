@@ -1,0 +1,148 @@
+"""Span-based tracing for the diagnosis pipeline.
+
+A :class:`Tracer` hands out context-manager spans::
+
+    with tracer.span("hsql_ranking") as span:
+        ...
+    span.elapsed  # wall-clock seconds, available after exit
+
+Spans nest: entering a span while another is open parents it, so one
+``PinSQL.analyze`` call yields a tree mirroring the paper's per-stage
+timing breakdown (Table I).  Finished root spans are retained in a
+bounded deque for the CLI's span-tree summary, and every finished span
+is observed into the registry's ``span_duration_seconds`` histogram
+(labelled by span name) when the tracer carries a registry.
+
+A disabled tracer still times — callers rely on ``elapsed`` to fill
+:class:`~repro.core.pipeline.StageTimings` — but skips tree retention
+and histogram observation, which is the whole measurable overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed section of work; forms a tree via ``children``."""
+
+    name: str
+    attrs: dict[str, object] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    #: Wall-clock seconds; None while the span is still open.
+    elapsed: float | None = None
+
+    _t0: float = field(default=0.0, repr=False)
+    _tracer: "Tracer | None" = field(default=None, repr=False)
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._t0
+        if self._tracer is not None:
+            self._tracer._finish(self)
+
+    def walk(self):
+        """Yield ``(depth, span)`` over the subtree, pre-order."""
+        stack = [(0, self)]
+        while stack:
+            depth, span = stack.pop()
+            yield depth, span
+            stack.extend((depth + 1, c) for c in reversed(span.children))
+
+
+class Tracer:
+    """Creates nested spans and retains finished traces.
+
+    Not thread-safe: the diagnosis loop is single-threaded by design
+    and the span stack is a plain list.
+    """
+
+    #: Histogram fed with every finished span's duration.
+    SPAN_METRIC = "span_duration_seconds"
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        max_roots: int = 64,
+        enabled: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.enabled = enabled
+        self._stack: list[Span] = []
+        self._roots: deque[Span] = deque(maxlen=max_roots)
+
+    def span(self, name: str, **attrs: object) -> Span:
+        """A new span; use as a context manager."""
+        if not self.enabled:
+            # Times itself but never touches the tree or the registry.
+            return Span(name)
+        span = Span(name, attrs=dict(attrs), _tracer=self)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        self._stack.append(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        # Exits must mirror entries; tolerate a foreign span defensively.
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        if not self._stack:
+            self._roots.append(span)
+        if self.registry is not None:
+            self.registry.histogram(
+                self.SPAN_METRIC,
+                help="Duration of traced pipeline spans.",
+                span=span.name,
+            ).observe(span.elapsed)
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    @property
+    def roots(self) -> list[Span]:
+        """Finished root spans, oldest first (bounded retention)."""
+        return list(self._roots)
+
+    def last_root(self) -> Span | None:
+        return self._roots[-1] if self._roots else None
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self._roots.clear()
+
+    # ------------------------------------------------------------------
+    def format_tree(self, root: Span | None = None) -> str:
+        """Indented rendering of one trace (defaults to the last root)."""
+        root = root or self.last_root()
+        if root is None:
+            return "(no finished spans)"
+        lines: list[str] = []
+        for depth, span in root.walk():
+            elapsed = "?" if span.elapsed is None else _fmt_seconds(span.elapsed)
+            label = "  " * depth + span.name
+            attrs = (
+                " [" + ", ".join(f"{k}={v}" for k, v in span.attrs.items()) + "]"
+                if span.attrs
+                else ""
+            )
+            lines.append(f"{label:<44} {elapsed:>10}{attrs}")
+        return "\n".join(lines)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds < 1.0:
+        return f"{seconds * 1000:.2f} ms"
+    return f"{seconds:.3f} s"

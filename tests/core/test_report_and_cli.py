@@ -57,6 +57,13 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["evaluate"])
 
+    def test_telemetry_flags(self):
+        args = build_parser().parse_args(["demo", "--telemetry"])
+        assert args.telemetry
+        args = build_parser().parse_args(["obs", "--format", "prometheus"])
+        assert args.format == "prometheus"
+        assert args.log_format == "kv"
+
 
 class TestCliCommands:
     def test_generate_then_diagnose(self, tmp_path, capsys):
@@ -91,6 +98,71 @@ class TestCliCommands:
 
     def test_evaluate_empty_directory_fails(self, tmp_path, capsys):
         assert main(["evaluate", "--cases", str(tmp_path)]) == 1
+
+    def test_evaluate_telemetry_dumps_snapshot(
+        self, poor_sql_case, row_lock_case, tmp_path, capsys
+    ):
+        from repro.evaluation.persistence import save_corpus
+
+        save_corpus([poor_sql_case, row_lock_case], tmp_path)
+        assert main(["evaluate", "--cases", str(tmp_path), "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: metrics snapshot" in out
+        assert "telemetry: span tree" in out
+        assert "span_duration_seconds" in out
+
+
+class TestCliObs:
+    @pytest.fixture(autouse=True)
+    def _fast_case(self, monkeypatch):
+        """Shrink the obs demo case so these tests stay quick."""
+        import repro.evaluation as evaluation
+        from repro.evaluation import CorpusConfig
+
+        original = evaluation.generate_case
+
+        def fast(seed, cfg, category=None):
+            small = CorpusConfig(
+                delta_start_s=360, anomaly_length_s=(150, 200),
+                n_businesses=(4, 4),
+            )
+            return original(seed, small, category=category)
+
+        monkeypatch.setattr(evaluation, "generate_case", fast)
+
+    def test_obs_prometheus_is_valid_exposition(self, capsys):
+        import re
+
+        assert main(["obs", "--format", "prometheus", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        sample_re = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? -?[0-9.+eE\-]+$'
+        )
+        lines = out.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert line.startswith("#") or sample_re.match(line), line
+        assert "# TYPE span_duration_seconds histogram" in out
+        assert 'span="pinsql.analyze"' in out
+        assert "# TYPE logstore_queries_ingested_total counter" in out
+
+    def test_obs_json_snapshot(self, capsys):
+        import json
+
+        assert main(["obs", "--format", "json", "--seed", "3"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        names = {h["name"] for h in snap["histograms"]}
+        assert "span_duration_seconds" in names
+
+    def test_obs_summary_shows_span_tree(self, capsys):
+        assert main(["obs", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics snapshot" in out
+        assert "span tree" in out
+        assert "pinsql.analyze" in out
+        assert "session_estimation" in out
 
 
 class TestCliDemo:

@@ -1,0 +1,73 @@
+"""Structured logging: formatters and the configure_telemetry entry point."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.telemetry import configure_telemetry, get_logger
+from repro.telemetry.logs import ROOT_LOGGER_NAME
+
+
+@pytest.fixture(autouse=True)
+def _restore_logging():
+    """Leave the repro logger as we found it."""
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    handlers, level = list(logger.handlers), logger.level
+    yield
+    logger.handlers = handlers
+    logger.setLevel(level)
+
+
+class TestConfigure:
+    def test_kv_lines_carry_extra_fields(self):
+        stream = io.StringIO()
+        configure_telemetry(fmt="kv", stream=stream)
+        get_logger("service").info(
+            "anomaly diagnosed", extra={"anomaly_start": 610, "top_rsql": "S12"}
+        )
+        line = stream.getvalue().strip()
+        assert "level=INFO" in line
+        assert "logger=repro.service" in line
+        assert 'msg="anomaly diagnosed"' in line
+        assert "anomaly_start=610" in line
+        assert "top_rsql=S12" in line
+
+    def test_json_lines_parse(self):
+        stream = io.StringIO()
+        configure_telemetry(fmt="json", stream=stream)
+        get_logger("pipeline").warning("slow stage", extra={"stage": "hsql"})
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "WARNING"
+        assert record["logger"] == "repro.pipeline"
+        assert record["msg"] == "slow stage"
+        assert record["stage"] == "hsql"
+
+    def test_reconfigure_replaces_handler(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_telemetry(stream=first)
+        configure_telemetry(stream=second)
+        get_logger().info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("msg=once") == 1
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        configure_telemetry(level=logging.WARNING, stream=stream)
+        get_logger().info("quiet")
+        get_logger().warning("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out
+        assert "loud" in out
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError):
+            configure_telemetry(fmt="xml")
+
+    def test_unconfigured_library_is_silent(self):
+        # The NullHandler keeps "no handler could be found" noise away;
+        # nothing is written anywhere without configure_telemetry().
+        logger = get_logger("quiet_component")
+        assert logger.name == "repro.quiet_component"
+        logger.info("library import should not print")  # must not raise

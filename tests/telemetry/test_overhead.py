@@ -1,0 +1,56 @@
+"""Telemetry must stay effectively free on the diagnosis hot path.
+
+The paper budgets per-query collection overhead carefully (Table IV);
+our self-telemetry gets the same treatment: the instrumented
+``PinSQL.analyze`` must stay within 5% of the uninstrumented wall-clock.
+"""
+
+import time
+
+from repro.core import PinSQL
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+def _best_of(fn, repeats: int = 7) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class TestTelemetryOverhead:
+    def test_analyze_within_5_percent(self, poor_sql_case):
+        case = poor_sql_case.case
+        enabled = PinSQL(tracer=Tracer(registry=MetricsRegistry()))
+        disabled = PinSQL(tracer=Tracer(enabled=False))
+        # Warm both paths (imports, caches) before measuring.
+        enabled.analyze(case)
+        disabled.analyze(case)
+        t_enabled = _best_of(lambda: enabled.analyze(case))
+        t_disabled = _best_of(lambda: disabled.analyze(case))
+        # 5% relative budget with a small absolute floor so scheduler
+        # jitter on a sub-10ms case cannot produce a spurious failure.
+        assert t_enabled <= t_disabled * 1.05 + 0.002, (
+            f"telemetry overhead too high: enabled={t_enabled * 1e3:.2f}ms "
+            f"disabled={t_disabled * 1e3:.2f}ms"
+        )
+
+    def test_results_identical_with_and_without_telemetry(self, poor_sql_case):
+        case = poor_sql_case.case
+        with_telemetry = PinSQL(tracer=Tracer(registry=MetricsRegistry()))
+        without = PinSQL(tracer=Tracer(enabled=False))
+        a = with_telemetry.analyze(case)
+        b = without.analyze(case)
+        assert a.rsql_ids == b.rsql_ids
+        assert a.hsql_ids == b.hsql_ids
+
+    def test_stage_timings_still_populated(self, poor_sql_case):
+        result = PinSQL(tracer=Tracer(enabled=False)).analyze(poor_sql_case.case)
+        timings = result.timings
+        assert timings.session_estimation > 0
+        assert timings.hsql_ranking > 0
+        assert timings.clustering_and_filtering > 0
+        assert timings.history_verification > 0
+        assert timings.total > 0

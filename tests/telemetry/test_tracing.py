@@ -1,0 +1,97 @@
+"""Span nesting, timing, retention, and the registry hookup."""
+
+import time
+
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+class TestSpans:
+    def test_elapsed_measured(self):
+        tracer = Tracer()
+        with tracer.span("work") as span:
+            time.sleep(0.002)
+        assert span.elapsed is not None
+        assert span.elapsed >= 0.002
+
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child_a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child_b"):
+                pass
+        root = tracer.last_root()
+        assert root.name == "root"
+        assert [c.name for c in root.children] == ["child_a", "child_b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+        # Pre-order walk with depths.
+        walked = [(d, s.name) for d, s in root.walk()]
+        assert walked == [
+            (0, "root"), (1, "child_a"), (2, "grandchild"), (1, "child_b"),
+        ]
+
+    def test_sequential_roots_both_retained(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.roots] == ["first", "second"]
+
+    def test_root_retention_bounded(self):
+        tracer = Tracer(max_roots=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.roots] == ["s2", "s3", "s4"]
+
+    def test_current_tracks_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+
+class TestRegistryIntegration:
+    def test_finished_spans_feed_the_histogram(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg)
+        with tracer.span("stage"):
+            pass
+        with tracer.span("stage"):
+            pass
+        hist = reg.get(Tracer.SPAN_METRIC, span="stage")
+        assert hist is not None
+        assert hist.count == 2
+        assert hist.sum >= 0.0
+
+    def test_disabled_tracer_still_times_but_stays_silent(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg, enabled=False)
+        with tracer.span("stage") as span:
+            pass
+        assert span.elapsed is not None
+        assert tracer.roots == []
+        assert Tracer.SPAN_METRIC not in reg
+
+
+class TestFormatTree:
+    def test_renders_names_and_durations(self):
+        tracer = Tracer()
+        with tracer.span("analyze", case="c1"):
+            with tracer.span("ranking"):
+                pass
+        text = tracer.format_tree()
+        lines = text.splitlines()
+        assert lines[0].startswith("analyze")
+        assert "case=c1" in lines[0]
+        assert lines[1].startswith("  ranking")
+        assert "ms" in text or " s" in text
+
+    def test_empty_tracer_renders_placeholder(self):
+        assert "no finished spans" in Tracer().format_tree()
