@@ -1,13 +1,17 @@
 """Command-line interface.
 
-Five subcommands cover the adoption path:
+Six subcommands cover the adoption path:
 
-* ``repro generate``  — synthesise a labelled anomaly case to a file;
-* ``repro diagnose``  — run PinSQL on a saved case and print the report;
-* ``repro evaluate``  — run the Table-I comparison over a corpus;
-* ``repro demo``      — generate-and-diagnose in one go;
-* ``repro obs``       — exercise the pipeline and dump its self-telemetry
-  (metrics snapshot as summary / JSON / Prometheus text exposition).
+* ``repro generate``   — synthesise a labelled anomaly case to a file;
+* ``repro diagnose``   — run PinSQL on a saved case and print the report;
+* ``repro evaluate``   — run the Table-I comparison over a corpus;
+* ``repro demo``       — generate-and-diagnose in one go;
+* ``repro fleet-demo`` — simulate a fleet of instances on one broker and
+  diagnose them concurrently with the sharded worker pool;
+* ``repro obs``        — exercise the pipeline and dump its self-telemetry
+  (metrics snapshot as summary / JSON / Prometheus text exposition);
+  ``--fleet N`` exercises a fleet instead and ``--instance ID`` restricts
+  the dump to one instance's labelled series.
 
 ``demo`` and ``evaluate`` additionally accept ``--telemetry`` to print
 the metrics snapshot and the span tree of the run.
@@ -71,6 +75,26 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--telemetry", action="store_true",
                       help="print the metrics snapshot and span tree afterwards")
 
+    fleet = sub.add_parser(
+        "fleet-demo",
+        help="simulate and diagnose a fleet of instances concurrently",
+    )
+    fleet.add_argument("--instances", type=int, default=8,
+                       help="monitored database instances to simulate")
+    fleet.add_argument("--workers", type=int, default=4,
+                       help="diagnosis worker threads (instances are sharded)")
+    fleet.add_argument("--anomalous", type=int, default=None,
+                       help="instances given an injected anomaly "
+                            "(default: half, at least one)")
+    fleet.add_argument("--duration", type=int, default=900,
+                       help="simulated seconds per instance")
+    fleet.add_argument("--seed", type=int, default=7)
+    fleet.add_argument("--no-prune", action="store_true",
+                       help="keep consumed broker messages instead of "
+                            "pruning acknowledged ones")
+    fleet.add_argument("--telemetry", action="store_true",
+                       help="print the metrics snapshot afterwards")
+
     obs = sub.add_parser(
         "obs", help="exercise the pipeline and dump its self-telemetry"
     )
@@ -88,6 +112,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument("--log-format", choices=["kv", "json"], default="kv",
                      help="structured-log line format on stderr")
+    obs.add_argument("--fleet", type=int, default=0, metavar="N",
+                     help="exercise an N-instance fleet instead of a "
+                          "single pipeline run")
+    obs.add_argument("--instance", default="",
+                     help="restrict the dump to series labelled with this "
+                          "instance id (fleet mode)")
     return parser
 
 
@@ -207,36 +237,195 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _run_fleet(
+    n_instances: int,
+    workers: int,
+    anomalous: int,
+    duration: int,
+    seed: int,
+    prune: bool,
+):
+    """Simulate a fleet onto one broker and drain it; returns (service, truths).
+
+    The first ``anomalous`` instances get an injected row-lock anomaly
+    at two-thirds of the run; the rest stay healthy (the cross-instance
+    isolation check of the demo).
+    """
+    import numpy as np
+
+    from repro.collection import Broker, MetricsCollector, QueryLogCollector
+    from repro.dbsim import DatabaseInstance
+    from repro.fleet import FleetConfig, FleetDiagnosisService, ServiceConfig
+    from repro.workload import (
+        AnomalyCategory,
+        WorkloadGenerator,
+        build_population,
+        inject_anomaly,
+    )
+
+    onset = max(120, (duration * 2) // 3)
+    broker = Broker()
+    truths, populations = {}, {}
+    for i in range(n_instances):
+        instance_id = f"db-{i:02d}"
+        rng = np.random.default_rng(seed * 1009 + i)
+        population = build_population(duration, rng, n_businesses=5)
+        truth = None
+        if i < anomalous:
+            truth = inject_anomaly(
+                population, rng, AnomalyCategory.ROW_LOCK, onset, duration,
+                target_rate=(25.0, 35.0), lock_hold_ms=(300.0, 400.0),
+            )
+        db = DatabaseInstance(schema=population.schema, cpu_cores=8, seed=seed + i)
+        run = db.run(WorkloadGenerator(population), duration=duration)
+        QueryLogCollector(broker, instance_id=instance_id).collect(run.query_log)
+        MetricsCollector(broker, instance_id=instance_id).collect(run.metrics)
+        truths[instance_id] = truth
+        populations[instance_id] = population
+    config = FleetConfig(
+        service=ServiceConfig(
+            delta_start_s=min(500, onset - 60), detector_window_s=duration
+        ),
+        workers=workers,
+        prune_broker=prune,
+    )
+    service = FleetDiagnosisService(broker, config)
+    for instance_id, population in populations.items():
+        engine = service.register_instance(instance_id)
+        for spec in population.specs.values():
+            engine.register_statement(spec.template.replace("?", "1"))
+    service.run_until_drained()
+    service.close()
+    return service, truths
+
+
+def cmd_fleet_demo(args) -> int:
+    anomalous = args.anomalous
+    if anomalous is None:
+        anomalous = max(1, args.instances // 2)
+    anomalous = min(anomalous, args.instances)
+    print(
+        f"simulating {args.instances} instances ({anomalous} anomalous) "
+        f"for {args.duration}s, diagnosing with {args.workers} workers ..."
+    )
+    service, truths = _run_fleet(
+        args.instances, args.workers, anomalous,
+        args.duration, args.seed, prune=not args.no_prune,
+    )
+    print(f"{'instance':<10} {'injected':>8} {'diagnoses':>9}  top R-SQL  verdict")
+    misattributed = 0
+    missed, spurious = [], []
+    for instance_id in service.instance_ids:
+        diagnoses = service.diagnoses_for(instance_id)
+        misattributed += sum(1 for d in diagnoses if d.instance_id != instance_id)
+        truth = truths[instance_id]
+        top = diagnoses[0].result.rsql_ids[0] if diagnoses and diagnoses[0].result.rsql_ids else "-"
+        if truth is not None and not diagnoses:
+            missed.append(instance_id)
+        if truth is None and diagnoses:
+            spurious.append(instance_id)
+        if truth is None:
+            verdict = "clean" if not diagnoses else "SPURIOUS"
+        elif not diagnoses:
+            verdict = "MISSED"
+        else:
+            verdict = "hit" if top in truth.r_sql_ids else "wrong-sql"
+        print(
+            f"{instance_id:<10} {'yes' if truth else 'no':>8} "
+            f"{len(diagnoses):>9}  {top:<9}  {verdict}"
+        )
+    broker = service.broker
+    retained = sum(broker.retained(t) for t in broker.topics)
+    published = sum(broker.size(t) for t in broker.topics)
+    print(
+        f"\nbroker: {published:,} messages published, {retained:,} retained "
+        f"({'pruning on' if not args.no_prune else 'pruning off'})"
+    )
+    if getattr(args, "telemetry", False):
+        _print_telemetry()
+    if misattributed or missed or spurious:
+        if misattributed:
+            print(f"FAIL: {misattributed} diagnoses mis-attributed", file=sys.stderr)
+        if missed:
+            print(f"FAIL: anomalies missed on {missed}", file=sys.stderr)
+        if spurious:
+            print(f"FAIL: spurious diagnoses on {spurious}", file=sys.stderr)
+        return 1
+    print("attribution check: every diagnosis on the right instance, no bleed")
+    return 0
+
+
+def _filter_prometheus(text: str, instance: str) -> str:
+    """Keep only families/samples labelled ``instance="<id>"``."""
+    needle = f'instance="{instance}"'
+    out: list[str] = []
+    pending: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("# HELP"):
+            pending = [line]
+        elif line.startswith("#"):
+            pending.append(line)
+        elif needle in line:
+            out.extend(pending)
+            pending = []
+            out.append(line)
+    return "\n".join(out) + "\n" if out else ""
+
+
 def cmd_obs(args) -> int:
-    """Exercise the full pipeline, then dump the self-telemetry."""
+    """Exercise the pipeline (or a fleet), then dump the self-telemetry."""
     import json
 
-    from repro.core import PinSQL
-    from repro.evaluation import CorpusConfig, generate_case
     from repro.telemetry import (
         configure_telemetry,
+        filter_snapshot,
         get_registry,
         get_tracer,
         render_summary,
         reset_telemetry,
     )
-    from repro.workload import AnomalyCategory
 
     configure_telemetry(fmt=args.log_format)
     reset_telemetry()  # metrics below describe this run only
-    cfg = CorpusConfig(delta_start_s=600, anomaly_length_s=(240, 360))
-    labeled = generate_case(args.seed, cfg, category=AnomalyCategory(args.category))
-    PinSQL().analyze(labeled.case)
+    if args.fleet > 0:
+        _run_fleet(
+            args.fleet,
+            workers=min(4, args.fleet),
+            anomalous=max(1, args.fleet // 2),
+            duration=600,
+            seed=args.seed,
+            prune=True,
+        )
+    else:
+        from repro.core import PinSQL
+        from repro.evaluation import CorpusConfig, generate_case
+        from repro.workload import AnomalyCategory
+
+        cfg = CorpusConfig(delta_start_s=600, anomaly_length_s=(240, 360))
+        labeled = generate_case(args.seed, cfg, category=AnomalyCategory(args.category))
+        PinSQL().analyze(labeled.case)
     registry = get_registry()
     if args.format == "prometheus":
-        sys.stdout.write(registry.render_prometheus())
+        text = registry.render_prometheus()
+        if args.instance:
+            text = _filter_prometheus(text, args.instance)
+        sys.stdout.write(text)
     elif args.format == "json":
-        print(json.dumps(registry.snapshot(), indent=2))
+        snap = registry.snapshot()
+        if args.instance:
+            snap = filter_snapshot(snap, instance=args.instance)
+        print(json.dumps(snap, indent=2))
     else:
-        print("=== metrics snapshot ===")
-        print(render_summary(registry))
-        print("\n=== span tree (last trace) ===")
-        print(get_tracer().format_tree())
+        snap = registry.snapshot()
+        if args.instance:
+            snap = filter_snapshot(snap, instance=args.instance)
+            print(f"=== metrics snapshot (instance={args.instance}) ===")
+        else:
+            print("=== metrics snapshot ===")
+        print(render_summary(snap))
+        if not args.fleet:
+            print("\n=== span tree (last trace) ===")
+            print(get_tracer().format_tree())
     return 0
 
 
@@ -245,6 +434,7 @@ _COMMANDS = {
     "diagnose": cmd_diagnose,
     "evaluate": cmd_evaluate,
     "demo": cmd_demo,
+    "fleet-demo": cmd_fleet_demo,
     "obs": cmd_obs,
 }
 

@@ -8,8 +8,19 @@ per-template metric series (1 s and 1 min granularities), and a
 retention-bounded log store.
 """
 
-from repro.collection.stream import Broker, Consumer, Message
-from repro.collection.collector import QueryLogCollector, MetricsCollector
+from repro.collection.stream import (
+    Broker,
+    Consumer,
+    Message,
+    instance_topic,
+    split_topic,
+)
+from repro.collection.collector import (
+    QueryLogCollector,
+    MetricsCollector,
+    QUERY_TOPIC,
+    METRIC_TOPIC,
+)
 from repro.collection.aggregator import (
     TemplateMetricStore,
     StreamAggregator,
@@ -17,18 +28,23 @@ from repro.collection.aggregator import (
     aggregate_logstore,
     TEMPLATE_METRICS,
 )
-from repro.collection.logstore import LogStore
+from repro.collection.logstore import LogStore, PartitionedLogStore
 
 __all__ = [
     "Broker",
     "Consumer",
     "Message",
+    "instance_topic",
+    "split_topic",
     "QueryLogCollector",
     "MetricsCollector",
+    "QUERY_TOPIC",
+    "METRIC_TOPIC",
     "TemplateMetricStore",
     "StreamAggregator",
     "aggregate_query_log",
     "aggregate_logstore",
     "TEMPLATE_METRICS",
     "LogStore",
+    "PartitionedLogStore",
 ]

@@ -160,12 +160,20 @@ def aggregate_logstore(logstore, start: int, end: int) -> TemplateMetricStore:
 
 
 class StreamAggregator:
-    """Incremental aggregation from the broker's query-log topic."""
+    """Incremental aggregation from the broker's query-log topic.
 
-    def __init__(self, consumer: Consumer, start: int, end: int) -> None:
+    When built with an ``instance_id``, records stamped with a different
+    instance are skipped — a defensive guard for consumers positioned on
+    a shared (non-partitioned) topic carrying fleet traffic.
+    """
+
+    def __init__(
+        self, consumer: Consumer, start: int, end: int, instance_id: str = ""
+    ) -> None:
         self.consumer = consumer
         self.start = int(start)
         self.end = int(end)
+        self.instance_id = instance_id
         self._accum: dict[str, dict[str, np.ndarray]] = {}
 
     def _template_arrays(self, sql_id: str) -> dict[str, np.ndarray]:
@@ -185,6 +193,8 @@ class StreamAggregator:
         messages = self.consumer.poll(max_messages)
         for message in messages:
             record = message.value
+            if self.instance_id and record.get("instance", self.instance_id) != self.instance_id:
+                continue
             second = int(record["second"])
             if not self.start <= second < self.end:
                 continue

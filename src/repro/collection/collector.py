@@ -5,17 +5,30 @@ broker as per-(template, second) record batches — the asynchronous,
 outside-the-instance shipping that keeps PinSQL's overhead negligible
 compared with in-database monitoring (paper Section IV-C discussion).
 ``MetricsCollector`` ships the per-second performance-metric points.
+
+Collectors are *instance-scoped*: constructed with an ``instance_id``
+they publish to that instance's topic partition
+(``query_logs.<instance_id>`` etc., see
+:func:`~repro.collection.stream.instance_topic`) and stamp every record
+with the id, so a fleet of collectors multiplexes one broker without
+record-level ambiguity.  The default empty id preserves the original
+single-instance topics.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.collection.stream import Broker
+from repro.collection.stream import Broker, instance_topic
 from repro.dbsim.monitor import InstanceMetrics
 from repro.dbsim.query import QueryLog
 
-__all__ = ["QueryLogCollector", "MetricsCollector"]
+__all__ = [
+    "QueryLogCollector",
+    "MetricsCollector",
+    "QUERY_TOPIC",
+    "METRIC_TOPIC",
+]
 
 QUERY_TOPIC = "query_logs"
 METRIC_TOPIC = "performance_metrics"
@@ -24,10 +37,16 @@ METRIC_TOPIC = "performance_metrics"
 class QueryLogCollector:
     """Publishes query-log batches to the broker, ordered by second."""
 
-    def __init__(self, broker: Broker, topic: str = QUERY_TOPIC) -> None:
+    def __init__(
+        self,
+        broker: Broker,
+        topic: str | None = None,
+        instance_id: str = "",
+    ) -> None:
         self.broker = broker
-        self.topic = topic
-        broker.create_topic(topic)
+        self.instance_id = instance_id
+        self.topic = topic if topic is not None else instance_topic(QUERY_TOPIC, instance_id)
+        broker.create_topic(self.topic)
 
     def collect(self, query_log: QueryLog) -> int:
         """Ship every logged query; returns the number of batches sent.
@@ -44,19 +63,16 @@ class QueryLogCollector:
             starts = np.concatenate([[0], boundaries])
             ends = np.concatenate([boundaries, [len(seconds)]])
             for lo, hi in zip(starts, ends):
-                batches.append(
-                    (
-                        int(seconds[lo]),
-                        tq.sql_id,
-                        {
-                            "second": int(seconds[lo]),
-                            "sql_id": tq.sql_id,
-                            "arrive_ms": tq.arrive_ms[lo:hi],
-                            "response_ms": tq.response_ms[lo:hi],
-                            "examined_rows": tq.examined_rows[lo:hi],
-                        },
-                    )
-                )
+                record = {
+                    "second": int(seconds[lo]),
+                    "sql_id": tq.sql_id,
+                    "arrive_ms": tq.arrive_ms[lo:hi],
+                    "response_ms": tq.response_ms[lo:hi],
+                    "examined_rows": tq.examined_rows[lo:hi],
+                }
+                if self.instance_id:
+                    record["instance"] = self.instance_id
+                batches.append((int(seconds[lo]), tq.sql_id, record))
         batches.sort(key=lambda item: (item[0], item[1]))
         for _, sql_id, value in batches:
             self.broker.publish(self.topic, key=sql_id, value=value)
@@ -66,20 +82,25 @@ class QueryLogCollector:
 class MetricsCollector:
     """Publishes per-second performance-metric points to the broker."""
 
-    def __init__(self, broker: Broker, topic: str = METRIC_TOPIC) -> None:
+    def __init__(
+        self,
+        broker: Broker,
+        topic: str | None = None,
+        instance_id: str = "",
+    ) -> None:
         self.broker = broker
-        self.topic = topic
-        broker.create_topic(topic)
+        self.instance_id = instance_id
+        self.topic = topic if topic is not None else instance_topic(METRIC_TOPIC, instance_id)
+        broker.create_topic(self.topic)
 
     def collect(self, metrics: InstanceMetrics) -> int:
         """Ship every metric sample; returns the number of points sent."""
         sent = 0
         for name, series in metrics.series.items():
             for ts, value in zip(series.timestamps, series.values):
-                self.broker.publish(
-                    self.topic,
-                    key=name,
-                    value={"metric": name, "timestamp": int(ts), "value": float(value)},
-                )
+                record = {"metric": name, "timestamp": int(ts), "value": float(value)}
+                if self.instance_id:
+                    record["instance"] = self.instance_id
+                self.broker.publish(self.topic, key=name, value=record)
                 sent += 1
         return sent

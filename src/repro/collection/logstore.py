@@ -4,6 +4,11 @@ Holds the per-query records PinSQL's root-cause analysis needs for the
 anomaly window (the active-session estimator works on raw arrivals and
 response times), and expires data older than the retention period —
 the paper keeps three days by default.
+
+Fleet support: a :class:`LogStore` built with an ``instance_id`` labels
+its telemetry with the instance; :class:`PartitionedLogStore` manages
+one such partition per instance behind a single retention policy and
+shared accounting (total resident bytes, one expiry sweep).
 """
 
 from __future__ import annotations
@@ -13,7 +18,7 @@ import numpy as np
 from repro.dbsim.query import QueryLog, SecondBatch, TemplateQueries
 from repro.telemetry import MetricsRegistry, get_registry
 
-__all__ = ["LogStore"]
+__all__ = ["LogStore", "PartitionedLogStore"]
 
 #: Default retention, in seconds (the paper's three days).
 DEFAULT_RETENTION_S = 3 * 24 * 3600
@@ -26,27 +31,39 @@ class LogStore:
         self,
         retention_s: int = DEFAULT_RETENTION_S,
         registry: MetricsRegistry | None = None,
+        instance_id: str = "",
     ) -> None:
         if retention_s <= 0:
             raise ValueError("retention_s must be positive")
         self.retention_s = int(retention_s)
+        self.instance_id = instance_id
         self._batches: dict[str, list[SecondBatch]] = {}
         registry = registry or get_registry()
+        labels = {"instance": instance_id} if instance_id else {}
         self._m_batches = registry.counter(
-            "logstore_batches_ingested_total", help="Second-batches absorbed."
+            "logstore_batches_ingested_total",
+            help="Second-batches absorbed.",
+            **labels,
         )
         self._m_queries = registry.counter(
-            "logstore_queries_ingested_total", help="Raw query records absorbed."
+            "logstore_queries_ingested_total",
+            help="Raw query records absorbed.",
+            **labels,
         )
         self._m_evicted = registry.counter(
             "logstore_evicted_queries_total",
             help="Query records dropped by retention expiry.",
+            **labels,
         )
         self._g_bytes = registry.gauge(
-            "logstore_resident_bytes", help="Approximate bytes of stored arrays."
+            "logstore_resident_bytes",
+            help="Approximate bytes of stored arrays.",
+            **labels,
         )
         self._g_templates = registry.gauge(
-            "logstore_templates", help="Distinct SQL templates resident."
+            "logstore_templates",
+            help="Distinct SQL templates resident.",
+            **labels,
         )
         self._resident_bytes = 0
 
@@ -96,6 +113,11 @@ class LogStore:
     @property
     def sql_ids(self) -> list[str]:
         return list(self._batches)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Approximate bytes of stored arrays."""
+        return self._resident_bytes
 
     def total_queries(self) -> int:
         return sum(len(b) for batches in self._batches.values() for b in batches)
@@ -154,4 +176,70 @@ class LogStore:
         if dropped:
             self._m_evicted.inc(dropped)
         self._g_templates.set(len(self._batches))
+        return dropped
+
+
+class PartitionedLogStore:
+    """Per-instance :class:`LogStore` partitions under one retention policy.
+
+    The fleet service stores every instance's raw logs here; each
+    partition keeps its own per-template batches (and instance-labelled
+    telemetry) while retention expiry and resident-bytes accounting run
+    across the whole fleet in one sweep — the shared LogStore cluster of
+    the production deployment.
+    """
+
+    def __init__(
+        self,
+        retention_s: int = DEFAULT_RETENTION_S,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if retention_s <= 0:
+            raise ValueError("retention_s must be positive")
+        self.retention_s = int(retention_s)
+        self._registry = registry or get_registry()
+        self._partitions: dict[str, LogStore] = {}
+        self._g_total_bytes = self._registry.gauge(
+            "logstore_fleet_resident_bytes",
+            help="Resident bytes summed over every instance partition.",
+        )
+        self._g_partitions = self._registry.gauge(
+            "logstore_fleet_partitions",
+            help="Instance partitions currently resident.",
+        )
+
+    @property
+    def instance_ids(self) -> list[str]:
+        return list(self._partitions)
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._partitions
+
+    def partition(self, instance_id: str) -> LogStore:
+        """The instance's partition, created on first use."""
+        store = self._partitions.get(instance_id)
+        if store is None:
+            store = LogStore(
+                retention_s=self.retention_s,
+                registry=self._registry,
+                instance_id=instance_id,
+            )
+            self._partitions[instance_id] = store
+            self._g_partitions.set(len(self._partitions))
+        return store
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes resident across every partition."""
+        return sum(p.resident_bytes for p in self._partitions.values())
+
+    def total_queries(self) -> int:
+        return sum(p.total_queries() for p in self._partitions.values())
+
+    def expire(self, now_s: int) -> int:
+        """One retention sweep over every partition; returns dropped count."""
+        dropped = 0
+        for store in self._partitions.values():
+            dropped += store.expire(now_s)
+        self._g_total_bytes.set(self.resident_bytes)
         return dropped

@@ -5,6 +5,19 @@ offsets, so multiple downstream components (aggregator, anomaly
 detector, archiver) can each read the full stream — the same
 subscribe-and-replay semantics the production pipeline relies on.
 
+Fleet support: topics are *instance-keyed*.  Each monitored database
+instance publishes to its own topic pair
+(``query_logs.<instance_id>`` / ``performance_metrics.<instance_id>``,
+see :func:`instance_topic`), so a single broker multiplexes the whole
+fleet and per-instance consumers never see another instance's traffic.
+
+Memory is bounded: every consumer created through the broker is
+registered with its topic, and :meth:`Broker.prune` drops messages that
+every registered consumer has already acknowledged (consumed past).
+Pruned messages advance the topic's base offset — exactly Kafka's
+log-head truncation — and are counted by the
+``broker_pruned_messages_total`` counter.
+
 The broker self-reports through :mod:`repro.telemetry`: published
 message counters per topic, poll-batch-size histograms, and per-consumer
 lag gauges — the first things an operator checks when the diagnosis
@@ -13,7 +26,7 @@ loop stalls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.telemetry import (
@@ -22,7 +35,32 @@ from repro.telemetry import (
     get_registry,
 )
 
-__all__ = ["Message", "Broker", "Consumer"]
+__all__ = [
+    "Message",
+    "Broker",
+    "Consumer",
+    "instance_topic",
+    "split_topic",
+]
+
+
+def instance_topic(base: str, instance_id: str = "") -> str:
+    """The topic name carrying ``base`` records of one instance.
+
+    An empty ``instance_id`` names the shared single-instance topic, so
+    pre-fleet callers keep publishing and consuming exactly as before.
+    """
+    if not instance_id:
+        return base
+    if "." in instance_id:
+        raise ValueError(f"instance_id must not contain '.': {instance_id!r}")
+    return f"{base}.{instance_id}"
+
+
+def split_topic(topic: str) -> tuple[str, str]:
+    """Inverse of :func:`instance_topic`: ``(base, instance_id)``."""
+    base, _, instance_id = topic.partition(".")
+    return base, instance_id
 
 
 @dataclass(frozen=True)
@@ -35,17 +73,35 @@ class Message:
     value: Any
 
 
+@dataclass
+class _Topic:
+    """One topic's retained log segment.
+
+    ``base_offset`` is the offset of the first *retained* message;
+    messages below it have been pruned.  Absolute offsets never change,
+    so consumer bookkeeping survives pruning.
+    """
+
+    messages: list[Message] = field(default_factory=list)
+    base_offset: int = 0
+
+    @property
+    def next_offset(self) -> int:
+        return self.base_offset + len(self.messages)
+
+
 class Broker:
     """A minimal polling broker with per-consumer offsets."""
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
-        self._topics: dict[str, list[Message]] = {}
+        self._topics: dict[str, _Topic] = {}
+        self._consumers: dict[str, list["Consumer"]] = {}
         self._consumer_seq: dict[str, int] = {}
         self.registry = registry or get_registry()
 
     def create_topic(self, topic: str) -> None:
         """Create a topic (idempotent)."""
-        self._topics.setdefault(topic, [])
+        self._topics.setdefault(topic, _Topic())
 
     @property
     def topics(self) -> list[str]:
@@ -53,9 +109,9 @@ class Broker:
 
     def publish(self, topic: str, key: str, value: Any) -> Message:
         """Append a message to a topic, creating the topic on first use."""
-        log = self._topics.setdefault(topic, [])
-        message = Message(topic=topic, offset=len(log), key=key, value=value)
-        log.append(message)
+        log = self._topics.setdefault(topic, _Topic())
+        message = Message(topic=topic, offset=log.next_offset, key=key, value=value)
+        log.messages.append(message)
         self.registry.counter(
             "broker_messages_published_total",
             help="Messages appended per topic.",
@@ -64,21 +120,80 @@ class Broker:
         return message
 
     def size(self, topic: str) -> int:
-        return len(self._topics.get(topic, []))
+        """Messages ever published to a topic (including pruned ones)."""
+        log = self._topics.get(topic)
+        return log.next_offset if log is not None else 0
+
+    def retained(self, topic: str) -> int:
+        """Messages currently held in memory for a topic."""
+        log = self._topics.get(topic)
+        return len(log.messages) if log is not None else 0
+
+    def base_offset(self, topic: str) -> int:
+        """Offset of the oldest retained message of a topic."""
+        log = self._topics.get(topic)
+        return log.base_offset if log is not None else 0
 
     def read(self, topic: str, offset: int, max_messages: int) -> list[Message]:
-        """Read up to ``max_messages`` messages starting at ``offset``."""
+        """Read up to ``max_messages`` messages starting at ``offset``.
+
+        When ``offset`` has been pruned away, reading resumes at the
+        topic's base offset (the oldest retained message).
+        """
         if offset < 0 or max_messages < 0:
             raise ValueError("offset and max_messages must be non-negative")
-        log = self._topics.get(topic, [])
-        return log[offset : offset + max_messages]
+        log = self._topics.get(topic)
+        if log is None:
+            return []
+        i0 = max(offset, log.base_offset) - log.base_offset
+        return log.messages[i0 : i0 + max_messages]
 
     def consumer(self, topic: str) -> "Consumer":
-        """A new consumer starting at the beginning of ``topic``."""
+        """A new registered consumer starting at the beginning of ``topic``."""
         self.create_topic(topic)
         seq = self._consumer_seq.get(topic, 0)
         self._consumer_seq[topic] = seq + 1
         return Consumer(self, topic, name=f"{topic}/{seq}")
+
+    def _register(self, consumer: "Consumer") -> None:
+        self._consumers.setdefault(consumer.topic, []).append(consumer)
+
+    # ------------------------------------------------------------------
+    # Retention
+    # ------------------------------------------------------------------
+    def prune(self, topic: str | None = None) -> int:
+        """Drop messages acknowledged by every registered consumer.
+
+        Topics without registered consumers are left untouched (they
+        may be archival topics read ad hoc via :meth:`read`).  Returns
+        the number of messages pruned and counts them into
+        ``broker_pruned_messages_total``.
+        """
+        topics = [topic] if topic is not None else list(self._topics)
+        pruned_total = 0
+        for name in topics:
+            log = self._topics.get(name)
+            consumers = self._consumers.get(name)
+            if log is None or not consumers:
+                continue
+            min_offset = min(c.offset for c in consumers)
+            drop = min_offset - log.base_offset
+            if drop <= 0:
+                continue
+            del log.messages[:drop]
+            log.base_offset = min_offset
+            pruned_total += drop
+            self.registry.counter(
+                "broker_pruned_messages_total",
+                help="Messages dropped after acknowledgement by all consumers.",
+                topic=name,
+            ).inc(drop)
+            self.registry.gauge(
+                "broker_retained_messages",
+                help="Messages currently held in memory per topic.",
+                topic=name,
+            ).set(len(log.messages))
+        return pruned_total
 
 
 class Consumer:
@@ -89,6 +204,7 @@ class Consumer:
         self.topic = topic
         self.name = name or topic
         self.offset = 0
+        broker._register(self)
         registry = broker.registry
         self._batch_hist = registry.histogram(
             "broker_poll_batch_size",
@@ -112,13 +228,20 @@ class Consumer:
     def poll(self, max_messages: int = 1000) -> list[Message]:
         """Fetch the next batch of messages and advance the offset."""
         messages = self._broker.read(self.topic, self.offset, max_messages)
-        self.offset += len(messages)
+        if messages:
+            # Absolute offsets survive pruning; jump past the last read
+            # message rather than assuming a contiguous head.
+            self.offset = messages[-1].offset + 1
         self._batch_hist.observe(len(messages))
         self._lag_gauge.set(self.lag)
         return messages
 
     def seek(self, offset: int) -> None:
-        """Reposition the consumer (replay support)."""
+        """Reposition the consumer (replay support).
+
+        Seeking below the topic's base offset replays from the oldest
+        retained message — pruned history is gone by definition.
+        """
         if offset < 0:
             raise ValueError("offset must be non-negative")
         self.offset = offset

@@ -12,7 +12,7 @@ the ablation benchmark runs variants without code forks.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 __all__ = ["SessionEstimationMode", "PinSQLConfig"]
 

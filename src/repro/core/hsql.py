@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.core.case import AnomalyCase
 from repro.core.session_estimation import SessionEstimate
-from repro.timeseries import TimeSeries, pearson, sigmoid_anomaly_weights, weighted_pearson
+from repro.timeseries import pearson, sigmoid_anomaly_weights, weighted_pearson
 
 __all__ = ["HsqlScores", "HsqlRanking", "HsqlIdentifier"]
 

@@ -9,7 +9,7 @@ wall-clock timings recorded (they are part of the paper's Table I).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.case import AnomalyCase
 from repro.core.config import PinSQLConfig

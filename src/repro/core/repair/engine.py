@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from repro.core.case import AnomalyCase
 from repro.core.pipeline import PinSQLResult
@@ -45,9 +44,12 @@ class RepairEngine:
         self,
         config: RepairConfig = DEFAULT_REPAIR_CONFIG,
         registry: MetricsRegistry | None = None,
+        instance_id: str = "",
     ) -> None:
         self.config = config
+        self.instance_id = instance_id
         self._registry = registry or get_registry()
+        self._labels = {"instance": instance_id} if instance_id else {}
 
     def _count_action(self, outcome: str, kind: str, amount: float = 1.0) -> None:
         self._registry.counter(
@@ -55,6 +57,7 @@ class RepairEngine:
             help="Repair actions by outcome (planned/executed/refused) and kind.",
             outcome=outcome,
             kind=kind,
+            **self._labels,
         ).inc(amount)
 
     # ------------------------------------------------------------------
@@ -142,6 +145,6 @@ class RepairEngine:
             _log.info(
                 "repair action executed",
                 extra={"kind": action.kind, "sql_id": action.sql_id,
-                       "now_s": now_s},
+                       "now_s": now_s, "instance": self.instance_id},
             )
         return plan.executed

@@ -11,7 +11,7 @@ threshold), then query optimization for CPU/IO phenomena.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["RepairRule", "RepairConfig", "DEFAULT_REPAIR_CONFIG"]
 

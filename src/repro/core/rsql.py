@@ -19,7 +19,7 @@ from repro.core.case import AnomalyCase
 from repro.core.hsql import HsqlRanking
 from repro.core.session_estimation import SessionEstimate
 from repro.telemetry import Tracer, get_tracer
-from repro.timeseries import TimeSeries, TukeyDetector, pearson
+from repro.timeseries import TukeyDetector, pearson
 
 __all__ = ["Cluster", "RsqlResult", "RsqlIdentifier"]
 

@@ -16,7 +16,7 @@ The manager works per simulated second with vectorized batches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,7 +9,7 @@ construct specs; the engine executes them; repair actions mutate them
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sqltemplate import StatementKind
 

@@ -34,6 +34,7 @@ class AnomalyEvent:
     anomaly: DetectedAnomaly
     detected_at: int          # stream time (max metric timestamp seen)
     is_update: bool = False   # True when extending a previously emitted anomaly
+    instance_id: str = ""     # the monitored instance this anomaly belongs to
 
 
 @dataclass
@@ -86,6 +87,12 @@ class RealtimeAnomalyDetector:
         Sliding analysis window length.
     evaluation_interval_s:
         How often (in stream time) the window is re-analysed.
+    instance_id:
+        Optional id of the monitored instance.  Detector state (buffers,
+        stream time, emitted-anomaly dedup) is *always* private to one
+        detector object — fleet deployments run one detector per
+        instance — and the id stamps emitted events and labels the
+        detector's own telemetry.
     """
 
     def __init__(
@@ -97,12 +104,14 @@ class RealtimeAnomalyDetector:
         phenomenon: PhenomenonPerception | None = None,
         case_builder: CaseBuilder | None = None,
         registry: MetricsRegistry | None = None,
+        instance_id: str = "",
     ) -> None:
         if window_s <= 0 or evaluation_interval_s <= 0:
             raise ValueError("window_s and evaluation_interval_s must be positive")
         self.consumer = consumer
         self.window_s = int(window_s)
         self.evaluation_interval_s = int(evaluation_interval_s)
+        self.instance_id = instance_id
         self._basic = basic or BasicPerception()
         self._phenomenon = phenomenon or PhenomenonPerception()
         self._builder = case_builder or CaseBuilder()
@@ -112,17 +121,28 @@ class RealtimeAnomalyDetector:
         #: start → end of anomalies already emitted (for dedup/updates).
         self._emitted: dict[tuple[str, int], int] = {}
         registry = registry or get_registry()
+        labels = {"instance": instance_id} if instance_id else {}
         self._m_points = registry.counter(
-            "detector_points_consumed_total", help="Metric points consumed."
+            "detector_points_consumed_total",
+            help="Metric points consumed.",
+            **labels,
         )
         self._m_evaluations = registry.counter(
-            "detector_evaluations_total", help="Sliding-window re-analyses run."
+            "detector_evaluations_total",
+            help="Sliding-window re-analyses run.",
+            **labels,
         )
         self._m_events_new = registry.counter(
-            "detector_events_total", help="Anomaly events emitted.", kind="new"
+            "detector_events_total",
+            help="Anomaly events emitted.",
+            kind="new",
+            **labels,
         )
         self._m_events_update = registry.counter(
-            "detector_events_total", help="Anomaly events emitted.", kind="update"
+            "detector_events_total",
+            help="Anomaly events emitted.",
+            kind="update",
+            **labels,
         )
 
     @property
@@ -153,6 +173,8 @@ class RealtimeAnomalyDetector:
             self._m_points.inc(len(messages))
         for message in messages:
             record = message.value
+            if self.instance_id and record.get("instance", self.instance_id) != self.instance_id:
+                continue
             name = record["metric"]
             timestamp = int(record["timestamp"])
             buffer = self._buffers.get(name)
@@ -203,11 +225,20 @@ class RealtimeAnomalyDetector:
             previous_end = self._emitted.get(key)
             if previous_end is None:
                 self._emitted[key] = anomaly.end
-                events.append(AnomalyEvent(anomaly, detected_at=now))
+                events.append(
+                    AnomalyEvent(anomaly, detected_at=now, instance_id=self.instance_id)
+                )
                 self._m_events_new.inc()
             elif anomaly.end > previous_end + self.evaluation_interval_s:
                 self._emitted[key] = anomaly.end
-                events.append(AnomalyEvent(anomaly, detected_at=now, is_update=True))
+                events.append(
+                    AnomalyEvent(
+                        anomaly,
+                        detected_at=now,
+                        is_update=True,
+                        instance_id=self.instance_id,
+                    )
+                )
                 self._m_events_update.inc()
         return events
 

@@ -15,7 +15,7 @@ trends, and label the ground truth:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -52,6 +52,9 @@ class LabeledCase:
     #: path); False when the injected window had to be used as fallback.
     detected: bool
     seed: int
+    #: Monitored instance the case was collected from ("" = unattributed,
+    #: the pre-fleet corpora).
+    instance_id: str = ""
 
 
 @dataclass(frozen=True)
@@ -80,10 +83,16 @@ class CorpusConfig:
     history_days: tuple[int, ...] = (1, 3, 7)
     #: Cap on how many templates are labelled H-SQL per case.
     max_h_sqls: int = 10
+    #: Fleet width of the corpus: cases are attributed round-robin to
+    #: ``inst-00 .. inst-<n-1>``.  1 keeps the pre-fleet unattributed
+    #: corpora (empty instance ids).
+    n_instances: int = 1
 
     def __post_init__(self) -> None:
         if self.n_cases < 1:
             raise ValueError("n_cases must be at least 1")
+        if self.n_instances < 1:
+            raise ValueError("n_instances must be at least 1")
         total = sum(w for _, w in self.category_weights)
         if total <= 0:
             raise ValueError("category weights must sum to a positive value")
@@ -217,6 +226,7 @@ def generate_case(
     seed: int,
     cfg: CorpusConfig | None = None,
     category: AnomalyCategory | None = None,
+    instance_id: str = "",
 ) -> LabeledCase:
     """Generate one labelled anomaly case end-to-end."""
     cfg = cfg or CorpusConfig()
@@ -281,6 +291,7 @@ def generate_case(
         injected=injected,
         detected=detected,
         seed=seed,
+        instance_id=instance_id,
     )
 
 
@@ -288,11 +299,20 @@ def generate_corpus(cfg: CorpusConfig | None = None) -> list[LabeledCase]:
     """Generate the synthetic ADAC corpus (deterministic per config).
 
     The category composition is stratified to the configured weights so
-    every category is represented even in small corpora.
+    every category is represented even in small corpora.  With
+    ``n_instances > 1`` cases are attributed round-robin across a
+    simulated fleet (``inst-00``, ``inst-01``, ...).
     """
     cfg = cfg or CorpusConfig()
     assignment = _stratified_categories(cfg)
     return [
-        generate_case(cfg.seed * 100_003 + i, cfg, category=assignment[i])
+        generate_case(
+            cfg.seed * 100_003 + i,
+            cfg,
+            category=assignment[i],
+            instance_id=(
+                f"inst-{i % cfg.n_instances:02d}" if cfg.n_instances > 1 else ""
+            ),
+        )
         for i in range(cfg.n_cases)
     ]

@@ -78,6 +78,7 @@ def save_case(labeled: LabeledCase, path: str | Path) -> Path:
             "category": labeled.category.value,
             "detected": labeled.detected,
             "seed": labeled.seed,
+            "instance_id": labeled.instance_id,
         },
         "injected": {
             "category": labeled.injected.category.value,
@@ -176,6 +177,8 @@ def load_case(path: str | Path) -> LabeledCase:
             injected=injected,
             detected=bool(labels["detected"]),
             seed=int(labels["seed"]),
+            # Absent in pre-fleet archives; those load unattributed.
+            instance_id=str(labels.get("instance_id", "")),
         )
 
 

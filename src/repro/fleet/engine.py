@@ -1,0 +1,442 @@
+"""Per-instance diagnosis engine (one instance's always-on loop).
+
+This is the single-instance machinery the pre-fleet ``PinSqlService``
+carried inline: consume one instance's query-log and metric topics,
+run the real-time detector, assemble anomaly cases from the retention-
+bounded log store, run PinSQL, plan/execute repairs, notify.  The fleet
+service owns one engine per registered instance; the single-instance
+:class:`~repro.service.PinSqlService` facade owns exactly one with an
+empty ``instance_id`` (preserving the original topics and unlabelled
+telemetry).
+
+Every engine is self-contained — consumers, detector buffers, log
+store partition, template catalog, emitted-anomaly dedup state — so
+instances never share mutable state and a worker thread can step one
+engine without synchronising with the others.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.collection.aggregator import aggregate_logstore
+from repro.collection.collector import METRIC_TOPIC, QUERY_TOPIC
+from repro.collection.logstore import LogStore
+from repro.collection.stream import Broker, instance_topic
+from repro.core.case import AnomalyCase
+from repro.core.config import PinSQLConfig
+from repro.core.pipeline import PinSQL, PinSQLResult
+from repro.core.repair.engine import RepairEngine, RepairPlan
+from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig
+from repro.core.report import DiagnosisReport, render_report
+from repro.dbsim.instance import DatabaseInstance
+from repro.detection.case_builder import DetectedAnomaly
+from repro.detection.realtime import RealtimeAnomalyDetector
+from repro.detection.typing import CategoryVerdict, classify_case
+from repro.sqltemplate import TemplateCatalog, fingerprint
+from repro.telemetry import (
+    MetricsRegistry,
+    SelfMonitor,
+    Tracer,
+    get_logger,
+    get_registry,
+    get_tracer,
+)
+from repro.telemetry.selfmon import forward_fill_series
+from repro.timeseries import TimeSeries
+
+__all__ = ["ServiceConfig", "Diagnosis", "InstanceDiagnosisEngine"]
+
+_log = get_logger("service")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Configuration of the autonomy loop (the paper's Fig. 5 knobs)."""
+
+    pinsql: PinSQLConfig = field(default_factory=PinSQLConfig)
+    repair: RepairConfig = DEFAULT_REPAIR_CONFIG
+    #: δs — context collected before the detected anomaly start.
+    delta_start_s: int = 900
+    #: Sliding window and cadence of the real-time detector.
+    detector_window_s: int = 1800
+    evaluation_interval_s: int = 60
+    #: Ignore anomalies shorter than this (user-configurable, Sec. IV-B).
+    min_anomaly_duration_s: int = 30
+
+
+@dataclass
+class Diagnosis:
+    """One completed diagnosis produced by the service."""
+
+    anomaly: DetectedAnomaly
+    case: AnomalyCase
+    result: PinSQLResult
+    report: DiagnosisReport
+    plan: RepairPlan
+    executed: bool
+    #: Rule-based anomaly typing (category + evidence).
+    verdict: CategoryVerdict | None = None
+    #: The monitored instance the anomaly occurred on ("" pre-fleet).
+    instance_id: str = ""
+
+
+class InstanceDiagnosisEngine:
+    """One instance's diagnosis loop over its broker topic partition.
+
+    Parameters
+    ----------
+    broker:
+        The (fleet-shared) message broker.
+    instance_id:
+        Id of the monitored instance.  Decides the topic partition
+        (``query_logs.<id>`` / ``performance_metrics.<id>``) and labels
+        all telemetry; empty means the pre-fleet shared topics and
+        unlabelled telemetry.
+    config:
+        Service configuration.
+    instance:
+        Optional live :class:`DatabaseInstance`; when provided *and* the
+        repair config enables auto-execution, planned actions are applied.
+    history_provider:
+        Optional callable ``(sql_id, days_ago, ts, te) → TimeSeries|None``
+        supplying historical execution series for verification.
+    notify:
+        Optional callback invoked with each completed :class:`Diagnosis`
+        (the DingTalk/SMS hook of the paper's Fig. 5).
+    registry / tracer:
+        Optional telemetry sinks; by default the process-wide registry
+        and tracer from :mod:`repro.telemetry` are used.  Engines with
+        an ``instance_id`` get a private tracer labelled with the
+        instance so per-stage histograms stay separable (and thread-
+        private under the fleet worker pool).
+    logstore:
+        Optional externally owned :class:`LogStore` (a fleet partition);
+        by default the engine creates its own.
+    selfmon:
+        Optional :class:`SelfMonitor`.  Defaults to a private one for
+        the single-instance path; the fleet passes ``None`` and samples
+        one fleet-level monitor itself (sampling walks the whole
+        registry and must not run concurrently from many workers).
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        instance_id: str = "",
+        config: ServiceConfig | None = None,
+        instance: DatabaseInstance | None = None,
+        history_provider: Callable[[str, int, int, int], TimeSeries | None] | None = None,
+        notify: Callable[[Diagnosis], None] | None = None,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        logstore: LogStore | None = None,
+        selfmon: SelfMonitor | None | str = "default",
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.broker = broker
+        self.instance_id = instance_id
+        self.instance = instance
+        self.history_provider = history_provider
+        self.notify = notify
+        self.query_topic = instance_topic(QUERY_TOPIC, instance_id)
+        self.metric_topic = instance_topic(METRIC_TOPIC, instance_id)
+        if tracer is None:
+            if instance_id:
+                tracer = Tracer(
+                    registry=registry or get_registry(),
+                    labels={"instance": instance_id},
+                )
+            else:
+                tracer = get_tracer() if registry is None else Tracer(registry=registry)
+        self.registry = registry or get_registry()
+        self.tracer = tracer
+        self._labels = {"instance": instance_id} if instance_id else {}
+        self.logstore = logstore if logstore is not None else LogStore(
+            registry=self.registry, instance_id=instance_id
+        )
+        self.catalog = TemplateCatalog()
+        self._log_consumer = broker.consumer(self.query_topic)
+        self.detector = RealtimeAnomalyDetector(
+            broker.consumer(self.metric_topic),
+            window_s=self.config.detector_window_s,
+            evaluation_interval_s=self.config.evaluation_interval_s,
+            registry=self.registry,
+            instance_id=instance_id,
+        )
+        self._pinsql = PinSQL(self.config.pinsql, tracer=self.tracer)
+        self._repair = RepairEngine(
+            self.config.repair, registry=self.registry, instance_id=instance_id
+        )
+        #: Self-monitoring: gauge/counter history of this very service,
+        #: exposed as TimeSeries so the repo's detectors can watch it.
+        self.selfmon: SelfMonitor | None
+        if selfmon == "default":
+            self.selfmon = SelfMonitor(
+                self.registry, window_s=self.config.detector_window_s
+            )
+        else:
+            self.selfmon = selfmon  # type: ignore[assignment]
+        #: Per-metric raw samples retained for case assembly; bounded by
+        #: the detector window extended by δs (see _capture_metric_samples).
+        self._metric_samples: dict[str, dict[int, float]] = {}
+        self.diagnoses: list[Diagnosis] = []
+        reg = self.registry
+        labels = self._labels
+        self._m_steps = reg.counter(
+            "service_steps_total", help="Service loop iterations.", **labels
+        )
+        self._m_diagnoses = reg.counter(
+            "service_diagnoses_total", help="Completed diagnoses.", **labels
+        )
+        self._m_log_messages = reg.counter(
+            "service_querylog_messages_total",
+            help="Query-log messages drained into the LogStore.",
+            **labels,
+        )
+        self._m_samples_evicted = reg.counter(
+            "service_metric_samples_evicted_total",
+            help="Mirrored metric samples dropped by the retention bound.",
+            **labels,
+        )
+        self._g_sample_count = reg.gauge(
+            "service_metric_samples_resident",
+            help="Mirrored metric samples currently retained.",
+            **labels,
+        )
+
+    def _count_skip(self, reason: str) -> None:
+        self.registry.counter(
+            "service_anomalies_skipped_total",
+            help="Anomaly events not diagnosed, by reason.",
+            reason=reason,
+            **self._labels,
+        ).inc()
+
+    # ------------------------------------------------------------------
+    # Stream consumption
+    # ------------------------------------------------------------------
+    def _drain_query_logs(self, max_messages: int = 50_000) -> int:
+        from repro.dbsim.query import SecondBatch
+
+        handled = 0
+        while True:
+            messages = self._log_consumer.poll(max_messages)
+            if not messages:
+                break
+            for message in messages:
+                record = message.value
+                if (
+                    self.instance_id
+                    and record.get("instance", self.instance_id) != self.instance_id
+                ):
+                    continue
+                sql_id = record["sql_id"]
+                self.logstore.ingest_batch(
+                    SecondBatch(
+                        sql_id=sql_id,
+                        arrive_ms=np.asarray(record["arrive_ms"], dtype=np.int64),
+                        response_ms=np.asarray(record["response_ms"], dtype=np.float64),
+                        examined_rows=np.asarray(record["examined_rows"], dtype=np.float64),
+                    )
+                )
+                if sql_id not in self.catalog and "statement" in record:
+                    self.catalog.register_statement(record["statement"])
+                handled += 1
+        return handled
+
+    def register_statement(self, sql: str) -> None:
+        """Teach the catalog a statement (collectors may also inline them)."""
+        fp = fingerprint(sql)
+        self.catalog.register_template(fp.sql_id, fp.template, fp.kind, fp.tables)
+
+    def register_catalog(self, catalog: TemplateCatalog) -> None:
+        """Merge an external template catalog (e.g. from the workload)."""
+        for info in catalog:
+            self.catalog.register_template(
+                info.sql_id, info.template, info.kind, info.tables
+            )
+
+    # ------------------------------------------------------------------
+    # The loop
+    # ------------------------------------------------------------------
+    @property
+    def lag(self) -> int:
+        """Messages waiting on this engine's two topic partitions."""
+        return self._log_consumer.lag + self.detector.consumer.lag
+
+    def consumer_offsets(self) -> tuple[int, int]:
+        """(query-log offset, metric offset) — progress fingerprint."""
+        return (self._log_consumer.offset, self.detector.consumer.offset)
+
+    def step(self) -> list[Diagnosis]:
+        """Consume available stream data; diagnose any fresh anomalies."""
+        self._m_steps.inc()
+        handled = self._drain_query_logs()
+        if handled:
+            self._m_log_messages.inc(handled)
+        events = self.detector.poll()
+        self._capture_metric_samples()
+        produced: list[Diagnosis] = []
+        for event in events:
+            if event.is_update:
+                self._count_skip("update")
+                continue
+            if event.anomaly.duration < self.config.min_anomaly_duration_s:
+                self._count_skip("too_short")
+                continue
+            diagnosis = self._diagnose(event.anomaly)
+            if diagnosis is not None:
+                self.diagnoses.append(diagnosis)
+                produced.append(diagnosis)
+                self._m_diagnoses.inc()
+                _log.info(
+                    "anomaly diagnosed",
+                    extra={
+                        "instance": self.instance_id,
+                        "anomaly_start": event.anomaly.start,
+                        "anomaly_end": event.anomaly.end,
+                        "types": "|".join(event.anomaly.types),
+                        "top_rsql": (
+                            diagnosis.result.rsql_ids[0]
+                            if diagnosis.result.rsql_ids
+                            else ""
+                        ),
+                        "executed": diagnosis.executed,
+                    },
+                )
+                if self.notify is not None:
+                    self.notify(diagnosis)
+        if self.selfmon is not None and self.detector.stream_time is not None:
+            self.selfmon.sample(self.detector.stream_time)
+        return produced
+
+    def run_until_drained(self, max_idle_iterations: int = 25) -> list[Diagnosis]:
+        """Step until both topics are exhausted.
+
+        Guarded against a non-advancing broker: when the lag stays
+        positive but :meth:`step` makes no progress for
+        ``max_idle_iterations`` consecutive iterations (offsets frozen,
+        nothing diagnosed), the loop logs a warning with the stuck topic
+        lags and breaks rather than spinning forever.
+        """
+        produced: list[Diagnosis] = []
+        idle = 0
+        while self._log_consumer.lag > 0 or self.detector.consumer.lag > 0:
+            offsets = self.consumer_offsets()
+            step_produced = self.step()
+            produced.extend(step_produced)
+            advanced = self.consumer_offsets() != offsets
+            if advanced or step_produced:
+                idle = 0
+                continue
+            idle += 1
+            if idle >= max_idle_iterations:
+                _log.warning(
+                    "broker not advancing; abandoning drain",
+                    extra={
+                        "instance": self.instance_id,
+                        "idle_iterations": idle,
+                        "query_logs_lag": self._log_consumer.lag,
+                        "performance_metrics_lag": self.detector.consumer.lag,
+                    },
+                )
+                self._count_skip("drain_stalled")
+                break
+        return produced
+
+    # ------------------------------------------------------------------
+    def _capture_metric_samples(self) -> None:
+        """Mirror the detector's buffers for case assembly (bounded).
+
+        Uses the detector's public read-only buffer views, and bounds the
+        mirror with the detector's own retention window extended by δs:
+        an anomaly can start up to ``window_s`` in the past and the case
+        needs ``delta_start_s`` of context before that, so anything older
+        than ``stream_time - (window_s + δs)`` can never be referenced
+        again and is evicted (reported via the telemetry gauges).
+        """
+        for name, samples in self.detector.iter_buffer_samples():
+            mirror = self._metric_samples.setdefault(name, {})
+            mirror.update(samples)
+        now = self.detector.stream_time
+        resident = 0
+        if now is not None:
+            cutoff = now - (self.detector.window_s + self.config.delta_start_s)
+            evicted = 0
+            for mirror in self._metric_samples.values():
+                stale = [t for t in mirror if t < cutoff]
+                for t in stale:
+                    del mirror[t]
+                evicted += len(stale)
+                resident += len(mirror)
+            if evicted:
+                self._m_samples_evicted.inc(evicted)
+        self._g_sample_count.set(resident)
+
+    def _metric_series(self, name: str, ts: int, te: int) -> TimeSeries:
+        return forward_fill_series(
+            self._metric_samples.get(name, {}), ts, te, name=name
+        )
+
+    def _diagnose(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
+        with self.tracer.span("service.diagnose") as span:
+            diagnosis = self._diagnose_inner(anomaly)
+        span.attrs["produced"] = diagnosis is not None
+        return diagnosis
+
+    def _diagnose_inner(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
+        from repro.dbsim.monitor import InstanceMetrics
+
+        ts = max(0, anomaly.start - self.config.delta_start_s)
+        te = max(anomaly.end, anomaly.start + 1)
+        metrics = InstanceMetrics(
+            {
+                name: self._metric_series(name, ts, te)
+                for name in self._metric_samples
+            }
+        )
+        if "active_session" not in metrics:
+            self._count_skip("no_session_metric")
+            return None
+        templates = aggregate_logstore(self.logstore, ts, te)
+        if not templates.sql_ids:
+            self._count_skip("no_templates")
+            return None
+        history: dict[str, dict[int, TimeSeries]] = {}
+        if self.history_provider is not None:
+            for sql_id in templates.sql_ids:
+                for days in self.config.pinsql.history_days:
+                    series = self.history_provider(sql_id, days, ts, te)
+                    if series is not None:
+                        history.setdefault(sql_id, {})[days] = series
+        case = AnomalyCase(
+            metrics=metrics,
+            templates=templates,
+            logs=self.logstore,
+            catalog=self.catalog,
+            anomaly_start=anomaly.start,
+            anomaly_end=min(anomaly.end, te),
+            history=history,
+        )
+        result = self._pinsql.analyze(case)
+        verdict = classify_case(case)
+        plan = self._repair.plan(case, result, anomaly_types=anomaly.types)
+        executed = False
+        if self.instance is not None and self.config.repair.auto_execute:
+            self._repair.execute(plan, self.instance, now_s=te)
+            executed = bool(plan.executed)
+        report = render_report(case, result, plan=plan)
+        return Diagnosis(
+            anomaly=anomaly,
+            case=case,
+            result=result,
+            report=report,
+            plan=plan,
+            executed=executed,
+            verdict=verdict,
+            instance_id=self.instance_id,
+        )

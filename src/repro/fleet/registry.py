@@ -1,0 +1,80 @@
+"""Registry of monitored database instances.
+
+The paper's deployment watches a *fleet* of cloud database instances,
+not one: each instance has its own collection topics, detector state and
+diagnosis history.  :class:`InstanceRegistry` is the control-plane view
+of that fleet — which instances exist, their descriptive metadata, and
+optional live :class:`~repro.dbsim.instance.DatabaseInstance` handles
+for repair execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.dbsim.instance import DatabaseInstance
+
+__all__ = ["InstanceDescriptor", "InstanceRegistry"]
+
+
+@dataclass(frozen=True)
+class InstanceDescriptor:
+    """Identity and placement metadata of one monitored instance."""
+
+    instance_id: str
+    #: Free-form placement/ownership tags (region, tier, tenant, ...).
+    tags: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.instance_id:
+            raise ValueError("instance_id must be non-empty")
+        if "." in self.instance_id:
+            raise ValueError(
+                f"instance_id may not contain '.': {self.instance_id!r}"
+            )
+
+
+class InstanceRegistry:
+    """Known instances, keyed by id (insertion-ordered)."""
+
+    def __init__(self) -> None:
+        self._descriptors: dict[str, InstanceDescriptor] = {}
+        self._handles: dict[str, DatabaseInstance] = {}
+
+    def register(
+        self,
+        descriptor: InstanceDescriptor | str,
+        handle: DatabaseInstance | None = None,
+    ) -> InstanceDescriptor:
+        """Add (or update) an instance; returns its descriptor."""
+        if isinstance(descriptor, str):
+            descriptor = InstanceDescriptor(descriptor)
+        self._descriptors[descriptor.instance_id] = descriptor
+        if handle is not None:
+            self._handles[descriptor.instance_id] = handle
+        return descriptor
+
+    def deregister(self, instance_id: str) -> None:
+        self._descriptors.pop(instance_id, None)
+        self._handles.pop(instance_id, None)
+
+    def get(self, instance_id: str) -> InstanceDescriptor | None:
+        return self._descriptors.get(instance_id)
+
+    def handle(self, instance_id: str) -> DatabaseInstance | None:
+        """The live database handle, when one was registered."""
+        return self._handles.get(instance_id)
+
+    @property
+    def instance_ids(self) -> list[str]:
+        return list(self._descriptors)
+
+    def __contains__(self, instance_id: str) -> bool:
+        return instance_id in self._descriptors
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __iter__(self) -> Iterator[InstanceDescriptor]:
+        return iter(self._descriptors.values())

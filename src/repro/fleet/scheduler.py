@@ -1,0 +1,54 @@
+"""Deterministic shard assignment for the fleet's diagnosis workers.
+
+Instances are spread over ``n_shards`` workers by hashing the instance
+id — stable across processes and Python invocations (``blake2b``, not
+the per-process-randomised builtin ``hash``), so a fleet restarted with
+the same shard count re-derives the same placement, and the sharded
+multi-process runner can compute the partition on the parent side and
+ship each shard's instances to its worker.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+
+__all__ = ["stable_shard", "DiagnosisScheduler"]
+
+
+def stable_shard(instance_id: str, n_shards: int) -> int:
+    """Deterministic shard index in ``[0, n_shards)`` for an instance."""
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    digest = blake2b(instance_id.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") % n_shards
+
+
+class DiagnosisScheduler:
+    """Maps instances to a fixed number of diagnosis shards."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.n_shards = int(n_shards)
+
+    def shard_of(self, instance_id: str) -> int:
+        return stable_shard(instance_id, self.n_shards)
+
+    def partition(self, instance_ids: list[str]) -> list[list[str]]:
+        """Instance ids grouped by shard (index = shard id).
+
+        Every shard is present (possibly empty) and each shard preserves
+        the input order of its instances.
+        """
+        shards: list[list[str]] = [[] for _ in range(self.n_shards)]
+        for instance_id in instance_ids:
+            shards[self.shard_of(instance_id)].append(instance_id)
+        return shards
+
+    def imbalance(self, instance_ids: list[str]) -> float:
+        """Max shard load over the ideal even load (1.0 = perfect)."""
+        if not instance_ids:
+            return 1.0
+        loads = [len(s) for s in self.partition(instance_ids)]
+        ideal = len(instance_ids) / self.n_shards
+        return max(loads) / ideal

@@ -1,0 +1,104 @@
+"""Process-sharded fleet runs (multicore scaling past the GIL).
+
+The fleet's thread pool keeps one process's instances concurrent, but
+PinSQL analysis is CPU-bound Python: threads interleave under the GIL
+instead of truly overlapping.  For real multicore scaling the fleet is
+sharded across *processes*: the parent partitions instances with the
+same :func:`~repro.fleet.scheduler.stable_shard` hash, ships each shard
+its instances' raw message streams (plain picklable records — brokers
+and engines are rebuilt inside the worker), and merges the per-shard
+diagnosis counts.
+
+This mirrors production, where diagnosis workers are separate machines
+consuming a shared Kafka: the message stream is the interface, never
+live Python state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.collection.collector import METRIC_TOPIC, QUERY_TOPIC
+from repro.collection.stream import Broker, instance_topic
+from repro.fleet.engine import ServiceConfig
+from repro.fleet.scheduler import stable_shard
+from repro.fleet.service import FleetConfig, FleetDiagnosisService
+
+__all__ = ["InstanceFeed", "ShardTask", "feed_from_broker", "run_shard", "run_sharded"]
+
+
+@dataclass
+class InstanceFeed:
+    """One instance's collected streams as picklable ``(key, value)`` records."""
+
+    instance_id: str
+    query_records: list[tuple] = field(default_factory=list)
+    metric_records: list[tuple] = field(default_factory=list)
+
+
+@dataclass
+class ShardTask:
+    """Everything one worker process needs to diagnose its shard."""
+
+    feeds: list[InstanceFeed]
+    config: ServiceConfig | None = None
+
+
+def feed_from_broker(broker: Broker, instance_id: str) -> InstanceFeed:
+    """Capture an instance's topic partitions as a shippable feed."""
+    query = broker.read(instance_topic(QUERY_TOPIC, instance_id), 0, 1 << 31)
+    metric = broker.read(instance_topic(METRIC_TOPIC, instance_id), 0, 1 << 31)
+    return InstanceFeed(
+        instance_id=instance_id,
+        query_records=[(m.key, m.value) for m in query],
+        metric_records=[(m.key, m.value) for m in metric],
+    )
+
+
+def run_shard(task: ShardTask) -> dict[str, int]:
+    """Diagnose one shard in-process; returns diagnoses per instance.
+
+    Module-level and single-argument so ``multiprocessing.Pool.map``
+    can pickle it.
+    """
+    broker = Broker()
+    service = FleetDiagnosisService(
+        broker,
+        config=FleetConfig(service=task.config or ServiceConfig(), workers=1),
+    )
+    for feed in task.feeds:
+        service.register_instance(feed.instance_id)
+        for key, value in feed.query_records:
+            broker.publish(instance_topic(QUERY_TOPIC, feed.instance_id), key, value)
+        for key, value in feed.metric_records:
+            broker.publish(instance_topic(METRIC_TOPIC, feed.instance_id), key, value)
+    service.run_until_drained()
+    return {
+        instance_id: len(service.diagnoses_for(instance_id))
+        for instance_id in service.instance_ids
+    }
+
+
+def run_sharded(
+    feeds: list[InstanceFeed],
+    processes: int,
+    config: ServiceConfig | None = None,
+) -> dict[str, int]:
+    """Partition feeds over worker processes; merge diagnosis counts.
+
+    ``processes <= 1`` runs everything inline (no multiprocessing), so
+    callers can use one code path regardless of available cores.
+    """
+    if processes <= 1:
+        return run_shard(ShardTask(feeds=feeds, config=config))
+    shards: list[list[InstanceFeed]] = [[] for _ in range(processes)]
+    for feed in feeds:
+        shards[stable_shard(feed.instance_id, processes)].append(feed)
+    tasks = [ShardTask(feeds=s, config=config) for s in shards if s]
+    import multiprocessing
+
+    merged: dict[str, int] = {}
+    with multiprocessing.Pool(processes=min(processes, len(tasks))) as pool:
+        for counts in pool.map(run_shard, tasks):
+            merged.update(counts)
+    return merged

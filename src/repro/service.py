@@ -1,83 +1,33 @@
 """The always-on diagnosis service (DAS-style autonomy loop).
 
-Ties every module together the way the production deployment does
-(paper Section III): the service consumes the broker's query-log and
-performance-metric topics continuously; the real-time detector watches
-the metrics; when an anomaly fires, the service assembles the anomaly
-case from the retention-bounded log store (δs seconds of context), runs
-PinSQL, renders the diagnosis report, plans repair actions per the
-configured rules, and — when an instance handle and auto-execution are
-configured — executes them.
+Single-instance facade over the fleet machinery: a
+:class:`PinSqlService` is an
+:class:`~repro.fleet.engine.InstanceDiagnosisEngine` with an empty
+``instance_id`` — the original shared ``query_logs`` /
+``performance_metrics`` topics, unlabelled telemetry, and a private
+self-monitor — so everything written against the pre-fleet API keeps
+working unchanged.  Multi-instance deployments use
+:class:`~repro.fleet.service.FleetDiagnosisService`, which runs one
+engine per registered instance on a sharded worker pool.
+
+``ServiceConfig`` and ``Diagnosis`` live in :mod:`repro.fleet.engine`
+now; they are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.collection.aggregator import aggregate_logstore
-from repro.collection.logstore import LogStore
 from repro.collection.stream import Broker
-from repro.core.case import AnomalyCase
-from repro.core.config import PinSQLConfig
-from repro.core.pipeline import PinSQL, PinSQLResult
-from repro.core.repair.engine import RepairEngine, RepairPlan
-from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig
-from repro.core.report import DiagnosisReport, render_report
 from repro.dbsim.instance import DatabaseInstance
-from repro.dbsim.monitor import InstanceMetrics
-from repro.detection.case_builder import DetectedAnomaly
-from repro.detection.realtime import RealtimeAnomalyDetector
-from repro.detection.typing import CategoryVerdict, classify_case
-from repro.sqltemplate import TemplateCatalog, fingerprint
-from repro.telemetry import (
-    MetricsRegistry,
-    SelfMonitor,
-    Tracer,
-    get_logger,
-    get_registry,
-    get_tracer,
-)
-from repro.telemetry.selfmon import forward_fill_series
+from repro.fleet.engine import Diagnosis, InstanceDiagnosisEngine, ServiceConfig
+from repro.telemetry import MetricsRegistry, Tracer
 from repro.timeseries import TimeSeries
-
-import numpy as np
 
 __all__ = ["ServiceConfig", "Diagnosis", "PinSqlService"]
 
-_log = get_logger("service")
 
-
-@dataclass(frozen=True)
-class ServiceConfig:
-    """Configuration of the autonomy loop (the paper's Fig. 5 knobs)."""
-
-    pinsql: PinSQLConfig = field(default_factory=PinSQLConfig)
-    repair: RepairConfig = DEFAULT_REPAIR_CONFIG
-    #: δs — context collected before the detected anomaly start.
-    delta_start_s: int = 900
-    #: Sliding window and cadence of the real-time detector.
-    detector_window_s: int = 1800
-    evaluation_interval_s: int = 60
-    #: Ignore anomalies shorter than this (user-configurable, Sec. IV-B).
-    min_anomaly_duration_s: int = 30
-
-
-@dataclass
-class Diagnosis:
-    """One completed diagnosis produced by the service."""
-
-    anomaly: DetectedAnomaly
-    case: AnomalyCase
-    result: PinSQLResult
-    report: DiagnosisReport
-    plan: RepairPlan
-    executed: bool
-    #: Rule-based anomaly typing (category + evidence).
-    verdict: CategoryVerdict | None = None
-
-
-class PinSqlService:
+class PinSqlService(InstanceDiagnosisEngine):
     """Consumes the broker topics and diagnoses anomalies autonomously.
 
     Parameters
@@ -113,267 +63,13 @@ class PinSqlService:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
     ) -> None:
-        self.config = config or ServiceConfig()
-        self.broker = broker
-        self.instance = instance
-        self.history_provider = history_provider
-        self.notify = notify
-        if tracer is None:
-            tracer = get_tracer() if registry is None else Tracer(registry=registry)
-        self.registry = registry or get_registry()
-        self.tracer = tracer
-        self.logstore = LogStore(registry=self.registry)
-        self.catalog = TemplateCatalog()
-        self._log_consumer = broker.consumer("query_logs")
-        self.detector = RealtimeAnomalyDetector(
-            broker.consumer("performance_metrics"),
-            window_s=self.config.detector_window_s,
-            evaluation_interval_s=self.config.evaluation_interval_s,
-            registry=self.registry,
-        )
-        self._pinsql = PinSQL(self.config.pinsql, tracer=self.tracer)
-        self._repair = RepairEngine(self.config.repair, registry=self.registry)
-        #: Self-monitoring: gauge/counter history of this very service,
-        #: exposed as TimeSeries so the repo's detectors can watch it.
-        self.selfmon = SelfMonitor(
-            self.registry, window_s=self.config.detector_window_s
-        )
-        #: Per-metric raw samples retained for case assembly; bounded by
-        #: the detector window extended by δs (see _capture_metric_samples).
-        self._metric_samples: dict[str, dict[int, float]] = {}
-        self.diagnoses: list[Diagnosis] = []
-        reg = self.registry
-        self._m_steps = reg.counter(
-            "service_steps_total", help="Service loop iterations."
-        )
-        self._m_diagnoses = reg.counter(
-            "service_diagnoses_total", help="Completed diagnoses."
-        )
-        self._m_log_messages = reg.counter(
-            "service_querylog_messages_total",
-            help="Query-log messages drained into the LogStore.",
-        )
-        self._m_samples_evicted = reg.counter(
-            "service_metric_samples_evicted_total",
-            help="Mirrored metric samples dropped by the retention bound.",
-        )
-        self._g_sample_count = reg.gauge(
-            "service_metric_samples_resident",
-            help="Mirrored metric samples currently retained.",
-        )
-
-    def _count_skip(self, reason: str) -> None:
-        self.registry.counter(
-            "service_anomalies_skipped_total",
-            help="Anomaly events not diagnosed, by reason.",
-            reason=reason,
-        ).inc()
-
-    # ------------------------------------------------------------------
-    # Stream consumption
-    # ------------------------------------------------------------------
-    def _drain_query_logs(self, max_messages: int = 50_000) -> int:
-        from repro.dbsim.query import SecondBatch
-
-        handled = 0
-        while True:
-            messages = self._log_consumer.poll(max_messages)
-            if not messages:
-                break
-            for message in messages:
-                record = message.value
-                sql_id = record["sql_id"]
-                self.logstore.ingest_batch(
-                    SecondBatch(
-                        sql_id=sql_id,
-                        arrive_ms=np.asarray(record["arrive_ms"], dtype=np.int64),
-                        response_ms=np.asarray(record["response_ms"], dtype=np.float64),
-                        examined_rows=np.asarray(record["examined_rows"], dtype=np.float64),
-                    )
-                )
-                if sql_id not in self.catalog and "statement" in record:
-                    self.catalog.register_statement(record["statement"])
-                handled += 1
-        return handled
-
-    def register_statement(self, sql: str) -> None:
-        """Teach the catalog a statement (collectors may also inline them)."""
-        fp = fingerprint(sql)
-        self.catalog.register_template(fp.sql_id, fp.template, fp.kind, fp.tables)
-
-    def register_catalog(self, catalog: TemplateCatalog) -> None:
-        """Merge an external template catalog (e.g. from the workload)."""
-        for info in catalog:
-            self.catalog.register_template(
-                info.sql_id, info.template, info.kind, info.tables
-            )
-
-    # ------------------------------------------------------------------
-    # The loop
-    # ------------------------------------------------------------------
-    def step(self) -> list[Diagnosis]:
-        """Consume available stream data; diagnose any fresh anomalies."""
-        self._m_steps.inc()
-        handled = self._drain_query_logs()
-        if handled:
-            self._m_log_messages.inc(handled)
-        events = self.detector.poll()
-        self._capture_metric_samples()
-        produced: list[Diagnosis] = []
-        for event in events:
-            if event.is_update:
-                self._count_skip("update")
-                continue
-            if event.anomaly.duration < self.config.min_anomaly_duration_s:
-                self._count_skip("too_short")
-                continue
-            diagnosis = self._diagnose(event.anomaly)
-            if diagnosis is not None:
-                self.diagnoses.append(diagnosis)
-                produced.append(diagnosis)
-                self._m_diagnoses.inc()
-                _log.info(
-                    "anomaly diagnosed",
-                    extra={
-                        "anomaly_start": event.anomaly.start,
-                        "anomaly_end": event.anomaly.end,
-                        "types": "|".join(event.anomaly.types),
-                        "top_rsql": (
-                            diagnosis.result.rsql_ids[0]
-                            if diagnosis.result.rsql_ids
-                            else ""
-                        ),
-                        "executed": diagnosis.executed,
-                    },
-                )
-                if self.notify is not None:
-                    self.notify(diagnosis)
-        if self.detector.stream_time is not None:
-            self.selfmon.sample(self.detector.stream_time)
-        return produced
-
-    def run_until_drained(self, max_idle_iterations: int = 25) -> list[Diagnosis]:
-        """Step until both topics are exhausted.
-
-        Guarded against a non-advancing broker: when the lag stays
-        positive but :meth:`step` makes no progress for
-        ``max_idle_iterations`` consecutive iterations (offsets frozen,
-        nothing diagnosed), the loop logs a warning with the stuck topic
-        lags and breaks rather than spinning forever.
-        """
-        produced: list[Diagnosis] = []
-        idle = 0
-        while self._log_consumer.lag > 0 or self.detector.consumer.lag > 0:
-            offsets = (self._log_consumer.offset, self.detector.consumer.offset)
-            step_produced = self.step()
-            produced.extend(step_produced)
-            advanced = (
-                (self._log_consumer.offset, self.detector.consumer.offset)
-                != offsets
-            )
-            if advanced or step_produced:
-                idle = 0
-                continue
-            idle += 1
-            if idle >= max_idle_iterations:
-                _log.warning(
-                    "broker not advancing; abandoning drain",
-                    extra={
-                        "idle_iterations": idle,
-                        "query_logs_lag": self._log_consumer.lag,
-                        "performance_metrics_lag": self.detector.consumer.lag,
-                    },
-                )
-                self._count_skip("drain_stalled")
-                break
-        return produced
-
-    # ------------------------------------------------------------------
-    def _capture_metric_samples(self) -> None:
-        """Mirror the detector's buffers for case assembly (bounded).
-
-        Uses the detector's public read-only buffer views, and bounds the
-        mirror with the detector's own retention window extended by δs:
-        an anomaly can start up to ``window_s`` in the past and the case
-        needs ``delta_start_s`` of context before that, so anything older
-        than ``stream_time - (window_s + δs)`` can never be referenced
-        again and is evicted (reported via the telemetry gauges).
-        """
-        for name, samples in self.detector.iter_buffer_samples():
-            mirror = self._metric_samples.setdefault(name, {})
-            mirror.update(samples)
-        now = self.detector.stream_time
-        resident = 0
-        if now is not None:
-            cutoff = now - (self.detector.window_s + self.config.delta_start_s)
-            evicted = 0
-            for mirror in self._metric_samples.values():
-                stale = [t for t in mirror if t < cutoff]
-                for t in stale:
-                    del mirror[t]
-                evicted += len(stale)
-                resident += len(mirror)
-            if evicted:
-                self._m_samples_evicted.inc(evicted)
-        self._g_sample_count.set(resident)
-
-    def _metric_series(self, name: str, ts: int, te: int) -> TimeSeries:
-        return forward_fill_series(
-            self._metric_samples.get(name, {}), ts, te, name=name
-        )
-
-    def _diagnose(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
-        with self.tracer.span("service.diagnose") as span:
-            diagnosis = self._diagnose_inner(anomaly)
-        span.attrs["produced"] = diagnosis is not None
-        return diagnosis
-
-    def _diagnose_inner(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
-        ts = max(0, anomaly.start - self.config.delta_start_s)
-        te = max(anomaly.end, anomaly.start + 1)
-        metrics = InstanceMetrics(
-            {
-                name: self._metric_series(name, ts, te)
-                for name in self._metric_samples
-            }
-        )
-        if "active_session" not in metrics:
-            self._count_skip("no_session_metric")
-            return None
-        templates = aggregate_logstore(self.logstore, ts, te)
-        if not templates.sql_ids:
-            self._count_skip("no_templates")
-            return None
-        history: dict[str, dict[int, TimeSeries]] = {}
-        if self.history_provider is not None:
-            for sql_id in templates.sql_ids:
-                for days in self.config.pinsql.history_days:
-                    series = self.history_provider(sql_id, days, ts, te)
-                    if series is not None:
-                        history.setdefault(sql_id, {})[days] = series
-        case = AnomalyCase(
-            metrics=metrics,
-            templates=templates,
-            logs=self.logstore,
-            catalog=self.catalog,
-            anomaly_start=anomaly.start,
-            anomaly_end=min(anomaly.end, te),
-            history=history,
-        )
-        result = self._pinsql.analyze(case)
-        verdict = classify_case(case)
-        plan = self._repair.plan(case, result, anomaly_types=anomaly.types)
-        executed = False
-        if self.instance is not None and self.config.repair.auto_execute:
-            self._repair.execute(plan, self.instance, now_s=te)
-            executed = bool(plan.executed)
-        report = render_report(case, result, plan=plan)
-        return Diagnosis(
-            anomaly=anomaly,
-            case=case,
-            result=result,
-            report=report,
-            plan=plan,
-            executed=executed,
-            verdict=verdict,
+        super().__init__(
+            broker,
+            instance_id="",
+            config=config,
+            instance=instance,
+            history_provider=history_provider,
+            notify=notify,
+            registry=registry,
+            tracer=tracer,
         )

@@ -6,7 +6,7 @@ modules look up statement kind and touched tables by ``SQL_ID``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.sqltemplate.fingerprint import Fingerprint, StatementKind, fingerprint

@@ -26,6 +26,7 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    filter_snapshot,
     labeled_name,
     render_summary,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "filter_snapshot",
     "labeled_name",
     "render_summary",
     "Span",

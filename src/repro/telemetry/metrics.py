@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import re
+import threading
 from bisect import bisect_left
 from typing import Iterator, Mapping
 
@@ -26,6 +27,7 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_COUNT_BUCKETS",
     "labeled_name",
+    "filter_snapshot",
     "render_summary",
 ]
 
@@ -150,6 +152,11 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        # Instrument *creation* is locked so concurrent fleet workers
+        # can't race the check-then-insert and orphan an instrument; the
+        # per-call fast path (existing series) stays lock-free under the
+        # GIL's atomic dict reads.
+        self._create_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Instrument accessors
@@ -170,28 +177,34 @@ class MetricsRegistry:
         return self._series(name, "histogram", help, tuple(buckets), labels)
 
     def _series(self, name, kind, help, buckets, labels):
+        family = self._families.get(name)
+        if family is not None and family.kind == kind:
+            instrument = family.series.get(_label_key(labels))
+            if instrument is not None:
+                return instrument
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name: {name!r}")
-        family = self._families.get(name)
-        if family is None:
-            family = _Family(name, kind, help, buckets)
-            self._families[name] = family
-        elif family.kind != kind:
-            raise ValueError(
-                f"metric {name!r} already registered as {family.kind}, "
-                f"requested as {kind}"
-            )
-        key = _label_key(labels)
-        instrument = family.series.get(key)
-        if instrument is None:
-            if kind == "counter":
-                instrument = Counter()
-            elif kind == "gauge":
-                instrument = Gauge()
-            else:
-                instrument = Histogram(family.buckets)
-            family.series[key] = instrument
-        return instrument
+        with self._create_lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help, buckets)
+                self._families[name] = family
+            elif family.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family.kind}, "
+                    f"requested as {kind}"
+                )
+            key = _label_key(labels)
+            instrument = family.series.get(key)
+            if instrument is None:
+                if kind == "counter":
+                    instrument = Counter()
+                elif kind == "gauge":
+                    instrument = Gauge()
+                else:
+                    instrument = Histogram(family.buckets)
+                family.series[key] = instrument
+            return instrument
 
     def get(self, name: str, **labels: str):
         """The existing instrument for ``(name, labels)``, or None."""
@@ -290,9 +303,29 @@ def _fmt_value(value: float) -> str:
     return repr(float(value))
 
 
-def render_summary(registry: MetricsRegistry, max_buckets: int = 4) -> str:
-    """Human-readable one-line-per-series dump for CLI output."""
-    snap = registry.snapshot()
+def filter_snapshot(snapshot: dict, **labels: str) -> dict:
+    """Restrict a :meth:`MetricsRegistry.snapshot` to matching series.
+
+    Keeps only series whose labels carry every given ``key=value`` —
+    e.g. ``filter_snapshot(snap, instance="db-03")`` isolates one fleet
+    member's telemetry.
+    """
+    def keep(entry: dict) -> bool:
+        return all(entry["labels"].get(k) == v for k, v in labels.items())
+
+    return {kind: [e for e in entries if keep(e)]
+            for kind, entries in snapshot.items()}
+
+
+def render_summary(
+    registry: MetricsRegistry | dict, max_buckets: int = 4
+) -> str:
+    """Human-readable one-line-per-series dump for CLI output.
+
+    Accepts a registry or an already-built (possibly filtered)
+    :meth:`MetricsRegistry.snapshot` dict.
+    """
+    snap = registry.snapshot() if isinstance(registry, MetricsRegistry) else registry
     lines: list[str] = []
     if snap["counters"]:
         lines.append("counters:")

@@ -75,9 +75,15 @@ class Tracer:
         registry: MetricsRegistry | None = None,
         max_roots: int = 64,
         enabled: bool = True,
+        labels: dict[str, str] | None = None,
     ) -> None:
         self.registry = registry
         self.enabled = enabled
+        #: Extra labels stamped on every span histogram observation —
+        #: fleet engines set ``{"instance": <id>}`` so per-stage timings
+        #: stay separable per instance (and per worker thread, which
+        #: also keeps the histogram instruments thread-private).
+        self.labels = dict(labels) if labels else {}
         self._stack: list[Span] = []
         self._roots: deque[Span] = deque(maxlen=max_roots)
 
@@ -103,6 +109,7 @@ class Tracer:
                 self.SPAN_METRIC,
                 help="Duration of traced pipeline spans.",
                 span=span.name,
+                **self.labels,
             ).observe(span.elapsed)
 
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ is the timestamp one interval after the series start.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -70,20 +70,51 @@ class TimeSeries:
             )
         return int(idx)
 
+    def at_index(self, index: int) -> float:
+        """Element by positional index (negative counts from the end)."""
+        index = int(index)
+        n = len(self.values)
+        if not -n <= index < n:
+            raise IndexError(
+                f"index {index} out of range for series of length {n}"
+            )
+        return self.values[index]
+
+    def at_timestamp(self, timestamp: int) -> float:
+        """Element by timestamp (must fall within ``[start, end)``)."""
+        return self.values[self.to_index(timestamp)]
+
     def __getitem__(self, key):
         """Index-or-timestamp element access (paper's dual addressing).
 
-        An integer key smaller than the series start is interpreted as a
-        plain index; a key at or beyond the start is interpreted as a
-        timestamp.  The two coincide only for ``start == 0`` where the
-        distinction is immaterial.  Slices are always index-based.
+        The decision is explicit, in priority order:
+
+        1. slices are always index-based;
+        2. when ``start == 0`` the two addressings coincide — plain
+           index (negative counts from the end);
+        3. a key within ``[start, end)`` is a timestamp;
+        4. a key within ``[0, len)`` is a plain index;
+        5. anything else raises :class:`IndexError` naming both valid
+           ranges (instead of falling through to numpy with a key that
+           was silently treated as an index).
+
+        Use :meth:`at_index` / :meth:`at_timestamp` to bypass the
+        heuristic entirely.
         """
         if isinstance(key, slice):
             return self.values[key]
         key = int(key)
-        if self.start != 0 and key >= self.start:
-            return self.values[self.to_index(key)]
-        return self.values[key]
+        if self.start == 0:
+            return self.at_index(key)
+        if self.start <= key < self.end:
+            return self.at_timestamp(key)
+        if 0 <= key < len(self.values):
+            return self.values[key]
+        raise IndexError(
+            f"key {key} is neither a valid index (0 <= i < {len(self.values)}) "
+            f"nor a timestamp in [{self.start}, {self.end}); "
+            f"use at_index()/at_timestamp() for explicit addressing"
+        )
 
     # ------------------------------------------------------------------
     # Windowing

@@ -12,7 +12,6 @@ anything touches production.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 import numpy as np
 

@@ -75,3 +75,98 @@ class TestConsumer:
         consumer = broker.consumer("empty")
         assert consumer.poll() == []
         assert consumer.lag == 0
+
+
+class TestInstanceTopics:
+    def test_instance_topic_roundtrip(self):
+        from repro.collection import instance_topic, split_topic
+
+        topic = instance_topic("query_logs", "db-07")
+        assert topic == "query_logs.db-07"
+        assert split_topic(topic) == ("query_logs", "db-07")
+
+    def test_empty_instance_is_shared_topic(self):
+        from repro.collection import instance_topic, split_topic
+
+        assert instance_topic("query_logs") == "query_logs"
+        assert split_topic("query_logs") == ("query_logs", "")
+
+    def test_dot_in_instance_id_rejected(self):
+        from repro.collection import instance_topic
+
+        with pytest.raises(ValueError, match=r"\."):
+            instance_topic("query_logs", "a.b")
+
+
+class TestPruning:
+    def _loaded_broker(self, n=10):
+        from repro.telemetry import MetricsRegistry
+
+        broker = Broker(registry=MetricsRegistry())
+        for i in range(n):
+            broker.publish("t", key="k", value=i)
+        return broker
+
+    def test_prune_drops_fully_acked_messages(self):
+        broker = self._loaded_broker()
+        consumer = broker.consumer("t")
+        consumer.poll(6)
+        assert broker.prune("t") == 6
+        assert broker.retained("t") == 4
+        assert broker.base_offset("t") == 6
+        # Total published count is unaffected by pruning.
+        assert broker.size("t") == 10
+
+    def test_slowest_consumer_bounds_prune(self):
+        broker = self._loaded_broker()
+        fast, slow = broker.consumer("t"), broker.consumer("t")
+        fast.poll(10)
+        slow.poll(3)
+        assert broker.prune() == 3
+        assert broker.retained("t") == 7
+
+    def test_topics_without_consumers_untouched(self):
+        broker = self._loaded_broker()
+        assert broker.prune() == 0
+        assert broker.retained("t") == 10
+
+    def test_absolute_offsets_survive_prune(self):
+        broker = self._loaded_broker()
+        consumer = broker.consumer("t")
+        consumer.poll(5)
+        broker.prune("t")
+        rest = consumer.poll(10)
+        assert [m.value for m in rest] == [5, 6, 7, 8, 9]
+        assert [m.offset for m in rest] == [5, 6, 7, 8, 9]
+
+    def test_read_below_base_resumes_at_base(self):
+        broker = self._loaded_broker()
+        broker.consumer("t").poll(4)
+        broker.prune("t")
+        messages = broker.read("t", 0, 10)
+        assert [m.value for m in messages] == [4, 5, 6, 7, 8, 9]
+
+    def test_seek_below_base_replays_retained_only(self):
+        broker = self._loaded_broker()
+        consumer = broker.consumer("t")
+        consumer.poll(10)
+        broker.prune("t")
+        consumer.seek(0)
+        assert consumer.poll(10) == []
+        # A new publish is visible again.
+        broker.publish("t", key="k", value=99)
+        assert [m.value for m in consumer.poll(10)] == [99]
+
+    def test_prune_counter_and_gauge(self):
+        broker = self._loaded_broker()
+        broker.consumer("t").poll(7)
+        broker.prune()
+        registry = broker.registry
+        assert registry.get("broker_pruned_messages_total", topic="t").value == 7
+        assert registry.get("broker_retained_messages", topic="t").value == 3
+
+    def test_repeated_prune_is_idempotent(self):
+        broker = self._loaded_broker()
+        broker.consumer("t").poll(5)
+        assert broker.prune("t") == 5
+        assert broker.prune("t") == 0

@@ -1,7 +1,6 @@
 """Tests for R-SQL identification (paper Section VI)."""
 
 import numpy as np
-import pytest
 
 from repro.collection import LogStore, TemplateMetricStore
 from repro.core import PinSQLConfig, RsqlIdentifier, SessionEstimator

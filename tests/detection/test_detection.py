@@ -6,7 +6,6 @@ import pytest
 from repro.detection import (
     BasicPerception,
     CaseBuilder,
-    DEFAULT_RULES,
     PhenomenonPerception,
     PhenomenonRule,
 )

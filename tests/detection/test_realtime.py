@@ -133,3 +133,79 @@ class TestBufferGapHandling:
             buffer.add(t, 1.0)
         buffer.trim(now=49)
         assert all(t >= 39 for t in buffer.samples)
+
+
+class TestPerInstanceIsolation:
+    """One broker, two instance-keyed streams, one detector per instance."""
+
+    @staticmethod
+    def _publish(broker, instance_id, values):
+        metrics = InstanceMetrics(
+            {
+                "active_session": TimeSeries(
+                    np.asarray(values, float), start=0, name="active_session"
+                )
+            }
+        )
+        MetricsCollector(broker, instance_id=instance_id).collect(metrics)
+
+    def test_anomaly_on_a_leaves_b_baseline_untouched(self):
+        from repro.collection import METRIC_TOPIC, instance_topic
+
+        spiky = quiet_then_spike(n=1200, at=(900, 1000), seed=7)
+        quiet = 10.0 + np.random.default_rng(8).normal(size=1200)
+        shared = Broker()
+        self._publish(shared, "db-a", spiky)
+        self._publish(shared, "db-b", quiet)
+        # Control: db-b's stream alone on a private broker.
+        solo = Broker()
+        self._publish(solo, "db-b", quiet)
+
+        topic_b = instance_topic(METRIC_TOPIC, "db-b")
+        detector_a = RealtimeAnomalyDetector(
+            shared.consumer(instance_topic(METRIC_TOPIC, "db-a")),
+            window_s=1200,
+            instance_id="db-a",
+        )
+        detector_b = RealtimeAnomalyDetector(
+            shared.consumer(topic_b), window_s=1200, instance_id="db-b"
+        )
+        control = RealtimeAnomalyDetector(
+            solo.consumer(topic_b), window_s=1200, instance_id="db-b"
+        )
+
+        events_a = detector_a.run_until_drained()
+        fresh = [e for e in events_a if not e.is_update]
+        assert fresh and all(e.instance_id == "db-a" for e in fresh)
+        # db-b sees nothing, and its baseline buffer is sample-identical
+        # to the control run that never shared a broker with db-a.
+        assert detector_b.run_until_drained() == []
+        assert control.run_until_drained() == []
+        assert (
+            detector_b._buffers["active_session"].samples
+            == control._buffers["active_session"].samples
+        )
+
+    def test_detector_skips_misrouted_records(self):
+        from repro.collection import METRIC_TOPIC, instance_topic
+
+        # A collector misconfigured to write db-a records onto db-b's
+        # topic: the instance-aware detector must drop them.
+        broker = Broker()
+        topic_b = instance_topic(METRIC_TOPIC, "db-b")
+        MetricsCollector(broker, topic=topic_b, instance_id="db-a").collect(
+            InstanceMetrics(
+                {
+                    "active_session": TimeSeries(
+                        np.asarray(quiet_then_spike(), float),
+                        start=0,
+                        name="active_session",
+                    )
+                }
+            )
+        )
+        detector = RealtimeAnomalyDetector(
+            broker.consumer(topic_b), window_s=1200, instance_id="db-b"
+        )
+        assert detector.run_until_drained() == []
+        assert detector._buffers == {}

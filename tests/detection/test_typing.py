@@ -1,6 +1,5 @@
 """Tests for the anomaly-category classifier."""
 
-import pytest
 
 from repro.detection import classify_case
 from repro.workload import AnomalyCategory

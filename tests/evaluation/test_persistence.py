@@ -103,3 +103,40 @@ class TestCorpusIO:
         np.savez_compressed(path, **data)
         with pytest.raises(ValueError, match="version"):
             load_case(path)
+
+
+class TestMultiInstance:
+    def test_instance_id_survives_roundtrip(self, poor_sql_case, tmp_path):
+        import dataclasses
+
+        labelled = dataclasses.replace(poor_sql_case, instance_id="inst-03")
+        loaded = load_case(save_case(labelled, tmp_path / "case.npz"))
+        assert loaded.instance_id == "inst-03"
+        assert loaded.r_sqls == labelled.r_sqls
+        assert loaded.category is labelled.category
+
+    def test_corpus_preserves_per_case_instances(
+        self, poor_sql_case, row_lock_case, tmp_path
+    ):
+        import dataclasses
+
+        cases = [
+            dataclasses.replace(poor_sql_case, instance_id="inst-00"),
+            dataclasses.replace(row_lock_case, instance_id="inst-01"),
+        ]
+        save_corpus(cases, tmp_path / "corpus")
+        corpus = load_corpus(tmp_path / "corpus")
+        assert [c.instance_id for c in corpus] == ["inst-00", "inst-01"]
+
+    def test_pre_fleet_archive_loads_unattributed(self, poor_sql_case, tmp_path):
+        import json
+
+        # Archives written before instance_id existed have no such label;
+        # they must load with the unattributed sentinel, not fail.
+        path = save_case(poor_sql_case, tmp_path / "case.npz")
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["__meta__"]).decode())
+        meta["labels"].pop("instance_id")
+        data["__meta__"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+        np.savez_compressed(path, **data)
+        assert load_case(path).instance_id == ""

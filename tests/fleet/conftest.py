@@ -1,0 +1,45 @@
+"""Shared fleet-test fixture: one simulated 3-instance stream.
+
+Simulation is the expensive part (three full workload runs), so the
+broker is built once per test session; tests that mutate broker state
+(pruning) replay it onto a private broker first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collection import Broker, MetricsCollector, QueryLogCollector
+from repro.dbsim import DatabaseInstance
+from repro.workload import (
+    AnomalyCategory,
+    WorkloadGenerator,
+    build_population,
+    inject_anomaly,
+)
+
+DURATION, ONSET = 600, 400
+INSTANCE_IDS = ("db-a", "db-b", "db-c")
+ANOMALOUS = ("db-a", "db-b")
+
+
+@pytest.fixture(scope="session")
+def fleet_stream():
+    """Broker + populations + truths for a 3-instance fleet."""
+    broker = Broker()
+    populations, truths = {}, {}
+    for i, instance_id in enumerate(INSTANCE_IDS):
+        rng = np.random.default_rng(60 + i)
+        population = build_population(DURATION, rng, n_businesses=4)
+        truth = None
+        if instance_id in ANOMALOUS:
+            truth = inject_anomaly(
+                population, rng, AnomalyCategory.ROW_LOCK, ONSET, DURATION,
+                target_rate=(25.0, 35.0), lock_hold_ms=(300.0, 400.0),
+            )
+        db = DatabaseInstance(schema=population.schema, cpu_cores=8, seed=9 + i)
+        run = db.run(WorkloadGenerator(population), duration=DURATION)
+        QueryLogCollector(broker, instance_id=instance_id).collect(run.query_log)
+        MetricsCollector(broker, instance_id=instance_id).collect(run.metrics)
+        populations[instance_id] = population
+        truths[instance_id] = truth
+    return broker, populations, truths

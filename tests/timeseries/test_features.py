@@ -1,6 +1,5 @@
 """Tests for the anomalous-feature vocabulary."""
 
-import pytest
 
 from repro.timeseries import AnomalousFeature, FeatureKind
 

@@ -54,6 +54,40 @@ class TestAddressing:
         with pytest.raises(IndexError):
             ts.to_index(102)
 
+    def test_explicit_accessors(self):
+        ts = TimeSeries([10.0, 11.0, 12.0], start=1000)
+        assert ts.at_index(1) == 11.0
+        assert ts.at_index(-1) == 12.0
+        assert ts.at_timestamp(1001) == 11.0
+        with pytest.raises(IndexError, match="out of range"):
+            ts.at_index(3)
+        with pytest.raises(IndexError, match="outside series range"):
+            ts.at_timestamp(1003)
+        with pytest.raises(IndexError, match="outside series range"):
+            ts.at_timestamp(2)
+
+    def test_gap_key_raises_clear_error(self):
+        # Keys in (len, start) used to fall through to numpy as a plain
+        # index and raise a confusing out-of-bounds error.
+        ts = TimeSeries([10.0, 11.0, 12.0], start=1000)
+        with pytest.raises(IndexError, match="neither a valid index"):
+            ts[500]
+        with pytest.raises(IndexError, match="at_index"):
+            ts[1003]
+
+    def test_negative_key_nonzero_start_rejected(self):
+        # Previously -5 silently indexed from the end of a start=1000
+        # series; addressing is now explicit.
+        ts = TimeSeries([10.0, 11.0, 12.0], start=1000)
+        with pytest.raises(IndexError, match="neither"):
+            ts[-1]
+
+    def test_zero_start_plain_indexing(self):
+        ts = TimeSeries([1.0, 2.0, 3.0], start=0)
+        assert ts[-1] == 3.0
+        with pytest.raises(IndexError, match="out of range"):
+            ts[3]
+
     def test_timestamps_property(self):
         ts = TimeSeries([1, 2, 3], start=50, interval=10)
         assert list(ts.timestamps) == [50, 60, 70]
