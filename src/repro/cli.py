@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the adoption path:
+Seven subcommands cover the adoption path:
 
 * ``repro generate``   — synthesise a labelled anomaly case to a file;
 * ``repro diagnose``   — run PinSQL on a saved case and print the report;
@@ -8,10 +8,14 @@ Six subcommands cover the adoption path:
 * ``repro demo``       — generate-and-diagnose in one go;
 * ``repro fleet-demo`` — simulate a fleet of instances on one broker and
   diagnose them concurrently with the sharded worker pool;
+  ``--record DIR`` persists every diagnosis to an incident store;
 * ``repro obs``        — exercise the pipeline and dump its self-telemetry
   (metrics snapshot as summary / JSON / Prometheus text exposition);
   ``--fleet N`` exercises a fleet instead and ``--instance ID`` restricts
-  the dump to one instance's labelled series.
+  the dump to one instance's labelled series;
+* ``repro incidents``  — query a recorded incident store:
+  ``list`` the index, ``show`` one evidence chain as text, ``report``
+  one as self-contained HTML, ``health`` for the fleet-wide rollup.
 
 ``demo`` and ``evaluate`` additionally accept ``--telemetry`` to print
 the metrics snapshot and the span tree of the run.
@@ -94,6 +98,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "pruning acknowledged ones")
     fleet.add_argument("--telemetry", action="store_true",
                        help="print the metrics snapshot afterwards")
+    fleet.add_argument("--record", type=Path, default=None, metavar="DIR",
+                       help="persist every diagnosis to an incident store "
+                            "under DIR (query with `repro incidents`)")
 
     obs = sub.add_parser(
         "obs", help="exercise the pipeline and dump its self-telemetry"
@@ -118,6 +125,58 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--instance", default="",
                      help="restrict the dump to series labelled with this "
                           "instance id (fleet mode)")
+
+    inc = sub.add_parser(
+        "incidents", help="query and render a recorded incident store"
+    )
+    inc_sub = inc.add_subparsers(dest="incidents_command", required=True)
+
+    def _add_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dir", type=Path, default=Path("incidents"),
+                       help="incident store directory (default: ./incidents)")
+
+    inc_list = inc_sub.add_parser("list", help="list recorded incidents")
+    _add_dir(inc_list)
+    inc_list.add_argument("--instance", default=None,
+                          help="only incidents on this instance id")
+    inc_list.add_argument("--verdict", default=None,
+                          help="only incidents typed with this verdict")
+    inc_list.add_argument("--template", default=None,
+                          help="only incidents ranking this R-SQL id")
+    inc_list.add_argument("--since", type=int, default=None,
+                          help="only anomalies ending after this stream time")
+    inc_list.add_argument("--until", type=int, default=None,
+                          help="only anomalies starting before this stream time")
+    inc_list.add_argument("--limit", type=int, default=20)
+
+    inc_show = inc_sub.add_parser(
+        "show", help="render one incident's full evidence chain as text"
+    )
+    _add_dir(inc_show)
+    inc_show.add_argument("id", nargs="?", default=None,
+                          help="incident id (omit with --latest)")
+    inc_show.add_argument("--latest", action="store_true",
+                          help="show the most recent incident")
+
+    inc_report = inc_sub.add_parser(
+        "report", help="render one incident as a self-contained HTML page"
+    )
+    _add_dir(inc_report)
+    inc_report.add_argument("id", nargs="?", default=None,
+                            help="incident id (omit with --latest)")
+    inc_report.add_argument("--latest", action="store_true",
+                            help="report the most recent incident")
+    inc_report.add_argument("--out", type=Path, default=None,
+                            help="write HTML here (default: stdout)")
+
+    inc_health = inc_sub.add_parser(
+        "health", help="fleet-wide rollup across one or many stores"
+    )
+    _add_dir(inc_health)
+    inc_health.add_argument("--top", type=int, default=10,
+                            help="recurring R-SQL templates to list")
+    inc_health.add_argument("--json", action="store_true",
+                            help="emit the rollup as JSON")
     return parser
 
 
@@ -237,6 +296,11 @@ def cmd_demo(args) -> int:
     return 0
 
 
+def _fleet_instance_ids(n_instances: int) -> list[str]:
+    """The deterministic instance ids `_run_fleet` will register."""
+    return [f"db-{i:02d}" for i in range(n_instances)]
+
+
 def _run_fleet(
     n_instances: int,
     workers: int,
@@ -244,6 +308,7 @@ def _run_fleet(
     duration: int,
     seed: int,
     prune: bool,
+    record_dir: "Path | None" = None,
 ):
     """Simulate a fleet onto one broker and drain it; returns (service, truths).
 
@@ -266,8 +331,7 @@ def _run_fleet(
     onset = max(120, (duration * 2) // 3)
     broker = Broker()
     truths, populations = {}, {}
-    for i in range(n_instances):
-        instance_id = f"db-{i:02d}"
+    for i, instance_id in enumerate(_fleet_instance_ids(n_instances)):
         rng = np.random.default_rng(seed * 1009 + i)
         population = build_population(duration, rng, n_businesses=5)
         truth = None
@@ -289,7 +353,12 @@ def _run_fleet(
         workers=workers,
         prune_broker=prune,
     )
-    service = FleetDiagnosisService(broker, config)
+    recorder = None
+    if record_dir is not None:
+        from repro.incidents import IncidentRecorder, IncidentStore
+
+        recorder = IncidentRecorder(IncidentStore(record_dir))
+    service = FleetDiagnosisService(broker, config, recorder=recorder)
     for instance_id, population in populations.items():
         engine = service.register_instance(instance_id)
         for spec in population.specs.values():
@@ -311,6 +380,7 @@ def cmd_fleet_demo(args) -> int:
     service, truths = _run_fleet(
         args.instances, args.workers, anomalous,
         args.duration, args.seed, prune=not args.no_prune,
+        record_dir=getattr(args, "record", None),
     )
     print(f"{'instance':<10} {'injected':>8} {'diagnoses':>9}  top R-SQL  verdict")
     misattributed = 0
@@ -341,6 +411,14 @@ def cmd_fleet_demo(args) -> int:
         f"\nbroker: {published:,} messages published, {retained:,} retained "
         f"({'pruning on' if not args.no_prune else 'pruning off'})"
     )
+    record_dir = getattr(args, "record", None)
+    if record_dir is not None and service.recorder is not None:
+        store = service.recorder.store
+        print(
+            f"incident store: {store.record_count} record(s) in "
+            f"{store.segment_count} segment(s) under {record_dir} "
+            f"(inspect with `repro incidents list --dir {record_dir}`)"
+        )
     if getattr(args, "telemetry", False):
         _print_telemetry()
     if misattributed or missed or spurious:
@@ -385,6 +463,24 @@ def cmd_obs(args) -> int:
         reset_telemetry,
     )
 
+    if args.instance and args.fleet <= 0:
+        print(
+            "error: --instance requires --fleet N (single-pipeline runs "
+            "carry no instance labels)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.instance and args.fleet > 0:
+        # Validate BEFORE the expensive fleet simulation: the ids
+        # _run_fleet registers are deterministic.
+        known = _fleet_instance_ids(args.fleet)
+        if args.instance not in known:
+            print(
+                f"error: unknown instance id {args.instance!r}; "
+                f"--fleet {args.fleet} registers: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 2
     configure_telemetry(fmt=args.log_format)
     reset_telemetry()  # metrics below describe this run only
     if args.fleet > 0:
@@ -429,6 +525,132 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def _open_stores(args):
+    """Every incident store under ``args.dir`` (a store directory, or a
+    parent holding one per shard); [] with a message when none exist."""
+    from repro.incidents import IncidentStore, discover_stores
+
+    roots = discover_stores(args.dir)
+    if not roots:
+        print(
+            f"error: no incident store under {args.dir} "
+            "(record one with `repro fleet-demo --record DIR`)",
+            file=sys.stderr,
+        )
+    return [IncidentStore(root) for root in roots]
+
+
+def _resolve_incident(stores, args):
+    """The full record for ``args.id`` / ``--latest``; None + message."""
+    if args.latest:
+        metas = [m for s in stores for m in [s.latest()] if m is not None]
+        if not metas:
+            print("error: store is empty", file=sys.stderr)
+            return None
+        newest = max(metas, key=lambda m: (m.created_at, m.incident_id))
+        for store in stores:
+            record = store.get(newest.incident_id)
+            if record is not None:
+                return record
+        return None
+    if not args.id:
+        print("error: give an incident id or --latest", file=sys.stderr)
+        return None
+    for store in stores:
+        record = store.get(args.id)
+        if record is not None:
+            return record
+    recent = sorted(
+        (m for s in stores for m in s.metas()),
+        key=lambda m: (m.created_at, m.incident_id),
+    )[-5:]
+    known = ", ".join(m.incident_id for m in recent)
+    print(
+        f"error: unknown incident id {args.id!r} (most recent: {known})",
+        file=sys.stderr,
+    )
+    return None
+
+
+def cmd_incidents(args) -> int:
+    """Dispatch the ``repro incidents`` subcommands."""
+    if args.incidents_command == "health":
+        import json
+
+        from repro.incidents import discover_stores, load_health, render_health_text
+
+        if not discover_stores(args.dir):
+            print(
+                f"error: no incident store under {args.dir} "
+                "(record one with `repro fleet-demo --record DIR`)",
+                file=sys.stderr,
+            )
+            return 1
+        health = load_health(args.dir, top_k=args.top)
+        if args.json:
+            print(json.dumps(health.to_dict(), indent=2))
+        else:
+            print(render_health_text(health))
+        return 0
+
+    stores = _open_stores(args)
+    if not stores:
+        return 1
+    if args.incidents_command == "list":
+        metas = sorted(
+            (
+                m
+                for s in stores
+                for m in s.query(
+                    instance=args.instance,
+                    since=args.since,
+                    until=args.until,
+                    verdict=args.verdict,
+                    template=args.template,
+                )
+            ),
+            key=lambda m: (m.created_at, m.incident_id),
+            reverse=True,
+        )[: args.limit]
+        if not metas:
+            print("no incidents match")
+            return 0
+        print(
+            f"{'incident':<28} {'instance':<10} {'window':<16} "
+            f"{'verdict':<16} {'top R-SQL':<10} repair"
+        )
+        for meta in metas:
+            window = f"[{meta.anomaly_start}, {meta.anomaly_end})"
+            print(
+                f"{meta.incident_id:<28} {meta.instance_id or '-':<10} "
+                f"{window:<16} {meta.verdict or '-':<16} "
+                f"{meta.top_r_sql or '-':<10} {meta.repair_outcome}"
+            )
+        total = sum(s.record_count for s in stores)
+        print(f"{len(metas)} incident(s); store holds {total}")
+        return 0
+
+    record = _resolve_incident(stores, args)
+    if record is None:
+        return 1
+    if args.incidents_command == "show":
+        from repro.incidents import render_incident_text
+
+        print(render_incident_text(record))
+        return 0
+    # report
+    from repro.incidents import render_incident_html
+
+    html_text = render_incident_html(record)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(html_text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(html_text)
+    return 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "diagnose": cmd_diagnose,
@@ -436,6 +658,7 @@ _COMMANDS = {
     "demo": cmd_demo,
     "fleet-demo": cmd_fleet_demo,
     "obs": cmd_obs,
+    "incidents": cmd_incidents,
 }
 
 

@@ -44,6 +44,16 @@ class StageTimings:
         """Time to produce the H-SQL ranking alone."""
         return self.session_estimation + self.hsql_ranking
 
+    def as_dict(self) -> dict[str, float]:
+        """Per-stage seconds plus the total (serialisation order fixed)."""
+        return {
+            "session_estimation": self.session_estimation,
+            "hsql_ranking": self.hsql_ranking,
+            "clustering_and_filtering": self.clustering_and_filtering,
+            "history_verification": self.history_verification,
+            "total": self.total,
+        }
+
 
 @dataclass
 class PinSQLResult:
@@ -102,7 +112,7 @@ class PinSQL:
 
     def analyze(self, case: AnomalyCase) -> PinSQLResult:
         """Run the full root-cause analysis on one anomaly case."""
-        with self.tracer.span("pinsql.analyze"):
+        with self.tracer.span("pinsql.analyze", templates=len(case.sql_ids)) as root:
             with self.tracer.span("session_estimation") as s_est:
                 sessions = self._estimator.estimate(
                     case.logs, case.sql_ids, case.active_session
@@ -110,16 +120,21 @@ class PinSQL:
             with self.tracer.span("hsql_ranking") as s_hsql:
                 hsql = self._hsql.identify(case, sessions)
             rsql = self._rsql.identify(case, hsql, sessions)
-        return PinSQLResult(
-            hsql=hsql,
-            rsql=rsql,
-            sessions=sessions,
-            timings=StageTimings(
+            timings = StageTimings(
                 session_estimation=s_est.elapsed,
                 hsql_ranking=s_hsql.elapsed,
                 clustering_and_filtering=rsql.clustering_seconds,
                 history_verification=rsql.verification_seconds,
-            ),
+            )
+            # Stamp the root span while it is still open, so retained
+            # traces (and incident records built from them) carry the
+            # stage breakdown even when a later consumer drops timings.
+            root.attrs["total_seconds"] = timings.total
+        return PinSQLResult(
+            hsql=hsql,
+            rsql=rsql,
+            sessions=sessions,
+            timings=timings,
         )
 
     # Ranker-protocol adapters so the evaluation harness can compare

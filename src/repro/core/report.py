@@ -9,13 +9,21 @@ actions.
 
 from __future__ import annotations
 
+import html
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 from repro.core.case import AnomalyCase
 from repro.core.pipeline import PinSQLResult
 from repro.core.repair.engine import RepairPlan
 
-__all__ = ["DiagnosisReport", "render_report"]
+__all__ = [
+    "DiagnosisReport",
+    "render_report",
+    "html_escape",
+    "html_table",
+    "render_html_document",
+]
 
 
 @dataclass(frozen=True)
@@ -28,6 +36,61 @@ class DiagnosisReport:
 
     def __str__(self) -> str:
         return self.text
+
+
+# ----------------------------------------------------------------------
+# HTML building blocks (shared with the incident flight recorder)
+# ----------------------------------------------------------------------
+_HTML_STYLE = """\
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2rem auto; max-width: 64rem; color: #1a1a2e; }
+h1 { border-bottom: 2px solid #1a1a2e; padding-bottom: .3rem; }
+h2 { margin-top: 1.6rem; color: #16324f; }
+table { border-collapse: collapse; width: 100%; margin: .6rem 0; }
+th, td { border: 1px solid #c9d4e0; padding: .3rem .55rem;
+         text-align: left; font-size: .9rem; }
+th { background: #eef3f8; }
+pre { background: #f5f6fa; border: 1px solid #d8dce6; padding: .7rem;
+      overflow-x: auto; font-size: .8rem; }
+.kv { color: #5a6b7f; }
+"""
+
+
+def html_escape(text: object) -> str:
+    """Escape arbitrary text for safe embedding in HTML."""
+    return html.escape(str(text), quote=True)
+
+
+def html_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """A plain HTML table; every cell is escaped."""
+    head = "".join(f"<th>{html_escape(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html_escape(c)}</td>" for c in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_html_document(title: str, sections: Sequence[tuple[str, str]]) -> str:
+    """A self-contained HTML document from ``(heading, body_html)`` pairs.
+
+    Section bodies are raw HTML (build them with :func:`html_table` /
+    :func:`html_escape`); headings are escaped here.
+    """
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html_escape(title)}</title>",
+        f"<style>{_HTML_STYLE}</style>",
+        "</head><body>",
+        f"<h1>{html_escape(title)}</h1>",
+    ]
+    for heading, body in sections:
+        if heading:
+            parts.append(f"<h2>{html_escape(heading)}</h2>")
+        parts.append(body)
+    parts.append("</body></html>")
+    return "\n".join(parts)
 
 
 def _statement_of(case: AnomalyCase, sql_id: str, width: int = 64) -> str:

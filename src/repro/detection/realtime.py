@@ -24,7 +24,20 @@ from repro.detection.phenomenon import PhenomenonPerception
 from repro.telemetry import MetricsRegistry, get_registry
 from repro.timeseries import TimeSeries
 
-__all__ = ["AnomalyEvent", "RealtimeAnomalyDetector"]
+__all__ = ["AnomalyEvent", "RealtimeAnomalyDetector", "snapshot_samples"]
+
+
+def snapshot_samples(
+    samples: Mapping[int, float], ts: int, te: int
+) -> list[tuple[int, float]]:
+    """Raw ``(timestamp, value)`` points with ``ts <= t < te``, sorted.
+
+    This is the *triggering* evidence shape the incident flight
+    recorder persists: the actual samples a detector buffer (or the
+    service's retention-bounded mirror of one) held, with gaps left as
+    gaps — unlike the forward-filled series the pipeline consumes.
+    """
+    return sorted((t, v) for t, v in samples.items() if ts <= t < te)
 
 
 @dataclass(frozen=True)
@@ -165,6 +178,16 @@ class RealtimeAnomalyDetector:
         """
         for name, buffer in self._buffers.items():
             yield name, MappingProxyType(buffer.samples)
+
+    def window_snapshot(self, ts: int, te: int) -> dict[str, list[tuple[int, float]]]:
+        """Per-metric raw samples within ``[ts, te)`` (metrics with none
+        are omitted).  Evidence capture for the incident recorder."""
+        out: dict[str, list[tuple[int, float]]] = {}
+        for name, buffer in self._buffers.items():
+            points = snapshot_samples(buffer.samples, ts, te)
+            if points:
+                out[name] = points
+        return out
 
     def poll(self, max_messages: int = 10_000) -> list[AnomalyEvent]:
         """Consume available metric points; return newly detected anomalies."""

@@ -18,9 +18,12 @@ engine without synchronising with the others.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incidents → core)
+    from repro.incidents.recorder import IncidentRecorder
 
 from repro.collection.aggregator import aggregate_logstore
 from repro.collection.collector import METRIC_TOPIC, QUERY_TOPIC
@@ -34,7 +37,7 @@ from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig
 from repro.core.report import DiagnosisReport, render_report
 from repro.dbsim.instance import DatabaseInstance
 from repro.detection.case_builder import DetectedAnomaly
-from repro.detection.realtime import RealtimeAnomalyDetector
+from repro.detection.realtime import RealtimeAnomalyDetector, snapshot_samples
 from repro.detection.typing import CategoryVerdict, classify_case
 from repro.sqltemplate import TemplateCatalog, fingerprint
 from repro.telemetry import (
@@ -82,6 +85,8 @@ class Diagnosis:
     verdict: CategoryVerdict | None = None
     #: The monitored instance the anomaly occurred on ("" pre-fleet).
     instance_id: str = ""
+    #: Id of the persisted incident record, when a recorder is attached.
+    incident_id: str | None = None
 
 
 class InstanceDiagnosisEngine:
@@ -135,6 +140,7 @@ class InstanceDiagnosisEngine:
         tracer: Tracer | None = None,
         logstore: LogStore | None = None,
         selfmon: SelfMonitor | None | str = "default",
+        recorder: "IncidentRecorder | None" = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.broker = broker
@@ -142,6 +148,9 @@ class InstanceDiagnosisEngine:
         self.instance = instance
         self.history_provider = history_provider
         self.notify = notify
+        #: Optional incident flight recorder; every completed diagnosis
+        #: is persisted as a durable evidence chain.
+        self.recorder = recorder
         self.query_topic = instance_topic(QUERY_TOPIC, instance_id)
         self.metric_topic = instance_topic(METRIC_TOPIC, instance_id)
         if tracer is None:
@@ -293,6 +302,8 @@ class InstanceDiagnosisEngine:
                 self.diagnoses.append(diagnosis)
                 produced.append(diagnosis)
                 self._m_diagnoses.inc()
+                if self.recorder is not None:
+                    self.recorder.record(diagnosis, engine=self)
                 _log.info(
                     "anomaly diagnosed",
                     extra={
@@ -382,10 +393,29 @@ class InstanceDiagnosisEngine:
             self._metric_samples.get(name, {}), ts, te, name=name
         )
 
+    def metric_window_snapshot(
+        self, ts: int, te: int
+    ) -> dict[str, list[tuple[int, float]]]:
+        """Raw mirrored samples per metric within ``[ts, te)``.
+
+        Evidence capture for the incident recorder: the mirror outlives
+        the detector's own trim (it retains window_s + δs), so the
+        triggering samples are still available when a diagnosis
+        completes.  Metrics with no points in the window are omitted.
+        """
+        out: dict[str, list[tuple[int, float]]] = {}
+        for name, samples in self._metric_samples.items():
+            points = snapshot_samples(samples, ts, te)
+            if points:
+                out[name] = points
+        return out
+
     def _diagnose(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
         with self.tracer.span("service.diagnose") as span:
             diagnosis = self._diagnose_inner(anomaly)
-        span.attrs["produced"] = diagnosis is not None
+            # Stamp while the span is open so retained traces (and the
+            # incident records built from them) carry the outcome.
+            span.attrs["produced"] = diagnosis is not None
         return diagnosis
 
     def _diagnose_inner(self, anomaly: DetectedAnomaly) -> Diagnosis | None:

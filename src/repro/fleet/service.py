@@ -24,7 +24,10 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incidents → core)
+    from repro.incidents.recorder import IncidentRecorder
 
 from repro.collection.logstore import DEFAULT_RETENTION_S, PartitionedLogStore
 from repro.collection.stream import Broker
@@ -71,11 +74,15 @@ class FleetDiagnosisService:
         config: FleetConfig | None = None,
         registry: MetricsRegistry | None = None,
         notify: Callable[[Diagnosis], None] | None = None,
+        recorder: "IncidentRecorder | None" = None,
     ) -> None:
         self.config = config or FleetConfig()
         self.broker = broker
         self.registry = registry or get_registry()
         self.notify = notify
+        #: Shared incident flight recorder handed to every engine; its
+        #: store serialises appends, so fleet workers may share one.
+        self.recorder = recorder
         self.instances = InstanceRegistry()
         self.scheduler = DiagnosisScheduler(self.config.workers)
         self.logstore = PartitionedLogStore(
@@ -126,6 +133,7 @@ class FleetDiagnosisService:
                 registry=self.registry,
                 logstore=self.logstore.partition(instance_id),
                 selfmon=None,
+                recorder=self.recorder,
             )
             if catalog is not None:
                 engine.register_catalog(catalog)

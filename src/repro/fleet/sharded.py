@@ -17,6 +17,7 @@ live Python state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.collection.collector import METRIC_TOPIC, QUERY_TOPIC
 from repro.collection.stream import Broker, instance_topic
@@ -42,6 +43,12 @@ class ShardTask:
 
     feeds: list[InstanceFeed]
     config: ServiceConfig | None = None
+    #: When set, the shard persists every diagnosis to an
+    #: :class:`~repro.incidents.store.IncidentStore` rooted here.  Each
+    #: worker process must get its OWN directory — JSONL segments are
+    #: single-writer; :func:`run_sharded` assigns ``shard-NN`` subdirs
+    #: and health reporting merges them back with ``discover_stores``.
+    incident_dir: str | None = None
 
 
 def feed_from_broker(broker: Broker, instance_id: str) -> InstanceFeed:
@@ -62,9 +69,15 @@ def run_shard(task: ShardTask) -> dict[str, int]:
     can pickle it.
     """
     broker = Broker()
+    recorder = None
+    if task.incident_dir is not None:
+        from repro.incidents import IncidentRecorder, IncidentStore
+
+        recorder = IncidentRecorder(IncidentStore(task.incident_dir))
     service = FleetDiagnosisService(
         broker,
         config=FleetConfig(service=task.config or ServiceConfig(), workers=1),
+        recorder=recorder,
     )
     for feed in task.feeds:
         service.register_instance(feed.instance_id)
@@ -83,18 +96,41 @@ def run_sharded(
     feeds: list[InstanceFeed],
     processes: int,
     config: ServiceConfig | None = None,
+    incident_dir: str | None = None,
 ) -> dict[str, int]:
     """Partition feeds over worker processes; merge diagnosis counts.
 
     ``processes <= 1`` runs everything inline (no multiprocessing), so
     callers can use one code path regardless of available cores.
+
+    When ``incident_dir`` is given, every shard records incidents into
+    its own subdirectory (``shard-00``, ``shard-01``, …) of that path;
+    ``repro incidents health <dir>`` (or
+    :func:`repro.incidents.load_health`) merges them afterwards.
     """
     if processes <= 1:
-        return run_shard(ShardTask(feeds=feeds, config=config))
+        shard_dir = None
+        if incident_dir is not None:
+            shard_dir = str(Path(incident_dir) / "shard-00")
+        return run_shard(
+            ShardTask(feeds=feeds, config=config, incident_dir=shard_dir)
+        )
     shards: list[list[InstanceFeed]] = [[] for _ in range(processes)]
     for feed in feeds:
         shards[stable_shard(feed.instance_id, processes)].append(feed)
-    tasks = [ShardTask(feeds=s, config=config) for s in shards if s]
+    tasks = [
+        ShardTask(
+            feeds=s,
+            config=config,
+            incident_dir=(
+                str(Path(incident_dir) / f"shard-{idx:02d}")
+                if incident_dir is not None
+                else None
+            ),
+        )
+        for idx, s in enumerate(shards)
+        if s
+    ]
     import multiprocessing
 
     merged: dict[str, int] = {}

@@ -16,7 +16,10 @@ now; they are re-exported here for compatibility.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incidents → core)
+    from repro.incidents.recorder import IncidentRecorder
 
 from repro.collection.stream import Broker
 from repro.dbsim.instance import DatabaseInstance
@@ -62,6 +65,7 @@ class PinSqlService(InstanceDiagnosisEngine):
         notify: Callable[[Diagnosis], None] | None = None,
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
+        recorder: "IncidentRecorder | None" = None,
     ) -> None:
         super().__init__(
             broker,
@@ -72,4 +76,5 @@ class PinSqlService(InstanceDiagnosisEngine):
             notify=notify,
             registry=registry,
             tracer=tracer,
+            recorder=recorder,
         )

@@ -47,7 +47,14 @@ class Span:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # Elapsed is recorded FIRST, unconditionally: a span that ends
+        # via exception must still report its duration (and is marked so
+        # downstream consumers — span trees, incident records — can tell
+        # a failed stage from a fast one).
         self.elapsed = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs["status"] = "error"
+            self.attrs["error"] = exc_type.__name__
         if self._tracer is not None:
             self._tracer._finish(self)
 
@@ -111,6 +118,13 @@ class Tracer:
                 span=span.name,
                 **self.labels,
             ).observe(span.elapsed)
+            if span.attrs.get("status") == "error":
+                self.registry.counter(
+                    "span_errors_total",
+                    help="Spans that ended via an exception.",
+                    span=span.name,
+                    **self.labels,
+                ).inc()
 
     # ------------------------------------------------------------------
     @property

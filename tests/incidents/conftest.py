@@ -1,0 +1,148 @@
+"""Shared builders for incident tests.
+
+``make_record`` builds a small but fully populated record cheaply (no
+simulation), so store/render/health tests stay fast; ``fake_diagnosis``
+duck-types the ``Diagnosis`` shape the recorder flattens.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.incidents import (
+    AnomalyWindow,
+    ClusterSummary,
+    HsqlEvidence,
+    IncidentRecord,
+    MetricTrace,
+    RepairOutcome,
+    RsqlEvidence,
+    SpanNode,
+)
+
+
+def make_record(
+    incident_id: str = "db-a-400-deadbeef",
+    instance_id: str = "db-a",
+    start: int = 400,
+    end: int = 580,
+    created_at: int | None = None,
+    verdict: str | None = "row_lock",
+    rsql_ids: tuple[str, ...] = ("R1", "R2"),
+    executed: bool = False,
+) -> IncidentRecord:
+    return IncidentRecord(
+        incident_id=incident_id,
+        instance_id=instance_id,
+        created_at=end if created_at is None else created_at,
+        anomaly=AnomalyWindow(
+            start=start, end=end, types=("cpu_anomaly",), detected_at=end
+        ),
+        metric_traces=(
+            MetricTrace("active_session", ((start, 3.0), (start + 1, 55.0))),
+            MetricTrace("cpu_usage", ((start, 20.0),)),
+        ),
+        hsql=(
+            HsqlEvidence("H1", trend=0.9, scale=0.8, scale_trend=0.7,
+                         impact=0.95, statement="SELECT * FROM t WHERE k = ?"),
+        ),
+        hsql_alpha=0.9,
+        hsql_beta=-0.9,
+        rsql=tuple(
+            RsqlEvidence(sid, score=0.9 - 0.1 * i, verified=i == 0,
+                         statement=f"UPDATE t SET c = ? /* {sid} */")
+            for i, sid in enumerate(rsql_ids)
+        ),
+        clusters=(ClusterSummary(size=3, impact=0.95, sql_ids=rsql_ids),),
+        verdict_category=verdict,
+        verdict_evidence="qps x1.2" if verdict else None,
+        repair=RepairOutcome(
+            session_lift=4.2,
+            planned=({"kind": "SqlThrottleAction", "sql_id": rsql_ids[0]},)
+            if rsql_ids
+            else (),
+            executed_kinds=("SqlThrottleAction",) if executed else (),
+            executed=executed,
+        ),
+        timings={"session_estimation": 0.01, "total": 0.02},
+        trace=SpanNode(
+            name="service.diagnose",
+            elapsed=0.02,
+            attrs={"produced": True},
+            children=(SpanNode(name="pinsql.analyze", elapsed=0.015),),
+        ),
+        report_text="=== report ===",
+        templates_seen=12,
+        recorded_at_unix=1.0,
+    )
+
+
+@pytest.fixture
+def record():
+    return make_record()
+
+
+def fake_diagnosis(instance_id: str = "db-x", executed: bool = False):
+    """A minimal object with every attribute the recorder reads."""
+
+    class _Catalog:
+        def get(self, sql_id):
+            return SimpleNamespace(template=f"SELECT {sql_id} FROM t " + "x" * 150)
+
+    class _Cluster:
+        def __init__(self, sql_ids, impact):
+            self.sql_ids = sql_ids
+            self.impact = impact
+
+        def __len__(self):
+            return len(self.sql_ids)
+
+    scores = [
+        SimpleNamespace(sql_id="H1", trend=0.9, scale=0.8, scale_trend=0.7, impact=0.95),
+        SimpleNamespace(sql_id="H2", trend=0.1, scale=0.2, scale_trend=0.3, impact=0.2),
+    ]
+    action = SimpleNamespace(kind="SqlThrottleAction", sql_id="R1", factor=0.1)
+    case = SimpleNamespace(
+        ts=300,
+        te=580,
+        sql_ids=["H1", "H2", "R1"],
+        catalog=_Catalog(),
+        metrics=SimpleNamespace(
+            series={
+                "active_session": SimpleNamespace(
+                    timestamps=list(range(300, 310)),
+                    values=[float(v) for v in range(10)],
+                )
+            }
+        ),
+    )
+    result = SimpleNamespace(
+        hsql=SimpleNamespace(scores=scores, alpha=0.9, beta=-0.9),
+        rsql=SimpleNamespace(
+            ranked=[("R1", 0.95), ("H1", 0.5)],
+            verified=["R1"],
+            clusters=[_Cluster(["R1", "H1"], 0.95)],
+            widened=False,
+        ),
+        timings=SimpleNamespace(
+            as_dict=lambda: {"session_estimation": 0.01, "total": 0.02}
+        ),
+    )
+    plan = SimpleNamespace(
+        session_lift=4.2,
+        actions=[action],
+        executed=[action] if executed else [],
+    )
+    return SimpleNamespace(
+        anomaly=SimpleNamespace(start=400, end=580, types=("cpu_anomaly",)),
+        case=case,
+        result=result,
+        report=SimpleNamespace(text="report body"),
+        plan=plan,
+        executed=executed,
+        verdict=SimpleNamespace(
+            category=SimpleNamespace(value="row_lock"), evidence="qps x1.2"
+        ),
+        instance_id=instance_id,
+        incident_id=None,
+    )

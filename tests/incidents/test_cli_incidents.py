@@ -1,0 +1,122 @@
+"""CLI coverage: ``repro incidents ...`` and the obs instance guard.
+
+These run against a synthetic store (no simulation), so they exercise
+argument parsing, dispatch, and rendering cheaply; the end-to-end
+``fleet-demo --record`` path is covered in tests/fleet.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.incidents import IncidentStore
+from tests.incidents.conftest import make_record
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    store = IncidentStore(tmp_path / "store")
+    store.append(make_record("i-one", "db-a", 100, 300))
+    store.append(make_record("i-two", "db-b", 400, 600, verdict="business_spike"))
+    return tmp_path / "store"
+
+
+class TestIncidentsList:
+    def test_lists_newest_first(self, store_dir, capsys):
+        assert main(["incidents", "list", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert out.index("i-two") < out.index("i-one")
+        assert "2 incident(s)" in out
+
+    def test_filters_apply(self, store_dir, capsys):
+        assert main(
+            ["incidents", "list", "--dir", str(store_dir), "--instance", "db-a"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "i-one" in out and "i-two" not in out
+
+    def test_no_match_message(self, store_dir, capsys):
+        assert main(
+            ["incidents", "list", "--dir", str(store_dir), "--verdict", "nope"]
+        ) == 0
+        assert "no incidents match" in capsys.readouterr().out
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        assert main(["incidents", "list", "--dir", str(tmp_path / "absent")]) == 1
+        assert "no incident store" in capsys.readouterr().err
+
+    def test_merges_shard_layout(self, tmp_path, capsys):
+        IncidentStore(tmp_path / "shard-00").append(make_record("a-1", "db-a", 1, 99))
+        IncidentStore(tmp_path / "shard-01").append(make_record("b-1", "db-b", 1, 99))
+        assert main(["incidents", "list", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "a-1" in out and "b-1" in out
+
+
+class TestIncidentsShow:
+    def test_show_by_id(self, store_dir, capsys):
+        assert main(["incidents", "show", "i-one", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Incident i-one" in out
+        assert "R-SQL attribution" in out
+
+    def test_show_latest(self, store_dir, capsys):
+        assert main(["incidents", "show", "--latest", "--dir", str(store_dir)]) == 0
+        assert "Incident i-two" in capsys.readouterr().out
+
+    def test_unknown_id_lists_recent(self, store_dir, capsys):
+        assert main(["incidents", "show", "zz", "--dir", str(store_dir)]) == 1
+        err = capsys.readouterr().err
+        assert "unknown incident id" in err and "i-two" in err
+
+    def test_no_id_no_latest_errors(self, store_dir, capsys):
+        assert main(["incidents", "show", "--dir", str(store_dir)]) == 1
+        assert "incident id or --latest" in capsys.readouterr().err
+
+
+class TestIncidentsReport:
+    def test_writes_html_file(self, store_dir, tmp_path, capsys):
+        out_file = tmp_path / "sub" / "incident.html"
+        assert main(
+            ["incidents", "report", "i-one", "--dir", str(store_dir),
+             "--out", str(out_file)]
+        ) == 0
+        html = out_file.read_text()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "PinSQL incident i-one" in html
+
+    def test_stdout_default(self, store_dir, capsys):
+        assert main(
+            ["incidents", "report", "--latest", "--dir", str(store_dir)]
+        ) == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")
+
+
+class TestIncidentsHealth:
+    def test_health_rollup(self, store_dir, capsys):
+        assert main(["incidents", "health", "--dir", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet incident health" in out
+        assert "db-a" in out and "db-b" in out
+
+    def test_health_json(self, store_dir, capsys):
+        import json
+
+        assert main(["incidents", "health", "--dir", str(store_dir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_incidents"] == 2
+
+    def test_health_missing_store_errors(self, tmp_path, capsys):
+        assert main(["incidents", "health", "--dir", str(tmp_path)]) == 1
+        assert "no incident store" in capsys.readouterr().err
+
+
+class TestObsInstanceGuard:
+    def test_unknown_instance_errors_and_lists_known_ids(self, capsys):
+        assert main(["obs", "--fleet", "3", "--instance", "db-99"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown instance id 'db-99'" in err
+        assert "db-00, db-01, db-02" in err
+
+    def test_instance_without_fleet_errors(self, capsys):
+        assert main(["obs", "--instance", "db-00"]) == 2
+        assert "--instance requires --fleet" in capsys.readouterr().err

@@ -1,0 +1,129 @@
+"""Fleet health rollup: aggregation, merging, gauges, rendering."""
+
+from repro.incidents import (
+    IncidentStore,
+    compute_health,
+    load_health,
+    publish_health,
+    render_health_text,
+)
+from repro.telemetry import MetricsRegistry
+from tests.incidents.conftest import make_record
+
+
+def _metas(*records):
+    store_records = list(records)
+    # compute_health consumes IncidentMeta; go through a store to build
+    # them exactly as the production path does.
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = IncidentStore(tmp)
+        for record in store_records:
+            store.append(record)
+        return store.metas()
+
+
+class TestComputeHealth:
+    def test_counts_instances_verdicts_and_templates(self):
+        metas = _metas(
+            make_record("i1", "db-a", 100, 300),
+            make_record("i2", "db-a", 400, 600),
+            make_record("i3", "db-b", 100, 300, verdict="business_spike",
+                        rsql_ids=("R9",)),
+        )
+        health = compute_health(metas)
+        assert health.total_incidents == 3
+        assert health.per_instance == {"db-a": 2, "db-b": 1}
+        assert health.verdicts == {"business_spike": 1, "row_lock": 2}
+        assert health.top_rsql_templates[0] == ("R1", 2)
+
+    def test_repair_success_rate(self):
+        metas = _metas(
+            make_record("i1", "db-a", 100, 300, executed=True),
+            make_record("i2", "db-a", 400, 600),
+        )
+        health = compute_health(metas)
+        assert health.repairs_planned == 2
+        assert health.repairs_executed == 1
+        assert health.repair_success_rate == 0.5
+
+    def test_no_planned_repairs_rate_is_zero(self):
+        assert compute_health([]).repair_success_rate == 0.0
+
+    def test_false_trigger_candidates(self):
+        metas = _metas(
+            make_record("i1", "db-a", 100, 130, rsql_ids=()),   # no R-SQL
+            make_record("i2", "db-b", 100, 150),                # 50 s anomaly
+            make_record("i3", "db-c", 100, 500),                # healthy case
+        )
+        health = compute_health(metas)
+        reasons = {f.incident_id: f.reason for f in health.false_triggers}
+        assert "no R-SQL pinpointed" in reasons["i1"]
+        assert "short anomaly" in reasons["i2"]
+        assert "i3" not in reasons
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        health = compute_health(_metas(make_record()))
+        payload = json.loads(json.dumps(health.to_dict()))
+        assert payload["total_incidents"] == 1
+        assert payload["repair_success_rate"] == 0.0
+
+
+class TestLoadHealth:
+    def test_merges_per_shard_stores(self, tmp_path):
+        a = IncidentStore(tmp_path / "shard-00")
+        b = IncidentStore(tmp_path / "shard-01")
+        a.append(make_record("i1", "db-a", 100, 300))
+        b.append(make_record("i2", "db-b", 100, 300))
+        b.append(make_record("i3", "db-b", 400, 600))
+        health = load_health(tmp_path)
+        assert health.stores == 2
+        assert health.total_incidents == 3
+        assert health.per_instance == {"db-a": 1, "db-b": 2}
+
+    def test_single_store_directory(self, tmp_path):
+        IncidentStore(tmp_path).append(make_record())
+        health = load_health(tmp_path)
+        assert health.stores == 1 and health.total_incidents == 1
+
+    def test_empty_path_is_an_empty_rollup(self, tmp_path):
+        health = load_health(tmp_path)
+        assert health.stores == 0 and health.total_incidents == 0
+
+
+class TestPublishAndRender:
+    def test_gauges_exported(self):
+        reg = MetricsRegistry()
+        health = compute_health(
+            _metas(
+                make_record("i1", "db-a", 100, 300, executed=True),
+                make_record("i2", "db-b", 100, 140, rsql_ids=()),
+            )
+        )
+        publish_health(health, reg)
+        assert reg.get("fleet_incidents_total").value == 2
+        assert reg.get("fleet_incidents", instance="db-a").value == 1
+        assert reg.get("fleet_repair_success_ratio").value == 1.0
+        assert reg.get("fleet_false_trigger_candidates").value == 1
+
+    def test_render_text_lists_everything(self):
+        health = compute_health(
+            _metas(
+                make_record("i1", "db-a", 100, 300),
+                make_record("i2", "db-b", 100, 140, rsql_ids=()),
+            )
+        )
+        text = render_health_text(health)
+        assert "Fleet incident health" in text
+        assert "db-a" in text and "db-b" in text
+        assert "R1" in text
+        assert "row_lock" in text
+        assert "False-trigger candidates: 1" in text
+        assert "no R-SQL pinpointed" in text
+
+    def test_render_empty_rollup(self):
+        text = render_health_text(compute_health([]))
+        assert "(no incidents)" in text and "(none)" in text

@@ -1,0 +1,92 @@
+"""IncidentRecorder: flattening diagnoses, never failing the loop."""
+
+from repro.incidents import IncidentRecorder, IncidentStore
+from repro.telemetry import MetricsRegistry
+from tests.incidents.conftest import fake_diagnosis
+
+
+class TestBuild:
+    def test_flattens_the_full_evidence_chain(self, tmp_path):
+        recorder = IncidentRecorder(IncidentStore(tmp_path))
+        record = recorder.build(fake_diagnosis())
+        assert record.instance_id == "db-x"
+        assert record.anomaly.start == 400 and record.anomaly.end == 580
+        assert record.anomaly.types == ("cpu_anomaly",)
+        assert [h.sql_id for h in record.hsql] == ["H1", "H2"]
+        assert record.hsql_alpha == 0.9 and record.hsql_beta == -0.9
+        assert record.top_r_sql == "R1"
+        assert record.rsql[0].verified and not record.rsql[1].verified
+        assert record.clusters[0].size == 2
+        assert record.verdict_category == "row_lock"
+        assert record.repair.outcome == "planned_only"
+        assert record.repair.planned[0]["kind"] == "SqlThrottleAction"
+        assert record.timings["total"] == 0.02
+        assert record.report_text == "report body"
+        assert record.templates_seen == 3
+
+    def test_statements_are_truncated(self, tmp_path):
+        recorder = IncidentRecorder(IncidentStore(tmp_path))
+        record = recorder.build(fake_diagnosis())
+        assert all(len(h.statement) <= 120 for h in record.hsql)
+        assert record.hsql[0].statement.endswith("…")
+
+    def test_metric_traces_fall_back_to_case_series_without_engine(self, tmp_path):
+        recorder = IncidentRecorder(IncidentStore(tmp_path))
+        record = recorder.build(fake_diagnosis())
+        assert [t.name for t in record.metric_traces] == ["active_session"]
+        assert record.metric_traces[0].samples[0] == (300, 0.0)
+        assert record.trace is None  # no engine → no span tree
+
+    def test_long_metric_traces_are_decimated(self, tmp_path):
+        recorder = IncidentRecorder(
+            IncidentStore(tmp_path), max_samples_per_metric=4
+        )
+        record = recorder.build(fake_diagnosis())
+        assert len(record.metric_traces[0].samples) <= 4
+
+    def test_incident_id_is_deterministic_per_window(self, tmp_path):
+        recorder = IncidentRecorder(IncidentStore(tmp_path))
+        a = recorder.build(fake_diagnosis())
+        b = recorder.build(fake_diagnosis())
+        assert a.incident_id == b.incident_id
+        assert a.incident_id.startswith("db-x-400-")
+
+    def test_evidence_depth_is_bounded(self, tmp_path):
+        recorder = IncidentRecorder(IncidentStore(tmp_path), max_hsql=1, max_rsql=1)
+        record = recorder.build(fake_diagnosis())
+        assert len(record.hsql) == 1 and len(record.rsql) == 1
+
+    def test_executed_repair_reflected(self, tmp_path):
+        recorder = IncidentRecorder(IncidentStore(tmp_path))
+        record = recorder.build(fake_diagnosis(executed=True))
+        assert record.repair.outcome == "executed"
+        assert record.repair.executed_kinds == ("SqlThrottleAction",)
+
+
+class TestRecord:
+    def test_record_persists_and_stamps_the_diagnosis(self, tmp_path):
+        reg = MetricsRegistry()
+        store = IncidentStore(tmp_path)
+        recorder = IncidentRecorder(store, registry=reg)
+        diagnosis = fake_diagnosis()
+        record = recorder.record(diagnosis)
+        assert record is not None
+        assert diagnosis.incident_id == record.incident_id
+        assert store.get(record.incident_id) is not None
+        counter = reg.get("incidents_recorded_total", instance="db-x")
+        assert counter is not None and counter.value == 1
+
+    def test_record_failure_never_raises(self, tmp_path):
+        reg = MetricsRegistry()
+        recorder = IncidentRecorder(IncidentStore(tmp_path), registry=reg)
+        assert recorder.record(object()) is None  # nothing the builder needs
+        failures = reg.get("incident_record_failures_total")
+        assert failures is not None and failures.value == 1
+
+    def test_same_window_twice_stores_both(self, tmp_path):
+        store = IncidentStore(tmp_path)
+        recorder = IncidentRecorder(store)
+        first = recorder.record(fake_diagnosis())
+        second = recorder.record(fake_diagnosis())
+        assert first.incident_id != second.incident_id
+        assert store.record_count == 2

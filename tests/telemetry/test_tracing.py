@@ -80,6 +80,87 @@ class TestRegistryIntegration:
         assert Tracer.SPAN_METRIC not in reg
 
 
+class TestErrorSpans:
+    def test_exception_marks_status_and_keeps_elapsed(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("work") as span:
+                time.sleep(0.002)
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert span.elapsed is not None
+        assert span.elapsed >= 0.002
+        assert span.attrs["status"] == "error"
+        assert span.attrs["error"] == "ValueError"
+
+    def test_exception_propagates_out_of_the_span(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("work"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover - the raise must not be swallowed
+            raise AssertionError("span swallowed the exception")
+
+    def test_error_span_still_feeds_histogram_and_counts(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg)
+        try:
+            with tracer.span("stage"):
+                raise KeyError("x")
+        except KeyError:
+            pass
+        hist = reg.get(Tracer.SPAN_METRIC, span="stage")
+        assert hist is not None and hist.count == 1
+        errors = reg.get("span_errors_total", span="stage")
+        assert errors is not None and errors.value == 1
+
+    def test_clean_span_does_not_count_an_error(self):
+        reg = MetricsRegistry()
+        tracer = Tracer(registry=reg)
+        with tracer.span("stage") as span:
+            pass
+        assert "status" not in span.attrs
+        assert reg.get("span_errors_total", span="stage") is None
+
+    def test_inner_error_does_not_mark_the_caught_outer(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            try:
+                with tracer.span("inner") as inner:
+                    raise ValueError("boom")
+            except ValueError:
+                pass
+        assert inner.attrs.get("status") == "error"
+        assert "status" not in outer.attrs
+        root = tracer.last_root()
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+
+    def test_error_annotation_renders_in_the_tree(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("stage"):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        text = tracer.format_tree()
+        assert "status=error" in text
+        assert "error=ValueError" in text
+
+    def test_disabled_tracer_marks_error_spans_too(self):
+        tracer = Tracer(enabled=False)
+        try:
+            with tracer.span("stage") as span:
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert span.elapsed is not None
+        assert span.attrs["status"] == "error"
+
+
 class TestFormatTree:
     def test_renders_names_and_durations(self):
         tracer = Tracer()
