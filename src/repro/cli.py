@@ -15,7 +15,11 @@ Seven subcommands cover the adoption path:
   the dump to one instance's labelled series;
 * ``repro incidents``  — query a recorded incident store:
   ``list`` the index, ``show`` one evidence chain as text, ``report``
-  one as self-contained HTML, ``health`` for the fleet-wide rollup.
+  one as self-contained HTML, ``health`` for the fleet-wide rollup;
+* ``repro lint``       — static anti-pattern analysis over SQL templates:
+  the default scenario catalog (with planted-label precision/recall), a
+  saved case corpus (``--cases DIR``) or one statement (``--sql``);
+  exits non-zero when findings reach ``--fail-on`` (the CI contract).
 
 ``demo`` and ``evaluate`` additionally accept ``--telemetry`` to print
 the metrics snapshot and the span tree of the run.
@@ -177,6 +181,27 @@ def build_parser() -> argparse.ArgumentParser:
                             help="recurring R-SQL templates to list")
     inc_health.add_argument("--json", action="store_true",
                             help="emit the rollup as JSON")
+
+    lint = sub.add_parser(
+        "lint", help="static anti-pattern analysis over SQL templates"
+    )
+    lint_src = lint.add_mutually_exclusive_group()
+    lint_src.add_argument("--cases", type=Path, metavar="DIR",
+                          help="lint the template catalogs of saved cases")
+    lint_src.add_argument("--sql", metavar="STATEMENT",
+                          help="lint one raw SQL statement")
+    lint.add_argument("--seed", type=int, default=0,
+                      help="seed of the default scenario catalog")
+    lint.add_argument("--format", choices=["text", "json"], default="text")
+    lint.add_argument("--out", type=Path, default=None,
+                      help="write the report here instead of stdout")
+    lint.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "high", "critical", "never"],
+        default="warning",
+        help="exit 1 when any finding reaches this severity "
+             "(default: warning; 'never' always exits 0)",
+    )
     return parser
 
 
@@ -228,7 +253,9 @@ def cmd_diagnose(args) -> int:
     result = PinSQL(config).analyze(labeled.case)
     plan = None
     if args.suggest_repairs:
-        plan = RepairEngine().plan(labeled.case, result)
+        from repro.sqlanalysis import SqlAnalyzer
+
+        plan = RepairEngine(analyzer=SqlAnalyzer()).plan(labeled.case, result)
     report = render_report(labeled.case, result, plan=plan, top_k=args.top_k)
     print(report.text)
     if labeled.r_sqls:
@@ -362,7 +389,8 @@ def _run_fleet(
     for instance_id, population in populations.items():
         engine = service.register_instance(instance_id)
         for spec in population.specs.values():
-            engine.register_statement(spec.template.replace("?", "1"))
+            # Prefer the raw exemplar: literals matter to static analysis.
+            engine.register_statement(spec.exemplar or spec.template.replace("?", "1"))
     service.run_until_drained()
     service.close()
     return service, truths
@@ -651,6 +679,102 @@ def cmd_incidents(args) -> int:
     return 0
 
 
+def _lint_default_catalog(seed: int):
+    """Lint the default scenario catalog with planted anti-patterns."""
+    import numpy as np
+
+    from repro.evaluation.analysis import analyzer_for_population, evaluate_analyzer
+    from repro.sqlanalysis import LintEntry, LintReport
+    from repro.workload import build_population, plant_antipatterns
+
+    rng = np.random.default_rng(seed)
+    population = build_population(600, rng, n_businesses=6)
+    planted = plant_antipatterns(population, rng)
+    analyzer = analyzer_for_population(population)
+    report = LintReport()
+    for spec in population.specs.values():
+        report.analyzed += 1
+        findings = analyzer.analyze_spec(spec)
+        if findings:
+            report.entries.append(
+                LintEntry(
+                    sql_id=spec.sql_id,
+                    statement=spec.exemplar or spec.template,
+                    findings=findings,
+                )
+            )
+    evaluation = evaluate_analyzer(analyzer, population, planted)
+    report.evaluation = evaluation.to_dict()
+    return report
+
+
+def _lint_cases(cases_dir: Path):
+    """Lint the template catalogs of a saved-case corpus."""
+    from repro.evaluation.persistence import load_corpus
+    from repro.sqlanalysis import LintEntry, LintReport, SqlAnalyzer
+
+    corpus = load_corpus(cases_dir)
+    if not corpus:
+        return None
+    analyzer = SqlAnalyzer()
+    report = LintReport()
+    seen: set[str] = set()
+    for labeled in corpus:
+        for info in labeled.case.catalog:
+            if info.sql_id in seen:
+                continue
+            seen.add(info.sql_id)
+            report.analyzed += 1
+            findings = analyzer.analyze_template(info)
+            if findings:
+                report.entries.append(
+                    LintEntry(
+                        sql_id=info.sql_id,
+                        statement=info.exemplar or info.template,
+                        findings=findings,
+                    )
+                )
+    return report
+
+
+def cmd_lint(args) -> int:
+    """Static anti-pattern lint; exit code per the --fail-on contract."""
+    import json
+
+    from repro.sqlanalysis import LintEntry, LintReport, SqlAnalyzer, lint_failed
+
+    if args.sql is not None:
+        from repro.sqltemplate import fingerprint
+
+        fp = fingerprint(args.sql)
+        findings = SqlAnalyzer().analyze_statement(args.sql, sql_id=fp.sql_id)
+        report = LintReport(analyzed=1)
+        if findings:
+            report.entries.append(
+                LintEntry(sql_id=fp.sql_id, statement=args.sql, findings=findings)
+            )
+    elif args.cases is not None:
+        report = _lint_cases(args.cases)
+        if report is None:
+            print(f"error: no case_*.npz files under {args.cases}", file=sys.stderr)
+            return 2
+    else:
+        report = _lint_default_catalog(args.seed)
+
+    text = (
+        json.dumps(report.to_dict(), indent=2)
+        if args.format == "json"
+        else report.render_text()
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 1 if lint_failed(report, args.fail_on) else 0
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "diagnose": cmd_diagnose,
@@ -659,6 +783,7 @@ _COMMANDS = {
     "fleet-demo": cmd_fleet_demo,
     "obs": cmd_obs,
     "incidents": cmd_incidents,
+    "lint": cmd_lint,
 }
 
 

@@ -25,10 +25,12 @@ from repro.core.baselines import BASELINES, TopMetricRanker, top_en, top_er, top
 from repro.core.autoregressive import GrangerRanker
 from repro.core.pipeline import PinSQL, PinSQLResult, StageTimings
 from repro.core.repair import (
+    INDEX_BACKED_ROWS,
     RepairAction,
     SqlThrottleAction,
     QueryOptimizationAction,
     AutoScaleAction,
+    OptimizationSkip,
     RepairRule,
     RepairConfig,
     DEFAULT_REPAIR_CONFIG,
@@ -61,10 +63,12 @@ __all__ = [
     "PinSQL",
     "PinSQLResult",
     "StageTimings",
+    "INDEX_BACKED_ROWS",
     "RepairAction",
     "SqlThrottleAction",
     "QueryOptimizationAction",
     "AutoScaleAction",
+    "OptimizationSkip",
     "RepairRule",
     "RepairConfig",
     "DEFAULT_REPAIR_CONFIG",

@@ -8,10 +8,12 @@ thresholds, and decide whether execution is automatic.
 """
 
 from repro.core.repair.actions import (
+    INDEX_BACKED_ROWS,
     RepairAction,
     SqlThrottleAction,
     QueryOptimizationAction,
     AutoScaleAction,
+    OptimizationSkip,
     plan_optimization,
 )
 from repro.core.repair.rules import RepairRule, RepairConfig, DEFAULT_REPAIR_CONFIG
@@ -19,10 +21,12 @@ from repro.core.repair.engine import RepairEngine, RepairPlan
 from repro.core.repair.validation import PlanValidation, validate_plan
 
 __all__ = [
+    "INDEX_BACKED_ROWS",
     "RepairAction",
     "SqlThrottleAction",
     "QueryOptimizationAction",
     "AutoScaleAction",
+    "OptimizationSkip",
     "plan_optimization",
     "RepairRule",
     "RepairConfig",

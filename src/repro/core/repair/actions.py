@@ -8,17 +8,21 @@ them so): each knows how to apply itself to a running
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.case import AnomalyCase
 from repro.dbsim.instance import DatabaseInstance
+from repro.sqlanalysis import Finding
 
 __all__ = [
     "RepairAction",
     "SqlThrottleAction",
     "QueryOptimizationAction",
     "AutoScaleAction",
+    "OptimizationSkip",
+    "INDEX_BACKED_ROWS",
     "plan_optimization",
 ]
 
@@ -62,11 +66,14 @@ class QueryOptimizationAction(RepairAction):
 
     The fractional gains are what the optimizer predicts; executing the
     action swaps the optimized execution profile into the engine, the
-    simulator equivalent of building the index.
+    simulator equivalent of building the index.  ``evidence`` carries
+    the static-analysis findings backing the suggestion ("why this SQL
+    is slow"), rendered in reports and incident records.
     """
 
     rows_gain: float = 0.9
     tres_gain: float = 0.85
+    evidence: tuple[str, ...] = ()
 
     def execute(self, instance: DatabaseInstance, now_s: int) -> None:
         spec = instance.engine._spec(self.sql_id)
@@ -92,20 +99,87 @@ class AutoScaleAction(RepairAction):
             instance.add_read_replicas(self.read_offload)
 
 
-def plan_optimization(case: AnomalyCase, sql_id: str) -> QueryOptimizationAction:
-    """Derive optimization gains from the template's observed metrics.
+@dataclass(frozen=True)
+class OptimizationSkip:
+    """A deliberate non-action: the template needs no optimization.
+
+    Emitting a ~0-gain :class:`QueryOptimizationAction` would execute a
+    pointless profile swap and clutter the plan; the skip keeps the
+    decision (and its reason) visible in the repair outcome instead.
+    """
+
+    sql_id: str
+    reason: str
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+
+#: Average examined rows at or below which a template's profile counts as
+#: index-backed: roughly the few-hundred-row probes a healthy secondary
+#: index produces, with headroom above the optimizer's 200-row target.
+INDEX_BACKED_ROWS = 400.0
+
+#: Finding rules that structurally explain a scan an index/rewrite fixes.
+_STRUCTURAL_RULES = frozenset(
+    {
+        "missing-index",
+        "non-sargable-function",
+        "leading-wildcard-like",
+        "implicit-conversion",
+        "unbounded-scan",
+        "cartesian-join",
+    }
+)
+
+
+def plan_optimization(
+    case: AnomalyCase,
+    sql_id: str,
+    findings: Sequence[Finding] | None = None,
+) -> QueryOptimizationAction | OptimizationSkip:
+    """Derive optimization gains from observed metrics plus static findings.
 
     The simulated optimizer assumes an appropriate index reduces the
     examined rows to a few hundred; the predicted gain is therefore
-    ``1 − target/observed`` — large for full scans, small for templates
-    that are already index-backed.
+    ``1 − target/observed``.  Templates already index-backed (average
+    examined rows ≤ :data:`INDEX_BACKED_ROWS`) are skipped outright.
+
+    ``findings`` refines the estimate: ``None`` means "not analyzed" and
+    keeps the pure statistical gain; an analyzed template with a
+    structural finding (missing index, non-sargable predicate, unbounded
+    scan ...) keeps the full gain *and* carries the finding as evidence,
+    while an analyzed template with no structural explanation gets a
+    tempered gain — the optimizer has nothing concrete to fix, so the
+    statistical promise is discounted.
     """
     lo, hi = case.anomaly_indices()
     execs = case.templates.executions(sql_id).values[lo:hi].sum()
     rows = case.templates.get(sql_id, "total_examined_rows").values[lo:hi].sum()
     avg_rows = rows / execs if execs > 0 else 0.0
+    if avg_rows <= INDEX_BACKED_ROWS:
+        return OptimizationSkip(
+            sql_id=sql_id,
+            reason=(
+                f"profile already index-backed: avg examined rows "
+                f"{avg_rows:.0f} <= {INDEX_BACKED_ROWS:.0f}"
+            ),
+        )
     target_rows = 200.0
     rows_gain = float(np.clip(1.0 - target_rows / max(avg_rows, target_rows), 0.0, 0.98))
+    evidence: tuple[str, ...] = ()
+    if findings is not None:
+        structural = [f for f in findings if f.rule in _STRUCTURAL_RULES]
+        if not structural:
+            # Analyzed but structurally clean: the scan is inherent to
+            # the query's work, so an optimizer can only shave part of it.
+            rows_gain *= 0.6
+        evidence = tuple(
+            f"{f.rule}: {f.message}" for f in list(findings)[:5]
+        )
     # Response time improves almost proportionally for scan-bound queries.
     tres_gain = float(np.clip(rows_gain * 0.95, 0.0, 0.95))
-    return QueryOptimizationAction(sql_id=sql_id, rows_gain=rows_gain, tres_gain=tres_gain)
+    return QueryOptimizationAction(
+        sql_id=sql_id, rows_gain=rows_gain, tres_gain=tres_gain, evidence=evidence
+    )

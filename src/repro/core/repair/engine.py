@@ -9,13 +9,15 @@ from repro.core.case import AnomalyCase
 from repro.core.pipeline import PinSQLResult
 from repro.core.repair.actions import (
     AutoScaleAction,
+    OptimizationSkip,
     QueryOptimizationAction,
     RepairAction,
     SqlThrottleAction,
     plan_optimization,
 )
-from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig
+from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig, RepairRule
 from repro.dbsim.instance import DatabaseInstance
+from repro.sqlanalysis import Finding, SqlAnalyzer
 from repro.telemetry import MetricsRegistry, get_logger, get_registry
 
 __all__ = ["RepairPlan", "RepairEngine"]
@@ -29,6 +31,9 @@ class RepairPlan:
 
     actions: list[RepairAction] = field(default_factory=list)
     executed: list[RepairAction] = field(default_factory=list)
+    #: Deliberate non-actions (e.g. index-backed templates the optimizer
+    #: refuses to touch), kept for the repair outcome record.
+    skips: list[OptimizationSkip] = field(default_factory=list)
     #: Session lift factor that gated the threshold rules.
     session_lift: float = 0.0
 
@@ -45,9 +50,11 @@ class RepairEngine:
         config: RepairConfig = DEFAULT_REPAIR_CONFIG,
         registry: MetricsRegistry | None = None,
         instance_id: str = "",
+        analyzer: SqlAnalyzer | None = None,
     ) -> None:
         self.config = config
         self.instance_id = instance_id
+        self.analyzer = analyzer
         self._registry = registry or get_registry()
         self._labels = {"instance": instance_id} if instance_id else {}
 
@@ -89,11 +96,31 @@ class RepairEngine:
                 continue
             for sql_id in targets:
                 action = self._make_action(rule, case, sql_id)
+                if isinstance(action, OptimizationSkip):
+                    plan.skips.append(action)
+                    self._count_action("skipped_index_backed", action.kind)
+                    _log.debug(
+                        "optimization skipped",
+                        extra={"sql_id": sql_id, "reason": action.reason,
+                               "instance": self.instance_id},
+                    )
+                    continue
                 plan.actions.append(action)
                 self._count_action("planned", action.kind)
         return plan
 
-    def _make_action(self, rule, case: AnomalyCase, sql_id: str) -> RepairAction:
+    def _findings(self, case: AnomalyCase, sql_id: str) -> list[Finding] | None:
+        """Static-analysis findings for one template, or None if unanalyzable."""
+        if self.analyzer is None:
+            return None
+        info = case.catalog.get(sql_id)
+        if info is None:
+            return None
+        return self.analyzer.analyze_template(info)
+
+    def _make_action(
+        self, rule: RepairRule, case: AnomalyCase, sql_id: str
+    ) -> RepairAction | OptimizationSkip:
         params = rule.param_dict
         if rule.action == "sql_throttle":
             return SqlThrottleAction(
@@ -109,7 +136,7 @@ class RepairEngine:
                     rows_gain=float(params.get("rows_gain", 0.9)),
                     tres_gain=float(params.get("tres_gain", 0.85)),
                 )
-            return plan_optimization(case, sql_id)
+            return plan_optimization(case, sql_id, self._findings(case, sql_id))
         return AutoScaleAction(
             sql_id="",
             new_cores=int(params.get("new_cores", 32)),

@@ -207,8 +207,12 @@ def render_report(
         if plan.actions:
             for action in plan.actions:
                 lines.append(f"  - {action.kind} on [{action.sql_id or 'instance'}]")
+                for item in getattr(action, "evidence", ()):
+                    lines.append(f"      evidence: {item}")
         else:
             lines.append("  - none (thresholds not reached)")
+        for skip in getattr(plan, "skips", ()):
+            lines.append(f"  - skipped [{skip.sql_id}]: {skip.reason}")
         if plan.executed:
             lines.append(f"  executed: {[a.kind for a in plan.executed]}")
 

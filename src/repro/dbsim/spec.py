@@ -64,6 +64,10 @@ class TemplateSpec:
     #: ranges) are several times cheaper per row — which is why a high
     #: examined-rows count does not always mean a CPU problem.
     cpu_per_krow: float = CPU_MS_PER_KROW
+    #: A raw exemplar statement (literals intact) when the workload builder
+    #: has one; static analysis prefers it over the template because
+    #: literal shape (quoted numbers, IN-list sizes) carries signal.
+    exemplar: str = ""
 
     def __post_init__(self) -> None:
         if self.base_response_ms <= 0:
@@ -124,4 +128,5 @@ class TemplateSpec:
             lock_hold_ms=self.lock_hold_ms * (1.0 - tres_gain),
             ddl_duration_ms=self.ddl_duration_ms,
             cpu_per_krow=self.cpu_per_krow,
+            exemplar=self.exemplar,
         )

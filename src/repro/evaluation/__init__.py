@@ -21,6 +21,11 @@ from repro.evaluation.harness import (
     top_all_report,
     evaluate_competition,
 )
+from repro.evaluation.analysis import (
+    AnalyzerEvaluation,
+    analyzer_for_population,
+    evaluate_analyzer,
+)
 
 __all__ = [
     "hits_at_k",
@@ -36,4 +41,7 @@ __all__ = [
     "evaluate_pinsql",
     "top_all_report",
     "evaluate_competition",
+    "AnalyzerEvaluation",
+    "analyzer_for_population",
+    "evaluate_analyzer",
 ]

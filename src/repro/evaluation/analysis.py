@@ -1,0 +1,116 @@
+"""Evaluation of the static SQL analyzer against planted ground truth.
+
+:func:`repro.workload.plant_antipatterns` registers templates whose
+anti-patterns are known by construction — each carries an exact
+``(sql_id, rule)`` label set.  This module scores the analyzer the way
+the harness scores the ranker: run it over the *whole* population
+catalog (planted bait plus the healthy background templates) and count
+exact ``(sql_id, rule)`` pairs.
+
+* a **true positive** is a planted pair the analyzer reported;
+* a **false negative** is a planted pair it missed;
+* a **false positive** is any reported pair *on a planted template*
+  that was not part of its label, or any finding on an unplanted
+  (healthy) template.
+
+Healthy templates therefore act as the negative class: a rule that
+fires on the index-backed background workload costs precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.sqlanalysis import SqlAnalyzer
+from repro.workload.catalog import Population
+from repro.workload.scenarios import PlantedAntiPattern, hot_tables
+
+__all__ = ["AnalyzerEvaluation", "evaluate_analyzer", "analyzer_for_population"]
+
+
+@dataclass
+class AnalyzerEvaluation:
+    """Exact-pair precision/recall of the analyzer on planted labels."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    #: ``rule -> {"tp": n, "fp": n, "fn": n}`` breakdown.
+    per_rule: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: The offending pairs, for debugging regressions.
+    missed: list[tuple[str, str]] = field(default_factory=list)
+    spurious: list[tuple[str, str]] = field(default_factory=list)
+    templates_analyzed: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "per_rule": {r: dict(c) for r, c in sorted(self.per_rule.items())},
+            "missed": [list(p) for p in self.missed],
+            "spurious": [list(p) for p in self.spurious],
+            "templates_analyzed": self.templates_analyzed,
+        }
+
+
+def analyzer_for_population(population: Population) -> SqlAnalyzer:
+    """Analyzer wired with the population's schema, specs and hot tables."""
+    return SqlAnalyzer(
+        schema=population.schema,
+        specs=population.specs,
+        hot_tables=hot_tables(population),
+    )
+
+
+def evaluate_analyzer(
+    analyzer: SqlAnalyzer,
+    population: Population,
+    planted: Sequence[PlantedAntiPattern],
+    extra_negative_ids: Iterable[str] = (),
+) -> AnalyzerEvaluation:
+    """Score ``analyzer`` over the population catalog vs planted labels.
+
+    ``extra_negative_ids`` names templates known healthy beyond the
+    population's own (reserved for future corpora; unknown ids ignored).
+    """
+    expected: set[tuple[str, str]] = {
+        (p.sql_id, rule) for p in planted for rule in p.rules
+    }
+    predicted: set[tuple[str, str]] = set()
+    evaluation = AnalyzerEvaluation()
+    seen_ids = set(extra_negative_ids)
+    for spec in population.specs.values():
+        seen_ids.add(spec.sql_id)
+        for finding in analyzer.analyze_spec(spec):
+            predicted.add((spec.sql_id, finding.rule))
+    evaluation.templates_analyzed = len(seen_ids)
+
+    def _bucket(rule: str) -> dict[str, int]:
+        return evaluation.per_rule.setdefault(rule, {"tp": 0, "fp": 0, "fn": 0})
+
+    for pair in sorted(predicted & expected):
+        evaluation.true_positives += 1
+        _bucket(pair[1])["tp"] += 1
+    for pair in sorted(predicted - expected):
+        evaluation.false_positives += 1
+        _bucket(pair[1])["fp"] += 1
+        evaluation.spurious.append(pair)
+    for pair in sorted(expected - predicted):
+        evaluation.false_negatives += 1
+        _bucket(pair[1])["fn"] += 1
+        evaluation.missed.append(pair)
+    return evaluation

@@ -165,7 +165,10 @@ def _build_catalog(population, observed_ids: list[str]) -> TemplateCatalog:
         spec = population.specs.get(sql_id)
         if spec is None:
             continue
-        catalog.register_template(spec.sql_id, spec.template, spec.kind, spec.tables)
+        catalog.register_template(
+            spec.sql_id, spec.template, spec.kind, spec.tables,
+            exemplar=spec.exemplar,
+        )
     return catalog
 
 

@@ -58,6 +58,7 @@ def save_case(labeled: LabeledCase, path: str | Path) -> Path:
             "template": info.template,
             "kind": info.kind.value,
             "tables": list(info.tables),
+            "exemplar": info.exemplar,
         }
         for info in case.catalog
     ]
@@ -147,6 +148,7 @@ def load_case(path: str | Path) -> LabeledCase:
                 entry["template"],
                 StatementKind(entry["kind"]),
                 tuple(entry["tables"]),
+                exemplar=entry.get("exemplar", ""),
             )
 
         case = AnomalyCase(

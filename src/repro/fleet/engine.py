@@ -39,6 +39,7 @@ from repro.dbsim.instance import DatabaseInstance
 from repro.detection.case_builder import DetectedAnomaly
 from repro.detection.realtime import RealtimeAnomalyDetector, snapshot_samples
 from repro.detection.typing import CategoryVerdict, classify_case
+from repro.sqlanalysis import Finding, SqlAnalyzer
 from repro.sqltemplate import TemplateCatalog, fingerprint
 from repro.telemetry import (
     MetricsRegistry,
@@ -83,6 +84,8 @@ class Diagnosis:
     executed: bool
     #: Rule-based anomaly typing (category + evidence).
     verdict: CategoryVerdict | None = None
+    #: Static-analysis findings per top-ranked template (R-SQLs first).
+    findings: dict[str, tuple[Finding, ...]] = field(default_factory=dict)
     #: The monitored instance the anomaly occurred on ("" pre-fleet).
     instance_id: str = ""
     #: Id of the persisted incident record, when a recorder is attached.
@@ -177,8 +180,16 @@ class InstanceDiagnosisEngine:
             instance_id=instance_id,
         )
         self._pinsql = PinSQL(self.config.pinsql, tracer=self.tracer)
+        #: Static SQL analyzer shared by repair planning and diagnosis
+        #: evidence; sees the live schema (index metadata) when a live
+        #: instance is attached.
+        self.analyzer = SqlAnalyzer(
+            schema=instance.schema if instance is not None else None,
+            registry=self.registry,
+        )
         self._repair = RepairEngine(
-            self.config.repair, registry=self.registry, instance_id=instance_id
+            self.config.repair, registry=self.registry, instance_id=instance_id,
+            analyzer=self.analyzer,
         )
         #: Self-monitoring: gauge/counter history of this very service,
         #: exposed as TimeSeries so the repo's detectors can watch it.
@@ -266,7 +277,8 @@ class InstanceDiagnosisEngine:
         """Merge an external template catalog (e.g. from the workload)."""
         for info in catalog:
             self.catalog.register_template(
-                info.sql_id, info.template, info.kind, info.tables
+                info.sql_id, info.template, info.kind, info.tables,
+                exemplar=info.exemplar,
             )
 
     # ------------------------------------------------------------------
@@ -454,6 +466,7 @@ class InstanceDiagnosisEngine:
         )
         result = self._pinsql.analyze(case)
         verdict = classify_case(case)
+        findings = self._template_findings(result)
         plan = self._repair.plan(case, result, anomaly_types=anomaly.types)
         executed = False
         if self.instance is not None and self.config.repair.auto_execute:
@@ -468,5 +481,26 @@ class InstanceDiagnosisEngine:
             plan=plan,
             executed=executed,
             verdict=verdict,
+            findings=findings,
             instance_id=self.instance_id,
         )
+
+    def _template_findings(
+        self, result: PinSQLResult, max_rsql: int = 10, max_hsql: int = 5
+    ) -> dict[str, tuple[Finding, ...]]:
+        """Static-analysis findings for the diagnosis's top templates.
+
+        Only the ranked heads are analyzed (the analyzer caches, but the
+        evidence chain should stay focused on what the record reports).
+        """
+        findings: dict[str, tuple[Finding, ...]] = {}
+        for sql_id in [*result.rsql_ids[:max_rsql], *result.hsql_ids[:max_hsql]]:
+            if sql_id in findings:
+                continue
+            info = self.catalog.get(sql_id)
+            if info is None:
+                continue
+            template_findings = self.analyzer.analyze_template(info)
+            if template_findings:
+                findings[sql_id] = tuple(template_findings)
+        return findings

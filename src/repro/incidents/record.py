@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
+from repro.sqlanalysis import Finding
+
 __all__ = [
     "AnomalyWindow",
     "MetricTrace",
@@ -176,6 +178,9 @@ class RepairOutcome:
     planned: tuple[dict, ...] = ()
     executed_kinds: tuple[str, ...] = ()
     executed: bool = False
+    #: Deliberate non-actions (``{"sql_id", "reason"}``) — e.g. templates
+    #: the optimizer found already index-backed.
+    skipped: tuple[dict, ...] = ()
 
     @property
     def outcome(self) -> str:
@@ -191,6 +196,7 @@ class RepairOutcome:
             "planned": [dict(a) for a in self.planned],
             "executed_kinds": list(self.executed_kinds),
             "executed": self.executed,
+            "skipped": [dict(s) for s in self.skipped],
         }
 
     @classmethod
@@ -200,6 +206,7 @@ class RepairOutcome:
             planned=tuple(dict(a) for a in data.get("planned", ())),
             executed_kinds=tuple(data.get("executed_kinds", ())),
             executed=bool(data.get("executed", False)),
+            skipped=tuple(dict(s) for s in data.get("skipped", ())),
         )
 
 
@@ -277,6 +284,9 @@ class IncidentRecord:
     verdict_category: str | None = None
     verdict_evidence: str | None = None
     repair: RepairOutcome = field(default_factory=RepairOutcome)
+    #: Static-analysis findings on the top-ranked templates, most severe
+    #: first (the structural "why is this SQL slow" evidence).
+    analysis: tuple[Finding, ...] = ()
     #: Per-stage wall-clock seconds (StageTimings fields + total).
     timings: dict = field(default_factory=dict)
     #: The diagnosis run's span tree, when the tracer retained it.
@@ -316,6 +326,7 @@ class IncidentRecord:
             "verdict_category": self.verdict_category,
             "verdict_evidence": self.verdict_evidence,
             "repair": self.repair.to_dict(),
+            "analysis": [f.to_dict() for f in self.analysis],
             "timings": dict(self.timings),
             "trace": self.trace.to_dict() if self.trace is not None else None,
             "report_text": self.report_text,
@@ -344,6 +355,9 @@ class IncidentRecord:
             verdict_category=data.get("verdict_category"),
             verdict_evidence=data.get("verdict_evidence"),
             repair=RepairOutcome.from_dict(data.get("repair", {})),
+            analysis=tuple(
+                Finding.from_dict(f) for f in data.get("analysis", ())
+            ),
             timings=dict(data.get("timings", {})),
             trace=(
                 SpanNode.from_dict(data["trace"])

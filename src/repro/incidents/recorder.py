@@ -50,6 +50,8 @@ class IncidentRecorder:
     max_samples_per_metric:
         Bound on raw samples kept per metric trace; longer windows are
         decimated evenly so the trace stays renderable.
+    max_findings:
+        Bound on static-analysis findings kept per incident.
     """
 
     def __init__(
@@ -59,12 +61,14 @@ class IncidentRecorder:
         max_hsql: int = 10,
         max_rsql: int = 10,
         max_samples_per_metric: int = 240,
+        max_findings: int = 40,
     ) -> None:
         self.store = store
         self.registry = registry or get_registry()
         self.max_hsql = int(max_hsql)
         self.max_rsql = int(max_rsql)
         self.max_samples_per_metric = int(max_samples_per_metric)
+        self.max_findings = int(max_findings)
 
     # ------------------------------------------------------------------
     def record(self, diagnosis, engine=None) -> IncidentRecord | None:
@@ -150,6 +154,7 @@ class IncidentRecorder:
                 diagnosis.verdict.evidence if diagnosis.verdict is not None else None
             ),
             repair=self._repair_outcome(diagnosis),
+            analysis=self._analysis(diagnosis),
             timings=diagnosis.result.timings.as_dict(),
             trace=trace,
             report_text=diagnosis.report.text,
@@ -235,6 +240,13 @@ class IncidentRecorder:
         text = info.template
         return text if len(text) <= width else text[: width - 1] + "…"
 
+    def _analysis(self, diagnosis):
+        """Flatten per-template findings, most severe first (bounded)."""
+        findings_map = getattr(diagnosis, "findings", None) or {}
+        flat = [f for fs in findings_map.values() for f in fs]
+        flat.sort(key=lambda f: (-int(f.severity), f.sql_id, f.rule))
+        return tuple(flat[: self.max_findings])
+
     @staticmethod
     def _repair_outcome(diagnosis) -> RepairOutcome:
         plan = diagnosis.plan
@@ -243,11 +255,18 @@ class IncidentRecorder:
             entry = {"kind": action.kind, "sql_id": action.sql_id}
             for key, value in vars(action).items():
                 if key != "sql_id":
-                    entry[key] = value
+                    # Strict JSON: tuples (e.g. optimization evidence)
+                    # round-trip as lists.
+                    entry[key] = list(value) if isinstance(value, tuple) else value
             planned.append(entry)
+        skipped = tuple(
+            {"sql_id": skip.sql_id, "reason": skip.reason}
+            for skip in getattr(plan, "skips", ())
+        )
         return RepairOutcome(
             session_lift=float(plan.session_lift),
             planned=tuple(planned),
             executed_kinds=tuple(a.kind for a in plan.executed),
             executed=bool(diagnosis.executed),
+            skipped=skipped,
         )

@@ -102,15 +102,33 @@ def render_incident_text(record: IncidentRecord) -> str:
             + ", ".join(f"size {c.size} (impact {c.impact:+.2f})" for c in r.clusters)
         )
 
+    lines += ["", "Static analysis findings (structural anti-patterns):"]
+    if r.analysis:
+        for f in r.analysis:
+            lines.append(
+                f"  [{f.severity.label.upper():>8}] {f.rule} on [{f.sql_id}]: "
+                f"{f.message}"
+            )
+            if f.suggestion:
+                lines.append(f"             fix: {f.suggestion}")
+    else:
+        lines.append("  (none)")
+
     lines += ["", f"Repair outcome: {r.repair.outcome} "
               f"(session lift {r.repair.session_lift:.2f}x)"]
     for action in r.repair.planned:
         extras = {
-            k: v for k, v in action.items() if k not in ("kind", "sql_id")
+            k: v for k, v in action.items() if k not in ("kind", "sql_id", "evidence")
         }
         detail = f" {extras}" if extras else ""
         lines.append(
             f"  - {action.get('kind')} on [{action.get('sql_id') or 'instance'}]{detail}"
+        )
+        for item in action.get("evidence") or ():
+            lines.append(f"      evidence: {item}")
+    for skip in r.repair.skipped:
+        lines.append(
+            f"  - skipped [{skip.get('sql_id')}]: {skip.get('reason')}"
         )
     if r.repair.executed_kinds:
         lines.append(f"  executed: {list(r.repair.executed_kinds)}")
@@ -172,17 +190,32 @@ def render_incident_html(record: IncidentRecord) -> str:
         if r.rsql_widened
         else ""
     )
+    analysis = html_table(
+        ["severity", "rule", "sql_id", "table", "message", "suggested fix"],
+        [
+            (f.severity.label, f.rule, f.sql_id, f.table or "-",
+             f.message, f.suggestion or "-")
+            for f in r.analysis
+        ],
+    )
     repair_rows = [
         (a.get("kind"), a.get("sql_id") or "instance",
-         html_escape({k: v for k, v in a.items() if k not in ("kind", "sql_id")}))
+         html_escape({k: v for k, v in a.items()
+                      if k not in ("kind", "sql_id", "evidence")}),
+         "; ".join(a.get("evidence") or ()) or "-")
         for a in r.repair.planned
     ]
     repair = (
         f"<p>outcome: <b>{html_escape(r.repair.outcome)}</b> "
         f"(session lift {r.repair.session_lift:.2f}x; "
         f"executed: {html_escape(list(r.repair.executed_kinds) or 'none')})</p>"
-        + html_table(["action", "target", "parameters"], repair_rows)
+        + html_table(["action", "target", "parameters", "evidence"], repair_rows)
     )
+    if r.repair.skipped:
+        repair += html_table(
+            ["skipped sql_id", "reason"],
+            [(s.get("sql_id"), s.get("reason")) for s in r.repair.skipped],
+        )
     timings = html_table(
         ["stage", "milliseconds"],
         [(stage, f"{seconds * 1000:.2f}") for stage, seconds in r.timings.items()],
@@ -192,6 +225,7 @@ def render_incident_html(record: IncidentRecord) -> str:
         ("Triggering metrics", metrics),
         (f"H-SQL candidates (α={r.hsql_alpha:+.3f}, β={r.hsql_beta:+.3f})", hsql),
         ("R-SQL attribution", rsql + rsql_note),
+        ("Static analysis findings", analysis),
         ("Repair", repair),
         ("Stage timings", timings),
     ]

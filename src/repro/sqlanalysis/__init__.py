@@ -1,0 +1,49 @@
+"""Static SQL analysis: anti-pattern lint over templates.
+
+PinSQL's repairing module resolves R-SQLs via "query optimization"; this
+package supplies the structural evidence for *why* a template is slow.
+It lifts the :mod:`repro.sqltemplate` token stream into a small
+statement IR (:mod:`repro.sqlanalysis.ir`), runs a pluggable registry of
+anti-pattern rules over it (:mod:`repro.sqlanalysis.rules`) and emits
+severity-scored, explainable :class:`Finding`\\ s that the repair
+planner, incident records and the ``repro lint`` CLI consume.
+"""
+
+from repro.sqlanalysis.analyzer import AnalyzerConfig, SqlAnalyzer
+from repro.sqlanalysis.ir import (
+    ColumnRef,
+    Predicate,
+    StatementIR,
+    TableRef,
+    parse_statement,
+)
+from repro.sqlanalysis.lint import LintEntry, LintReport, lint_failed
+from repro.sqlanalysis.rules import (
+    AnalysisContext,
+    Finding,
+    LintRule,
+    Severity,
+    default_rules,
+    register_rule,
+    rule_ids,
+)
+
+__all__ = [
+    "AnalysisContext",
+    "AnalyzerConfig",
+    "ColumnRef",
+    "Finding",
+    "LintEntry",
+    "LintReport",
+    "LintRule",
+    "Predicate",
+    "Severity",
+    "SqlAnalyzer",
+    "StatementIR",
+    "TableRef",
+    "default_rules",
+    "lint_failed",
+    "parse_statement",
+    "register_rule",
+    "rule_ids",
+]

@@ -1,0 +1,134 @@
+"""Lint report assembly and rendering for the ``repro lint`` CLI.
+
+A :class:`LintReport` collects per-template findings over a catalog,
+renders as console text or strict JSON, and decides the process exit
+code: :func:`lint_failed` returns True when any finding reaches the
+``--fail-on`` severity threshold (``never`` disables failing), which is
+the CI contract documented in the README.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sqlanalysis.rules import Finding, Severity
+
+__all__ = ["LintEntry", "LintReport", "lint_failed"]
+
+
+@dataclass
+class LintEntry:
+    """Findings for one template."""
+
+    sql_id: str
+    statement: str
+    findings: list[Finding] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sql_id": self.sql_id,
+            "statement": self.statement,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+@dataclass
+class LintReport:
+    """The result of linting one catalog."""
+
+    entries: list[LintEntry] = field(default_factory=list)
+    analyzed: int = 0
+    #: Optional precision/recall block (present when anti-patterns were
+    #: planted with ground-truth labels).
+    evaluation: dict[str, Any] | None = None
+
+    @property
+    def findings(self) -> list[Finding]:
+        return [f for entry in self.entries for f in entry.findings]
+
+    @property
+    def max_severity(self) -> Severity | None:
+        found = self.findings
+        return max((f.severity for f in found), default=None)
+
+    def count_by_severity(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.severity.label] = counts.get(f.severity.label, 0) + 1
+        return counts
+
+    def count_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[str, Any]:
+        """Strict-JSON form (CI artifact format)."""
+        data: dict[str, Any] = {
+            "analyzed": self.analyzed,
+            "templates_with_findings": len(self.entries),
+            "counts_by_severity": self.count_by_severity(),
+            "counts_by_rule": self.count_by_rule(),
+            "entries": [e.to_dict() for e in self.entries],
+        }
+        if self.evaluation is not None:
+            data["evaluation"] = self.evaluation
+        return data
+
+    def render_text(self, width: int = 100) -> str:
+        """Console rendering, worst templates first."""
+        lines = [
+            f"Analyzed {self.analyzed} templates: "
+            f"{len(self.entries)} with findings "
+            f"({sum(len(e.findings) for e in self.entries)} findings total)",
+        ]
+        by_sev = self.count_by_severity()
+        if by_sev:
+            lines.append(
+                "  "
+                + "  ".join(
+                    f"{sev.label}={by_sev[sev.label]}"
+                    for sev in sorted(Severity, reverse=True)
+                    if sev.label in by_sev
+                )
+            )
+        ordered = sorted(
+            self.entries,
+            key=lambda e: -max((int(f.severity) for f in e.findings), default=0),
+        )
+        for entry in ordered:
+            stmt = entry.statement
+            if len(stmt) > width:
+                stmt = stmt[: width - 1] + "…"
+            lines.append("")
+            lines.append(f"[{entry.sql_id}] {stmt}")
+            for f in entry.findings:
+                where = f" ({f.table}.{f.column})" if f.table and f.column else (
+                    f" ({f.table})" if f.table else ""
+                )
+                lines.append(f"  {f.severity.label:<8} {f.rule}{where}: {f.message}")
+                if f.suggestion:
+                    lines.append(f"           fix: {f.suggestion}")
+        if self.evaluation is not None:
+            lines.append("")
+            lines.append(
+                "Planted anti-pattern evaluation: "
+                f"precision={self.evaluation.get('precision', 0.0):.3f} "
+                f"recall={self.evaluation.get('recall', 0.0):.3f}"
+            )
+        return "\n".join(lines)
+
+
+def lint_failed(report: LintReport, fail_on: str) -> bool:
+    """The exit-code contract: True when a finding meets the threshold.
+
+    ``fail_on`` is a severity label (``info``/``warning``/``high``/
+    ``critical``) or ``never``.
+    """
+    if fail_on == "never":
+        return False
+    threshold = Severity.from_label(fail_on)
+    worst = report.max_severity
+    return worst is not None and worst >= threshold

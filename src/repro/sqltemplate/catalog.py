@@ -24,6 +24,10 @@ class TemplateInfo:
     tables: tuple[str, ...]
     first_seen: int | None = None
     query_count: int = 0
+    #: First raw statement observed for this template.  Literals matter to
+    #: static analysis (implicit conversions, IN-list sizes) and templating
+    #: erases them, so the catalog keeps one exemplar when available.
+    exemplar: str = ""
 
     @classmethod
     def from_fingerprint(cls, fp: Fingerprint, first_seen: int | None = None) -> "TemplateInfo":
@@ -68,7 +72,10 @@ class TemplateCatalog:
     def register_statement(self, sql: str, timestamp: int | None = None) -> TemplateInfo:
         """Fingerprint a raw statement and register (or update) its template."""
         fp = fingerprint(sql)
-        return self.register_fingerprint(fp, timestamp)
+        info = self.register_fingerprint(fp, timestamp)
+        if not info.exemplar:
+            info.exemplar = sql
+        return info
 
     def register_fingerprint(
         self, fp: Fingerprint, timestamp: int | None = None
@@ -89,12 +96,15 @@ class TemplateCatalog:
         kind: StatementKind,
         tables: tuple[str, ...],
         first_seen: int | None = None,
+        exemplar: str = "",
     ) -> TemplateInfo:
         """Directly register a pre-fingerprinted template (simulator path)."""
         info = self._templates.get(sql_id)
         if info is None:
-            info = TemplateInfo(sql_id, template, kind, tables, first_seen)
+            info = TemplateInfo(sql_id, template, kind, tables, first_seen, exemplar=exemplar)
             self._templates[sql_id] = info
+        elif exemplar and not info.exemplar:
+            info.exemplar = exemplar
         return info
 
     def templates_on_table(self, table: str) -> list[TemplateInfo]:

@@ -19,6 +19,7 @@ from repro.sqltemplate.tokenizer import Token, TokenKind, tokenize
 __all__ = [
     "StatementKind",
     "Fingerprint",
+    "WILDCARD_PLACEHOLDER",
     "normalize_statement",
     "sql_id",
     "fingerprint",
@@ -55,14 +56,32 @@ _DDL_LEADS = {"create", "alter", "drop", "truncate", "rename"}
 _TXN_LEADS = {"begin", "commit", "rollback"}
 
 
+#: Placeholder kept for leading-wildcard LIKE patterns: `LIKE '%abc'` is a
+#: different execution plan (full scan) than `LIKE 'abc%'` (range scan), so
+#: the template must not erase that distinction.  The marker re-lexes as a
+#: string starting with `%`, keeping normalization idempotent.
+WILDCARD_PLACEHOLDER = "'%?'"
+
+
+def _leading_wildcard(tok: Token) -> bool:
+    if tok.kind != TokenKind.STRING or len(tok.text) < 2:
+        return False
+    return tok.text[1:].startswith("%")
+
+
 def _normalized_tokens(sql: str) -> list[Token]:
     """Tokenize and replace literal tokens with placeholders."""
     out: list[Token] = []
+    prev_like = False
     for tok in tokenize(sql):
         if tok.kind in (TokenKind.NUMBER, TokenKind.STRING):
-            out.append(Token(TokenKind.PLACEHOLDER, "?"))
+            if prev_like and _leading_wildcard(tok):
+                out.append(Token(TokenKind.PLACEHOLDER, WILDCARD_PLACEHOLDER))
+            else:
+                out.append(Token(TokenKind.PLACEHOLDER, "?"))
         else:
             out.append(tok)
+        prev_like = tok.kind == TokenKind.KEYWORD and tok.text.lower() == "like"
     return out
 
 

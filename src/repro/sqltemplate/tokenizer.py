@@ -53,9 +53,10 @@ def tokenize(sql: str) -> list[Token]:
     """Tokenize a SQL statement.
 
     Handles single/double-quoted strings with backslash and doubled-quote
-    escapes, numeric literals (including decimals and exponents),
-    backquoted identifiers, line (``--``) and block (``/* */``) comments,
-    and ``?`` placeholders already present in the input.
+    escapes, numeric literals (including decimals, exponents, ``0x``/``0b``
+    and ``x'..'``/``b'..'`` hex/binary forms), backquoted identifiers, line
+    (``--`` and ``#``) and block (``/* */``) comments, and ``?``
+    placeholders already present in the input.
     """
     tokens: list[Token] = []
     i, n = 0, len(sql)
@@ -65,7 +66,7 @@ def tokenize(sql: str) -> list[Token]:
             i += 1
             continue
         # Comments -----------------------------------------------------
-        if ch == "-" and sql.startswith("--", i):
+        if (ch == "-" and sql.startswith("--", i)) or ch == "#":
             j = sql.find("\n", i)
             i = n if j == -1 else j + 1
             continue
@@ -107,6 +108,24 @@ def tokenize(sql: str) -> list[Token]:
             continue
         # Numbers (including a leading sign handled as operator) --------
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            # Hex (0xFF) and binary (0b01) literals are one token; a bare
+            # "0x"/"0b" with no digits falls through to the decimal scan.
+            if ch == "0" and i + 1 < n and sql[i + 1] in "xX":
+                j = i + 2
+                while j < n and sql[j] in "0123456789abcdefABCDEF":
+                    j += 1
+                if j > i + 2:
+                    tokens.append(Token(TokenKind.NUMBER, sql[i:j]))
+                    i = j
+                    continue
+            if ch == "0" and i + 1 < n and sql[i + 1] in "bB":
+                j = i + 2
+                while j < n and sql[j] in "01":
+                    j += 1
+                if j > i + 2:
+                    tokens.append(Token(TokenKind.NUMBER, sql[i:j]))
+                    i = j
+                    continue
             j = i
             seen_exp = False
             while j < n:
@@ -118,10 +137,15 @@ def tokenize(sql: str) -> list[Token]:
                 ):
                     seen_exp = True
                     j += 2
-                elif c in "xXabcdefABCDEF" and sql[i] == "0":
-                    j += 1  # hex literals
                 else:
                     break
+            tokens.append(Token(TokenKind.NUMBER, sql[i:j]))
+            i = j
+            continue
+        # String-style hex/binary literals: x'1F', b'1010' --------------
+        if ch in "xXbB" and i + 1 < n and sql[i + 1] == "'":
+            j = sql.find("'", i + 2)
+            j = n if j == -1 else j + 1
             tokens.append(Token(TokenKind.NUMBER, sql[i:j]))
             i = j
             continue

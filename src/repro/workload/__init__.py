@@ -16,17 +16,24 @@ from repro.workload.trends import (
     ramp_profile,
 )
 from repro.workload.microservice import Api, BusinessService
-from repro.workload.catalog import Population, build_population
+from repro.workload.catalog import (
+    DEFAULT_INDEXED_COLUMNS,
+    Population,
+    build_population,
+)
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.scenarios import (
     AnomalyCategory,
     InjectedAnomaly,
+    PlantedAntiPattern,
     inject_business_spike,
     inject_poor_sql,
     inject_mdl_lock,
     inject_row_lock,
     inject_composite,
     inject_anomaly,
+    hot_tables,
+    plant_antipatterns,
 )
 from repro.workload.replay import (
     ReplayWorkload,
@@ -44,17 +51,21 @@ __all__ = [
     "ramp_profile",
     "Api",
     "BusinessService",
+    "DEFAULT_INDEXED_COLUMNS",
     "Population",
     "build_population",
     "WorkloadGenerator",
     "AnomalyCategory",
     "InjectedAnomaly",
+    "PlantedAntiPattern",
     "inject_business_spike",
     "inject_poor_sql",
     "inject_mdl_lock",
     "inject_row_lock",
     "inject_composite",
     "inject_anomaly",
+    "hot_tables",
+    "plant_antipatterns",
     "ReplayWorkload",
     "infer_spec",
     "inflation_series",

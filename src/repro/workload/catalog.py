@@ -20,7 +20,12 @@ from repro.sqltemplate import StatementKind, fingerprint
 from repro.workload.microservice import Api, BusinessService
 from repro.workload.trends import business_latent_trend
 
-__all__ = ["Population", "build_population", "make_statement"]
+__all__ = [
+    "DEFAULT_INDEXED_COLUMNS",
+    "Population",
+    "build_population",
+    "make_statement",
+]
 
 
 def make_statement(kind: StatementKind, table: str, variant: int) -> str:
@@ -95,6 +100,12 @@ class Population:
         if api not in business.apis:
             business.apis.append(api)
 
+
+#: Columns every business table is indexed on.  ``make_statement`` filters
+#: on ``k0..k4`` and the migration copy query ranges on ``id``, so with
+#: these indexes the ordinary templates are genuinely index-backed — which
+#: is what makes a missing-index finding on ``c*`` columns meaningful.
+DEFAULT_INDEXED_COLUMNS = frozenset({"id", "k0", "k1", "k2", "k3", "k4"})
 
 #: Statement-kind mix of ordinary business templates.
 _KIND_MIX = (
@@ -171,7 +182,10 @@ def build_population(
                     tables.append(donor_tables[int(rng.integers(0, len(donor_tables)))])
                     continue
             name = f"t_{b:02d}_{i}"
-            schema.ensure_table(name, row_count=int(rng.integers(100_000, 10_000_000)))
+            table_obj = schema.ensure_table(
+                name, row_count=int(rng.integers(100_000, 10_000_000))
+            )
+            table_obj.indexes.update(DEFAULT_INDEXED_COLUMNS)
             tables.append(name)
 
         # APIs: small DAG summarised by per-API call multipliers.
@@ -227,6 +241,7 @@ def build_population(
                 response_cv=float(rng.uniform(0.15, 0.5)),
                 lock_hold_ms=float(rng.uniform(5.0, 60.0)),
                 cpu_per_krow=cpu_per_krow,
+                exemplar=statement,
             )
             specs[spec.sql_id] = spec
             api = apis[int(rng.integers(0, n_apis))]

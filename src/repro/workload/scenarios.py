@@ -36,12 +36,15 @@ from repro.workload.trends import ramp_profile, spike_profile
 __all__ = [
     "AnomalyCategory",
     "InjectedAnomaly",
+    "PlantedAntiPattern",
     "inject_business_spike",
     "inject_poor_sql",
     "inject_mdl_lock",
     "inject_row_lock",
     "inject_composite",
     "inject_anomaly",
+    "hot_tables",
+    "plant_antipatterns",
 ]
 
 
@@ -197,7 +200,14 @@ def inject_poor_sql(
     """
     business = _busiest_business(population, rng)
     table = _busiest_table(population, business)
-    statement = make_statement(StatementKind.SELECT, table, int(rng.integers(10_000, 99_999)))
+    # The rollout carries the anti-patterns that *make* it a poor SQL —
+    # SELECT * plus a function-wrapped filter column — so static analysis
+    # can explain the scan instead of just observing its row counts.
+    v = int(rng.integers(10_000, 99_999))
+    statement = (
+        f"SELECT * FROM {table} "
+        f"WHERE LOWER(c{v % 7}) = 'scan{v}' ORDER BY c{(v + 1) % 7}"
+    )
     fp = fingerprint(statement)
     spec = TemplateSpec(
         sql_id=fp.sql_id,
@@ -207,6 +217,7 @@ def inject_poor_sql(
         base_response_ms=float(rng.uniform(20.0, 80.0)),
         examined_rows_mean=float(rng.uniform(*examined_rows)),
         response_cv=0.3,
+        exemplar=statement,
     )
     if capacity_hint_ms is not None:
         oversubscribe = float(rng.uniform(1.3, 2.2))
@@ -266,6 +277,7 @@ def inject_mdl_lock(
         base_response_ms=10.0,
         examined_rows_mean=0.0,
         ddl_duration_ms=float(rng.uniform(*ddl_duration_ms)),
+        exemplar=statement,
     )
     schedule: dict[int, int] = {}
     t = anomaly_start
@@ -296,6 +308,7 @@ def inject_mdl_lock(
         tables=copy_fp.tables if copy_fp.tables else (table,),
         base_response_ms=float(rng.uniform(8.0, 25.0)),
         examined_rows_mean=float(rng.uniform(2_000.0, 10_000.0)),
+        exemplar=copy_statement,
     )
     population.rate_overrides[copy_spec.sql_id] = window * _business_shape(business)
     population.add_template(business, api, copy_spec)
@@ -352,6 +365,7 @@ def inject_row_lock(
         base_response_ms=hold * float(rng.uniform(0.8, 1.0)),
         examined_rows_mean=float(rng.uniform(500.0, 5_000.0)),
         lock_hold_ms=hold,
+        exemplar=statement,
     )
     rate = float(rng.uniform(*target_rate))
     profile = spike_profile(population.duration, anomaly_start, anomaly_end, rate, ramp=30)
@@ -448,3 +462,102 @@ def inject_anomaly(
         raise ValueError("anomaly window must lie within the population duration")
     injector = _INJECTORS[category]
     return injector(population, rng, anomaly_start, anomaly_end, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Planted anti-patterns: labelled ground truth for the static analyzer,
+# the same way ADAC labels ground-truth R-SQLs for the ranking modules.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlantedAntiPattern:
+    """Ground-truth label for one planted template."""
+
+    sql_id: str
+    rules: tuple[str, ...]
+    statement: str
+    table: str
+
+
+def hot_tables(population: Population, top_n: int = 3) -> frozenset[str]:
+    """The ``top_n`` tables by expected query traffic (rate-weighted)."""
+    traffic: dict[str, float] = {}
+    for business in population.businesses:
+        mean_latent = float(business.latent.mean())
+        for sql_id in business.sql_ids:
+            spec = population.specs.get(sql_id)
+            if spec is None or spec.table is None:
+                continue
+            rate = mean_latent * business.template_multiplier(sql_id)
+            traffic[spec.table] = traffic.get(spec.table, 0.0) + rate
+    ranked = sorted(traffic, key=lambda t: traffic[t], reverse=True)
+    return frozenset(ranked[:top_n])
+
+
+def plant_antipatterns(
+    population: Population,
+    rng: np.random.Generator,
+    queries_per_call: float = 0.02,
+) -> list[PlantedAntiPattern]:
+    """Plant one labelled template per anti-pattern category.
+
+    Each planted statement exhibits exactly the rules in its label (guard
+    predicates sit on indexed ``k*`` columns so no other rule fires),
+    letting the evaluation harness measure analyzer precision/recall
+    against exact ``(sql_id, rule)`` pairs.  Traffic is negligible
+    (``queries_per_call``) so planting does not perturb simulations.
+    """
+    tables = sorted(population.schema, key=lambda t: t.row_count, reverse=True)
+    if not tables:
+        raise ValueError("population has no tables to plant on")
+    big = tables[0].name
+    other = tables[1].name if len(tables) > 1 else big
+    business = _busiest_business(population, rng)
+    hot = _busiest_table(population, business)
+    v = int(rng.integers(100, 999))
+
+    in_list = ", ".join(str(v + i) for i in range(24))
+    or_chain = " OR ".join(f"k0 = {v + i}" for i in range(12))
+    seeds: list[tuple[str, tuple[str, ...], str]] = [
+        (f"SELECT * FROM {big} WHERE k0 = {v}",
+         ("select-star",), big),
+        (f"SELECT c0, c1 FROM {big} WHERE DATE(c2) = '2024-06-11' AND k1 = {v}",
+         ("non-sargable-function",), big),
+        (f"SELECT c0 FROM {big} WHERE c1 LIKE '%needle{v}%' AND k2 = {v}",
+         ("leading-wildcard-like",), big),
+        (f"SELECT c0, c2 FROM {big} WHERE k3 = '{v}'",
+         ("implicit-conversion",), big),
+        (f"SELECT c0, c1 FROM {big} WHERE c3 = {v} AND c4 = {v + 1}",
+         ("missing-index",), big),
+        (f"SELECT c0, c1, c2 FROM {big} ORDER BY c0",
+         ("unbounded-scan",), big),
+        (f"SELECT a.c0, b.c1 FROM {big} a, {other} b WHERE a.k0 = {v}",
+         ("cartesian-join",), big),
+        (f"SELECT c0 FROM {big} WHERE k4 IN ({in_list})",
+         ("large-in-list",), big),
+        (f"SELECT c1 FROM {big} WHERE {or_chain}",
+         ("long-or-chain",), big),
+        (f"SELECT c0 FROM {hot} WHERE k1 = {v} FOR UPDATE",
+         ("lock-footprint",), hot),
+        (f"DELETE FROM {big}",
+         ("unbounded-scan", "lock-footprint"), big),
+    ]
+    api = Api(name=f"{business.name}_lintbait", calls_per_request=0.05)
+    planted: list[PlantedAntiPattern] = []
+    for statement, rules, table in seeds:
+        fp = fingerprint(statement)
+        spec = TemplateSpec(
+            sql_id=fp.sql_id,
+            template=fp.template,
+            kind=fp.kind,
+            tables=fp.tables if fp.tables else (table,),
+            exemplar=statement,
+        )
+        population.add_template(business, api, spec, queries_per_call=queries_per_call)
+        planted.append(
+            PlantedAntiPattern(
+                sql_id=fp.sql_id, rules=rules, statement=statement, table=table
+            )
+        )
+    return planted

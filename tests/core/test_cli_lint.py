@@ -1,0 +1,95 @@
+"""Tests for the ``repro lint`` CLI (exit codes, formats, artifacts)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+BAD_SQL = "SELECT * FROM orders WHERE LOWER(region) = 'emea'"
+CLEAN_SQL = "SELECT id FROM orders WHERE region = 1 LIMIT 10"
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.format == "text"
+        assert args.fail_on == "warning"
+        assert args.cases is None and args.sql is None
+
+    def test_sql_and_cases_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--cases", "x", "--sql", "SELECT 1"])
+
+    def test_bad_fail_on_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["lint", "--fail-on", "loud"])
+
+
+class TestSingleStatement:
+    def test_findings_fail_at_default_threshold(self, capsys):
+        code = main(["lint", "--sql", BAD_SQL])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "select-star" in out and "non-sargable-function" in out
+
+    def test_clean_statement_exits_zero(self, capsys):
+        assert main(["lint", "--sql", CLEAN_SQL]) == 0
+        assert "0 with findings" in capsys.readouterr().out
+
+    def test_fail_on_never_forces_zero(self):
+        assert main(["lint", "--sql", BAD_SQL, "--fail-on", "never"]) == 0
+
+    def test_json_format(self, capsys):
+        main(["lint", "--sql", BAD_SQL, "--format", "json", "--fail-on", "never"])
+        data = json.loads(capsys.readouterr().out)
+        assert data["analyzed"] == 1
+        rules = {
+            f["rule"] for e in data["entries"] for f in e["findings"]
+        }
+        assert "select-star" in rules
+
+
+class TestDefaultCatalog:
+    def test_planted_catalog_reports_evaluation(self, capsys):
+        code = main(["lint", "--format", "json", "--fail-on", "never", "--seed", "7"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["analyzed"] > 50
+        evaluation = data["evaluation"]
+        assert evaluation["recall"] == 1.0
+        assert evaluation["precision"] >= 0.8
+
+    def test_out_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "lint" / "report.json"
+        code = main(
+            ["lint", "--format", "json", "--fail-on", "never", "--out", str(out)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert "counts_by_rule" in data
+
+    def test_text_format_mentions_evaluation(self, capsys):
+        main(["lint", "--fail-on", "never"])
+        out = capsys.readouterr().out
+        assert "Planted anti-pattern evaluation" in out
+        assert "recall=1.000" in out
+
+
+class TestCasesDir:
+    def test_missing_corpus_is_usage_error(self, tmp_path, capsys):
+        assert main(["lint", "--cases", str(tmp_path)]) == 2
+        assert "no case_" in capsys.readouterr().err
+
+    def test_lints_saved_corpus(self, tmp_path, poor_sql_case, capsys):
+        from repro.evaluation.persistence import save_case
+
+        save_case(poor_sql_case, tmp_path / "case_000.npz")
+        code = main(
+            ["lint", "--cases", str(tmp_path), "--format", "json", "--fail-on", "never"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["analyzed"] > 0
+        assert "evaluation" not in data

@@ -5,6 +5,7 @@ import pytest
 from repro.core import (
     DEFAULT_REPAIR_CONFIG,
     AutoScaleAction,
+    OptimizationSkip,
     PinSQL,
     QueryOptimizationAction,
     RepairConfig,
@@ -55,14 +56,59 @@ class TestPlanning:
         assert action.rows_gain > 0.9  # full scan → huge gain
         assert 0 < action.tres_gain <= action.rows_gain
 
-    def test_plan_optimization_small_for_cheap_template(self, poor_sql_case):
+    def test_plan_optimization_skips_cheap_template(self, poor_sql_case):
         case = poor_sql_case.case
         cheap = min(
             case.sql_ids,
             key=lambda sid: case.templates.get(sid, "total_examined_rows").total(),
         )
         action = plan_optimization(case, cheap)
-        assert action.rows_gain < 0.9
+        assert isinstance(action, OptimizationSkip)
+        assert action.sql_id == cheap
+        assert "index-backed" in action.reason
+
+    def test_plan_optimization_findings_become_evidence(self, poor_sql_case):
+        from repro.sqlanalysis import Finding, Severity
+
+        sql_id = next(iter(poor_sql_case.r_sqls))
+        finding = Finding(
+            rule="non-sargable-function",
+            severity=Severity.HIGH,
+            message="predicate applies LOWER(c1)",
+            sql_id=sql_id,
+        )
+        action = plan_optimization(poor_sql_case.case, sql_id, [finding])
+        assert action.rows_gain > 0.9  # structural cause → full gain kept
+        assert action.evidence == ("non-sargable-function: predicate applies LOWER(c1)",)
+
+    def test_plan_optimization_tempered_without_structural_cause(self, poor_sql_case):
+        sql_id = next(iter(poor_sql_case.r_sqls))
+        statistical = plan_optimization(poor_sql_case.case, sql_id)
+        clean = plan_optimization(poor_sql_case.case, sql_id, findings=[])
+        assert clean.rows_gain < statistical.rows_gain
+        assert clean.evidence == ()
+
+    def test_engine_records_skips_with_analyzer(self, poor_sql_case):
+        from repro.sqlanalysis import SqlAnalyzer
+
+        result = PinSQL().analyze(poor_sql_case.case)
+        # Force optimization planning over several targets: the poor SQL
+        # stays actionable, index-backed background templates are skipped.
+        cheap = min(
+            poor_sql_case.case.sql_ids,
+            key=lambda sid: poor_sql_case.case.templates.get(
+                sid, "total_examined_rows"
+            ).total(),
+        )
+        result.rsql.ranked = [(next(iter(poor_sql_case.r_sqls)), 1.0), (cheap, 0.5)]
+        config = RepairConfig(
+            rules=(RepairRule(("*",), "query_optimization"),), top_k=2
+        )
+        engine = RepairEngine(config, analyzer=SqlAnalyzer())
+        plan = engine.plan(poor_sql_case.case, result)
+        assert [s.sql_id for s in plan.skips] == [cheap]
+        assert "index-backed" in plan.skips[0].reason
+        assert all(a.sql_id != cheap for a in plan.actions)
 
     def test_engine_plans_for_top_rsql(self, poor_sql_case):
         result = PinSQL().analyze(poor_sql_case.case)

@@ -1,0 +1,145 @@
+"""Static-analysis evidence in incident records: round-trip, recorder, render."""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+from repro.incidents import (
+    IncidentRecorder,
+    IncidentStore,
+    RepairOutcome,
+    render_incident_html,
+    render_incident_text,
+)
+from repro.sqlanalysis import Finding, Severity
+
+from tests.incidents.conftest import fake_diagnosis, make_record
+
+
+def sample_findings():
+    return (
+        Finding(
+            rule="missing-index",
+            severity=Severity.CRITICAL,
+            message="no filter column is indexed on t",
+            sql_id="R1",
+            table="t",
+            column="k0",
+            suggestion="CREATE INDEX idx_t_k0 ON t (k0)",
+        ),
+        Finding(
+            rule="select-star",
+            severity=Severity.INFO,
+            message="SELECT * returns every column",
+            sql_id="R2",
+            table="t",
+        ),
+    )
+
+
+def analyzed_record():
+    record = make_record()
+    return replace(
+        record,
+        analysis=sample_findings(),
+        repair=replace(
+            record.repair,
+            planned=(
+                {
+                    "kind": "QueryOptimizationAction",
+                    "sql_id": "R1",
+                    "evidence": ["missing-index: no filter column is indexed on t"],
+                },
+            ),
+            skipped=({"sql_id": "C1", "reason": "profile already index-backed"},),
+        ),
+    )
+
+
+class TestRecordRoundTrip:
+    def test_analysis_and_skips_survive_serialization(self):
+        record = analyzed_record()
+        data = record.to_dict()
+        assert data["analysis"][0]["rule"] == "missing-index"
+        assert data["repair"]["skipped"][0]["sql_id"] == "C1"
+        back = type(record).from_dict(data)
+        assert back.analysis == record.analysis
+        assert back.repair.skipped == record.repair.skipped
+
+    def test_from_dict_tolerates_old_records(self):
+        # Records persisted before this PR carry neither field.
+        data = make_record().to_dict()
+        del data["analysis"]
+        del data["repair"]["skipped"]
+        back = type(make_record()).from_dict(data)
+        assert back.analysis == ()
+        assert back.repair.skipped == ()
+
+    def test_repair_outcome_defaults_empty(self):
+        assert RepairOutcome().skipped == ()
+
+
+class TestRecorderFlattening:
+    def _diagnosis(self):
+        diagnosis = fake_diagnosis()
+        diagnosis.findings = {
+            "R1": (sample_findings()[0],),
+            "H1": (sample_findings()[1],),
+        }
+        diagnosis.plan.actions = [
+            SimpleNamespace(
+                kind="QueryOptimizationAction",
+                sql_id="R1",
+                rows_gain=0.95,
+                evidence=("missing-index: no filter column is indexed on t",),
+            )
+        ]
+        diagnosis.plan.skips = [
+            SimpleNamespace(sql_id="C1", reason="profile already index-backed")
+        ]
+        return diagnosis
+
+    def test_findings_flattened_and_sorted(self, tmp_path):
+        record = IncidentRecorder(IncidentStore(tmp_path)).build(self._diagnosis())
+        assert [f.rule for f in record.analysis] == ["missing-index", "select-star"]
+
+    def test_max_findings_cap(self, tmp_path):
+        record = IncidentRecorder(IncidentStore(tmp_path), max_findings=1).build(self._diagnosis())
+        assert len(record.analysis) == 1
+        assert record.analysis[0].rule == "missing-index"  # worst kept
+
+    def test_action_evidence_and_skips_serialized(self, tmp_path):
+        record = IncidentRecorder(IncidentStore(tmp_path)).build(self._diagnosis())
+        (planned,) = record.repair.planned
+        assert planned["evidence"] == [
+            "missing-index: no filter column is indexed on t"
+        ]
+        assert record.repair.skipped == (
+            {"sql_id": "C1", "reason": "profile already index-backed"},
+        )
+
+    def test_diagnosis_without_findings_still_builds(self, tmp_path):
+        record = IncidentRecorder(IncidentStore(tmp_path)).build(fake_diagnosis())
+        assert record.analysis == ()
+        assert record.repair.skipped == ()
+
+
+class TestRendering:
+    def test_text_report_shows_findings_and_skips(self):
+        text = render_incident_text(analyzed_record())
+        assert "Static analysis findings" in text
+        assert "missing-index on [R1]" in text
+        assert "CREATE INDEX idx_t_k0" in text
+        assert "evidence: missing-index" in text
+        assert "skipped [C1]: profile already index-backed" in text
+
+    def test_text_report_without_findings_says_none(self):
+        text = render_incident_text(make_record())
+        assert "Static analysis findings" in text
+        assert "(none)" in text
+
+    def test_html_report_shows_findings_and_evidence(self):
+        html = render_incident_html(analyzed_record())
+        assert "Static analysis findings" in html
+        assert "missing-index" in html
+        assert "profile already index-backed" in html
+        assert "evidence" in html

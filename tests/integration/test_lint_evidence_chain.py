@@ -1,0 +1,111 @@
+"""End-to-end: structural findings flow diagnosis → repair → incident report.
+
+The ISSUE acceptance chain: a poor-SQL case is diagnosed, the repair
+engine's optimization action carries static-analysis evidence for the
+root-cause template, and that evidence (plus the per-template findings)
+lands in the persisted incident record and both rendered reports.
+"""
+
+import pytest
+
+from repro.core import (
+    PinSQL,
+    QueryOptimizationAction,
+    RepairConfig,
+    RepairEngine,
+    RepairRule,
+)
+from repro.core.report import render_report
+from repro.detection import DetectedAnomaly
+from repro.fleet import Diagnosis
+from repro.incidents import (
+    IncidentRecorder,
+    IncidentStore,
+    render_incident_html,
+    render_incident_text,
+)
+from repro.sqlanalysis import SqlAnalyzer
+
+
+@pytest.fixture(scope="module")
+def evidence_chain(poor_sql_case, tmp_path_factory):
+    """Run the full chain once; tests assert on its stages."""
+    case = poor_sql_case.case
+    result = PinSQL().analyze(case)
+    config = RepairConfig(rules=(RepairRule(("cpu_anomaly",), "query_optimization"),))
+    engine = RepairEngine(config, analyzer=SqlAnalyzer())
+    plan = engine.plan(case, result, anomaly_types=("cpu_anomaly",))
+
+    analyzer = SqlAnalyzer()
+    findings = {}
+    for sql_id in result.rsql_ids[:5]:
+        info = case.catalog.get(sql_id)
+        if info is not None:
+            template_findings = analyzer.analyze_template(info)
+            if template_findings:
+                findings[sql_id] = tuple(template_findings)
+
+    diagnosis = Diagnosis(
+        anomaly=DetectedAnomaly(
+            start=case.anomaly_start,
+            end=case.anomaly_end,
+            types=("cpu_anomaly",),
+        ),
+        case=case,
+        result=result,
+        report=render_report(case, result, plan=plan),
+        plan=plan,
+        executed=False,
+        findings=findings,
+        instance_id="db-e2e",
+    )
+    store = IncidentStore(tmp_path_factory.mktemp("incidents"))
+    record = IncidentRecorder(store).record(diagnosis)
+    return poor_sql_case, result, plan, diagnosis, store, record
+
+
+class TestRepairEvidence:
+    def test_action_targets_root_cause_with_structural_evidence(self, evidence_chain):
+        labeled, result, plan, *_ = evidence_chain
+        assert result.rsql_ids[0] in labeled.r_sqls
+        (action,) = [a for a in plan.actions if a.sql_id == result.rsql_ids[0]]
+        assert isinstance(action, QueryOptimizationAction)
+        assert action.evidence  # structural findings, not just statistics
+        assert any("non-sargable-function" in e for e in action.evidence)
+        assert action.rows_gain > 0.9  # structural cause keeps the full gain
+
+
+class TestIncidentRecord:
+    def test_record_persists_findings_and_evidence(self, evidence_chain):
+        *_, store, record = evidence_chain
+        assert record is not None
+        stored = store.get(record.incident_id)
+        assert stored.analysis, "per-template findings must reach the record"
+        rules = {f.rule for f in stored.analysis}
+        assert "non-sargable-function" in rules
+        planned = [
+            a for a in stored.repair.planned
+            if a.get("kind") == "QueryOptimizationAction"
+        ]
+        assert planned and planned[0]["evidence"]
+        assert any("non-sargable-function" in e for e in planned[0]["evidence"])
+
+    def test_record_round_trips_through_json(self, evidence_chain):
+        *_, record = evidence_chain
+        back = type(record).from_dict(record.to_dict())
+        assert back.analysis == record.analysis
+
+
+class TestRenderedReports:
+    def test_text_report_carries_the_evidence(self, evidence_chain):
+        *_, record = evidence_chain
+        text = render_incident_text(record)
+        assert "Static analysis findings" in text
+        assert "non-sargable-function" in text
+        assert "evidence: non-sargable-function" in text
+
+    def test_html_report_carries_the_evidence(self, evidence_chain):
+        *_, record = evidence_chain
+        html = render_incident_html(record)
+        assert "Static analysis findings" in html
+        assert "non-sargable-function" in html

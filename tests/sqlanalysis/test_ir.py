@@ -1,0 +1,155 @@
+"""Tests for the statement IR parser."""
+
+from repro.sqlanalysis import parse_statement
+from repro.sqltemplate import StatementKind
+
+
+class TestClauses:
+    def test_simple_select(self):
+        ir = parse_statement("SELECT c0, c1 FROM t WHERE k0 = 5 ORDER BY c0 LIMIT 10")
+        assert ir.kind is StatementKind.SELECT
+        assert ir.parse_ok
+        assert ir.table_names == ("t",)
+        assert ir.has_where and ir.has_order_by and ir.has_limit
+        assert not ir.has_group_by
+        assert ir.select_items == 2
+        assert not ir.select_star
+
+    def test_select_star(self):
+        assert parse_statement("SELECT * FROM t").select_star
+        assert parse_statement("SELECT a.* FROM t a").select_star
+        assert not parse_statement("SELECT COUNT(*) FROM t").select_star
+        assert not parse_statement("SELECT c0 * 2 FROM t").select_star
+
+    def test_group_by(self):
+        ir = parse_statement("SELECT k0, COUNT(*) FROM t GROUP BY k0")
+        assert ir.has_group_by
+
+    def test_update_and_delete_tables(self):
+        up = parse_statement("UPDATE orders SET status = 1 WHERE id = 9")
+        assert up.kind is StatementKind.UPDATE
+        assert up.table_names == ("orders",)
+        de = parse_statement("DELETE FROM logs WHERE day < 3")
+        assert de.kind is StatementKind.DELETE
+        assert de.table_names == ("logs",)
+
+
+class TestTables:
+    def test_aliases_resolve(self):
+        ir = parse_statement(
+            "SELECT a.c0 FROM orders AS a JOIN users u ON a.uid = u.id"
+        )
+        assert ir.resolve("a") == "orders"
+        assert ir.resolve("u") == "users"
+        assert ir.explicit_joins == 1
+        assert ir.join_constraints == 1
+
+    def test_comma_join(self):
+        ir = parse_statement("SELECT 1 FROM a, b WHERE a.x = b.y")
+        assert set(ir.table_names) == {"a", "b"}
+        assert ir.comma_joins == 1
+        assert ir.join_constraints == 0
+
+    def test_derived_table(self):
+        ir = parse_statement("SELECT x FROM (SELECT c0 AS x FROM t) d")
+        assert any(t.derived for t in ir.tables)
+        # Derived tables are excluded from table_names.
+        assert "t" not in ir.table_names
+
+
+class TestPredicates:
+    def test_sargable_equality(self):
+        ir = parse_statement("SELECT c FROM t WHERE k0 = 5")
+        (pred,) = ir.where_predicates
+        assert pred.column.name == "k0"
+        assert pred.op == "="
+        assert pred.sargable
+
+    def test_function_on_column_not_sargable(self):
+        ir = parse_statement("SELECT c FROM t WHERE LOWER(name) = 'x'")
+        (pred,) = ir.where_predicates
+        assert pred.func == "LOWER"
+        assert pred.column.name == "name"
+        assert not pred.sargable
+
+    def test_arithmetic_on_column_not_sargable(self):
+        ir = parse_statement("SELECT c FROM t WHERE k0 + 1 = 5")
+        (pred,) = ir.where_predicates
+        assert pred.arith
+        assert not pred.sargable
+
+    def test_quoted_number_not_sargable(self):
+        ir = parse_statement("SELECT c FROM t WHERE k0 = '42'")
+        (pred,) = ir.where_predicates
+        assert pred.value_kind == "string"
+        assert not pred.sargable
+
+    def test_between_keeps_one_atom(self):
+        ir = parse_statement("SELECT c FROM t WHERE k0 BETWEEN 1 AND 9 AND k1 = 2")
+        ops = sorted(p.op for p in ir.where_predicates)
+        assert ops == ["=", "between"]
+
+    def test_in_list_size(self):
+        ir = parse_statement("SELECT c FROM t WHERE k0 IN (1, 2, 3, 4)")
+        (pred,) = ir.where_predicates
+        assert pred.op == "in"
+        assert pred.in_list_size == 4
+
+    def test_in_subquery_is_not_a_list(self):
+        ir = parse_statement("SELECT c FROM t WHERE k0 IN (SELECT id FROM u)")
+        (pred,) = ir.where_predicates
+        assert pred.in_list_size == 0
+
+    def test_or_count(self):
+        ir = parse_statement("SELECT c FROM t WHERE k0 = 1 OR k0 = 2 OR k0 = 3")
+        assert ir.or_count == 2
+        assert len(ir.where_predicates) == 3
+
+    def test_parenthesised_groups_recurse(self):
+        ir = parse_statement("SELECT c FROM t WHERE (k0 = 1 OR k0 = 2) AND k1 = 3")
+        assert ir.or_count == 1
+        assert len(ir.where_predicates) == 3
+
+    def test_on_predicates_marked_from_join(self):
+        ir = parse_statement("SELECT 1 FROM a JOIN b ON a.x = b.y WHERE a.z = 1")
+        joins = [p for p in ir.predicates if p.from_join]
+        wheres = ir.where_predicates
+        assert len(joins) == 1 and len(wheres) == 1
+
+    def test_cross_table_equality_captured(self):
+        ir = parse_statement("SELECT 1 FROM a, b WHERE a.x = b.y")
+        (pred,) = ir.where_predicates
+        assert pred.value_column is not None
+        assert pred.value_column.qualifier == "b"
+
+
+class TestLocking:
+    def test_for_update(self):
+        ir = parse_statement("SELECT c FROM t WHERE k = 1 FOR UPDATE")
+        assert ir.for_update and ir.locking
+
+    def test_lock_in_share_mode(self):
+        ir = parse_statement("SELECT c FROM t WHERE k = 1 LOCK IN SHARE MODE")
+        assert ir.lock_in_share_mode and not ir.for_update
+
+    def test_for_share(self):
+        ir = parse_statement("SELECT c FROM t WHERE k = 1 FOR SHARE")
+        assert ir.lock_in_share_mode
+
+    def test_plain_select_not_locking(self):
+        assert not parse_statement("SELECT c FROM t WHERE k = 1").locking
+
+
+class TestTotality:
+    def test_garbage_still_returns_ir(self):
+        ir = parse_statement(")))((( ORDER LIMIT '")
+        assert ir is not None
+
+    def test_empty_statement(self):
+        ir = parse_statement("")
+        assert ir.table_names == ()
+        assert ir.predicates == ()
+
+    def test_non_dml(self):
+        ir = parse_statement("SET SESSION sort_buffer_size = 1048576")
+        assert ir.kind is StatementKind.OTHER

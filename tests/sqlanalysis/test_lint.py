@@ -1,0 +1,89 @@
+"""Tests for lint report assembly and the exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.sqlanalysis import (
+    Finding,
+    LintEntry,
+    LintReport,
+    Severity,
+    lint_failed,
+)
+
+
+def finding(rule="select-star", severity=Severity.INFO, **kw):
+    return Finding(rule=rule, severity=severity, message="m", **kw)
+
+
+def report_with(*severities):
+    entries = [
+        LintEntry(
+            sql_id=f"S{i}",
+            statement="SELECT * FROM t",
+            findings=[finding(severity=sev)],
+        )
+        for i, sev in enumerate(severities)
+    ]
+    return LintReport(entries=entries, analyzed=max(len(entries), 1))
+
+
+class TestReport:
+    def test_counts(self):
+        report = report_with(Severity.INFO, Severity.HIGH, Severity.HIGH)
+        assert report.count_by_severity() == {"info": 1, "high": 2}
+        assert report.count_by_rule() == {"select-star": 3}
+        assert report.max_severity is Severity.HIGH
+
+    def test_empty_report(self):
+        report = LintReport(analyzed=5)
+        assert report.max_severity is None
+        assert report.findings == []
+
+    def test_to_dict_is_json_serializable(self):
+        report = report_with(Severity.WARNING)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["analyzed"] == 1
+        assert data["templates_with_findings"] == 1
+        assert data["entries"][0]["findings"][0]["severity"] == "warning"
+        assert "evaluation" not in data
+
+    def test_to_dict_includes_evaluation_when_set(self):
+        report = report_with(Severity.WARNING)
+        report.evaluation = {"precision": 1.0, "recall": 0.9}
+        assert report.to_dict()["evaluation"]["recall"] == 0.9
+
+    def test_render_text_orders_worst_first(self):
+        report = report_with(Severity.INFO, Severity.CRITICAL)
+        text = report.render_text()
+        assert text.index("[S1]") < text.index("[S0]")
+        assert "critical" in text
+
+    def test_render_text_truncates_long_statements(self):
+        entry = LintEntry(sql_id="L", statement="x" * 500, findings=[finding()])
+        text = LintReport(entries=[entry], analyzed=1).render_text(width=80)
+        assert "…" in text
+        assert "x" * 200 not in text
+
+
+class TestExitContract:
+    @pytest.mark.parametrize(
+        ("worst", "fail_on", "failed"),
+        [
+            (Severity.INFO, "warning", False),
+            (Severity.WARNING, "warning", True),
+            (Severity.CRITICAL, "warning", True),
+            (Severity.HIGH, "critical", False),
+            (Severity.CRITICAL, "critical", True),
+            (Severity.INFO, "info", True),
+        ],
+    )
+    def test_threshold(self, worst, fail_on, failed):
+        assert lint_failed(report_with(worst), fail_on) is failed
+
+    def test_never_disables_failing(self):
+        assert lint_failed(report_with(Severity.CRITICAL), "never") is False
+
+    def test_clean_report_never_fails(self):
+        assert lint_failed(LintReport(analyzed=3), "info") is False

@@ -1,0 +1,84 @@
+"""Property tests: the analyzer is total over everything the workload emits.
+
+The analyzer rides inside the diagnosis loop, so an exception there
+costs an incident.  These tests sweep every template and exemplar the
+workload generator can produce — across all anomaly scenarios and the
+planted anti-patterns — plus adversarial text, and assert the analyzer
+always returns a list and never raises.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sqlanalysis import Finding, SqlAnalyzer
+from repro.workload import (
+    AnomalyCategory,
+    build_population,
+    hot_tables,
+    inject_anomaly,
+    plant_antipatterns,
+)
+
+
+def _population(seed):
+    rng = np.random.default_rng(seed)
+    population = build_population(600, rng, n_businesses=5)
+    return population, rng
+
+
+def _assert_total(analyzer, statements):
+    for sql_id, text in statements:
+        findings = analyzer.analyze_statement(text, sql_id=sql_id)
+        assert isinstance(findings, list)
+        assert all(isinstance(f, Finding) for f in findings)
+
+
+class TestWorkloadSweep:
+    @pytest.mark.parametrize("category", list(AnomalyCategory))
+    def test_all_scenario_templates_analyze(self, category):
+        population, rng = _population(hash(category.value) % 1000)
+        inject_anomaly(population, rng, category, 200, 400)
+        plant_antipatterns(population, rng)
+        analyzer = SqlAnalyzer(
+            schema=population.schema,
+            specs=population.specs,
+            hot_tables=hot_tables(population),
+        )
+        statements = []
+        for spec in population.specs.values():
+            statements.append((spec.sql_id, spec.template))
+            if spec.exemplar:
+                statements.append((spec.sql_id, spec.exemplar))
+        assert statements
+        _assert_total(analyzer, statements)
+
+    @pytest.mark.parametrize("seed", [0, 7, 42])
+    def test_spec_entry_point_total_over_population(self, seed):
+        population, rng = _population(seed)
+        plant_antipatterns(population, rng)
+        analyzer = SqlAnalyzer(schema=population.schema, specs=population.specs)
+        for spec in population.specs.values():
+            assert isinstance(analyzer.analyze_spec(spec), list)
+
+
+class TestAdversarialText:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=300))
+    def test_arbitrary_text_never_raises(self, text):
+        findings = SqlAnalyzer().analyze_statement(text)
+        assert isinstance(findings, list)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.text(
+            alphabet="SELECTFROMWHEREANDORIN()'\"%,.*=<>-#/ 0123456789abct_",
+            max_size=200,
+        )
+    )
+    def test_sql_shaped_text_never_raises(self, text):
+        findings = SqlAnalyzer().analyze_statement(text)
+        assert isinstance(findings, list)
+        for f in findings:
+            assert f.to_dict()  # findings stay serializable

@@ -1,0 +1,258 @@
+"""Tests for the anti-pattern rule registry."""
+
+import pytest
+
+from repro.dbsim import Schema, Table
+from repro.sqlanalysis import (
+    AnalysisContext,
+    Finding,
+    LintRule,
+    Severity,
+    parse_statement,
+    register_rule,
+    rule_ids,
+)
+from repro.sqlanalysis.rules import _REGISTRY, _scale_severity
+
+
+def run_rule(rule_id, sql, ctx=None):
+    ir = parse_statement(sql)
+    return list(_REGISTRY[rule_id].check(ir, ctx or AnalysisContext()))
+
+
+def big_schema(**tables):
+    return Schema([Table(name, row_count=rows, indexes=idx)
+                   for name, (rows, idx) in tables.items()])
+
+
+class TestSeverity:
+    def test_labels_round_trip(self):
+        for sev in Severity:
+            assert Severity.from_label(sev.label) is sev
+
+    def test_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.HIGH < Severity.CRITICAL
+
+    def test_scaling(self):
+        assert _scale_severity(Severity.WARNING, None, 100_000) is Severity.WARNING
+        assert _scale_severity(Severity.WARNING, 50_000, 100_000) is Severity.WARNING
+        assert _scale_severity(Severity.WARNING, 200_000, 100_000) is Severity.HIGH
+        assert _scale_severity(Severity.WARNING, 2_000_000, 100_000) is Severity.CRITICAL
+        # Caps at CRITICAL.
+        assert _scale_severity(Severity.HIGH, 2_000_000, 100_000) is Severity.CRITICAL
+
+
+class TestFinding:
+    def test_round_trip(self):
+        finding = Finding(
+            rule="missing-index", severity=Severity.HIGH, message="m",
+            sql_id="S1", table="t", column="c", suggestion="s",
+        )
+        assert Finding.from_dict(finding.to_dict()) == finding
+
+    def test_to_dict_is_strict_json(self):
+        data = Finding(rule="x", severity=Severity.INFO, message="m").to_dict()
+        assert all(isinstance(v, str) for v in data.values())
+        assert data["severity"] == "info"
+
+
+class TestSelectStar:
+    def test_fires(self):
+        (f,) = run_rule("select-star", "SELECT * FROM t WHERE k = 1")
+        assert f.severity is Severity.INFO and f.table == "t"
+
+    def test_abstains_on_columns(self):
+        assert run_rule("select-star", "SELECT c0, c1 FROM t") == []
+
+    def test_abstains_on_count_star(self):
+        assert run_rule("select-star", "SELECT COUNT(*) FROM t") == []
+
+
+class TestNonSargableFunction:
+    def test_function_fires(self):
+        (f,) = run_rule(
+            "non-sargable-function", "SELECT c FROM t WHERE LOWER(name) = 'x'"
+        )
+        assert f.column == "name" and "LOWER" in f.message
+
+    def test_arithmetic_fires(self):
+        (f,) = run_rule("non-sargable-function", "SELECT c FROM t WHERE k + 1 = 5")
+        assert "arithmetic" in f.message
+
+    def test_severity_scales_with_table_rows(self):
+        ctx = AnalysisContext(schema=big_schema(t=(5_000_000, set())))
+        (f,) = run_rule(
+            "non-sargable-function", "SELECT c FROM t WHERE LOWER(name) = 'x'", ctx
+        )
+        assert f.severity is Severity.CRITICAL
+
+    def test_bare_column_abstains(self):
+        assert run_rule("non-sargable-function", "SELECT c FROM t WHERE k = 5") == []
+
+
+class TestLeadingWildcardLike:
+    def test_fires_on_leading_percent(self):
+        (f,) = run_rule(
+            "leading-wildcard-like", "SELECT c FROM t WHERE name LIKE '%end'"
+        )
+        assert f.column == "name"
+
+    def test_abstains_on_prefix_pattern(self):
+        assert run_rule(
+            "leading-wildcard-like", "SELECT c FROM t WHERE name LIKE 'pre%'"
+        ) == []
+
+    def test_fires_on_wildcard_placeholder_template(self):
+        # Template form produced by the fingerprinter.
+        assert run_rule(
+            "leading-wildcard-like", "SELECT c FROM t WHERE name LIKE '%?'"
+        ) != []
+
+
+class TestImplicitConversion:
+    def test_fires_on_quoted_number(self):
+        (f,) = run_rule("implicit-conversion", "SELECT c FROM t WHERE k = '42'")
+        assert f.column == "k"
+
+    def test_abstains_on_real_string(self):
+        assert run_rule("implicit-conversion", "SELECT c FROM t WHERE k = 'abc'") == []
+
+    def test_abstains_on_bare_number(self):
+        assert run_rule("implicit-conversion", "SELECT c FROM t WHERE k = 42") == []
+
+
+class TestMissingIndex:
+    SQL = "SELECT c FROM t WHERE k = 5"
+
+    def test_fires_without_index(self):
+        ctx = AnalysisContext(schema=big_schema(t=(500_000, set())))
+        (f,) = run_rule("missing-index", self.SQL, ctx)
+        assert f.table == "t" and f.column == "k"
+        assert "CREATE INDEX" in f.suggestion
+
+    def test_abstains_when_indexed(self):
+        ctx = AnalysisContext(schema=big_schema(t=(500_000, {"k"})))
+        assert run_rule("missing-index", self.SQL, ctx) == []
+
+    def test_abstains_on_small_table(self):
+        ctx = AnalysisContext(schema=big_schema(t=(1_000, set())))
+        assert run_rule("missing-index", self.SQL, ctx) == []
+
+    def test_abstains_without_schema(self):
+        assert run_rule("missing-index", self.SQL) == []
+
+    def test_abstains_without_sargable_predicate(self):
+        ctx = AnalysisContext(schema=big_schema(t=(500_000, set())))
+        assert run_rule(
+            "missing-index", "SELECT c FROM t WHERE LOWER(k) = 'x'", ctx
+        ) == []
+
+
+class TestUnboundedScan:
+    def test_select_without_where_fires(self):
+        (f,) = run_rule("unbounded-scan", "SELECT c FROM t")
+        assert "no WHERE" in f.message
+
+    def test_select_with_limit_abstains(self):
+        assert run_rule("unbounded-scan", "SELECT c FROM t LIMIT 10") == []
+
+    def test_update_without_where_fires(self):
+        (f,) = run_rule("unbounded-scan", "UPDATE t SET c = 1")
+        assert "rewrites" in f.message
+
+    def test_filtered_abstains(self):
+        assert run_rule("unbounded-scan", "SELECT c FROM t WHERE k = 1") == []
+
+
+class TestCartesianJoin:
+    def test_comma_join_without_condition_fires(self):
+        (f,) = run_rule("cartesian-join", "SELECT 1 FROM a, b WHERE a.x = 1")
+        assert f.severity is Severity.HIGH
+
+    def test_cross_table_equality_abstains(self):
+        assert run_rule("cartesian-join", "SELECT 1 FROM a, b WHERE a.x = b.y") == []
+
+    def test_on_clause_abstains(self):
+        assert run_rule("cartesian-join", "SELECT 1 FROM a JOIN b ON a.x = b.y") == []
+
+    def test_single_table_abstains(self):
+        assert run_rule("cartesian-join", "SELECT 1 FROM a WHERE x = 1") == []
+
+
+class TestListShapes:
+    def test_large_in_list_fires_at_threshold(self):
+        values = ", ".join(str(i) for i in range(16))
+        (f,) = run_rule("large-in-list", f"SELECT c FROM t WHERE k IN ({values})")
+        assert "16 values" in f.message
+
+    def test_small_in_list_abstains(self):
+        assert run_rule("large-in-list", "SELECT c FROM t WHERE k IN (1, 2, 3)") == []
+
+    def test_long_or_chain_fires(self):
+        chain = " OR ".join(f"k = {i}" for i in range(9))
+        (f,) = run_rule("long-or-chain", f"SELECT c FROM t WHERE {chain}")
+        assert "9 alternatives" in f.message
+
+    def test_short_or_chain_abstains(self):
+        assert run_rule("long-or-chain", "SELECT c FROM t WHERE k = 1 OR k = 2") == []
+
+
+class TestLockFootprint:
+    def test_locking_read_fires(self):
+        (f,) = run_rule("lock-footprint", "SELECT c FROM t WHERE k = 1 FOR UPDATE")
+        assert f.severity is Severity.WARNING
+
+    def test_locking_read_on_hot_table_is_high(self):
+        ctx = AnalysisContext(hot_tables=frozenset({"t"}))
+        (f,) = run_rule(
+            "lock-footprint", "SELECT c FROM t WHERE k = 1 FOR UPDATE", ctx
+        )
+        assert f.severity is Severity.HIGH
+
+    def test_unbounded_write_is_critical_on_hot_table(self):
+        ctx = AnalysisContext(hot_tables=frozenset({"t"}))
+        (f,) = run_rule("lock-footprint", "DELETE FROM t", ctx)
+        assert f.severity is Severity.CRITICAL
+
+    def test_plain_select_abstains(self):
+        assert run_rule("lock-footprint", "SELECT c FROM t WHERE k = 1") == []
+
+
+class TestRegistry:
+    EXPECTED = {
+        "select-star", "non-sargable-function", "leading-wildcard-like",
+        "implicit-conversion", "missing-index", "unbounded-scan",
+        "cartesian-join", "large-in-list", "long-or-chain", "lock-footprint",
+    }
+
+    def test_default_rules_registered(self):
+        assert self.EXPECTED <= set(rule_ids())
+
+    def test_custom_rule_registration(self):
+        class NoDeleteRule(LintRule):
+            rule_id = "no-delete"
+            description = "site policy: no deletes"
+
+            def check(self, ir, ctx):
+                if ir.kind.value == "delete":
+                    yield Finding(
+                        rule=self.rule_id,
+                        severity=Severity.CRITICAL,
+                        message="deletes are forbidden here",
+                    )
+
+        try:
+            register_rule(NoDeleteRule)
+            assert "no-delete" in rule_ids()
+            (f,) = run_rule("no-delete", "DELETE FROM t WHERE k = 1")
+            assert f.severity is Severity.CRITICAL
+        finally:
+            _REGISTRY.pop("no-delete", None)
+
+    def test_rule_without_id_rejected(self):
+        class Anonymous(LintRule):
+            def check(self, ir, ctx):
+                return iter(())
+
+        with pytest.raises(ValueError):
+            register_rule(Anonymous)

@@ -1,0 +1,101 @@
+"""Regression tests for the hardened tokenizer and wildcard templates."""
+
+from repro.sqltemplate import normalize_statement
+from repro.sqltemplate.fingerprint import WILDCARD_PLACEHOLDER
+from repro.sqltemplate.tokenizer import TokenKind, tokenize
+
+
+def _texts(sql):
+    return [t.text for t in tokenize(sql)]
+
+
+def _kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+class TestComments:
+    def test_double_dash_comment_stripped(self):
+        assert _texts("SELECT 1 -- trailing note\nFROM t") == [
+            "SELECT", "1", "FROM", "t"
+        ]
+
+    def test_hash_comment_stripped(self):
+        assert _texts("SELECT 1 # mysql-style\nFROM t") == [
+            "SELECT", "1", "FROM", "t"
+        ]
+
+    def test_hash_comment_at_end_of_input(self):
+        assert _texts("SELECT 1 # no newline") == ["SELECT", "1"]
+
+    def test_block_comment_stripped(self):
+        assert _texts("SELECT /* hint */ c0 FROM t") == ["SELECT", "c0", "FROM", "t"]
+
+    def test_unterminated_block_comment(self):
+        assert _texts("SELECT 1 /* runs off") == ["SELECT", "1"]
+
+    def test_minus_not_mistaken_for_comment(self):
+        # A single '-' is subtraction, not a comment opener.
+        assert _texts("SELECT 5 - 3") == ["SELECT", "5", "-", "3"]
+
+
+class TestHexBinaryLiterals:
+    def test_hex_literal_is_one_number(self):
+        tokens = tokenize("SELECT 0xDEADbeef")
+        assert tokens[1] == tokens[1].__class__(TokenKind.NUMBER, "0xDEADbeef")
+
+    def test_binary_literal_is_one_number(self):
+        tokens = tokenize("SELECT 0b1010")
+        assert (tokens[1].kind, tokens[1].text) == (TokenKind.NUMBER, "0b1010")
+
+    def test_string_style_hex_literal(self):
+        tokens = tokenize("SELECT x'1F2A'")
+        assert (tokens[1].kind, tokens[1].text) == (TokenKind.NUMBER, "x'1F2A'")
+
+    def test_string_style_binary_literal(self):
+        tokens = tokenize("SELECT b'1010'")
+        assert (tokens[1].kind, tokens[1].text) == (TokenKind.NUMBER, "b'1010'")
+
+    def test_bare_0x_falls_back_to_decimal(self):
+        # "0x" with no hex digits is not a literal; the 0 lexes alone.
+        tokens = tokenize("SELECT 0x")
+        assert (tokens[1].kind, tokens[1].text) == (TokenKind.NUMBER, "0")
+
+    def test_hex_literals_normalize_to_placeholder(self):
+        assert (
+            normalize_statement("SELECT c FROM t WHERE k = 0xFF")
+            == "SELECT c FROM t WHERE k = ?"
+        )
+        assert (
+            normalize_statement("SELECT c FROM t WHERE k = x'FF'")
+            == "SELECT c FROM t WHERE k = ?"
+        )
+
+    def test_hex_and_decimal_share_a_template(self):
+        a = normalize_statement("SELECT c FROM t WHERE k = 0x1F")
+        b = normalize_statement("SELECT c FROM t WHERE k = 31")
+        assert a == b
+
+
+class TestLeadingWildcardTemplates:
+    def test_leading_wildcard_survives_normalization(self):
+        template = normalize_statement("SELECT c FROM t WHERE c LIKE '%abc'")
+        assert WILDCARD_PLACEHOLDER in template
+
+    def test_trailing_wildcard_is_plain_placeholder(self):
+        template = normalize_statement("SELECT c FROM t WHERE c LIKE 'abc%'")
+        assert WILDCARD_PLACEHOLDER not in template
+        assert "?" in template
+
+    def test_wildcard_marker_only_after_like(self):
+        # A leading-% string in a non-LIKE position is an ordinary literal.
+        template = normalize_statement("SELECT c FROM t WHERE c = '%abc'")
+        assert WILDCARD_PLACEHOLDER not in template
+
+    def test_wildcard_normalization_idempotent(self):
+        once = normalize_statement("SELECT c FROM t WHERE c LIKE '%abc%'")
+        assert normalize_statement(once) == once
+
+    def test_distinct_templates_for_scan_vs_range(self):
+        scan = normalize_statement("SELECT c FROM t WHERE c LIKE '%abc'")
+        range_ = normalize_statement("SELECT c FROM t WHERE c LIKE 'abc%'")
+        assert scan != range_

@@ -1,0 +1,92 @@
+"""Planted anti-patterns and the analyzer precision/recall gate."""
+
+import numpy as np
+import pytest
+
+from repro.evaluation import analyzer_for_population, evaluate_analyzer
+from repro.workload import build_population, hot_tables, plant_antipatterns
+
+
+def make_population(seed=7):
+    rng = np.random.default_rng(seed)
+    population = build_population(600, rng, n_businesses=6)
+    planted = plant_antipatterns(population, rng)
+    return population, planted
+
+
+class TestPlanting:
+    def test_labels_cover_every_rule_category(self):
+        _, planted = make_population()
+        rules = {rule for p in planted for rule in p.rules}
+        assert rules == {
+            "select-star", "non-sargable-function", "leading-wildcard-like",
+            "implicit-conversion", "missing-index", "unbounded-scan",
+            "cartesian-join", "large-in-list", "long-or-chain", "lock-footprint",
+        }
+
+    def test_planted_templates_join_the_population(self):
+        population, planted = make_population()
+        for p in planted:
+            assert p.sql_id in population.specs
+            assert population.specs[p.sql_id].exemplar == p.statement
+
+    def test_planting_is_deterministic(self):
+        _, first = make_population(seed=3)
+        _, second = make_population(seed=3)
+        assert first == second
+
+    def test_planted_traffic_is_negligible(self):
+        population, planted = make_population()
+        ids = {p.sql_id for p in planted}
+        for business in population.businesses:
+            for sql_id in business.sql_ids:
+                if sql_id in ids:
+                    assert business.template_multiplier(sql_id) < 0.01
+
+
+class TestHotTables:
+    def test_returns_known_tables(self):
+        population, _ = make_population()
+        hot = hot_tables(population)
+        assert hot
+        assert all(t in population.schema for t in hot)
+
+    def test_top_n_respected(self):
+        population, _ = make_population()
+        assert len(hot_tables(population, top_n=1)) == 1
+
+
+class TestAnalyzerAccuracy:
+    """The ISSUE acceptance gate: recall 1.0, precision >= 0.8."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_precision_and_recall_on_planted_catalog(self, seed):
+        population, planted = make_population(seed)
+        analyzer = analyzer_for_population(population)
+        evaluation = evaluate_analyzer(analyzer, population, planted)
+        assert evaluation.recall == 1.0, (
+            f"missed planted labels: {evaluation.missed}"
+        )
+        assert evaluation.precision >= 0.8, (
+            f"spurious findings: {evaluation.spurious}"
+        )
+
+    def test_per_rule_buckets_sum_to_totals(self):
+        population, planted = make_population()
+        evaluation = evaluate_analyzer(
+            analyzer_for_population(population), population, planted
+        )
+        assert sum(b["tp"] for b in evaluation.per_rule.values()) == (
+            evaluation.true_positives
+        )
+        assert evaluation.templates_analyzed == len(population.specs)
+
+    def test_to_dict_round_trips_counts(self):
+        population, planted = make_population()
+        evaluation = evaluate_analyzer(
+            analyzer_for_population(population), population, planted
+        )
+        data = evaluation.to_dict()
+        assert data["true_positives"] == evaluation.true_positives
+        assert data["precision"] == evaluation.precision
+        assert data["recall"] == evaluation.recall
