@@ -1,0 +1,47 @@
+"""Deterministic chaos: fault injection for the PinSQL pipeline.
+
+A diagnosis service that only works on a perfect substrate is a demo,
+not a production system.  This package injects the faults a real
+deployment sees — message drop / duplication / reordering / late
+arrival / payload corruption, per-topic backpressure, clock skew on
+record timestamps, and shard-worker crashes and hangs — *determinis-
+tically*: a :class:`FaultPlan` is a seed plus fault specs, and every
+injection decision is a pure hash of ``(seed, kind, topic, sequence)``,
+so the same plan replays the same fault sequence regardless of thread
+interleaving.
+
+:class:`FaultInjector` wraps the collection substrate
+(:class:`ChaosBroker` / :class:`ChaosConsumer`) and hooks the fleet's
+worker loop; :mod:`repro.evaluation.chaos` closes the loop by measuring
+attribution accuracy under each fault class against the clean baseline,
+and ``repro chaos`` reports the resilience scorecard.
+"""
+
+from repro.chaos.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    single_fault_plan,
+)
+from repro.chaos.injector import (
+    ChaosBroker,
+    ChaosConsumer,
+    FaultInjector,
+    InjectedWorkerCrash,
+    InjectedWorkerHang,
+)
+from repro.chaos.scorecard import FaultClassReport, ResilienceScorecard
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosBroker",
+    "ChaosConsumer",
+    "FaultClassReport",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedWorkerCrash",
+    "InjectedWorkerHang",
+    "ResilienceScorecard",
+    "single_fault_plan",
+]

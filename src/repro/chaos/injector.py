@@ -1,0 +1,381 @@
+"""The fault injector: wraps the substrate, injects per the plan.
+
+Every decision is a pure hash of ``(seed, kind, scope, sequence)`` —
+no shared RNG state — so injection is reproducible bit-for-bit even
+when fleet workers interleave on threads.  The injector never touches
+the dead-letter topic: quarantined evidence must survive the chaos that
+produced it.
+"""
+
+from __future__ import annotations
+
+import copy
+from fnmatch import fnmatch
+from hashlib import blake2b
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.chaos.plan import FaultPlan, FaultSpec
+from repro.collection.stream import Broker, Consumer, Message
+from repro.telemetry import MetricsRegistry, get_logger, get_registry
+
+__all__ = [
+    "ChaosBroker",
+    "ChaosConsumer",
+    "FaultInjector",
+    "InjectedWorkerCrash",
+    "InjectedWorkerHang",
+]
+
+_log = get_logger("chaos")
+
+#: Topics the injector never touches (quarantine evidence must survive).
+_EXEMPT_PREFIXES = ("dead_letter",)
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """A chaos-injected crash of a fleet worker mid-step."""
+
+
+class InjectedWorkerHang(RuntimeError):
+    """A chaos-injected hang: the worker makes no progress this step."""
+
+
+def _uniform(seed: int, *parts: object) -> float:
+    """Deterministic uniform draw in ``[0, 1)`` from a hash of the parts."""
+    key = "|".join(str(p) for p in (seed, *parts)).encode()
+    return int.from_bytes(blake2b(key, digest_size=8).digest(), "big") / 2.0 ** 64
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to brokers, consumers and workers."""
+
+    def __init__(
+        self, plan: FaultPlan, registry: MetricsRegistry | None = None
+    ) -> None:
+        self.plan = plan
+        self.registry = registry or get_registry()
+        #: Injected fault counts per kind (mirrors the telemetry counter).
+        self.injected: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _count(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        self.registry.counter(
+            "chaos_faults_injected_total",
+            help="Faults injected by the chaos plan, by kind.",
+            kind=kind,
+        ).inc()
+
+    def spec_for(self, kind: str, topic: str | None = None) -> FaultSpec | None:
+        """The armed spec for ``kind`` matching ``topic`` (if given)."""
+        if topic is not None and topic.startswith(_EXEMPT_PREFIXES):
+            return None
+        for spec in self.plan.specs:
+            if spec.kind != kind:
+                continue
+            if topic is None or fnmatch(topic, spec.topic):
+                return spec
+        return None
+
+    def hit(self, spec: FaultSpec, *scope: object) -> bool:
+        """Deterministic injection decision for one unit of work."""
+        return _uniform(self.plan.seed, spec.kind, *scope) < spec.rate
+
+    # ------------------------------------------------------------------
+    # Substrate wrapping
+    # ------------------------------------------------------------------
+    def wrap_broker(self, broker: Broker) -> "ChaosBroker":
+        return ChaosBroker(broker, self)
+
+    # ------------------------------------------------------------------
+    # Worker faults
+    # ------------------------------------------------------------------
+    def fleet_hook(self) -> Callable[[str], None]:
+        """A per-step hook for :class:`FleetDiagnosisService`.
+
+        Called with the instance id before each engine step; raises
+        :class:`InjectedWorkerCrash` / :class:`InjectedWorkerHang` per
+        the plan.  Crashes are bounded by the spec's ``max_crashes`` so
+        supervised restarts can win; hangs stall the instance for
+        ``hang_steps`` consecutive steps.
+        """
+        steps: dict[str, int] = {}
+        crashes: dict[str, int] = {}
+        hanging: dict[str, int] = {}
+
+        def hook(instance_id: str) -> None:
+            step = steps.get(instance_id, 0)
+            steps[instance_id] = step + 1
+            if hanging.get(instance_id, 0) > 0:
+                hanging[instance_id] -= 1
+                self._count("worker_hang")
+                raise InjectedWorkerHang(instance_id)
+            crash = self.spec_for("worker_crash")
+            if crash is not None and crashes.get(instance_id, 0) < int(
+                crash.param("max_crashes", 2)
+            ):
+                if self.hit(crash, instance_id, step):
+                    crashes[instance_id] = crashes.get(instance_id, 0) + 1
+                    self._count("worker_crash")
+                    raise InjectedWorkerCrash(
+                        f"injected crash on {instance_id} at step {step}"
+                    )
+            hang = self.spec_for("worker_hang")
+            if hang is not None and self.hit(hang, "hang", instance_id, step):
+                hanging[instance_id] = max(int(hang.param("hang_steps", 3)) - 1, 0)
+                self._count("worker_hang")
+                raise InjectedWorkerHang(instance_id)
+
+        return hook
+
+    def should_crash_shard(self, shard_key: str, attempt: int) -> bool:
+        """Crash decision for a whole shard worker process.
+
+        Bounded by ``max_crashes``: once a shard has been restarted that
+        many times, later attempts run clean (the supervised-restart
+        path must be able to converge).
+        """
+        spec = self.spec_for("worker_crash")
+        if spec is None or attempt >= int(spec.param("max_crashes", 2)):
+            return False
+        if self.hit(spec, "shard", shard_key, attempt):
+            self._count("worker_crash")
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Payload mutation
+    # ------------------------------------------------------------------
+    def corrupt(self, value: Any, draw: float) -> Any:
+        """Deterministically mangle a record the way real pipelines do."""
+        if not isinstance(value, dict):
+            return None
+        record = copy.copy(value)
+        if "metric" in record:
+            modes = ("drop_key", "none_value", "nan_value", "str_timestamp")
+        elif "sql_id" in record:
+            modes = ("drop_key", "none_value", "truncate_array", "str_second")
+        else:
+            modes = ("drop_key", "none_value")
+        mode = modes[int(draw * len(modes)) % len(modes)]
+        if mode == "drop_key":
+            keys = sorted(record)
+            if keys:
+                record.pop(keys[int(draw * 997) % len(keys)])
+        elif mode == "none_value":
+            keys = sorted(record)
+            if keys:
+                record[keys[int(draw * 991) % len(keys)]] = None
+        elif mode == "nan_value":
+            record["value"] = float("nan")
+        elif mode == "str_timestamp":
+            record["timestamp"] = "not-a-timestamp"
+        elif mode == "str_second":
+            record["second"] = "not-a-second"
+        elif mode == "truncate_array":
+            arr = record.get("response_ms")
+            if arr is not None and len(arr) > 1:
+                record["response_ms"] = arr[: len(arr) // 2]
+        return record
+
+    def skew(self, value: Any, skew_s: int) -> Any:
+        """Shift every timestamp field in a record by ``skew_s`` seconds."""
+        if not isinstance(value, dict):
+            return value
+        record = copy.copy(value)
+        if "timestamp" in record and isinstance(record["timestamp"], (int, float)):
+            record["timestamp"] = int(record["timestamp"]) + skew_s
+        if "second" in record and isinstance(record["second"], (int, float)):
+            record["second"] = int(record["second"]) + skew_s
+        if "arrive_ms" in record:
+            try:
+                record["arrive_ms"] = (
+                    np.asarray(record["arrive_ms"], dtype=np.int64) + skew_s * 1000
+                )
+            except (TypeError, ValueError):
+                pass
+        return record
+
+
+class ChaosBroker:
+    """A :class:`Broker` facade that injects stream faults at publish.
+
+    Per-message faults (drop / corrupt / clock skew / duplicate) mutate
+    the emission set; delivery faults (late arrival, reordering) hold
+    messages back and release them after later traffic.  Call
+    :meth:`flush` once publishing is done so held messages are not lost
+    forever — an orderly shutdown, not a correctness crutch: flushed
+    messages still arrive far out of order.
+    """
+
+    def __init__(self, broker: Broker, injector: FaultInjector) -> None:
+        self.inner = broker
+        self.injector = injector
+        self._seq: dict[str, int] = {}
+        #: Per-topic held-back messages: ``(release_seq, key, value)``.
+        self._held: dict[str, list[tuple[int, str, Any]]] = {}
+        #: Per-topic reorder buffers.
+        self._buffers: dict[str, list[tuple[str, Any]]] = {}
+
+    # -- delegation ----------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.inner, name)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.inner.registry
+
+    def consumer(self, topic: str) -> "ChaosConsumer":
+        return ChaosConsumer(self.inner.consumer(topic), self, topic)
+
+    # -- fault pipeline ------------------------------------------------
+    def publish(self, topic: str, key: str, value: Any) -> Message:
+        inj = self.injector
+        seq = self._seq.get(topic, 0)
+        self._seq[topic] = seq + 1
+        last: Message | None = None
+        drop = inj.spec_for("drop", topic)
+        if drop is not None and inj.hit(drop, topic, seq):
+            inj._count("drop")
+        else:
+            emitted = value
+            corrupt = inj.spec_for("corrupt", topic)
+            if corrupt is not None and inj.hit(corrupt, topic, seq):
+                emitted = inj.corrupt(
+                    emitted, _uniform(inj.plan.seed, "corrupt-mode", topic, seq)
+                )
+                inj._count("corrupt")
+            skew = inj.spec_for("clock_skew", topic)
+            if skew is not None and inj.hit(skew, topic, seq):
+                emitted = inj.skew(emitted, int(skew.param("skew_s", 90)))
+                inj._count("clock_skew")
+            copies = 1
+            dup = inj.spec_for("duplicate", topic)
+            if dup is not None and inj.hit(dup, topic, seq):
+                copies = 2
+                inj._count("duplicate")
+            for i in range(copies):
+                last = self._emit(topic, seq, i, key, emitted) or last
+        released = self._release_due(topic, seq)
+        last = released or last
+        return last if last is not None else Message(topic, -1, key, value)
+
+    def _emit(
+        self, topic: str, seq: int, copy_idx: int, key: str, value: Any
+    ) -> Message | None:
+        inj = self.injector
+        late = inj.spec_for("late", topic)
+        if late is not None and inj.hit(late, "late", topic, seq, copy_idx):
+            hold = max(int(late.param("hold_messages", 8)), 1)
+            self._held.setdefault(topic, []).append((seq + hold, key, value))
+            inj._count("late")
+            return None
+        reorder = inj.spec_for("reorder", topic)
+        if reorder is not None:
+            buffer = self._buffers.setdefault(topic, [])
+            buffer.append((key, value))
+            window = max(int(reorder.param("window", 6)), 2)
+            if len(buffer) >= window:
+                return self._flush_buffer(topic, seq)
+            return None
+        return self.inner.publish(topic, key, value)
+
+    def _flush_buffer(self, topic: str, seq: int) -> Message | None:
+        """Emit the reorder buffer — shuffled when the fault fires."""
+        inj = self.injector
+        buffer = self._buffers.get(topic)
+        if not buffer:
+            return None
+        spec = inj.spec_for("reorder", topic)
+        order = list(range(len(buffer)))
+        if spec is not None and inj.hit(spec, "shuffle", topic, seq):
+            # Deterministic Fisher-Yates driven by hashed draws.
+            for i in range(len(order) - 1, 0, -1):
+                j = int(_uniform(inj.plan.seed, "swap", topic, seq, i) * (i + 1))
+                order[i], order[j] = order[j], order[i]
+            inj._count("reorder")
+        last: Message | None = None
+        for idx in order:
+            key, value = buffer[idx]
+            last = self.inner.publish(topic, key, value)
+        buffer.clear()
+        return last
+
+    def _release_due(self, topic: str, seq: int) -> Message | None:
+        held = self._held.get(topic)
+        if not held:
+            return None
+        due = [h for h in held if h[0] <= seq]
+        if not due:
+            return None
+        self._held[topic] = [h for h in held if h[0] > seq]
+        last: Message | None = None
+        for _, key, value in due:
+            last = self.inner.publish(topic, key, value)
+        return last
+
+    def flush(self) -> int:
+        """Release every held/buffered message; returns how many."""
+        released = 0
+        for topic in sorted(self._held):
+            for _, key, value in self._held[topic]:
+                self.inner.publish(topic, key, value)
+                released += 1
+            self._held[topic] = []
+        for topic in sorted(self._buffers):
+            released += len(self._buffers[topic])
+            self._flush_buffer(topic, self._seq.get(topic, 0))
+        return released
+
+
+class ChaosConsumer:
+    """A :class:`Consumer` facade that injects per-topic backpressure."""
+
+    def __init__(self, consumer: Consumer, broker: ChaosBroker, topic: str) -> None:
+        self.inner = consumer
+        self._chaos_broker = broker
+        self.topic = topic
+        self._polls = 0
+        self._stalled = 0
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def offset(self) -> int:
+        return self.inner.offset
+
+    @property
+    def lag(self) -> int:
+        return self.inner.lag
+
+    @property
+    def broker(self) -> Broker:
+        # Quarantine and resync go to the real broker: evidence of the
+        # chaos must not itself be subject to the chaos.
+        return self._chaos_broker.inner
+
+    def seek(self, offset: int) -> None:
+        self.inner.seek(offset)
+
+    def resync_to_base(self) -> bool:
+        return self.inner.resync_to_base()
+
+    def poll(self, max_messages: int = 1000) -> list[Message]:
+        inj = self._chaos_broker.injector
+        poll_idx = self._polls
+        self._polls += 1
+        spec = inj.spec_for("backpressure", self.topic)
+        if spec is not None:
+            if self._stalled > 0:
+                self._stalled -= 1
+                inj._count("backpressure")
+                return []
+            if inj.hit(spec, "stall", self.topic, self.inner.name, poll_idx):
+                self._stalled = max(int(spec.param("stall_polls", 3)) - 1, 0)
+                inj._count("backpressure")
+                return []
+        return self.inner.poll(max_messages)

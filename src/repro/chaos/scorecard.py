@@ -1,0 +1,181 @@
+"""Resilience scorecard: what the pipeline did under each fault class.
+
+One :class:`FaultClassReport` per fault class (plus a clean baseline),
+aggregated by :class:`ResilienceScorecard` into the artifact the
+``repro chaos`` CLI prints and CI uploads.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["FaultClassReport", "ResilienceScorecard"]
+
+
+@dataclass
+class FaultClassReport:
+    """Outcome of one fleet run under a single fault class."""
+
+    fault: str
+    #: The run drained without an uncaught exception escaping the harness.
+    completed: bool = False
+    #: Exceptions that escaped the service loop (must be zero to pass).
+    uncaught_exceptions: int = 0
+    #: ``"<ExcType>: <msg>"`` for each uncaught exception, for the report.
+    errors: tuple[str, ...] = ()
+    diagnoses: int = 0
+    degraded_diagnoses: int = 0
+    quarantined: int = 0
+    offset_resyncs: int = 0
+    worker_restarts: int = 0
+    faults_injected: int = 0
+    #: Attribution vs ground truth (anomalous instances only).
+    r_hits: int = 0
+    r_expected: int = 0
+    h_hits: int = 0
+    h_expected: int = 0
+    #: Anomalous instances that got at least one diagnosis / that did not.
+    detected_instances: int = 0
+    missed_instances: int = 0
+    #: Diagnoses emitted for instances with no injected anomaly.
+    spurious_diagnoses: int = 0
+    notes: tuple[str, ...] = ()
+
+    @property
+    def r_accuracy(self) -> float:
+        """Fraction of injected R-SQLs attributed (1.0 when none expected)."""
+        return 1.0 if self.r_expected == 0 else self.r_hits / self.r_expected
+
+    @property
+    def h_accuracy(self) -> float:
+        return 1.0 if self.h_expected == 0 else self.h_hits / self.h_expected
+
+    def to_dict(self) -> dict:
+        return {
+            "fault": self.fault,
+            "completed": self.completed,
+            "uncaught_exceptions": self.uncaught_exceptions,
+            "errors": list(self.errors),
+            "diagnoses": self.diagnoses,
+            "degraded_diagnoses": self.degraded_diagnoses,
+            "quarantined": self.quarantined,
+            "offset_resyncs": self.offset_resyncs,
+            "worker_restarts": self.worker_restarts,
+            "faults_injected": self.faults_injected,
+            "r_hits": self.r_hits,
+            "r_expected": self.r_expected,
+            "r_accuracy": self.r_accuracy,
+            "h_hits": self.h_hits,
+            "h_expected": self.h_expected,
+            "h_accuracy": self.h_accuracy,
+            "detected_instances": self.detected_instances,
+            "missed_instances": self.missed_instances,
+            "spurious_diagnoses": self.spurious_diagnoses,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "FaultClassReport":
+        return cls(
+            fault=data["fault"],
+            completed=bool(data.get("completed", False)),
+            uncaught_exceptions=int(data.get("uncaught_exceptions", 0)),
+            errors=tuple(data.get("errors", ())),
+            diagnoses=int(data.get("diagnoses", 0)),
+            degraded_diagnoses=int(data.get("degraded_diagnoses", 0)),
+            quarantined=int(data.get("quarantined", 0)),
+            offset_resyncs=int(data.get("offset_resyncs", 0)),
+            worker_restarts=int(data.get("worker_restarts", 0)),
+            faults_injected=int(data.get("faults_injected", 0)),
+            r_hits=int(data.get("r_hits", 0)),
+            r_expected=int(data.get("r_expected", 0)),
+            h_hits=int(data.get("h_hits", 0)),
+            h_expected=int(data.get("h_expected", 0)),
+            detected_instances=int(data.get("detected_instances", 0)),
+            missed_instances=int(data.get("missed_instances", 0)),
+            spurious_diagnoses=int(data.get("spurious_diagnoses", 0)),
+            notes=tuple(data.get("notes", ())),
+        )
+
+
+@dataclass
+class ResilienceScorecard:
+    """Clean baseline + one report per fault class, for one seed."""
+
+    seed: int
+    instances: int
+    duration_s: int
+    clean: FaultClassReport | None = None
+    faults: list[FaultClassReport] = field(default_factory=list)
+
+    def report_for(self, fault: str) -> FaultClassReport | None:
+        if fault == "clean":
+            return self.clean
+        for report in self.faults:
+            if report.fault == fault:
+                return report
+        return None
+
+    @property
+    def all_completed(self) -> bool:
+        reports = ([self.clean] if self.clean else []) + self.faults
+        return bool(reports) and all(
+            r.completed and r.uncaught_exceptions == 0 for r in reports
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "instances": self.instances,
+            "duration_s": self.duration_s,
+            "all_completed": self.all_completed,
+            "clean": self.clean.to_dict() if self.clean else None,
+            "faults": [r.to_dict() for r in self.faults],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ResilienceScorecard":
+        clean = data.get("clean")
+        return cls(
+            seed=int(data.get("seed", 0)),
+            instances=int(data.get("instances", 0)),
+            duration_s=int(data.get("duration_s", 0)),
+            clean=FaultClassReport.from_dict(clean) if clean else None,
+            faults=[FaultClassReport.from_dict(r) for r in data.get("faults", ())],
+        )
+
+    def render_text(self) -> str:
+        """The human scorecard the ``repro chaos`` CLI prints."""
+        lines = [
+            "Resilience scorecard",
+            f"  seed={self.seed}  instances={self.instances}  "
+            f"duration={self.duration_s}s",
+            "",
+            f"  {'fault':<14} {'ok':<4} {'diag':>5} {'degr':>5} {'quar':>5} "
+            f"{'sync':>5} {'rstrt':>5} {'inj':>6} {'R-acc':>7} {'H-acc':>7}",
+        ]
+        reports = ([self.clean] if self.clean else []) + self.faults
+        for r in reports:
+            ok = "yes" if (r.completed and r.uncaught_exceptions == 0) else "NO"
+            lines.append(
+                f"  {r.fault:<14} {ok:<4} {r.diagnoses:>5} "
+                f"{r.degraded_diagnoses:>5} {r.quarantined:>5} "
+                f"{r.offset_resyncs:>5} {r.worker_restarts:>5} "
+                f"{r.faults_injected:>6} {r.r_accuracy:>7.2f} {r.h_accuracy:>7.2f}"
+            )
+            for err in r.errors:
+                lines.append(f"      ! {err}")
+            for note in r.notes:
+                lines.append(f"      - {note}")
+        lines.append("")
+        lines.append(
+            "  verdict: "
+            + ("PASS — all fault classes completed" if self.all_completed
+               else "FAIL — uncaught exceptions or incomplete runs")
+        )
+        return "\n".join(lines)

@@ -202,6 +202,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any finding reaches this severity "
              "(default: warning; 'never' always exits 0)",
     )
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the fleet under fault injection; print the resilience "
+             "scorecard",
+    )
+    chaos.add_argument("--seed", type=int, default=7,
+                       help="fault plan and workload seed (same seed = "
+                            "identical run)")
+    chaos.add_argument("--instances", type=int, default=3)
+    chaos.add_argument("--anomalous", type=int, default=None,
+                       help="instances with an injected anomaly "
+                            "(default: ceil(instances * 2/3))")
+    chaos.add_argument("--duration", type=int, default=480,
+                       help="simulated seconds per instance")
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos_src = chaos.add_mutually_exclusive_group()
+    chaos_src.add_argument(
+        "--faults", default=None, metavar="KIND[,KIND...]",
+        help="comma-separated fault classes to run "
+             "(default: all; see `repro chaos --list-faults`)")
+    chaos_src.add_argument("--plan", type=Path, default=None, metavar="FILE",
+                           help="run one composite FaultPlan from a JSON file "
+                                "instead of per-class single-fault plans")
+    chaos.add_argument("--list-faults", action="store_true",
+                       help="print the known fault classes and exit")
+    chaos.add_argument("--budget", type=float, default=None, metavar="SECONDS",
+                       help="per-diagnosis stage-watchdog budget")
+    chaos.add_argument("--record", type=Path, default=None, metavar="DIR",
+                       help="persist each run's incidents under DIR/<fault> "
+                            "(degraded diagnoses become durable records)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the scorecard as JSON instead of text")
+    chaos.add_argument("--out", type=Path, default=None,
+                       help="also write the JSON scorecard here (CI artifact)")
     return parser
 
 
@@ -775,6 +810,59 @@ def cmd_lint(args) -> int:
     return 1 if lint_failed(report, args.fail_on) else 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.chaos import FAULT_KINDS, FaultPlan
+    from repro.evaluation.chaos import ChaosHarnessConfig, run_chaos_suite
+
+    if args.list_faults:
+        for kind in FAULT_KINDS:
+            print(kind)
+        return 0
+    kinds = FAULT_KINDS
+    if args.faults is not None:
+        kinds = tuple(k.strip() for k in args.faults.split(",") if k.strip())
+    plan = FaultPlan.load(args.plan) if args.plan is not None else None
+    anomalous = args.anomalous
+    if anomalous is None:
+        anomalous = max(1, -(-args.instances * 2 // 3))  # ceil(2/3)
+    anomalous = min(anomalous, args.instances)
+    try:
+        cfg = ChaosHarnessConfig(
+            seed=args.seed,
+            n_instances=args.instances,
+            anomalous=anomalous,
+            duration_s=args.duration,
+            workers=args.workers,
+            fault_kinds=kinds,
+            diagnosis_budget_s=args.budget,
+            record_dir=str(args.record) if args.record is not None else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    runs = 1 + (1 if plan is not None else len(kinds))
+    print(
+        f"chaos: simulating {cfg.n_instances} instances "
+        f"({cfg.anomalous} anomalous) for {cfg.duration_s}s, "
+        f"then {runs} diagnosis runs (clean + "
+        + (f"plan {plan.name!r}" if plan is not None else f"{len(kinds)} fault classes")
+        + ") ...",
+        flush=True,
+    )
+    scorecard = run_chaos_suite(cfg, plan=plan)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(scorecard.to_json() + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    print(scorecard.to_json() if args.json else scorecard.render_text())
+    if cfg.record_dir is not None:
+        print(
+            f"incident records per run under {cfg.record_dir}/<fault> "
+            f"(inspect with `repro incidents list --dir {cfg.record_dir}/drop`)"
+        )
+    return 0 if scorecard.all_completed else 1
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "diagnose": cmd_diagnose,
@@ -784,6 +872,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "incidents": cmd_incidents,
     "lint": cmd_lint,
+    "chaos": cmd_chaos,
 }
 
 

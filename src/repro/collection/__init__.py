@@ -29,11 +29,23 @@ from repro.collection.aggregator import (
     TEMPLATE_METRICS,
 )
 from repro.collection.logstore import LogStore, PartitionedLogStore
+from repro.collection.quarantine import (
+    DEAD_LETTER_PREFIX,
+    dead_letter_topic,
+    quarantine,
+    validate_metric_record,
+    validate_query_record,
+)
 
 __all__ = [
     "Broker",
     "Consumer",
     "Message",
+    "DEAD_LETTER_PREFIX",
+    "dead_letter_topic",
+    "quarantine",
+    "validate_metric_record",
+    "validate_query_record",
     "instance_topic",
     "split_topic",
     "QueryLogCollector",

@@ -19,6 +19,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.collection.quarantine import (
+    quarantine,
+    validate_metric_record,
+    validate_query_record,
+)
 from repro.collection.stream import Broker, instance_topic
 from repro.dbsim.monitor import InstanceMetrics
 from repro.dbsim.query import QueryLog
@@ -74,9 +79,15 @@ class QueryLogCollector:
                     record["instance"] = self.instance_id
                 batches.append((int(seconds[lo]), tq.sql_id, record))
         batches.sort(key=lambda item: (item[0], item[1]))
+        sent = 0
         for _, sql_id, value in batches:
+            reason = validate_query_record(value)
+            if reason is not None:
+                quarantine(self.broker, self.topic, value, reason)
+                continue
             self.broker.publish(self.topic, key=sql_id, value=value)
-        return len(batches)
+            sent += 1
+        return sent
 
 
 class MetricsCollector:
@@ -101,6 +112,10 @@ class MetricsCollector:
                 record = {"metric": name, "timestamp": int(ts), "value": float(value)}
                 if self.instance_id:
                     record["instance"] = self.instance_id
+                reason = validate_metric_record(record)
+                if reason is not None:
+                    quarantine(self.broker, self.topic, record, reason)
+                    continue
                 self.broker.publish(self.topic, key=name, value=record)
                 sent += 1
         return sent

@@ -177,11 +177,13 @@ class Broker:
             if log is None or not consumers:
                 continue
             min_offset = min(c.offset for c in consumers)
-            drop = min_offset - log.base_offset
+            # A consumer seeked past the log end must not drag the base
+            # offset beyond messages that were actually appended.
+            drop = min(min_offset - log.base_offset, len(log.messages))
             if drop <= 0:
                 continue
             del log.messages[:drop]
-            log.base_offset = min_offset
+            log.base_offset += drop
             pruned_total += drop
             self.registry.counter(
                 "broker_pruned_messages_total",
@@ -221,9 +223,48 @@ class Consumer:
         self._lag_gauge.set(self.lag)
 
     @property
+    def broker(self) -> Broker:
+        """The broker this consumer reads from (for quarantine/resync)."""
+        return self._broker
+
+    @property
     def lag(self) -> int:
         """Messages published but not yet consumed."""
         return self._broker.size(self.topic) - self.offset
+
+    @property
+    def stuck(self) -> bool:
+        """Permanently behind the pruned log head.
+
+        A consumer whose offset lies below the topic's base offset with
+        *no* retained messages can never make progress: every poll reads
+        an empty segment while lag stays positive.  (With retained
+        messages, :meth:`Broker.read` self-heals by resuming at the base
+        offset.)  Happens when a consumer is created — or seeks — behind
+        a fully pruned log.
+        """
+        return (
+            self.offset < self._broker.base_offset(self.topic)
+            and self._broker.retained(self.topic) == 0
+        )
+
+    def resync_to_base(self) -> bool:
+        """Recover a :attr:`stuck` consumer by seeking to the base offset.
+
+        Returns ``True`` when a resync happened (counted by
+        ``broker_offset_resyncs_total``); ``False`` when the consumer
+        was not stuck.
+        """
+        if not self.stuck:
+            return False
+        self._broker.registry.counter(
+            "broker_offset_resyncs_total",
+            help="Consumers resynced from behind a pruned log head.",
+            topic=self.topic,
+            consumer=self.name,
+        ).inc()
+        self.seek(self._broker.base_offset(self.topic))
+        return True
 
     def poll(self, max_messages: int = 1000) -> list[Message]:
         """Fetch the next batch of messages and advance the offset."""

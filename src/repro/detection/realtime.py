@@ -17,6 +17,7 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from repro.collection.quarantine import quarantine, validate_metric_record
 from repro.collection.stream import Consumer
 from repro.detection.basic import BasicPerception
 from repro.detection.case_builder import CaseBuilder, DetectedAnomaly
@@ -196,6 +197,12 @@ class RealtimeAnomalyDetector:
             self._m_points.inc(len(messages))
         for message in messages:
             record = message.value
+            reason = validate_metric_record(record)
+            if reason is not None:
+                # Malformed payloads must not crash the poll loop: park
+                # them on the dead-letter topic and keep consuming.
+                quarantine(self.consumer.broker, self.consumer.topic, record, reason)
+                continue
             if self.instance_id and record.get("instance", self.instance_id) != self.instance_id:
                 continue
             name = record["metric"]
@@ -219,10 +226,23 @@ class RealtimeAnomalyDetector:
         return self._evaluate(self._stream_time)
 
     def run_until_drained(self) -> list[AnomalyEvent]:
-        """Poll until the topic is exhausted; collect every event."""
+        """Poll until the topic is exhausted; collect every event.
+
+        Guards against a consumer that cannot make progress (stranded
+        behind a pruned log head, or stalled by backpressure): a stuck
+        offset is resynced, and persistent zero-progress polls break the
+        loop instead of spinning forever.
+        """
         events: list[AnomalyEvent] = []
-        while self.consumer.lag > 0:
+        idle = 0
+        while self.consumer.lag > 0 and idle <= 100:
+            offset_before = self.consumer.offset
             events.extend(self.poll())
+            if self.consumer.offset == offset_before:
+                if not self.consumer.resync_to_base():
+                    idle += 1
+            else:
+                idle = 0
         # One final evaluation at the end of the stream.
         if self._stream_time is not None:
             self._last_evaluation = self._stream_time

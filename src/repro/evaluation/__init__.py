@@ -26,6 +26,14 @@ from repro.evaluation.analysis import (
     analyzer_for_population,
     evaluate_analyzer,
 )
+from repro.evaluation.chaos import (
+    ChaosHarnessConfig,
+    FleetFixture,
+    InstanceTruth,
+    run_chaos_suite,
+    run_fault_class,
+    simulate_fleet,
+)
 
 __all__ = [
     "hits_at_k",
@@ -44,4 +52,10 @@ __all__ = [
     "AnalyzerEvaluation",
     "analyzer_for_population",
     "evaluate_analyzer",
+    "ChaosHarnessConfig",
+    "FleetFixture",
+    "InstanceTruth",
+    "run_chaos_suite",
+    "run_fault_class",
+    "simulate_fleet",
 ]

@@ -1,0 +1,340 @@
+"""Accuracy-under-faults harness: the chaos loop closed on ground truth.
+
+Fault injection without a measurement is theatre.  This module runs the
+same simulated fleet through the diagnosis service once per fault class
+— plus a clean baseline — and scores each run against the injected
+ground truth (which SQLs *are* the root causes), producing the
+:class:`~repro.chaos.ResilienceScorecard` that ``repro chaos`` prints
+and CI gates on.
+
+The expensive part (simulating the database fleet) happens once per
+seed: :func:`simulate_fleet` captures every instance's collected
+streams as replayable :class:`~repro.fleet.sharded.InstanceFeed`
+records together with the R-SQL / H-SQL labels.  Each fault run then
+replays the same records through a fresh broker wrapped in a
+:class:`~repro.chaos.ChaosBroker`, with a private
+:class:`~repro.telemetry.MetricsRegistry` so quarantine / resync /
+restart counters can be read per run without cross-talk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.chaos import (
+    FAULT_KINDS,
+    FaultClassReport,
+    FaultInjector,
+    FaultPlan,
+    ResilienceScorecard,
+    single_fault_plan,
+)
+from repro.collection import (
+    Broker,
+    METRIC_TOPIC,
+    MetricsCollector,
+    QUERY_TOPIC,
+    QueryLogCollector,
+)
+from repro.collection.stream import instance_topic
+from repro.evaluation.dataset import _label_h_sqls
+from repro.fleet import FleetConfig, FleetDiagnosisService, ServiceConfig
+from repro.fleet.sharded import InstanceFeed, feed_from_broker
+from repro.telemetry import MetricsRegistry, get_logger
+
+__all__ = [
+    "ChaosHarnessConfig",
+    "FleetFixture",
+    "InstanceTruth",
+    "run_chaos_suite",
+    "run_fault_class",
+    "simulate_fleet",
+]
+
+_log = get_logger("chaos")
+
+
+@dataclass(frozen=True)
+class ChaosHarnessConfig:
+    """Knobs of one chaos evaluation (fixed seed = fixed everything)."""
+
+    seed: int = 7
+    n_instances: int = 3
+    #: The first ``anomalous`` instances get an injected row-lock storm.
+    anomalous: int = 2
+    duration_s: int = 480
+    workers: int = 2
+    #: Prune the broker between steps — required to exercise the
+    #: stuck-offset resync path under late/backpressure faults.
+    prune_broker: bool = True
+    #: Fault classes to run (each as a single-fault plan at its default
+    #: rate); the clean baseline always runs first.
+    fault_kinds: tuple[str, ...] = FAULT_KINDS
+    #: A diagnosis counts as a hit when any of its top ``top_k`` ranked
+    #: SQLs is in the ground-truth set (rank jitter under faults should
+    #: not read as total attribution failure).
+    top_k: int = 3
+    max_h_sqls: int = 10
+    #: Optional per-diagnosis wall-clock budget (the stage watchdog).
+    diagnosis_budget_s: float | None = None
+    #: When set, each run persists incidents under ``<record_dir>/<fault>``
+    #: so degraded diagnoses are visible in durable records.
+    record_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_instances < 1:
+            raise ValueError("n_instances must be at least 1")
+        if not 0 <= self.anomalous <= self.n_instances:
+            raise ValueError("anomalous must be within [0, n_instances]")
+        unknown = set(self.fault_kinds) - set(FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown fault kinds: {sorted(unknown)}")
+
+
+@dataclass(frozen=True)
+class InstanceTruth:
+    """Ground truth for one simulated instance."""
+
+    instance_id: str
+    anomalous: bool
+    r_sqls: frozenset = frozenset()
+    h_sqls: frozenset = frozenset()
+
+
+@dataclass
+class FleetFixture:
+    """One simulated fleet, replayable across fault runs."""
+
+    feeds: list[InstanceFeed]
+    truths: dict[str, InstanceTruth]
+    #: Exemplar statements per instance (registered into each engine's
+    #: catalog so static analysis and repair see real SQL).
+    exemplars: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    onset: int = 0
+    duration_s: int = 0
+
+
+def simulate_fleet(cfg: ChaosHarnessConfig) -> FleetFixture:
+    """Simulate the fleet once; capture feeds and ground-truth labels.
+
+    Mirrors the ``fleet-demo`` scenario (first ``anomalous`` instances
+    get a row-lock storm at two-thirds of the run) but captures the
+    collected streams into picklable feeds instead of diagnosing them,
+    so every fault run replays identical input.
+    """
+    from repro.dbsim import DatabaseInstance
+    from repro.workload import (
+        AnomalyCategory,
+        WorkloadGenerator,
+        build_population,
+        inject_anomaly,
+    )
+
+    onset = max(120, (cfg.duration_s * 2) // 3)
+    feeds: list[InstanceFeed] = []
+    truths: dict[str, InstanceTruth] = {}
+    exemplars: dict[str, tuple[str, ...]] = {}
+    for i in range(cfg.n_instances):
+        instance_id = f"db-{i:02d}"
+        rng = np.random.default_rng(cfg.seed * 1009 + i)
+        population = build_population(cfg.duration_s, rng, n_businesses=5)
+        injected = None
+        if i < cfg.anomalous:
+            injected = inject_anomaly(
+                population, rng, AnomalyCategory.ROW_LOCK, onset, cfg.duration_s,
+                target_rate=(25.0, 35.0), lock_hold_ms=(300.0, 400.0),
+            )
+        db = DatabaseInstance(
+            schema=population.schema, cpu_cores=8, seed=cfg.seed + i
+        )
+        run = db.run(WorkloadGenerator(population), duration=cfg.duration_s)
+        capture = Broker()
+        QueryLogCollector(capture, instance_id=instance_id).collect(run.query_log)
+        MetricsCollector(capture, instance_id=instance_id).collect(run.metrics)
+        feeds.append(feed_from_broker(capture, instance_id))
+        r_sqls: set[str] = set()
+        h_sqls: set[str] = set()
+        if injected is not None:
+            observed = set(run.query_log.sql_ids)
+            r_sqls = set(injected.r_sql_ids) & observed or set(injected.r_sql_ids)
+            h_sqls = _label_h_sqls(
+                run, onset, cfg.duration_s, 0, cfg.max_h_sqls
+            ) or set(r_sqls)
+        truths[instance_id] = InstanceTruth(
+            instance_id=instance_id,
+            anomalous=injected is not None,
+            r_sqls=frozenset(r_sqls),
+            h_sqls=frozenset(h_sqls),
+        )
+        exemplars[instance_id] = tuple(
+            spec.exemplar or spec.template.replace("?", "1")
+            for spec in population.specs.values()
+        )
+    return FleetFixture(
+        feeds=feeds,
+        truths=truths,
+        exemplars=exemplars,
+        onset=onset,
+        duration_s=cfg.duration_s,
+    )
+
+
+def _counter_total(registry: MetricsRegistry, name: str) -> int:
+    """Sum one counter family across every label combination."""
+    snap = registry.snapshot()
+    return int(sum(c["value"] for c in snap["counters"] if c["name"] == name))
+
+
+def run_fault_class(
+    fixture: FleetFixture,
+    cfg: ChaosHarnessConfig,
+    fault: str,
+    plan: FaultPlan | None,
+) -> FaultClassReport:
+    """Replay the fixture through the service under one fault plan.
+
+    ``plan=None`` runs the clean baseline.  The service runs on a fresh
+    broker and a private registry; any exception escaping the drain
+    loop is captured into the report (the harness itself never raises),
+    because "zero uncaught exceptions" is exactly what is under test.
+    """
+    registry = MetricsRegistry()
+    broker = Broker(registry=registry)
+    injector = FaultInjector(plan, registry=registry) if plan is not None else None
+    service_broker = injector.wrap_broker(broker) if injector else broker
+    fault_hook = injector.fleet_hook() if injector else None
+    recorder = None
+    if cfg.record_dir is not None:
+        from repro.incidents import IncidentRecorder, IncidentStore
+
+        recorder = IncidentRecorder(
+            IncidentStore(Path(cfg.record_dir) / fault), registry=registry
+        )
+    config = FleetConfig(
+        service=ServiceConfig(
+            delta_start_s=min(500, fixture.onset - 60),
+            detector_window_s=fixture.duration_s,
+            diagnosis_budget_s=cfg.diagnosis_budget_s,
+        ),
+        workers=cfg.workers,
+        prune_broker=cfg.prune_broker,
+    )
+    service = FleetDiagnosisService(
+        service_broker,
+        config,
+        registry=registry,
+        recorder=recorder,
+        fault_hook=fault_hook,
+    )
+    report = FaultClassReport(fault=fault)
+    try:
+        for feed in fixture.feeds:
+            engine = service.register_instance(feed.instance_id)
+            for statement in fixture.exemplars.get(feed.instance_id, ()):
+                engine.register_statement(statement)
+        for feed in fixture.feeds:
+            for key, value in feed.query_records:
+                service_broker.publish(
+                    instance_topic(QUERY_TOPIC, feed.instance_id), key, value
+                )
+            for key, value in feed.metric_records:
+                service_broker.publish(
+                    instance_topic(METRIC_TOPIC, feed.instance_id), key, value
+                )
+        if injector is not None:
+            held = service_broker.flush()
+            if held:
+                report.notes += (f"released {held} held/buffered messages",)
+        service.run_until_drained()
+        report.completed = True
+    except Exception as exc:  # the whole point: this must stay empty
+        report.uncaught_exceptions += 1
+        report.errors += (f"{type(exc).__name__}: {exc}",)
+        _log.warning(
+            "chaos run raised out of the service loop",
+            extra={"fault": fault, "error": type(exc).__name__},
+            exc_info=True,
+        )
+    finally:
+        service.close()
+
+    diagnoses = service.diagnoses
+    report.diagnoses = len(diagnoses)
+    report.degraded_diagnoses = sum(
+        1 for d in diagnoses if d.confidence == "degraded"
+    )
+    report.quarantined = _counter_total(registry, "collector_quarantined_total")
+    report.offset_resyncs = _counter_total(registry, "broker_offset_resyncs_total")
+    report.worker_restarts = _counter_total(registry, "fleet_worker_restarts_total")
+    report.faults_injected = (
+        sum(injector.injected.values()) if injector is not None else 0
+    )
+
+    registered = set(service.instance_ids)
+    for instance_id, truth in fixture.truths.items():
+        diags = (
+            service.diagnoses_for(instance_id) if instance_id in registered else []
+        )
+        if not truth.anomalous:
+            report.spurious_diagnoses += len(diags)
+            continue
+        report.r_expected += 1
+        report.h_expected += 1
+        if diags:
+            report.detected_instances += 1
+        else:
+            report.missed_instances += 1
+        if any(
+            sql_id in truth.r_sqls
+            for d in diags
+            for sql_id in d.result.rsql_ids[: cfg.top_k]
+        ):
+            report.r_hits += 1
+        if any(
+            sql_id in truth.h_sqls
+            for d in diags
+            for sql_id in d.result.hsql_ids[: cfg.top_k]
+        ):
+            report.h_hits += 1
+    return report
+
+
+def run_chaos_suite(
+    cfg: ChaosHarnessConfig | None = None,
+    fixture: FleetFixture | None = None,
+    plan: FaultPlan | None = None,
+) -> ResilienceScorecard:
+    """Clean baseline plus one run per fault class; one scorecard.
+
+    Pass a pre-built ``fixture`` to amortise the simulation over several
+    suites (tests do), or a full ``plan`` to run it as a single fault
+    run (named after the plan) instead of per-kind single-fault plans.
+    """
+    cfg = cfg or ChaosHarnessConfig()
+    if fixture is None:
+        _log.info(
+            "simulating fleet for chaos suite",
+            extra={
+                "seed": cfg.seed,
+                "instances": cfg.n_instances,
+                "duration_s": cfg.duration_s,
+            },
+        )
+        fixture = simulate_fleet(cfg)
+    scorecard = ResilienceScorecard(
+        seed=cfg.seed, instances=cfg.n_instances, duration_s=cfg.duration_s
+    )
+    scorecard.clean = run_fault_class(fixture, cfg, "clean", None)
+    if plan is not None:
+        scorecard.faults.append(run_fault_class(fixture, cfg, plan.name, plan))
+        return scorecard
+    for kind in cfg.fault_kinds:
+        scorecard.faults.append(
+            run_fault_class(
+                fixture, cfg, kind, single_fault_plan(kind, seed=cfg.seed)
+            )
+        )
+    return scorecard

@@ -18,6 +18,7 @@ from repro.fleet.sharded import (
     ShardTask,
     feed_from_broker,
     run_shard,
+    run_shard_supervised,
     run_sharded,
 )
 
@@ -34,6 +35,7 @@ __all__ = [
     "ShardTask",
     "feed_from_broker",
     "run_shard",
+    "run_shard_supervised",
     "run_sharded",
     "stable_shard",
 ]

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incidents → core)
 from repro.collection.aggregator import aggregate_logstore
 from repro.collection.collector import METRIC_TOPIC, QUERY_TOPIC
 from repro.collection.logstore import LogStore
+from repro.collection.quarantine import quarantine, validate_query_record
 from repro.collection.stream import Broker, instance_topic
 from repro.core.case import AnomalyCase
 from repro.core.config import PinSQLConfig
@@ -39,6 +40,14 @@ from repro.dbsim.instance import DatabaseInstance
 from repro.detection.case_builder import DetectedAnomaly
 from repro.detection.realtime import RealtimeAnomalyDetector, snapshot_samples
 from repro.detection.typing import CategoryVerdict, classify_case
+from repro.resilience import (
+    CircuitBreaker,
+    CircuitOpenError,
+    DeadlineExceeded,
+    DegradedModePolicy,
+    DiagnosisConfidence,
+    StageWatchdog,
+)
 from repro.sqlanalysis import Finding, SqlAnalyzer
 from repro.sqltemplate import TemplateCatalog, fingerprint
 from repro.telemetry import (
@@ -49,7 +58,6 @@ from repro.telemetry import (
     get_registry,
     get_tracer,
 )
-from repro.telemetry.selfmon import forward_fill_series
 from repro.timeseries import TimeSeries
 
 __all__ = ["ServiceConfig", "Diagnosis", "InstanceDiagnosisEngine"]
@@ -70,6 +78,21 @@ class ServiceConfig:
     evaluation_interval_s: int = 60
     #: Ignore anomalies shorter than this (user-configurable, Sec. IV-B).
     min_anomaly_duration_s: int = 30
+    #: Wall-clock budget per diagnosis (None disables the watchdog).
+    #: The stage watchdog checks between pipeline stages; an exceeded
+    #: budget abandons the diagnosis and counts
+    #: ``diagnosis_stage_timeouts_total``.
+    diagnosis_budget_s: float | None = None
+    #: Validate query-log payloads in the drain loop; malformed records
+    #: are quarantined to the dead-letter topic instead of raising.
+    validate_records: bool = True
+    #: Degraded-mode thresholds (see DegradedModePolicy).
+    max_gap_fraction: float = 0.25
+    min_window_fraction: float = 0.5
+    #: Repair-execution circuit breaker (consecutive failures to open,
+    #: seconds until a half-open probe is allowed).
+    breaker_failure_threshold: int = 3
+    breaker_recovery_s: float = 120.0
 
 
 @dataclass
@@ -90,6 +113,12 @@ class Diagnosis:
     instance_id: str = ""
     #: Id of the persisted incident record, when a recorder is attached.
     incident_id: str | None = None
+    #: Evidence confidence: ``"full"``, or ``"degraded"`` when the
+    #: diagnosis ran on imperfect evidence (gappy metric windows,
+    #: shrunken context, quarantined log batches).
+    confidence: str = DiagnosisConfidence.FULL.value
+    #: Machine-readable reasons the diagnosis was degraded.
+    degraded_reasons: tuple[str, ...] = ()
 
 
 class InstanceDiagnosisEngine:
@@ -200,6 +229,30 @@ class InstanceDiagnosisEngine:
             )
         else:
             self.selfmon = selfmon  # type: ignore[assignment]
+        #: Degraded-mode policy: gap detection and evidence fallbacks.
+        self.degraded_policy = DegradedModePolicy(
+            max_gap_fraction=self.config.max_gap_fraction,
+            min_window_fraction=self.config.min_window_fraction,
+            registry=self.registry,
+            **self._labels,
+        )
+        #: Stage watchdog bounding each diagnosis's wall-clock budget.
+        self._watchdog = StageWatchdog(
+            self.config.diagnosis_budget_s,
+            registry=self.registry,
+            **self._labels,
+        )
+        #: Circuit breaker around repair execution: stop hammering an
+        #: instance whose repair path keeps failing.
+        self.repair_breaker = CircuitBreaker(
+            name=f"repair.{instance_id or 'default'}",
+            failure_threshold=self.config.breaker_failure_threshold,
+            recovery_s=self.config.breaker_recovery_s,
+            registry=self.registry,
+        )
+        #: Query-log records quarantined since the last diagnosis —
+        #: evidence of missing log batches for the degraded policy.
+        self._quarantined_since_diagnosis = 0
         #: Per-metric raw samples retained for case assembly; bounded by
         #: the detector window extended by δs (see _capture_metric_samples).
         self._metric_samples: dict[str, dict[int, float]] = {}
@@ -249,6 +302,15 @@ class InstanceDiagnosisEngine:
                 break
             for message in messages:
                 record = message.value
+                if self.config.validate_records:
+                    reason = validate_query_record(record)
+                    if reason is not None:
+                        # A malformed batch must not crash the drain
+                        # loop: park it on the dead-letter topic and
+                        # remember the loss for the degraded policy.
+                        quarantine(self.broker, self.query_topic, record, reason)
+                        self._quarantined_since_diagnosis += 1
+                        continue
                 if (
                     self.instance_id
                     and record.get("instance", self.instance_id) != self.instance_id
@@ -293,6 +355,39 @@ class InstanceDiagnosisEngine:
         """(query-log offset, metric offset) — progress fingerprint."""
         return (self._log_consumer.offset, self.detector.consumer.offset)
 
+    def _catch_up_query_logs(self, max_attempts: int = 8) -> int:
+        """Re-drain a lagging query-log consumer before diagnosing.
+
+        A stalled consumer returns empty batches while its broker lag
+        stays positive, so empty polls are retried (bounded); a consumer
+        stranded behind a pruned log head is resynced along the way.
+        Each catch-up is counted by ``service_log_catchups_total``.
+        """
+        handled = 0
+        for _ in range(max_attempts):
+            if self._log_consumer.lag <= 0:
+                break
+            got = self._drain_query_logs()
+            handled += got
+            if not got:
+                self._log_consumer.resync_to_base()
+        if handled:
+            self.registry.counter(
+                "service_log_catchups_total",
+                help="Query-log messages drained by pre-diagnosis catch-up.",
+                **self._labels,
+            ).inc(handled)
+        return handled
+
+    def resync_consumers(self) -> bool:
+        """Recover consumers stranded behind a pruned log head.
+
+        Returns ``True`` when at least one consumer was resynced (each
+        resync is counted by ``broker_offset_resyncs_total``).
+        """
+        resynced = self._log_consumer.resync_to_base()
+        return self.detector.consumer.resync_to_base() or resynced
+
     def step(self) -> list[Diagnosis]:
         """Consume available stream data; diagnose any fresh anomalies."""
         self._m_steps.inc()
@@ -302,6 +397,14 @@ class InstanceDiagnosisEngine:
         events = self.detector.poll()
         self._capture_metric_samples()
         produced: list[Diagnosis] = []
+        if events and self._log_consumer.lag > 0:
+            # The metric stream has outrun the query-log stream (e.g.
+            # the log consumer is stalled by backpressure): diagnosing
+            # now would assemble an empty evidence window.  Catch the
+            # log consumer up first, within a bounded retry budget.
+            caught_up = self._catch_up_query_logs()
+            if caught_up:
+                self._m_log_messages.inc(caught_up)
         for event in events:
             if event.is_update:
                 self._count_skip("update")
@@ -356,6 +459,11 @@ class InstanceDiagnosisEngine:
             if advanced or step_produced:
                 idle = 0
                 continue
+            if self.resync_consumers():
+                # A consumer was stranded behind a pruned log head;
+                # after the resync the loop can re-evaluate the lag.
+                idle = 0
+                continue
             idle += 1
             if idle >= max_idle_iterations:
                 _log.warning(
@@ -400,11 +508,6 @@ class InstanceDiagnosisEngine:
                 self._m_samples_evicted.inc(evicted)
         self._g_sample_count.set(resident)
 
-    def _metric_series(self, name: str, ts: int, te: int) -> TimeSeries:
-        return forward_fill_series(
-            self._metric_samples.get(name, {}), ts, te, name=name
-        )
-
     def metric_window_snapshot(
         self, ts: int, te: int
     ) -> dict[str, list[tuple[int, float]]]:
@@ -424,7 +527,21 @@ class InstanceDiagnosisEngine:
 
     def _diagnose(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
         with self.tracer.span("service.diagnose") as span:
-            diagnosis = self._diagnose_inner(anomaly)
+            try:
+                diagnosis = self._diagnose_inner(anomaly)
+            except DeadlineExceeded as exc:
+                # The watchdog has already counted the timed-out stage;
+                # abandon this diagnosis rather than blocking the loop.
+                _log.warning(
+                    "diagnosis abandoned: stage budget exceeded",
+                    extra={
+                        "instance": self.instance_id,
+                        "stage": exc.stage,
+                        "budget_s": exc.budget_s,
+                    },
+                )
+                self._count_skip("deadline_exceeded")
+                diagnosis = None
             # Stamp while the span is open so retained traces (and the
             # incident records built from them) carry the outcome.
             span.attrs["produced"] = diagnosis is not None
@@ -433,46 +550,77 @@ class InstanceDiagnosisEngine:
     def _diagnose_inner(self, anomaly: DetectedAnomaly) -> Diagnosis | None:
         from repro.dbsim.monitor import InstanceMetrics
 
+        deadline = self._watchdog.deadline()
         ts = max(0, anomaly.start - self.config.delta_start_s)
         te = max(anomaly.end, anomaly.start + 1)
-        metrics = InstanceMetrics(
-            {
-                name: self._metric_series(name, ts, te)
-                for name in self._metric_samples
-            }
-        )
-        if "active_session" not in metrics:
-            self._count_skip("no_session_metric")
-            return None
-        templates = aggregate_logstore(self.logstore, ts, te)
-        if not templates.sql_ids:
-            self._count_skip("no_templates")
-            return None
-        history: dict[str, dict[int, TimeSeries]] = {}
-        if self.history_provider is not None:
-            for sql_id in templates.sql_ids:
-                for days in self.config.pinsql.history_days:
-                    series = self.history_provider(sql_id, days, ts, te)
-                    if series is not None:
-                        history.setdefault(sql_id, {})[days] = series
-        case = AnomalyCase(
-            metrics=metrics,
-            templates=templates,
-            logs=self.logstore,
-            catalog=self.catalog,
-            anomaly_start=anomaly.start,
-            anomaly_end=min(anomaly.end, te),
-            history=history,
-        )
-        result = self._pinsql.analyze(case)
-        verdict = classify_case(case)
-        findings = self._template_findings(result)
-        plan = self._repair.plan(case, result, anomaly_types=anomaly.types)
-        executed = False
-        if self.instance is not None and self.config.repair.auto_execute:
-            self._repair.execute(plan, self.instance, now_s=te)
-            executed = bool(plan.executed)
-        report = render_report(case, result, plan=plan)
+        with self._watchdog.stage(deadline, "assemble"):
+            extra_reasons: list[str] = []
+            quarantined = self._quarantined_since_diagnosis
+            self._quarantined_since_diagnosis = 0
+            if quarantined:
+                extra_reasons.append(f"quarantined_logs:{quarantined}")
+            assessment = self.degraded_policy.assess(
+                self._metric_samples,
+                ts,
+                te,
+                anomaly_start=anomaly.start,
+                extra_reasons=tuple(extra_reasons),
+            )
+            ts = assessment.ts
+            metrics = InstanceMetrics(
+                {
+                    name: self.degraded_policy.build_series(
+                        samples, assessment, te, name=name
+                    )
+                    for name, samples in self._metric_samples.items()
+                }
+            )
+            if "active_session" not in metrics:
+                self._count_skip("no_session_metric")
+                return None
+            templates = aggregate_logstore(self.logstore, ts, te)
+            if not templates.sql_ids:
+                self._count_skip("no_templates")
+                return None
+            history: dict[str, dict[int, TimeSeries]] = {}
+            if self.history_provider is not None:
+                for sql_id in templates.sql_ids:
+                    for days in self.config.pinsql.history_days:
+                        series = self.history_provider(sql_id, days, ts, te)
+                        if series is not None:
+                            history.setdefault(sql_id, {})[days] = series
+            case = AnomalyCase(
+                metrics=metrics,
+                templates=templates,
+                logs=self.logstore,
+                catalog=self.catalog,
+                anomaly_start=anomaly.start,
+                anomaly_end=min(anomaly.end, te),
+                history=history,
+            )
+        with self._watchdog.stage(deadline, "analyze"):
+            result = self._pinsql.analyze(case)
+            verdict = classify_case(case)
+            findings = self._template_findings(result)
+        with self._watchdog.stage(deadline, "repair"):
+            plan = self._repair.plan(case, result, anomaly_types=anomaly.types)
+            executed = False
+            if self.instance is not None and self.config.repair.auto_execute:
+                try:
+                    self.repair_breaker.call(
+                        self._repair.execute, plan, self.instance, now_s=te
+                    )
+                except CircuitOpenError:
+                    self._count_skip("repair_breaker_open")
+                except Exception:
+                    _log.warning(
+                        "repair execution failed",
+                        extra={"instance": self.instance_id},
+                        exc_info=True,
+                    )
+                executed = bool(plan.executed)
+        with self._watchdog.stage(deadline, "report"):
+            report = render_report(case, result, plan=plan)
         return Diagnosis(
             anomaly=anomaly,
             case=case,
@@ -483,6 +631,8 @@ class InstanceDiagnosisEngine:
             verdict=verdict,
             findings=findings,
             instance_id=self.instance_id,
+            confidence=assessment.confidence.value,
+            degraded_reasons=assessment.reasons,
         )
 
     def _template_findings(

@@ -59,10 +59,17 @@ class FleetConfig:
     prune_broker: bool = False
     #: Raw-log retention across the fleet's LogStore partitions.
     retention_s: int = DEFAULT_RETENTION_S
+    #: Supervised recovery: how many times a crashed worker step is
+    #: retried (per instance, per fleet step) before the instance is
+    #: skipped for that step.  Each retry counts
+    #: ``fleet_worker_restarts_total``.
+    max_worker_restarts: int = 3
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
             raise ValueError("workers must be positive")
+        if self.max_worker_restarts < 0:
+            raise ValueError("max_worker_restarts must be non-negative")
 
 
 class FleetDiagnosisService:
@@ -75,11 +82,16 @@ class FleetDiagnosisService:
         registry: MetricsRegistry | None = None,
         notify: Callable[[Diagnosis], None] | None = None,
         recorder: "IncidentRecorder | None" = None,
+        fault_hook: Callable[[str], None] | None = None,
     ) -> None:
         self.config = config or FleetConfig()
         self.broker = broker
         self.registry = registry or get_registry()
         self.notify = notify
+        #: Test seam for chaos injection: called with the instance id
+        #: before every engine step; an exception it raises is treated
+        #: exactly like a worker crash (supervised restart).
+        self.fault_hook = fault_hook
         #: Shared incident flight recorder handed to every engine; its
         #: store serialises appends, so fleet workers may share one.
         self.recorder = recorder
@@ -180,7 +192,7 @@ class FleetDiagnosisService:
         produced: list[Diagnosis] = []
         if self.config.workers == 1 or len(engine_ids) <= 1:
             for instance_id in engine_ids:
-                produced.extend(self._engines[instance_id].step())
+                produced.extend(self._step_instance(instance_id))
         else:
             shards = [
                 s for s in self.scheduler.partition(engine_ids) if s
@@ -206,8 +218,45 @@ class FleetDiagnosisService:
     def _step_shard(self, instance_ids: list[str]) -> list[Diagnosis]:
         produced: list[Diagnosis] = []
         for instance_id in instance_ids:
-            produced.extend(self._engines[instance_id].step())
+            produced.extend(self._step_instance(instance_id))
         return produced
+
+    def _step_instance(self, instance_id: str) -> list[Diagnosis]:
+        """One supervised engine step.
+
+        A crash (from the engine or the chaos fault hook) restarts the
+        step up to ``max_worker_restarts`` times; if the instance still
+        cannot complete, it is skipped for this fleet step (and retried
+        on the next one) instead of taking the whole fleet loop down.
+        """
+        engine = self._engines[instance_id]
+        attempts = 0
+        while True:
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook(instance_id)
+                return engine.step()
+            except Exception:
+                if attempts >= self.config.max_worker_restarts:
+                    _log.warning(
+                        "worker step failed after supervised restarts; "
+                        "skipping instance this step",
+                        extra={"instance": instance_id, "attempts": attempts},
+                        exc_info=True,
+                    )
+                    self.registry.counter(
+                        "fleet_worker_failures_total",
+                        help="Instance steps abandoned after exhausting "
+                        "supervised restarts.",
+                        instance=instance_id,
+                    ).inc()
+                    return []
+                attempts += 1
+                self.registry.counter(
+                    "fleet_worker_restarts_total",
+                    help="Supervised restarts of crashed fleet worker steps.",
+                    instance=instance_id,
+                ).inc()
 
     def run_until_drained(self, max_idle_iterations: int = 25) -> list[Diagnosis]:
         """Step until every instance's partitions are exhausted.
@@ -229,6 +278,14 @@ class FleetDiagnosisService:
                 != offsets
             )
             if advanced or step_produced:
+                idle = 0
+                continue
+            resynced = False
+            for engine in self._engines.values():
+                resynced = engine.resync_consumers() or resynced
+            if resynced:
+                # Consumers stranded behind a pruned log head have been
+                # resynced; let the loop re-evaluate the fleet lag.
                 idle = 0
                 continue
             idle += 1

@@ -16,16 +16,30 @@ live Python state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - chaos wraps fleet, import lazily
+    from repro.chaos.plan import FaultPlan
 
 from repro.collection.collector import METRIC_TOPIC, QUERY_TOPIC
 from repro.collection.stream import Broker, instance_topic
 from repro.fleet.engine import ServiceConfig
 from repro.fleet.scheduler import stable_shard
 from repro.fleet.service import FleetConfig, FleetDiagnosisService
+from repro.telemetry import get_logger, get_registry
 
-__all__ = ["InstanceFeed", "ShardTask", "feed_from_broker", "run_shard", "run_sharded"]
+_log = get_logger("fleet")
+
+__all__ = [
+    "InstanceFeed",
+    "ShardTask",
+    "feed_from_broker",
+    "run_shard",
+    "run_shard_supervised",
+    "run_sharded",
+]
 
 
 @dataclass
@@ -49,6 +63,15 @@ class ShardTask:
     #: single-writer; :func:`run_sharded` assigns ``shard-NN`` subdirs
     #: and health reporting merges them back with ``discover_stores``.
     incident_dir: str | None = None
+    #: Optional chaos plan: the shard replays its feeds through a
+    #: :class:`~repro.chaos.ChaosBroker` and may crash outright
+    #: (``worker_crash``) so the parent's supervised restarts are
+    #: exercised.  Plans are plain frozen dataclasses, hence picklable.
+    fault_plan: "FaultPlan | None" = None
+    #: Stable shard identity (the crash decision keys on it).
+    shard_key: str = "shard-00"
+    #: Which supervised attempt this is (bumped by the restart loop).
+    attempt: int = 0
 
 
 def feed_from_broker(broker: Broker, instance_id: str) -> InstanceFeed:
@@ -69,6 +92,20 @@ def run_shard(task: ShardTask) -> dict[str, int]:
     can pickle it.
     """
     broker = Broker()
+    publish_broker = broker
+    fault_hook = None
+    chaos_broker = None
+    if task.fault_plan is not None:
+        from repro.chaos.injector import FaultInjector, InjectedWorkerCrash
+
+        injector = FaultInjector(task.fault_plan)
+        if injector.should_crash_shard(task.shard_key, task.attempt):
+            raise InjectedWorkerCrash(
+                f"injected crash of {task.shard_key} (attempt {task.attempt})"
+            )
+        chaos_broker = injector.wrap_broker(broker)
+        publish_broker = chaos_broker
+        fault_hook = injector.fleet_hook()
     recorder = None
     if task.incident_dir is not None:
         from repro.incidents import IncidentRecorder, IncidentStore
@@ -78,13 +115,20 @@ def run_shard(task: ShardTask) -> dict[str, int]:
         broker,
         config=FleetConfig(service=task.config or ServiceConfig(), workers=1),
         recorder=recorder,
+        fault_hook=fault_hook,
     )
     for feed in task.feeds:
         service.register_instance(feed.instance_id)
         for key, value in feed.query_records:
-            broker.publish(instance_topic(QUERY_TOPIC, feed.instance_id), key, value)
+            publish_broker.publish(
+                instance_topic(QUERY_TOPIC, feed.instance_id), key, value
+            )
         for key, value in feed.metric_records:
-            broker.publish(instance_topic(METRIC_TOPIC, feed.instance_id), key, value)
+            publish_broker.publish(
+                instance_topic(METRIC_TOPIC, feed.instance_id), key, value
+            )
+    if chaos_broker is not None:
+        chaos_broker.flush()
     service.run_until_drained()
     return {
         instance_id: len(service.diagnoses_for(instance_id))
@@ -92,11 +136,46 @@ def run_shard(task: ShardTask) -> dict[str, int]:
     }
 
 
+def _count_shard_restart(shard_key: str) -> None:
+    get_registry().counter(
+        "fleet_worker_restarts_total",
+        help="Supervised restarts of crashed fleet worker steps.",
+        instance=shard_key,
+    ).inc()
+
+
+def run_shard_supervised(
+    task: ShardTask, max_restarts: int = 2
+) -> dict[str, int]:
+    """Run one shard with bounded supervised restarts.
+
+    A crashed shard (chaos-injected or real) is restarted with a bumped
+    ``attempt`` up to ``max_restarts`` times; a shard that still cannot
+    complete is abandoned with a warning (its instances report zero
+    diagnoses) rather than failing the whole fleet run.
+    """
+    while True:
+        try:
+            return run_shard(task)
+        except Exception:
+            if task.attempt >= max_restarts:
+                _log.warning(
+                    "shard failed after supervised restarts; abandoning",
+                    extra={"shard": task.shard_key, "attempts": task.attempt},
+                    exc_info=True,
+                )
+                return {feed.instance_id: 0 for feed in task.feeds}
+            task = replace(task, attempt=task.attempt + 1)
+            _count_shard_restart(task.shard_key)
+
+
 def run_sharded(
     feeds: list[InstanceFeed],
     processes: int,
     config: ServiceConfig | None = None,
     incident_dir: str | None = None,
+    fault_plan: "FaultPlan | None" = None,
+    max_restarts: int = 2,
 ) -> dict[str, int]:
     """Partition feeds over worker processes; merge diagnosis counts.
 
@@ -107,13 +186,24 @@ def run_sharded(
     its own subdirectory (``shard-00``, ``shard-01``, …) of that path;
     ``repro incidents health <dir>`` (or
     :func:`repro.incidents.load_health`) merges them afterwards.
+
+    Shard crashes — chaos-injected via ``fault_plan`` or real — are
+    supervised by the parent: each crashed shard is resubmitted with a
+    bumped attempt up to ``max_restarts`` times (counted into
+    ``fleet_worker_restarts_total``) before being abandoned.
     """
     if processes <= 1:
         shard_dir = None
         if incident_dir is not None:
             shard_dir = str(Path(incident_dir) / "shard-00")
-        return run_shard(
-            ShardTask(feeds=feeds, config=config, incident_dir=shard_dir)
+        return run_shard_supervised(
+            ShardTask(
+                feeds=feeds,
+                config=config,
+                incident_dir=shard_dir,
+                fault_plan=fault_plan,
+            ),
+            max_restarts=max_restarts,
         )
     shards: list[list[InstanceFeed]] = [[] for _ in range(processes)]
     for feed in feeds:
@@ -127,6 +217,8 @@ def run_sharded(
                 if incident_dir is not None
                 else None
             ),
+            fault_plan=fault_plan,
+            shard_key=f"shard-{idx:02d}",
         )
         for idx, s in enumerate(shards)
         if s
@@ -135,6 +227,29 @@ def run_sharded(
 
     merged: dict[str, int] = {}
     with multiprocessing.Pool(processes=min(processes, len(tasks))) as pool:
-        for counts in pool.map(run_shard, tasks):
-            merged.update(counts)
+        # Parent-side supervision: a crashed shard process is resubmitted
+        # (attempt bumped) until it completes or exhausts its restarts.
+        pending = [(task, pool.apply_async(run_shard, (task,))) for task in tasks]
+        while pending:
+            still_pending = []
+            for task, result in pending:
+                try:
+                    merged.update(result.get())
+                except Exception:
+                    if task.attempt >= max_restarts:
+                        _log.warning(
+                            "shard failed after supervised restarts; abandoning",
+                            extra={"shard": task.shard_key, "attempts": task.attempt},
+                            exc_info=True,
+                        )
+                        merged.update(
+                            {feed.instance_id: 0 for feed in task.feeds}
+                        )
+                        continue
+                    retry = replace(task, attempt=task.attempt + 1)
+                    _count_shard_restart(retry.shard_key)
+                    still_pending.append(
+                        (retry, pool.apply_async(run_shard, (retry,)))
+                    )
+            pending = still_pending
     return merged

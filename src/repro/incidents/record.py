@@ -296,6 +296,12 @@ class IncidentRecord:
     templates_seen: int = 0
     #: Unix wall-clock at recording time (stream times above are simulated).
     recorded_at_unix: float = 0.0
+    #: Evidence confidence of the diagnosis: ``"full"`` or ``"degraded"``
+    #: (gappy metric windows, shrunken context, quarantined log batches).
+    confidence: str = "full"
+    #: Machine-readable reasons when degraded, e.g.
+    #: ``metric_gap:active_session:0.41`` or ``quarantined_logs:3``.
+    degraded_reasons: tuple[str, ...] = ()
 
     # ------------------------------------------------------------------
     @property
@@ -332,6 +338,8 @@ class IncidentRecord:
             "report_text": self.report_text,
             "templates_seen": self.templates_seen,
             "recorded_at_unix": self.recorded_at_unix,
+            "confidence": self.confidence,
+            "degraded_reasons": list(self.degraded_reasons),
         }
 
     @classmethod
@@ -367,4 +375,6 @@ class IncidentRecord:
             report_text=data.get("report_text", ""),
             templates_seen=int(data.get("templates_seen", 0)),
             recorded_at_unix=float(data.get("recorded_at_unix", 0.0)),
+            confidence=data.get("confidence", "full"),
+            degraded_reasons=tuple(data.get("degraded_reasons", ())),
         )

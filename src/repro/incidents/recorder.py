@@ -160,6 +160,8 @@ class IncidentRecorder:
             report_text=diagnosis.report.text,
             templates_seen=len(case.sql_ids),
             recorded_at_unix=time.time(),
+            confidence=getattr(diagnosis, "confidence", "full") or "full",
+            degraded_reasons=tuple(getattr(diagnosis, "degraded_reasons", ())),
         )
 
     # ------------------------------------------------------------------

@@ -52,6 +52,12 @@ def render_incident_text(record: IncidentRecord) -> str:
         + (f"  (recorded at stream t={r.created_at})" if r.created_at else ""),
         f"verdict        : {r.verdict_category or 'untyped'}"
         + (f"  [{r.verdict_evidence}]" if r.verdict_evidence else ""),
+        f"confidence     : {r.confidence or 'full'}"
+        + (
+            f"  ({'; '.join(r.degraded_reasons)})"
+            if r.degraded_reasons
+            else ""
+        ),
         f"templates seen : {r.templates_seen}",
         "",
         "Triggering metrics (raw detector samples over the evidence window):",
@@ -158,6 +164,8 @@ def render_incident_html(record: IncidentRecord) -> str:
             ("detected at", r.anomaly.detected_at),
             ("verdict", r.verdict_category or "untyped"),
             ("verdict evidence", r.verdict_evidence or "-"),
+            ("confidence", r.confidence or "full"),
+            ("degraded reasons", "; ".join(r.degraded_reasons) or "-"),
             ("templates seen", r.templates_seen),
             ("repair outcome", r.repair.outcome),
         ],

@@ -49,6 +49,8 @@ class IncidentMeta:
     repair_outcome: str
     planned_actions: int
     segment: str
+    #: Evidence confidence the diagnosis was stamped with ("full"/"degraded").
+    confidence: str = "full"
 
     @property
     def duration(self) -> int:
@@ -82,6 +84,7 @@ def _meta_from_dict(data: dict, segment: str) -> IncidentMeta:
         repair_outcome=outcome,
         planned_actions=len(planned),
         segment=segment,
+        confidence=data.get("confidence", "full"),
     )
 
 

@@ -1,0 +1,131 @@
+"""Per-diagnosis time budgets: deadlines and a stage watchdog.
+
+One pathological anomaly case (a huge template catalog, a degenerate
+correlation matrix) must not wedge a fleet worker: the diagnosis loop
+hands each diagnosis a :class:`Deadline` and checks it between pipeline
+stages.  The clock is injectable, so tests drive expiry without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.telemetry import MetricsRegistry, get_logger, get_registry
+
+__all__ = ["Deadline", "DeadlineExceeded", "StageWatchdog"]
+
+_log = get_logger("resilience")
+
+
+class DeadlineExceeded(RuntimeError):
+    """A stage ran past its diagnosis budget."""
+
+    def __init__(self, stage: str, budget_s: float, elapsed_s: float) -> None:
+        super().__init__(
+            f"stage {stage!r} exceeded the {budget_s:.3f}s diagnosis budget "
+            f"({elapsed_s:.3f}s elapsed)"
+        )
+        self.stage = stage
+        self.budget_s = budget_s
+        self.elapsed_s = elapsed_s
+
+
+class Deadline:
+    """A monotonic time budget started at construction."""
+
+    __slots__ = ("budget_s", "_clock", "_t0")
+
+    def __init__(
+        self, budget_s: float, clock: Callable[[], float] | None = None
+    ) -> None:
+        if budget_s <= 0:
+            raise ValueError("budget_s must be positive")
+        self.budget_s = float(budget_s)
+        self._clock = clock if clock is not None else time.monotonic
+        self._t0 = self._clock()
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    @property
+    def remaining(self) -> float:
+        return self.budget_s - self.elapsed
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining <= 0
+
+    def check(self, stage: str = "") -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is spent."""
+        elapsed = self.elapsed
+        if elapsed > self.budget_s:
+            raise DeadlineExceeded(stage or "deadline", self.budget_s, elapsed)
+
+
+class StageWatchdog:
+    """Deadline factory + telemetry for a diagnosis loop.
+
+    The engine asks for one deadline per diagnosis and wraps each stage
+    in :meth:`stage`; a stage that finishes after the budget raises
+    :class:`DeadlineExceeded` (counted per stage in
+    ``diagnosis_stage_timeouts_total``), which the loop turns into a
+    skipped — not crashed — diagnosis.
+
+    ``budget_s=None`` disables the watchdog entirely (every check is a
+    no-op), which is what the clean-path overhead benchmark compares
+    against.
+    """
+
+    def __init__(
+        self,
+        budget_s: float | None,
+        clock: Callable[[], float] | None = None,
+        registry: MetricsRegistry | None = None,
+        **labels: str,
+    ) -> None:
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError("budget_s must be positive (or None to disable)")
+        self.budget_s = budget_s
+        self.clock = clock if clock is not None else time.monotonic
+        self.registry = registry or get_registry()
+        self.labels = labels
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget_s is not None
+
+    def deadline(self) -> Deadline | None:
+        """A fresh deadline for one diagnosis (None when disabled)."""
+        if self.budget_s is None:
+            return None
+        return Deadline(self.budget_s, clock=self.clock)
+
+    @contextmanager
+    def stage(self, deadline: Deadline | None, name: str) -> Iterator[None]:
+        """Run one stage; raise (and count) if it overran the deadline."""
+        yield
+        if deadline is None:
+            return
+        try:
+            deadline.check(name)
+        except DeadlineExceeded:
+            self.registry.counter(
+                "diagnosis_stage_timeouts_total",
+                help="Diagnosis stages that ran past the per-diagnosis budget.",
+                stage=name,
+                **self.labels,
+            ).inc()
+            _log.warning(
+                "diagnosis stage overran its budget",
+                extra={
+                    "stage": name,
+                    "budget_s": deadline.budget_s,
+                    "elapsed_s": round(deadline.elapsed, 4),
+                    **self.labels,
+                },
+            )
+            raise

@@ -1,0 +1,134 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+Transient faults (a broker hiccup, a repair API timeout) deserve a
+second attempt; persistent ones deserve a fast, counted failure.  The
+jitter RNG and the sleep function are injected so tests — and the chaos
+harness — replay the exact same schedule with zero wall-clock waiting.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Callable, Iterable
+
+from repro.telemetry import MetricsRegistry, get_logger, get_registry
+
+__all__ = ["RetryExhausted", "retry_call", "backoff_delays"]
+
+_log = get_logger("resilience")
+
+
+class RetryExhausted(RuntimeError):
+    """Every attempt failed; carries the final attempt's exception."""
+
+    def __init__(self, operation: str, attempts: int, last: BaseException) -> None:
+        super().__init__(
+            f"{operation or 'operation'} failed after {attempts} attempt(s): "
+            f"{type(last).__name__}: {last}"
+        )
+        self.operation = operation
+        self.attempts = attempts
+        self.last = last
+
+
+def backoff_delays(
+    retries: int,
+    base_delay_s: float = 0.05,
+    max_delay_s: float = 2.0,
+    factor: float = 2.0,
+    rng: random.Random | None = None,
+) -> list[float]:
+    """The delay schedule ``retry_call`` would sleep between attempts.
+
+    Full jitter on an exponential ramp: attempt ``i`` waits a uniform
+    draw from ``[base/2, base] * factor**i`` capped at ``max_delay_s``.
+    With a seeded ``rng`` the schedule is fully deterministic.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    rng = rng or random.Random()
+    delays: list[float] = []
+    for attempt in range(retries):
+        ceiling = min(max_delay_s, base_delay_s * (factor ** attempt))
+        delays.append(ceiling * (0.5 + 0.5 * rng.random()))
+    return delays
+
+
+def retry_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    retries: int = 3,
+    base_delay_s: float = 0.05,
+    max_delay_s: float = 2.0,
+    factor: float = 2.0,
+    rng: random.Random | None = None,
+    retry_on: Iterable[type[BaseException]] = (Exception,),
+    sleep: Callable[[float], None] | None = None,
+    operation: str = "",
+    registry: MetricsRegistry | None = None,
+    **kwargs: Any,
+) -> Any:
+    """Call ``fn`` with up to ``retries`` retries after the first attempt.
+
+    Parameters
+    ----------
+    retries:
+        Additional attempts after the first (``retries=3`` → up to four
+        calls).
+    rng:
+        Jitter source.  Pass ``random.Random(seed)`` for deterministic
+        schedules; defaults to a fresh unseeded RNG.
+    retry_on:
+        Exception types worth retrying; anything else propagates
+        immediately.
+    sleep:
+        Injectable sleeper (tests pass a recorder; default
+        ``time.sleep``).
+    operation:
+        Label on the ``resilience_retries_total`` /
+        ``resilience_retries_exhausted_total`` counters and log lines.
+
+    Raises
+    ------
+    RetryExhausted
+        When every attempt failed with a retryable exception.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    registry = registry or get_registry()
+    sleep = sleep if sleep is not None else time.sleep
+    retry_on = tuple(retry_on)
+    delays = backoff_delays(retries, base_delay_s, max_delay_s, factor, rng)
+    last: BaseException | None = None
+    for attempt in range(retries + 1):
+        try:
+            return fn(*args, **kwargs)
+        except retry_on as exc:
+            last = exc
+            if attempt >= retries:
+                break
+            registry.counter(
+                "resilience_retries_total",
+                help="Retried calls by operation.",
+                operation=operation or getattr(fn, "__name__", "call"),
+            ).inc()
+            _log.warning(
+                "retrying after failure",
+                extra={
+                    "operation": operation or getattr(fn, "__name__", "call"),
+                    "attempt": attempt + 1,
+                    "error": type(exc).__name__,
+                    "delay_s": round(delays[attempt], 4),
+                },
+            )
+            sleep(delays[attempt])
+    assert last is not None
+    registry.counter(
+        "resilience_retries_exhausted_total",
+        help="Calls that failed every retry attempt.",
+        operation=operation or getattr(fn, "__name__", "call"),
+    ).inc()
+    raise RetryExhausted(
+        operation or getattr(fn, "__name__", "call"), retries + 1, last
+    ) from last

@@ -1,0 +1,72 @@
+"""Tests for fault plans: validation, defaults, JSON round-trips."""
+
+import pytest
+
+from repro.chaos import FAULT_KINDS, FaultPlan, FaultSpec, single_fault_plan
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="gremlins")
+
+    def test_rate_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind="drop", rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind="drop", rate=-0.1)
+
+    def test_default_params_merged_under_explicit(self):
+        spec = FaultSpec(kind="reorder", params={"window": 12})
+        assert spec.param("window") == 12
+        spec = FaultSpec(kind="reorder")
+        assert spec.param("window") == 6  # the documented default
+
+    def test_round_trip(self):
+        spec = FaultSpec(kind="late", rate=0.2, topic="query_logs.*",
+                         params={"hold_messages": 4})
+        again = FaultSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+
+class TestFaultPlan:
+    def test_kinds_deduplicated_in_order(self):
+        plan = FaultPlan(
+            name="p", seed=1,
+            specs=(FaultSpec(kind="drop"), FaultSpec(kind="corrupt"),
+                   FaultSpec(kind="drop", topic="metrics.*")),
+        )
+        assert plan.kinds == ("drop", "corrupt")
+
+    def test_spec_for_returns_first_match(self):
+        plan = FaultPlan(
+            name="p",
+            specs=(FaultSpec(kind="drop", rate=0.5), FaultSpec(kind="drop")),
+        )
+        assert plan.spec_for("drop").rate == 0.5
+        assert plan.spec_for("late") is None
+
+    def test_json_file_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            name="ci-chaos", seed=99,
+            specs=(FaultSpec(kind="drop", rate=0.1),
+                   FaultSpec(kind="worker_crash", params={"max_crashes": 1})),
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        loaded = FaultPlan.load(path)
+        assert loaded == plan
+
+
+class TestSingleFaultPlan:
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_every_kind_builds(self, kind):
+        plan = single_fault_plan(kind, seed=3)
+        assert plan.kinds == (kind,)
+        assert plan.seed == 3
+        assert 0.0 < plan.specs[0].rate <= 1.0
+
+    def test_rate_and_params_overridable(self):
+        plan = single_fault_plan("backpressure", rate=1.0, stall_polls=7)
+        assert plan.specs[0].rate == 1.0
+        assert plan.specs[0].param("stall_polls") == 7

@@ -1,0 +1,83 @@
+"""Tests for the resilience scorecard artifact."""
+
+import json
+
+from repro.chaos import FaultClassReport, ResilienceScorecard
+
+
+def make_report(**kwargs) -> FaultClassReport:
+    defaults = dict(
+        fault="drop", completed=True, diagnoses=2, r_hits=2, r_expected=2,
+        h_hits=1, h_expected=2, faults_injected=37,
+    )
+    defaults.update(kwargs)
+    return FaultClassReport(**defaults)
+
+
+class TestFaultClassReport:
+    def test_accuracy_ratios(self):
+        report = make_report()
+        assert report.r_accuracy == 1.0
+        assert report.h_accuracy == 0.5
+
+    def test_accuracy_is_one_when_nothing_expected(self):
+        report = make_report(r_hits=0, r_expected=0, h_hits=0, h_expected=0)
+        assert report.r_accuracy == 1.0
+        assert report.h_accuracy == 1.0
+
+    def test_round_trip(self):
+        report = make_report(
+            errors=("ValueError: boom",), notes=("released 3 held messages",),
+            degraded_diagnoses=1, quarantined=12, offset_resyncs=2,
+            worker_restarts=1, detected_instances=2, missed_instances=0,
+            spurious_diagnoses=1,
+        )
+        again = FaultClassReport.from_dict(report.to_dict())
+        assert again == report
+
+
+class TestResilienceScorecard:
+    def make_scorecard(self) -> ResilienceScorecard:
+        return ResilienceScorecard(
+            seed=7, instances=3, duration_s=480,
+            clean=make_report(fault="clean", faults_injected=0),
+            faults=[make_report(fault="drop"), make_report(fault="corrupt")],
+        )
+
+    def test_report_for_finds_clean_and_faults(self):
+        card = self.make_scorecard()
+        assert card.report_for("clean").fault == "clean"
+        assert card.report_for("corrupt").fault == "corrupt"
+        assert card.report_for("nonexistent") is None
+
+    def test_all_completed_requires_every_run_clean(self):
+        card = self.make_scorecard()
+        assert card.all_completed
+        card.faults[1].uncaught_exceptions = 1
+        assert not card.all_completed
+        card.faults[1].uncaught_exceptions = 0
+        card.faults[0].completed = False
+        assert not card.all_completed
+
+    def test_empty_scorecard_is_not_a_pass(self):
+        assert not ResilienceScorecard(seed=0, instances=0, duration_s=0).all_completed
+
+    def test_json_round_trip(self):
+        card = self.make_scorecard()
+        data = json.loads(card.to_json())
+        again = ResilienceScorecard.from_dict(data)
+        assert again.seed == card.seed
+        assert again.clean == card.clean
+        assert again.faults == card.faults
+        assert data["all_completed"] is True
+
+    def test_render_text_shows_verdict_and_rows(self):
+        card = self.make_scorecard()
+        text = card.render_text()
+        assert "PASS" in text
+        assert "clean" in text and "drop" in text and "corrupt" in text
+        card.faults[0].completed = False
+        card.faults[0].errors = ("RuntimeError: boom",)
+        text = card.render_text()
+        assert "FAIL" in text
+        assert "RuntimeError: boom" in text

@@ -1,0 +1,192 @@
+"""Tests for payload validation, dead-letter quarantine, and consumer resync."""
+
+import numpy as np
+import pytest
+
+from repro.collection import Broker, MetricsCollector
+from repro.collection.quarantine import (
+    dead_letter_topic,
+    quarantine,
+    validate_metric_record,
+    validate_query_record,
+)
+from repro.dbsim.monitor import InstanceMetrics
+from repro.telemetry import MetricsRegistry
+from repro.timeseries import TimeSeries
+
+
+def good_query_record(second: int = 5) -> dict:
+    return {
+        "second": second,
+        "sql_id": "q-001",
+        "arrive_ms": np.array([5000.0, 5100.0]),
+        "response_ms": np.array([12.0, 15.0]),
+        "examined_rows": np.array([100.0, 120.0]),
+    }
+
+
+def good_metric_record(t: int = 10) -> dict:
+    return {"metric": "active_session", "timestamp": t, "value": 3.0}
+
+
+class TestValidateQueryRecord:
+    def test_accepts_valid_record(self):
+        assert validate_query_record(good_query_record()) is None
+
+    @pytest.mark.parametrize(
+        "mutate,reason",
+        [
+            (lambda r: "not a dict", "not_a_mapping"),
+            (lambda r: {k: v for k, v in r.items() if k != "sql_id"},
+             "missing_key:sql_id"),
+            (lambda r: {**r, "second": "soon"}, "bad_type:second"),
+            (lambda r: {**r, "second": -1}, "bad_type:second"),
+            (lambda r: {**r, "sql_id": ""}, "bad_type:sql_id"),
+            (lambda r: {**r, "response_ms": "fast"}, "bad_type:response_ms"),
+            (lambda r: {**r, "arrive_ms": np.array([])}, "bad_shape:arrive_ms"),
+            (lambda r: {**r, "response_ms": np.array([1.0, np.nan])},
+             "non_finite:response_ms"),
+            (lambda r: {**r, "examined_rows": np.array([1.0])},
+             "length_mismatch"),
+            (lambda r: {**r, "instance": 7}, "bad_type:instance"),
+        ],
+    )
+    def test_rejects_with_reason(self, mutate, reason):
+        assert validate_query_record(mutate(good_query_record())) == reason
+
+
+class TestValidateMetricRecord:
+    def test_accepts_valid_record(self):
+        assert validate_metric_record(good_metric_record()) is None
+
+    @pytest.mark.parametrize(
+        "mutate,reason",
+        [
+            (lambda r: None, "not_a_mapping"),
+            (lambda r: {k: v for k, v in r.items() if k != "value"},
+             "missing_key:value"),
+            (lambda r: {**r, "metric": ""}, "bad_type:metric"),
+            (lambda r: {**r, "timestamp": "not-a-timestamp"},
+             "bad_type:timestamp"),
+            (lambda r: {**r, "timestamp": -5}, "bad_type:timestamp"),
+            (lambda r: {**r, "value": float("nan")}, "non_finite:value"),
+            (lambda r: {**r, "value": True}, "non_finite:value"),
+            (lambda r: {**r, "instance": 3}, "bad_type:instance"),
+        ],
+    )
+    def test_rejects_with_reason(self, mutate, reason):
+        assert validate_metric_record(mutate(good_metric_record())) == reason
+
+
+class TestQuarantine:
+    def test_publishes_to_dead_letter_and_counts(self):
+        registry = MetricsRegistry()
+        broker = Broker(registry=registry)
+        record = {"second": "bad"}
+        quarantine(broker, "query_logs.db-00", record, "bad_type:second")
+        dl_topic = dead_letter_topic("query_logs.db-00")
+        assert dl_topic == "dead_letter.query_logs.db-00"
+        (msg,) = broker.read(dl_topic, 0, 10)
+        assert msg.value["reason"] == "bad_type:second"
+        assert msg.value["record"] is record
+        counter = registry.get(
+            "collector_quarantined_total",
+            topic="query_logs.db-00",
+            reason="bad_type:second",
+        )
+        assert counter.value == 1
+
+    def test_dead_letter_topics_survive_pruning(self):
+        broker = Broker(registry=MetricsRegistry())
+        quarantine(broker, "query_logs", {"bad": 1}, "not_a_mapping")
+        # A live consumer fully drains the source topic, then prunes.
+        consumer = broker.consumer("query_logs")
+        broker.publish("query_logs", "k", good_query_record())
+        consumer.poll()
+        broker.prune()
+        assert broker.retained("query_logs") == 0
+        # No consumer is registered on the dead-letter topic: untouched.
+        assert broker.retained(dead_letter_topic("query_logs")) == 1
+
+
+class TestCollectorQuarantine:
+    def test_metrics_collector_quarantines_non_finite_points(self):
+        registry = MetricsRegistry()
+        broker = Broker(registry=registry)
+        collector = MetricsCollector(broker, instance_id="db-00")
+        metrics = InstanceMetrics(
+            series={
+                "active_session": TimeSeries(
+                    np.array([1.0, np.nan, 2.0]), start=0, name="active_session"
+                )
+            }
+        )
+        sent = collector.collect(metrics)
+        assert sent == 2
+        assert broker.retained(dead_letter_topic(collector.topic)) == 1
+        counter = registry.get(
+            "collector_quarantined_total",
+            topic=collector.topic,
+            reason="non_finite:value",
+        )
+        assert counter.value == 1
+
+
+class TestConsumerResync:
+    def make_pruned_gap(self):
+        """A consumer left behind a fully pruned log head."""
+        broker = Broker(registry=MetricsRegistry())
+        ahead = broker.consumer("query_logs")
+        behind = broker.consumer("query_logs")
+        for i in range(5):
+            broker.publish("query_logs", "k", {"i": i})
+        ahead.poll()
+        behind.poll()
+        # `behind` rewinds to 2, then the broker prunes past it: its
+        # registered offset was 5 at prune time, so base jumps to 5.
+        broker.prune()
+        behind.seek(2)
+        return broker, behind
+
+    def test_stuck_detection(self):
+        broker, behind = self.make_pruned_gap()
+        assert broker.base_offset("query_logs") == 5
+        assert broker.retained("query_logs") == 0
+        assert behind.stuck
+        assert behind.poll() == []  # spins forever without a resync
+        assert behind.lag > 0
+
+    def test_resync_recovers_and_counts(self):
+        broker, behind = self.make_pruned_gap()
+        assert behind.resync_to_base()
+        assert behind.offset == 5
+        assert not behind.stuck
+        counter = broker.registry.get(
+            "broker_offset_resyncs_total", topic="query_logs", consumer=behind.name
+        )
+        assert counter.value == 1
+        # New traffic flows again after the resync.
+        broker.publish("query_logs", "k", {"i": 5})
+        assert [m.value["i"] for m in behind.poll()] == [5]
+
+    def test_resync_is_a_noop_when_healthy(self):
+        broker = Broker(registry=MetricsRegistry())
+        consumer = broker.consumer("query_logs")
+        broker.publish("query_logs", "k", {"i": 0})
+        assert not consumer.stuck
+        assert not consumer.resync_to_base()
+
+    def test_not_stuck_while_messages_retained(self):
+        # With retained messages, Broker.read self-heals at base offset.
+        broker = Broker(registry=MetricsRegistry())
+        ahead = broker.consumer("query_logs")
+        behind = broker.consumer("query_logs")
+        for i in range(5):
+            broker.publish("query_logs", "k", {"i": i})
+        ahead.poll()
+        behind.poll()
+        broker.publish("query_logs", "k", {"i": 5})
+        broker.prune()
+        behind.seek(0)
+        assert not behind.stuck
+        assert [m.value["i"] for m in behind.poll()] == [5]

@@ -1,0 +1,140 @@
+"""Property-based broker invariants (hypothesis stateful testing).
+
+The chaos harness leans hard on the broker's offset arithmetic —
+pruning, seeks behind the log head, duplicate publishes, stuck-consumer
+resync.  This state machine drives arbitrary interleavings of those
+operations and checks the conservation laws that every other component
+assumes:
+
+* ``size == base_offset + retained`` at all times;
+* consumer lag is exactly ``size - offset`` and never negative after a
+  poll;
+* polled offsets are strictly increasing and values match what was
+  published at those offsets;
+* pruning never advances the base past the slowest registered consumer;
+* ``resync_to_base`` fires exactly when a consumer is :attr:`stuck`,
+  after which the consumer can always make progress.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.collection import Broker
+from repro.telemetry import MetricsRegistry
+
+TOPIC = "query_logs"
+
+
+class BrokerMachine(RuleBasedStateMachine):
+    @initialize(n_consumers=st.integers(1, 3))
+    def setup(self, n_consumers):
+        self.broker = Broker(registry=MetricsRegistry())
+        self.consumers = [self.broker.consumer(TOPIC) for _ in range(n_consumers)]
+        self.published = []  # value at absolute offset i
+        self.last_polled = {c.name: -1 for c in self.consumers}
+
+    # -- operations ----------------------------------------------------
+    @rule(n=st.integers(1, 5))
+    def publish(self, n):
+        for _ in range(n):
+            value = {"i": len(self.published)}
+            msg = self.broker.publish(TOPIC, "k", value)
+            assert msg.offset == len(self.published)
+            self.published.append(value)
+
+    @rule(data=st.data(), max_messages=st.integers(0, 7))
+    def poll(self, data, max_messages):
+        consumer = data.draw(st.sampled_from(self.consumers))
+        before = consumer.offset
+        messages = consumer.poll(max_messages)
+        assert len(messages) <= max_messages
+        for msg in messages:
+            # Strictly increasing offsets, values matching the ledger.
+            assert msg.offset > self.last_polled[consumer.name]
+            assert msg.offset >= before
+            assert self.published[msg.offset] == msg.value
+            self.last_polled[consumer.name] = msg.offset
+        if messages:
+            assert consumer.offset == messages[-1].offset + 1
+
+    @rule(data=st.data())
+    def seek(self, data):
+        consumer = data.draw(st.sampled_from(self.consumers))
+        offset = data.draw(st.integers(0, max(len(self.published), 1)))
+        consumer.seek(offset)
+        # A rewind may replay: relax the strict-increase ledger floor.
+        self.last_polled[consumer.name] = offset - 1
+
+    @rule()
+    def prune(self):
+        slowest = min(c.offset for c in self.consumers)
+        base_before = self.broker.base_offset(TOPIC)
+        retained_before = self.broker.retained(TOPIC)
+        pruned = self.broker.prune(TOPIC)
+        # Prunes exactly the acked span, clamped to what is retained.
+        assert pruned == min(max(0, slowest - base_before), retained_before)
+        assert self.broker.base_offset(TOPIC) == base_before + pruned
+
+    @rule(data=st.data())
+    def resync(self, data):
+        consumer = data.draw(st.sampled_from(self.consumers))
+        was_stuck = consumer.stuck
+        resynced = consumer.resync_to_base()
+        assert resynced == was_stuck
+        if resynced:
+            assert consumer.offset == self.broker.base_offset(TOPIC)
+            self.last_polled[consumer.name] = consumer.offset - 1
+        assert not consumer.stuck
+
+    @rule(n=st.integers(1, 3))
+    def publish_duplicates(self, n):
+        # Same key/value appended twice still gets distinct offsets.
+        for _ in range(n):
+            value = {"i": len(self.published)}
+            a = self.broker.publish(TOPIC, "dup", value)
+            b = self.broker.publish(TOPIC, "dup", value)
+            assert b.offset == a.offset + 1
+            self.published.extend([value, value])
+
+    # -- conservation laws ---------------------------------------------
+    @invariant()
+    def size_is_base_plus_retained(self):
+        if not hasattr(self, "broker"):
+            return
+        assert self.broker.size(TOPIC) == (
+            self.broker.base_offset(TOPIC) + self.broker.retained(TOPIC)
+        )
+
+    @invariant()
+    def size_matches_ledger(self):
+        if not hasattr(self, "broker"):
+            return
+        assert self.broker.size(TOPIC) == len(self.published)
+
+    @invariant()
+    def lag_is_size_minus_offset(self):
+        if not hasattr(self, "broker"):
+            return
+        for consumer in self.consumers:
+            assert consumer.lag == self.broker.size(TOPIC) - consumer.offset
+
+    @invariant()
+    def stuck_iff_behind_empty_head(self):
+        if not hasattr(self, "broker"):
+            return
+        base = self.broker.base_offset(TOPIC)
+        retained = self.broker.retained(TOPIC)
+        for consumer in self.consumers:
+            assert consumer.stuck == (consumer.offset < base and retained == 0)
+
+
+TestBrokerInvariants = BrokerMachine.TestCase
+TestBrokerInvariants.settings = settings(
+    max_examples=50, stateful_step_count=40, deadline=None
+)

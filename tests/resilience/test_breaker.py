@@ -1,0 +1,144 @@
+"""Tests for the repair-execution circuit breaker."""
+
+import pytest
+
+from repro.resilience import BreakerState, CircuitBreaker, CircuitOpenError
+from repro.telemetry import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_breaker(clock=None, registry=None, **kwargs):
+    return CircuitBreaker(
+        name="test",
+        failure_threshold=kwargs.pop("failure_threshold", 3),
+        recovery_s=kwargs.pop("recovery_s", 10.0),
+        clock=clock or FakeClock(),
+        registry=registry or MetricsRegistry(),
+        **kwargs,
+    )
+
+
+class TestStateMachine:
+    def test_starts_closed(self):
+        breaker = make_breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = make_breaker()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_recovery_window(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(9.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_failure()  # a single probe failure, not a streak
+        assert breaker.state is BreakerState.OPEN
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(11)
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestCall:
+    def test_call_passes_through_when_closed(self):
+        breaker = make_breaker()
+        assert breaker.call(lambda x: x * 2, 21) == 42
+
+    def test_open_breaker_rejects_without_calling(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock, registry=registry)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._boom)
+        calls = {"n": 0}
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.call(lambda: calls.__setitem__("n", 1))
+        assert calls["n"] == 0
+        assert err.value.retry_in_s == pytest.approx(10.0)
+        rejected = registry.get(
+            "circuit_breaker_rejections_total", breaker="test"
+        )
+        assert rejected.value == 1
+
+    def test_call_recovers_through_half_open(self):
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock)
+        for _ in range(3):
+            with pytest.raises(RuntimeError):
+                breaker.call(self._boom)
+        clock.advance(11)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_state_gauge_tracks_transitions(self):
+        registry = MetricsRegistry()
+        clock = FakeClock()
+        breaker = make_breaker(clock=clock, registry=registry)
+        gauge = registry.get("circuit_breaker_state", breaker="test")
+        assert gauge.value == BreakerState.CLOSED.value
+        for _ in range(3):
+            breaker.record_failure()
+        assert gauge.value == BreakerState.OPEN.value
+        clock.advance(11)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert gauge.value == BreakerState.HALF_OPEN.value
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("repair API down")
+
+
+class TestValidation:
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0, registry=MetricsRegistry())
+
+    def test_rejects_negative_recovery(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_s=-1, registry=MetricsRegistry())

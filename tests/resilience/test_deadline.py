@@ -1,0 +1,94 @@
+"""Tests for diagnosis deadlines and the stage watchdog."""
+
+import pytest
+
+from repro.resilience import Deadline, DeadlineExceeded, StageWatchdog
+from repro.telemetry import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestDeadline:
+    def test_tracks_elapsed_and_remaining(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock=clock)
+        clock.advance(2.0)
+        assert deadline.elapsed == pytest.approx(2.0)
+        assert deadline.remaining == pytest.approx(3.0)
+        assert not deadline.expired
+
+    def test_check_raises_once_budget_spent(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("early")  # within budget: no-op
+        clock.advance(1.5)
+        assert deadline.expired
+        with pytest.raises(DeadlineExceeded) as err:
+            deadline.check("analyze")
+        assert err.value.stage == "analyze"
+        assert err.value.budget_s == pytest.approx(1.0)
+        assert err.value.elapsed_s == pytest.approx(1.5)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+
+class TestStageWatchdog:
+    def test_disabled_watchdog_hands_out_no_deadline(self):
+        watchdog = StageWatchdog(None, registry=MetricsRegistry())
+        assert not watchdog.enabled
+        assert watchdog.deadline() is None
+        # stage() with a None deadline never raises, however long it ran.
+        with watchdog.stage(None, "assemble"):
+            pass
+
+    def test_stage_within_budget_passes(self):
+        clock = FakeClock()
+        watchdog = StageWatchdog(10.0, clock=clock, registry=MetricsRegistry())
+        deadline = watchdog.deadline()
+        with watchdog.stage(deadline, "assemble"):
+            clock.advance(3.0)
+        with watchdog.stage(deadline, "analyze"):
+            clock.advance(3.0)
+
+    def test_overrunning_stage_raises_and_counts(self):
+        clock = FakeClock()
+        registry = MetricsRegistry()
+        watchdog = StageWatchdog(
+            5.0, clock=clock, registry=registry, instance="db-00"
+        )
+        deadline = watchdog.deadline()
+        with pytest.raises(DeadlineExceeded) as err:
+            with watchdog.stage(deadline, "analyze"):
+                clock.advance(6.0)
+        assert err.value.stage == "analyze"
+        timeouts = registry.get(
+            "diagnosis_stage_timeouts_total", stage="analyze", instance="db-00"
+        )
+        assert timeouts.value == 1
+
+    def test_budget_spans_stages_cumulatively(self):
+        clock = FakeClock()
+        watchdog = StageWatchdog(5.0, clock=clock, registry=MetricsRegistry())
+        deadline = watchdog.deadline()
+        with watchdog.stage(deadline, "assemble"):
+            clock.advance(4.0)
+        # The second stage inherits the spent budget: 2 more seconds
+        # pushes the *diagnosis* past 5s even though the stage took 2s.
+        with pytest.raises(DeadlineExceeded):
+            with watchdog.stage(deadline, "analyze"):
+                clock.advance(2.0)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            StageWatchdog(0, registry=MetricsRegistry())

@@ -1,0 +1,143 @@
+"""Tests for the degraded-mode policy (gap detection and fallbacks)."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    DegradedModePolicy,
+    DiagnosisConfidence,
+    interpolate_series,
+    window_gap_fraction,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def dense_samples(ts: int, te: int, value: float = 1.0) -> dict:
+    return {t: value for t in range(ts, te)}
+
+
+class TestWindowGapFraction:
+    def test_full_window_has_no_gap(self):
+        assert window_gap_fraction(dense_samples(0, 100), 0, 100) == 0.0
+
+    def test_empty_window_is_all_gap(self):
+        assert window_gap_fraction({}, 0, 100) == 1.0
+
+    def test_half_missing(self):
+        samples = {t: 1.0 for t in range(0, 100, 2)}
+        assert window_gap_fraction(samples, 0, 100) == pytest.approx(0.5)
+
+    def test_samples_outside_window_ignored(self):
+        samples = {t: 1.0 for t in range(200, 300)}
+        assert window_gap_fraction(samples, 0, 100) == 1.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            window_gap_fraction({}, 10, 10)
+
+
+class TestInterpolateSeries:
+    def test_bridges_interior_gaps_linearly(self):
+        samples = {0: 0.0, 10: 10.0}
+        series = interpolate_series(samples, 0, 11)
+        assert series.values[5] == pytest.approx(5.0)
+        assert len(series.values) == 11
+
+    def test_edges_extend_flat(self):
+        samples = {5: 3.0}
+        series = interpolate_series(samples, 0, 10)
+        assert np.all(series.values == 3.0)
+
+    def test_empty_window_raises(self):
+        with pytest.raises(ValueError):
+            interpolate_series({}, 0, 10)
+
+
+class TestDegradedModePolicy:
+    def make_policy(self, **kwargs):
+        return DegradedModePolicy(registry=MetricsRegistry(), **kwargs)
+
+    def test_clean_window_is_full_confidence(self):
+        policy = self.make_policy()
+        assessment = policy.assess({"active_session": dense_samples(0, 100)}, 0, 100)
+        assert assessment.confidence is DiagnosisConfidence.FULL
+        assert not assessment.degraded
+        assert assessment.reasons == ()
+        assert assessment.ts == 0
+
+    def test_gappy_metric_degrades_and_interpolates(self):
+        samples = {t: 1.0 for t in range(0, 100, 3)}  # ~66% missing
+        policy = self.make_policy(max_gap_fraction=0.25)
+        assessment = policy.assess({"active_session": samples}, 0, 100)
+        assert assessment.degraded
+        assert "active_session" in assessment.interpolated
+        assert any(r.startswith("metric_gap:active_session") for r in assessment.reasons)
+
+    def test_missing_leading_context_shrinks_window(self):
+        samples = dense_samples(60, 100)
+        policy = self.make_policy()
+        assessment = policy.assess(
+            {"active_session": samples}, 0, 100, anomaly_start=80
+        )
+        assert assessment.degraded
+        assert assessment.ts == 60
+        assert any(r.startswith("shrunken_window") for r in assessment.reasons)
+
+    def test_shrinking_below_min_fraction_flagged(self):
+        samples = dense_samples(90, 100)
+        policy = self.make_policy(min_window_fraction=0.5)
+        assessment = policy.assess(
+            {"active_session": samples}, 0, 100, anomaly_start=95
+        )
+        assert "window_below_min_fraction" in assessment.reasons
+
+    def test_window_never_shrinks_past_anomaly_start(self):
+        samples = dense_samples(90, 100)
+        policy = self.make_policy()
+        assessment = policy.assess(
+            {"active_session": samples}, 0, 100, anomaly_start=50
+        )
+        assert assessment.ts <= 50
+
+    def test_extra_reasons_force_degraded(self):
+        policy = self.make_policy()
+        assessment = policy.assess(
+            {"active_session": dense_samples(0, 100)}, 0, 100,
+            extra_reasons=("quarantined_logs:7",),
+        )
+        assert assessment.degraded
+        assert "quarantined_logs:7" in assessment.reasons
+
+    def test_degraded_counter_increments(self):
+        registry = MetricsRegistry()
+        policy = DegradedModePolicy(registry=registry, instance="db-00")
+        policy.assess({}, 0, 100, extra_reasons=("quarantined_logs:1",))
+        counter = registry.get("diagnosis_degraded_total", instance="db-00")
+        assert counter.value == 1
+
+    def test_empty_metric_not_marked_for_interpolation(self):
+        policy = self.make_policy()
+        assessment = policy.assess({"cpu_usage": {}}, 0, 100)
+        # Nothing to interpolate from; the engine falls back elsewhere.
+        assert "cpu_usage" not in assessment.interpolated
+
+    def test_build_series_picks_fallback_per_assessment(self):
+        policy = self.make_policy(max_gap_fraction=0.25)
+        gappy = {0: 0.0, 99: 99.0}
+        assessment = policy.assess({"m": gappy}, 0, 100)
+        series = policy.build_series(gappy, assessment, 100, name="m")
+        # Interpolated: values climb linearly instead of holding at 0.
+        assert series.values[50] == pytest.approx(50.0)
+
+    def test_build_series_forward_fills_healthy_metrics(self):
+        policy = self.make_policy()
+        samples = dense_samples(0, 100, value=2.0)
+        assessment = policy.assess({"m": samples}, 0, 100)
+        series = policy.build_series(samples, assessment, 100, name="m")
+        assert np.all(series.values == 2.0)
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            self.make_policy(max_gap_fraction=0.0)
+        with pytest.raises(ValueError):
+            self.make_policy(min_window_fraction=1.5)

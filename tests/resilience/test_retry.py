@@ -1,0 +1,105 @@
+"""Tests for bounded retries with deterministic backoff."""
+
+import random
+
+import pytest
+
+from repro.resilience import RetryExhausted, backoff_delays, retry_call
+from repro.telemetry import MetricsRegistry
+
+
+class TestBackoffDelays:
+    def test_exponential_ramp_with_cap(self):
+        delays = backoff_delays(
+            6, base_delay_s=0.1, max_delay_s=0.5, factor=2.0,
+            rng=random.Random(0),
+        )
+        assert len(delays) == 6
+        # Full jitter keeps each delay within [ceiling/2, ceiling].
+        ceilings = [min(0.5, 0.1 * 2 ** i) for i in range(6)]
+        for delay, ceiling in zip(delays, ceilings):
+            assert ceiling / 2 <= delay <= ceiling
+
+    def test_deterministic_with_seeded_rng(self):
+        a = backoff_delays(4, rng=random.Random(7))
+        b = backoff_delays(4, rng=random.Random(7))
+        assert a == b
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            backoff_delays(-1)
+
+
+class TestRetryCall:
+    def test_first_attempt_success_never_sleeps(self):
+        slept = []
+        result = retry_call(lambda: 42, retries=3, sleep=slept.append)
+        assert result == 42
+        assert slept == []
+
+    def test_retries_then_succeeds(self):
+        registry = MetricsRegistry()
+        slept = []
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise ConnectionError("hiccup")
+            return "ok"
+
+        result = retry_call(
+            flaky, retries=3, rng=random.Random(1), sleep=slept.append,
+            operation="flaky", registry=registry,
+        )
+        assert result == "ok"
+        assert calls["n"] == 3
+        assert len(slept) == 2
+        counter = registry.get("resilience_retries_total", operation="flaky")
+        assert counter.value == 2
+
+    def test_exhaustion_raises_with_last_error(self):
+        registry = MetricsRegistry()
+
+        def always_fails():
+            raise TimeoutError("down")
+
+        with pytest.raises(RetryExhausted) as err:
+            retry_call(
+                always_fails, retries=2, sleep=lambda _: None,
+                operation="doomed", registry=registry,
+            )
+        assert err.value.attempts == 3
+        assert isinstance(err.value.last, TimeoutError)
+        exhausted = registry.get(
+            "resilience_retries_exhausted_total", operation="doomed"
+        )
+        assert exhausted.value == 1
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        calls = {"n": 0}
+
+        def bad():
+            calls["n"] += 1
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry_call(
+                bad, retries=5, retry_on=(ConnectionError,),
+                sleep=lambda _: None,
+            )
+        assert calls["n"] == 1
+
+    def test_zero_retries_is_single_attempt(self):
+        calls = {"n": 0}
+
+        def fails():
+            calls["n"] += 1
+            raise RuntimeError("x")
+
+        with pytest.raises(RetryExhausted):
+            retry_call(fails, retries=0, sleep=lambda _: None)
+        assert calls["n"] == 1
+
+    def test_args_and_kwargs_forwarded(self):
+        assert retry_call(lambda a, b=0: a + b, 2, b=3, retries=1) == 5
