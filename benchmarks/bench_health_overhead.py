@@ -1,0 +1,129 @@
+"""Health-sweep overhead on fleet diagnosis throughput.
+
+The sweeper rides along with the fleet service's housekeeping: every
+``sweep_interval_s`` of stream time it aggregates each instance's
+window, runs the check suite and persists findings.  Like the incident
+recorder and the telemetry layer, the "automated DBA" must stay close
+to free — draining the same fleet workload with scheduled sweeps
+enabled must cost < 5% extra wall clock versus the bare service.
+
+The replay is chunked chronologically (as the lead-time harness does),
+so the sweeper actually fires repeatedly mid-run instead of once at
+drain time — the measured overhead includes every sweep the production
+cadence would run.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+
+from repro.collection import Broker
+from repro.collection.collector import METRIC_TOPIC, QUERY_TOPIC
+from repro.collection.stream import instance_topic
+from repro.fleet import FleetConfig, FleetDiagnosisService, ServiceConfig
+from repro.health import FindingsStore, HealthConfig, HealthSweeper
+
+from benchmarks.conftest import _cached, write_report
+from benchmarks.bench_fleet_throughput import DURATION, _simulate_feeds
+
+CHUNK_S = 60
+SWEEP_INTERVAL_S = 120
+SERVICE_CONFIG = ServiceConfig(delta_start_s=300, detector_window_s=DURATION)
+
+
+def _record_time(value: dict) -> int:
+    return int(value.get("second", value.get("timestamp", 0)))
+
+
+def _chunked_drain(feeds, sweeper: HealthSweeper | None) -> tuple[float, int]:
+    """Replay chronologically in chunks; (seconds, diagnoses)."""
+    broker = Broker()
+    service = FleetDiagnosisService(
+        broker,
+        FleetConfig(service=SERVICE_CONFIG, workers=2, prune_broker=True),
+        sweeper=sweeper,
+    )
+    ordered = {}
+    for feed in feeds:
+        service.register_instance(feed.instance_id)
+        ordered[feed.instance_id] = (
+            sorted(feed.query_records, key=lambda kv: _record_time(kv[1])),
+            sorted(feed.metric_records, key=lambda kv: _record_time(kv[1])),
+        )
+    cursors = {iid: [0, 0] for iid in ordered}
+    t0 = time.perf_counter()
+    try:
+        for chunk_end in range(CHUNK_S, DURATION + CHUNK_S, CHUNK_S):
+            for instance_id, (queries, metrics) in ordered.items():
+                qi, mi = cursors[instance_id]
+                while qi < len(queries) and _record_time(queries[qi][1]) < chunk_end:
+                    key, value = queries[qi]
+                    broker.publish(
+                        instance_topic(QUERY_TOPIC, instance_id), key, value
+                    )
+                    qi += 1
+                while mi < len(metrics) and _record_time(metrics[mi][1]) < chunk_end:
+                    key, value = metrics[mi]
+                    broker.publish(
+                        instance_topic(METRIC_TOPIC, instance_id), key, value
+                    )
+                    mi += 1
+                cursors[instance_id] = [qi, mi]
+            while service.lag > 0:
+                service.step()
+        diagnoses = service.run_until_drained()
+    finally:
+        service.close()
+    return time.perf_counter() - t0, len(diagnoses)
+
+
+def test_health_sweep_overhead():
+    feeds = _cached("fleet_feeds_v1", _simulate_feeds)[:4]
+
+    def sweeper_for(tmp):
+        return HealthSweeper(
+            store=FindingsStore(tmp),
+            config=HealthConfig(
+                sweep_window_s=300, sweep_interval_s=SWEEP_INTERVAL_S
+            ),
+        )
+
+    # Warm both paths once (imports, JIT-ish numpy warmup, detector state).
+    with tempfile.TemporaryDirectory() as tmp:
+        _chunked_drain(feeds, None)
+        _chunked_drain(feeds, sweeper_for(tmp))
+
+    repeats = 3
+    bare = sweeping = float("inf")
+    sweeps = findings = 0
+    for _ in range(repeats):
+        t_off, n_off = _chunked_drain(feeds, None)
+        bare = min(bare, t_off)
+        with tempfile.TemporaryDirectory() as tmp:
+            sweeper = sweeper_for(tmp)
+            t_on, n_on = _chunked_drain(feeds, sweeper)
+            sweeping = min(sweeping, t_on)
+            sweeps = len(sweeper.sweeps)
+            findings = sum(len(s.findings) for s in sweeper.sweeps)
+            assert n_on == n_off, "sweeping must not change diagnosis output"
+
+    overhead = sweeping / bare - 1
+    lines = [
+        "Health-sweep overhead — fleet drain with vs without the sweeper",
+        f"({len(feeds)} instances, {DURATION}s stream, sweep every "
+        f"{SWEEP_INTERVAL_S}s → {sweeps} sweeps, {findings} findings)",
+        "",
+        f"{'mode':<12} {'seconds':>8}",
+        f"{'bare':<12} {bare:>8.2f}",
+        f"{'sweeping':<12} {sweeping:>8.2f}",
+        "",
+        f"overhead: {overhead * 100:+.2f}% (budget: +5%)",
+        f"per sweep: {(sweeping - bare) / max(sweeps, 1) * 1e3:.1f} ms",
+    ]
+    write_report("health_overhead", "\n".join(lines))
+
+    assert sweeps >= 3, "scheduled sweeps must fire during the chunked replay"
+    assert overhead < 0.05, (
+        f"health sweep overhead {overhead * 100:.2f}% exceeds the 5% budget"
+    )

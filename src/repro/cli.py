@@ -19,7 +19,14 @@ Seven subcommands cover the adoption path:
 * ``repro lint``       — static anti-pattern analysis over SQL templates:
   the default scenario catalog (with planted-label precision/recall), a
   saved case corpus (``--cases DIR``) or one statement (``--sql``);
-  exits non-zero when findings reach ``--fail-on`` (the CI contract).
+  exits non-zero when findings reach ``--fail-on`` (the CI contract);
+* ``repro health``     — proactive fleet health sweeps (the automated
+  DBA): ``sweep`` runs the check suite (offline over incident stores,
+  or live over a simulated fleet with ``--fleet N``) and persists the
+  findings, ``findings`` queries the persisted store, ``report``
+  renders the daily fleet report as text or HTML; ``sweep`` shares the
+  ``repro lint`` exit contract (0 clean, 1 findings at ``--fail-on``,
+  2 usage/data error).
 
 ``demo`` and ``evaluate`` additionally accept ``--telemetry`` to print
 the metrics snapshot and the span tree of the run.
@@ -105,6 +112,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--record", type=Path, default=None, metavar="DIR",
                        help="persist every diagnosis to an incident store "
                             "under DIR (query with `repro incidents`)")
+    fleet.add_argument("--health", action="store_true",
+                       help="attach a proactive health sweeper (scheduled "
+                            "sweeps during the run plus a final one); with "
+                            "--record, findings persist under DIR/health")
 
     obs = sub.add_parser(
         "obs", help="exercise the pipeline and dump its self-telemetry"
@@ -202,6 +213,84 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when any finding reaches this severity "
              "(default: warning; 'never' always exits 0)",
     )
+
+    health = sub.add_parser(
+        "health",
+        help="proactive fleet health sweeps: surface problems before "
+             "the anomaly fires",
+    )
+    health_sub = health.add_subparsers(dest="health_command", required=True)
+
+    def _health_dir(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--dir", type=Path, default=Path("health"),
+                       help="findings store directory (default: ./health)")
+
+    h_sweep = health_sub.add_parser(
+        "sweep", help="run the check suite once and persist its findings"
+    )
+    _health_dir(h_sweep)
+    h_sweep.add_argument("--incidents", type=Path, default=Path("incidents"),
+                         metavar="DIR",
+                         help="incident store(s) feeding the incident-backed "
+                              "checks (default: ./incidents)")
+    h_sweep.add_argument("--fleet", type=int, default=0, metavar="N",
+                         help="simulate an N-instance fleet and sweep it "
+                              "live on schedule (default: offline sweep "
+                              "over --incidents)")
+    h_sweep.add_argument("--duration", type=int, default=600,
+                         help="simulated seconds per instance (--fleet mode)")
+    h_sweep.add_argument("--workers", type=int, default=2,
+                         help="diagnosis workers (--fleet mode)")
+    h_sweep.add_argument("--seed", type=int, default=7)
+    h_sweep.add_argument("--json", action="store_true",
+                         help="emit the sweep result as JSON")
+    h_sweep.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "high", "critical", "never"],
+        default="warning",
+        help="exit 1 when any finding reaches this severity "
+             "(default: warning; 'never' always exits 0)",
+    )
+
+    h_findings = health_sub.add_parser(
+        "findings", help="query the persisted findings store"
+    )
+    _health_dir(h_findings)
+    h_findings.add_argument("--instance", default=None,
+                            help="only findings on this instance id "
+                                 "(use '' for fleet-scope findings)")
+    h_findings.add_argument("--check", default=None,
+                            help="only findings from this check id")
+    h_findings.add_argument(
+        "--min-severity",
+        choices=["info", "warning", "high", "critical"],
+        default="info",
+    )
+    h_findings.add_argument("--since", type=int, default=None,
+                            help="only findings detected at/after this "
+                                 "stream time")
+    h_findings.add_argument("--until", type=int, default=None,
+                            help="only findings detected before this "
+                                 "stream time")
+    h_findings.add_argument("--limit", type=int, default=20)
+    h_findings.add_argument("--json", action="store_true",
+                            help="emit matching findings as JSON")
+
+    h_report = health_sub.add_parser(
+        "report", help="render the daily fleet health report"
+    )
+    _health_dir(h_report)
+    h_report.add_argument("--incidents", type=Path, default=None,
+                          metavar="DIR",
+                          help="also roll up this incident store as "
+                               "reactive context")
+    h_report.add_argument("--format", choices=["text", "html"],
+                          default="text")
+    h_report.add_argument("--out", type=Path, default=None,
+                          help="write the report here (default: stdout)")
+    h_report.add_argument("--incident-report", default=None, metavar="HREF",
+                          help="link the HTML report to this reactive "
+                               "incident report")
 
     chaos = sub.add_parser(
         "chaos",
@@ -371,12 +460,16 @@ def _run_fleet(
     seed: int,
     prune: bool,
     record_dir: "Path | None" = None,
+    sweeper=None,
 ):
     """Simulate a fleet onto one broker and drain it; returns (service, truths).
 
     The first ``anomalous`` instances get an injected row-lock anomaly
     at two-thirds of the run; the rest stay healthy (the cross-instance
-    isolation check of the demo).
+    isolation check of the demo).  ``sweeper`` optionally attaches a
+    :class:`~repro.health.HealthSweeper` whose scheduled sweeps run
+    during the drain; when incidents are recorded the sweeper's
+    incident-backed checks read the same store.
     """
     import numpy as np
 
@@ -420,7 +513,9 @@ def _run_fleet(
         from repro.incidents import IncidentRecorder, IncidentStore
 
         recorder = IncidentRecorder(IncidentStore(record_dir))
-    service = FleetDiagnosisService(broker, config, recorder=recorder)
+    if sweeper is not None and recorder is not None and sweeper.incident_store is None:
+        sweeper.incident_store = recorder.store
+    service = FleetDiagnosisService(broker, config, recorder=recorder, sweeper=sweeper)
     for instance_id, population in populations.items():
         engine = service.register_instance(instance_id)
         for spec in population.specs.values():
@@ -440,10 +535,19 @@ def cmd_fleet_demo(args) -> int:
         f"simulating {args.instances} instances ({anomalous} anomalous) "
         f"for {args.duration}s, diagnosing with {args.workers} workers ..."
     )
+    record_dir = getattr(args, "record", None)
+    sweeper = None
+    if getattr(args, "health", False):
+        from repro.health import FindingsStore, HealthSweeper
+
+        findings_store = None
+        if record_dir is not None:
+            findings_store = FindingsStore(Path(record_dir) / "health")
+        sweeper = HealthSweeper(store=findings_store)
     service, truths = _run_fleet(
         args.instances, args.workers, anomalous,
         args.duration, args.seed, prune=not args.no_prune,
-        record_dir=getattr(args, "record", None),
+        record_dir=record_dir, sweeper=sweeper,
     )
     print(f"{'instance':<10} {'injected':>8} {'diagnoses':>9}  top R-SQL  verdict")
     misattributed = 0
@@ -474,7 +578,6 @@ def cmd_fleet_demo(args) -> int:
         f"\nbroker: {published:,} messages published, {retained:,} retained "
         f"({'pruning on' if not args.no_prune else 'pruning off'})"
     )
-    record_dir = getattr(args, "record", None)
     if record_dir is not None and service.recorder is not None:
         store = service.recorder.store
         print(
@@ -482,6 +585,31 @@ def cmd_fleet_demo(args) -> int:
             f"{store.segment_count} segment(s) under {record_dir} "
             f"(inspect with `repro incidents list --dir {record_dir}`)"
         )
+    if sweeper is not None:
+        # A final sweep gives the end-of-run snapshot on top of whatever
+        # the schedule fired during the drain.
+        final = sweeper.sweep_fleet(service)
+        total = sum(len(s.findings) for s in sweeper.sweeps)
+        worst = final.worst
+        print(
+            f"health: {len(sweeper.sweeps)} sweep(s), {total} finding(s); "
+            f"final sweep worst severity: "
+            f"{worst.label if worst is not None else 'none'}"
+        )
+        for finding in sorted(
+            final.findings, key=lambda f: -int(f.severity)
+        )[:8]:
+            scope = finding.instance_id or "(fleet)"
+            print(
+                f"  [{finding.severity.label.upper():<8}] {scope:<10} "
+                f"{finding.check:<24} {finding.message}"
+            )
+        if sweeper.store is not None:
+            print(
+                f"health findings persisted under {sweeper.store.root} "
+                f"(inspect with `repro health findings --dir "
+                f"{sweeper.store.root}`)"
+            )
     if getattr(args, "telemetry", False):
         _print_telemetry()
     if misattributed or missed or spurious:
@@ -810,6 +938,176 @@ def cmd_lint(args) -> int:
     return 1 if lint_failed(report, args.fail_on) else 0
 
 
+def _finding_lines(findings) -> list[str]:
+    """Console lines for a batch of health findings."""
+    lines = []
+    for f in findings:
+        scope = f.instance_id or "(fleet)"
+        subject = f.sql_id or f.metric or "-"
+        lines.append(
+            f"t={f.detected_at:<7} [{f.severity.label.upper():<8}] "
+            f"{f.check:<24} {scope:<12} {subject:<14} {f.message}"
+        )
+    return lines
+
+
+def _health_failed(findings, fail_on: str) -> bool:
+    """The ``--fail-on`` exit contract shared with ``repro lint``."""
+    from repro.sqlanalysis import Severity
+
+    if fail_on == "never":
+        return False
+    threshold = Severity.from_label(fail_on)
+    return any(f.severity >= threshold for f in findings)
+
+
+def _health_sweep(args) -> int:
+    import json
+
+    from repro.health import FindingsStore, HealthSweeper
+
+    store = FindingsStore(args.dir)
+    if args.fleet > 0:
+        anomalous = max(1, args.fleet // 2)
+        sweeper = HealthSweeper(store=store)
+        print(
+            f"simulating {args.fleet} instances ({anomalous} anomalous) "
+            f"for {args.duration}s, sweeping on schedule ...",
+            flush=True,
+        )
+        service, _ = _run_fleet(
+            args.fleet, args.workers, anomalous, args.duration,
+            args.seed, prune=True, sweeper=sweeper,
+        )
+        # Scheduled sweeps already ran during the replay; one more final
+        # sweep reflects the fleet's state at shutdown, and only its
+        # findings drive the display and the exit code.
+        result = sweeper.sweep_fleet(service)
+        findings = result.findings
+    else:
+        from repro.incidents import discover_stores
+
+        if not discover_stores(args.incidents):
+            print(
+                f"error: no incident store under {args.incidents} "
+                "(record one with `repro fleet-demo --record DIR`, or "
+                "sweep a simulated fleet with `--fleet N`)",
+                file=sys.stderr,
+            )
+            return 2
+        sweeper = HealthSweeper(store=store)
+        result = sweeper.sweep_stores(args.incidents)
+        findings = result.findings
+    if args.json:
+        print(json.dumps(
+            {
+                "sweep_id": result.sweep_id,
+                "checks_run": result.checks_run,
+                "check_failures": result.check_failures,
+                "findings": [f.to_dict() for f in findings],
+            },
+            indent=2,
+        ))
+    else:
+        print(
+            f"sweep {result.sweep_id}: {len(findings)} finding(s), "
+            f"{result.checks_run} check run(s), "
+            f"{result.check_failures} check failure(s)"
+        )
+        for line in _finding_lines(findings):
+            print(line)
+        print(
+            f"{store.record_count} finding(s) persisted under {store.root}"
+        )
+    return 1 if _health_failed(findings, args.fail_on) else 0
+
+
+def _open_findings_stores(path: Path):
+    """Findings stores under ``path``; [] for empty, None + message for
+    a directory that is not a store at all."""
+    from repro.health import FindingsStore, discover_findings_stores
+
+    roots = discover_findings_stores(path)
+    if roots:
+        return [FindingsStore(root) for root in roots]
+    if Path(path).is_dir():
+        return []  # an empty store: a clean sweep wrote no segment yet
+    print(
+        f"error: no findings store under {path} "
+        "(run `repro health sweep` first)",
+        file=sys.stderr,
+    )
+    return None
+
+
+def cmd_health(args) -> int:
+    """Dispatch the ``repro health`` subcommands."""
+    if args.health_command == "sweep":
+        return _health_sweep(args)
+
+    stores = _open_findings_stores(args.dir)
+    if stores is None:
+        return 2
+
+    if args.health_command == "findings":
+        import json
+
+        from repro.sqlanalysis import Severity
+
+        matches = []
+        for store in stores:
+            matches.extend(store.query(
+                instance=args.instance,
+                check=args.check,
+                min_severity=Severity.from_label(args.min_severity),
+                since=args.since,
+                until=args.until,
+                limit=args.limit,
+            ))
+        matches.sort(key=lambda f: -f.detected_at)
+        matches = matches[: args.limit]
+        if args.json:
+            print(json.dumps([f.to_dict() for f in matches], indent=2))
+            return 0
+        if not matches:
+            print("no findings match")
+            return 0
+        for line in _finding_lines(matches):
+            print(line)
+        total = sum(s.record_count for s in stores)
+        print(f"{len(matches)} finding(s); store holds {total}")
+        return 0
+
+    # report
+    from repro.health import (
+        build_health_report,
+        render_health_report_html,
+        render_health_report_text,
+    )
+
+    fleet = None
+    if args.incidents is not None:
+        from repro.incidents import discover_stores, load_health
+
+        if discover_stores(args.incidents):
+            fleet = load_health(args.incidents)
+    findings = [f for store in stores for f in store.findings()]
+    report = build_health_report(findings, fleet=fleet)
+    if args.format == "html":
+        text = render_health_report_html(
+            report, incident_report_href=args.incident_report
+        )
+    else:
+        text = render_health_report_text(report)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_chaos(args) -> int:
     from repro.chaos import FAULT_KINDS, FaultPlan
     from repro.evaluation.chaos import ChaosHarnessConfig, run_chaos_suite
@@ -872,6 +1170,7 @@ _COMMANDS = {
     "obs": cmd_obs,
     "incidents": cmd_incidents,
     "lint": cmd_lint,
+    "health": cmd_health,
     "chaos": cmd_chaos,
 }
 

@@ -117,6 +117,17 @@ def _store_from_arrays(
     count = np.bincount(idx, minlength=n).astype(np.float64)
     total_tres = np.bincount(idx, weights=resp, minlength=n)
     total_rows = np.bincount(idx, weights=rows, minlength=n)
+    _store_from_sums(store, sql_id, count, total_tres, total_rows)
+
+
+def _store_from_sums(
+    store: TemplateMetricStore,
+    sql_id: str,
+    count: np.ndarray,
+    total_tres: np.ndarray,
+    total_rows: np.ndarray,
+) -> None:
+    """Materialise one template's per-second sums as metric series."""
     with np.errstate(invalid="ignore", divide="ignore"):
         avg = np.where(count > 0, total_tres / np.maximum(count, 1.0), 0.0)
     store.put(sql_id, "#execution", TimeSeries(count, store.start, store.interval, "#execution"))
@@ -150,7 +161,16 @@ def aggregate_logstore(logstore, start: int, end: int) -> TemplateMetricStore:
     if end <= start:
         raise ValueError("end must exceed start")
     store = TemplateMetricStore(start=start, end=end, interval=1)
+    # LogStore keeps per-second roll-ups; read those instead of
+    # re-touching every raw arrival.  Duck-typed stores without the
+    # roll-up (e.g. replay shims) fall back to the raw-window path.
+    fast = getattr(logstore, "second_aggregates", None)
     for sql_id in logstore.sql_ids:
+        if fast is not None:
+            count, total_tres, total_rows = fast(sql_id, start, end)
+            if count.any():
+                _store_from_sums(store, sql_id, count, total_tres, total_rows)
+            continue
         tq = logstore.queries_in_window(sql_id, start, end)
         if len(tq) == 0:
             continue

@@ -13,6 +13,8 @@ shared accounting (total resident bytes, one expiry sweep).
 
 from __future__ import annotations
 
+from bisect import bisect_left
+
 import numpy as np
 
 from repro.dbsim.query import QueryLog, SecondBatch, TemplateQueries
@@ -22,6 +24,57 @@ __all__ = ["LogStore", "PartitionedLogStore"]
 
 #: Default retention, in seconds (the paper's three days).
 DEFAULT_RETENTION_S = 3 * 24 * 3600
+
+
+class _SecondAggregate:
+    """Per-second roll-up of one template, appended batch-by-batch.
+
+    Keeps (second, #execution, total response ms, total examined rows)
+    tuples in columnar lists so window aggregation reads pre-summed
+    scalars instead of re-touching every raw arrival — the scheduled
+    health sweeps aggregate the same window every interval, and raw
+    concatenation made each sweep O(retention) instead of O(window).
+    """
+
+    __slots__ = ("_sec", "_count", "_tres", "_rows", "_n")
+
+    def __init__(self) -> None:
+        self._n = 0
+        self._sec = np.empty(16, dtype=np.int64)
+        self._count = np.empty(16, dtype=np.float64)
+        self._tres = np.empty(16, dtype=np.float64)
+        self._rows = np.empty(16, dtype=np.float64)
+
+    def _grow(self, extra: int) -> None:
+        need = self._n + extra
+        if need <= len(self._sec):
+            return
+        cap = max(need, 2 * len(self._sec))
+        for name in self.__slots__[:4]:
+            old = getattr(self, name)
+            new = np.empty(cap, dtype=old.dtype)
+            new[: self._n] = old[: self._n]
+            setattr(self, name, new)
+
+    def add_batch(self, batch: SecondBatch) -> None:
+        seconds = batch.arrive_ms // 1000
+        base = int(seconds[0])
+        idx = seconds - base
+        counts = np.bincount(idx)
+        tres = np.bincount(idx, weights=batch.response_ms)
+        rows = np.bincount(idx, weights=batch.examined_rows)
+        nz = np.nonzero(counts)[0]
+        self._grow(len(nz))
+        dest = slice(self._n, self._n + len(nz))
+        self._sec[dest] = base + nz
+        self._count[dest] = counts[nz]
+        self._tres[dest] = tres[nz]
+        self._rows[dest] = rows[nz]
+        self._n += len(nz)
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        n = self._n
+        return self._sec[:n], self._count[:n], self._tres[:n], self._rows[:n]
 
 
 class LogStore:
@@ -38,6 +91,20 @@ class LogStore:
         self.retention_s = int(retention_s)
         self.instance_id = instance_id
         self._batches: dict[str, list[SecondBatch]] = {}
+        #: Per-template batch time index: first/last arrival of each
+        #: batch, parallel to ``_batches[sql_id]``.  Streamed batches
+        #: arrive in time order, so window reads bisect to the touched
+        #: slice instead of masking the whole retention horizon — the
+        #: difference between O(window) and O(retention) per read, which
+        #: the scheduled health sweeps hit every interval.
+        self._starts: dict[str, list[int]] = {}
+        self._ends: dict[str, list[int]] = {}
+        #: Whether a template's batches are chronological and
+        #: non-overlapping (the streaming invariant); out-of-order
+        #: ingestion clears it and reads fall back to the full scan.
+        self._chronological: dict[str, bool] = {}
+        #: Per-template per-second roll-ups feeding window aggregation.
+        self._aggregates: dict[str, _SecondAggregate] = {}
         registry = registry or get_registry()
         labels = {"instance": instance_id} if instance_id else {}
         self._m_batches = registry.counter(
@@ -80,6 +147,27 @@ class LogStore:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
+    def _index_batch(self, sql_id: str, batch: SecondBatch) -> None:
+        start, end = int(batch.arrive_ms[0]), int(batch.arrive_ms[-1])
+        ends = self._ends.setdefault(sql_id, [])
+        if ends and start < ends[-1]:
+            self._chronological[sql_id] = False
+        self._starts.setdefault(sql_id, []).append(start)
+        ends.append(end)
+        self._aggregates.setdefault(sql_id, _SecondAggregate()).add_batch(batch)
+
+    def _reindex(self, sql_id: str) -> None:
+        """Rebuild a template's batch index from its current batches."""
+        self._drop_index(sql_id)
+        for batch in self._batches.get(sql_id, []):
+            self._index_batch(sql_id, batch)
+
+    def _drop_index(self, sql_id: str) -> None:
+        self._starts.pop(sql_id, None)
+        self._ends.pop(sql_id, None)
+        self._chronological.pop(sql_id, None)
+        self._aggregates.pop(sql_id, None)
+
     def ingest_query_log(self, query_log: QueryLog) -> int:
         """Absorb a whole simulated query log; returns queries stored."""
         stored = 0
@@ -93,6 +181,7 @@ class LogStore:
                 examined_rows=tq.examined_rows,
             )
             self._batches.setdefault(tq.sql_id, []).append(batch)
+            self._index_batch(tq.sql_id, batch)
             self._m_batches.inc()
             self._m_queries.inc(len(batch))
             self._account(batch, +1)
@@ -103,6 +192,7 @@ class LogStore:
         if len(batch) == 0:
             return
         self._batches.setdefault(batch.sql_id, []).append(batch)
+        self._index_batch(batch.sql_id, batch)
         self._m_batches.inc()
         self._m_queries.inc(len(batch))
         self._account(batch, +1)
@@ -126,8 +216,22 @@ class LogStore:
         """Queries of a template arriving within [t0, t1) (seconds)."""
         batches = self._batches.get(sql_id, [])
         lo_ms, hi_ms = t0 * 1000, t1 * 1000
+        indexed = self._chronological.get(sql_id, True)
+        if indexed and batches:
+            starts, ends = self._starts[sql_id], self._ends[sql_id]
+            # Only batches overlapping the window; interior batches (all
+            # arrivals inside it) skip the mask entirely.
+            span = range(bisect_left(ends, lo_ms), bisect_left(starts, hi_ms))
+        else:
+            span = range(len(batches))
         arrives, resps, rows = [], [], []
-        for batch in batches:
+        for i in span:
+            batch = batches[i]
+            if indexed and self._starts[sql_id][i] >= lo_ms and self._ends[sql_id][i] < hi_ms:
+                arrives.append(batch.arrive_ms)
+                resps.append(batch.response_ms)
+                rows.append(batch.examined_rows)
+                continue
             mask = (batch.arrive_ms >= lo_ms) & (batch.arrive_ms < hi_ms)
             if mask.any():
                 arrives.append(batch.arrive_ms[mask])
@@ -143,6 +247,36 @@ class LogStore:
         order = np.argsort(arrive, kind="stable")
         return TemplateQueries(sql_id, arrive[order], resp[order], examined[order])
 
+    def second_aggregates(
+        self, sql_id: str, t0: int, t1: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-second (#execution, total_tres, total_examined_rows) over [t0, t1).
+
+        Reads the pre-summed per-second roll-ups instead of the raw
+        arrivals, so a window aggregation touches one scalar per active
+        second rather than every stored query — the path the scheduled
+        health sweeps and the case-assembly aggregation take.
+        """
+        n = t1 - t0
+        if n <= 0:
+            raise ValueError("t1 must exceed t0")
+        agg = self._aggregates.get(sql_id)
+        if agg is None:
+            zeros = np.zeros(n, dtype=np.float64)
+            return zeros, zeros.copy(), zeros.copy()
+        sec, count, tres, rows = agg.arrays()
+        if self._chronological.get(sql_id, True):
+            lo = int(np.searchsorted(sec, t0, side="left"))
+            hi = int(np.searchsorted(sec, t1, side="left"))
+            sel = slice(lo, hi)
+        else:
+            sel = (sec >= t0) & (sec < t1)
+        idx = sec[sel] - t0
+        out_count = np.bincount(idx, weights=count[sel], minlength=n)
+        out_tres = np.bincount(idx, weights=tres[sel], minlength=n)
+        out_rows = np.bincount(idx, weights=rows[sel], minlength=n)
+        return out_count, out_tres, out_rows
+
     # ------------------------------------------------------------------
     # Retention
     # ------------------------------------------------------------------
@@ -152,6 +286,7 @@ class LogStore:
         dropped = 0
         for sql_id in list(self._batches):
             kept: list[SecondBatch] = []
+            changed = False
             for batch in self._batches[sql_id]:
                 mask = batch.arrive_ms >= cutoff_ms
                 n_keep = int(mask.sum())
@@ -159,6 +294,7 @@ class LogStore:
                 if n_keep == len(batch):
                     kept.append(batch)
                     continue
+                changed = True
                 self._account(batch, -1)
                 if n_keep > 0:
                     trimmed = SecondBatch(
@@ -171,8 +307,11 @@ class LogStore:
                     self._account(trimmed, +1)
             if kept:
                 self._batches[sql_id] = kept
+                if changed:
+                    self._reindex(sql_id)
             else:
                 del self._batches[sql_id]
+                self._drop_index(sql_id)
         if dropped:
             self._m_evicted.inc(dropped)
         self._g_templates.set(len(self._batches))

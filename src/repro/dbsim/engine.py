@@ -49,7 +49,10 @@ class RateProvider(Protocol):
     #   counts_at(t: int) -> dict[str, int]
     # to request an *exact* number of arrivals for selected templates in
     # second ``t`` (e.g. a single one-shot DDL).  The engine samples
-    # Poisson arrivals for everything else.
+    # Poisson arrivals for everything else.  A second optional hook,
+    #   rows_at(t: int) -> dict[str, float]
+    # overrides selected templates' ``examined_rows_mean`` for second
+    # ``t`` — time-varying scan cost (data growth, plan regressions).
 
 
 @dataclass
@@ -133,6 +136,8 @@ class SimulationEngine:
         rates = dict(self.provider.rates_at(t))
         counts_fn = getattr(self.provider, "counts_at", None)
         exact_counts: dict[str, int] = dict(counts_fn(t)) if counts_fn else {}
+        rows_fn = getattr(self.provider, "rows_at", None)
+        rows_means: dict[str, float] = dict(rows_fn(t)) if rows_fn else {}
         arrivals: dict[str, np.ndarray] = {}
         rows: dict[str, np.ndarray] = {}
         specs: dict[str, TemplateSpec] = {}
@@ -165,10 +170,12 @@ class SimulationEngine:
             specs[sql_id] = spec
             arrive = t_ms + np.sort(self.rng.uniform(0.0, 1000.0, size=n))
             arrivals[sql_id] = arrive
-            # Examined rows: lognormal around the spec mean.
-            if spec.examined_rows_mean > 0:
+            # Examined rows: lognormal around the (possibly time-varying)
+            # mean.
+            rows_mean = rows_means.get(sql_id, spec.examined_rows_mean)
+            if rows_mean > 0:
                 sigma = 0.35
-                mu = np.log(spec.examined_rows_mean) - sigma**2 / 2.0
+                mu = np.log(rows_mean) - sigma**2 / 2.0
                 examined = np.exp(self.rng.normal(mu, sigma, size=n))
             else:
                 examined = np.zeros(n)

@@ -34,6 +34,12 @@ from repro.evaluation.chaos import (
     run_fault_class,
     simulate_fleet,
 )
+from repro.evaluation.leadtime import (
+    LeadTimeConfig,
+    LeadTimeReport,
+    render_leadtime_text,
+    run_leadtime,
+)
 
 __all__ = [
     "hits_at_k",
@@ -58,4 +64,8 @@ __all__ = [
     "run_chaos_suite",
     "run_fault_class",
     "simulate_fleet",
+    "LeadTimeConfig",
+    "LeadTimeReport",
+    "render_leadtime_text",
+    "run_leadtime",
 ]

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (incidents → core)
+    from repro.health.sweeper import HealthSweeper
     from repro.incidents.recorder import IncidentRecorder
 
 from repro.collection.logstore import DEFAULT_RETENTION_S, PartitionedLogStore
@@ -83,6 +84,7 @@ class FleetDiagnosisService:
         notify: Callable[[Diagnosis], None] | None = None,
         recorder: "IncidentRecorder | None" = None,
         fault_hook: Callable[[str], None] | None = None,
+        sweeper: "HealthSweeper | None" = None,
     ) -> None:
         self.config = config or FleetConfig()
         self.broker = broker
@@ -95,6 +97,10 @@ class FleetDiagnosisService:
         #: Shared incident flight recorder handed to every engine; its
         #: store serialises appends, so fleet workers may share one.
         self.recorder = recorder
+        #: Optional proactive health sweeper; its scheduled sweeps run
+        #: in step() housekeeping (after the worker pool has joined, so
+        #: they never race engine state).
+        self.sweeper = sweeper
         self.instances = InstanceRegistry()
         self.scheduler = DiagnosisScheduler(self.config.workers)
         self.logstore = PartitionedLogStore(
@@ -213,6 +219,8 @@ class FleetDiagnosisService:
         ]
         if stream_times:
             self.selfmon.sample(max(stream_times))
+            if self.sweeper is not None:
+                self.sweeper.maybe_sweep(self, now=max(stream_times))
         return produced
 
     def _step_shard(self, instance_ids: list[str]) -> list[Diagnosis]:

@@ -1,0 +1,205 @@
+"""The daily fleet health report (text + HTML).
+
+Rolls a batch of health findings — typically everything a
+:class:`~repro.health.store.FindingsStore` holds for the last day — up
+into the report a DBA would read with their coffee: worst severity
+first, findings grouped per instance, fleet-scope findings on top, and
+a check-coverage footer.  The HTML variant lives beside the incident
+flight recorder's report and links back to it, so "what is about to go
+wrong" and "what already went wrong" are one click apart.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.report import html_escape, html_table, render_html_document
+from repro.health.finding import HealthFinding
+from repro.incidents.health import FleetHealth
+from repro.sqlanalysis import Severity
+
+__all__ = [
+    "HealthReport",
+    "build_health_report",
+    "render_health_report_text",
+    "render_health_report_html",
+]
+
+
+@dataclass
+class HealthReport:
+    """Aggregated view over one batch of health findings."""
+
+    findings: list[HealthFinding] = field(default_factory=list)
+    #: Optional reactive rollup rendered alongside the proactive view.
+    fleet: FleetHealth | None = None
+
+    @property
+    def worst(self) -> Severity | None:
+        return max((f.severity for f in self.findings), default=None)
+
+    @property
+    def by_check(self) -> dict[str, int]:
+        return dict(Counter(f.check for f in self.findings).most_common())
+
+    @property
+    def by_instance(self) -> dict[str, list[HealthFinding]]:
+        """Findings per instance (fleet scope under ``""``), worst first."""
+        grouped: dict[str, list[HealthFinding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.instance_id, []).append(finding)
+        for findings in grouped.values():
+            findings.sort(key=lambda f: (-int(f.severity), f.check, f.sql_id))
+        return dict(sorted(grouped.items()))
+
+    @property
+    def sweep_count(self) -> int:
+        return len({f.sweep_id for f in self.findings if f.sweep_id})
+
+
+def build_health_report(
+    findings, fleet: FleetHealth | None = None
+) -> HealthReport:
+    """Assemble the report model from findings (any iterable).
+
+    Consecutive sweeps re-emit a finding for as long as its condition
+    persists; the report describes the fleet's *state*, so each
+    (instance, check, subject) keeps only its most recent finding.
+    """
+    latest: dict[tuple[str, str, str], HealthFinding] = {}
+    for finding in findings:
+        key = (finding.instance_id, finding.check, _subject(finding))
+        held = latest.get(key)
+        if held is None or finding.detected_at >= held.detected_at:
+            latest[key] = finding
+    return HealthReport(findings=list(latest.values()), fleet=fleet)
+
+
+def _subject(finding: HealthFinding) -> str:
+    return finding.sql_id or finding.metric or "-"
+
+
+def render_health_report_text(report: HealthReport) -> str:
+    """The daily report as console text (``repro health report``)."""
+    worst = report.worst
+    lines = [
+        "=" * 64,
+        "Fleet health report (proactive sweeps)",
+        "=" * 64,
+        f"findings : {len(report.findings)} across "
+        f"{report.sweep_count} sweep(s); worst severity: "
+        f"{worst.label if worst is not None else 'none'}",
+        "",
+    ]
+    grouped = report.by_instance
+    if not grouped:
+        lines.append("No findings — the fleet looks healthy.")
+    for instance_id, findings in grouped.items():
+        scope = instance_id or "(fleet)"
+        lines.append(f"{scope}:")
+        for finding in findings:
+            lines.append(
+                f"  [{finding.severity.label.upper():<8}] "
+                f"{finding.check:<24} {_subject(finding):<14} "
+                f"{finding.message}"
+            )
+            if finding.suggestion:
+                lines.append(f"{'':14}-> {finding.suggestion}")
+        lines.append("")
+    if report.by_check:
+        lines.append("Findings by check:")
+        for check, count in report.by_check.items():
+            lines.append(f"  {check:<26} {count:>5}")
+        lines.append("")
+    if report.fleet is not None:
+        fleet = report.fleet
+        lines += [
+            "Reactive context (incident store):",
+            f"  incidents recorded : {fleet.total_incidents}",
+            f"  repairs executed   : {fleet.repairs_executed}/"
+            f"{fleet.repairs_planned} planned",
+            "",
+        ]
+    lines.append("=" * 64)
+    return "\n".join(lines)
+
+
+def render_health_report_html(
+    report: HealthReport, incident_report_href: str | None = None
+) -> str:
+    """The daily report as a self-contained HTML document.
+
+    ``incident_report_href`` adds a link to the reactive incident HTML
+    report (the satellite tying the two views together).
+    """
+    sections: list[tuple[str, str]] = []
+    worst = report.worst
+    summary_rows = [
+        ("findings", len(report.findings)),
+        ("sweeps", report.sweep_count),
+        ("worst severity", worst.label if worst is not None else "none"),
+        ("instances with findings",
+         len([i for i in report.by_instance if i])),
+    ]
+    summary = html_table(["", ""], summary_rows)
+    if incident_report_href:
+        summary += (
+            f'<p class="kv"><a href="{html_escape(incident_report_href)}">'
+            "Reactive incident report</a></p>"
+        )
+    sections.append(("Summary", summary))
+    for instance_id, findings in report.by_instance.items():
+        heading = instance_id or "Fleet-scope findings"
+        rows = [
+            (
+                finding.severity.label,
+                finding.check,
+                _subject(finding),
+                finding.message,
+                finding.suggestion,
+            )
+            for finding in findings
+        ]
+        sections.append(
+            (
+                heading,
+                html_table(
+                    ["severity", "check", "subject", "finding", "suggestion"],
+                    rows,
+                ),
+            )
+        )
+    if report.by_check:
+        sections.append(
+            (
+                "Findings by check",
+                html_table(
+                    ["check", "findings"], list(report.by_check.items())
+                ),
+            )
+        )
+    if report.fleet is not None:
+        fleet = report.fleet
+        sections.append(
+            (
+                "Reactive context",
+                html_table(
+                    ["", ""],
+                    [
+                        ("incidents recorded", fleet.total_incidents),
+                        ("repairs planned", fleet.repairs_planned),
+                        ("repairs executed", fleet.repairs_executed),
+                        (
+                            "false-trigger candidates",
+                            len(fleet.false_triggers),
+                        ),
+                    ],
+                ),
+            )
+        )
+    if not report.findings:
+        sections.append(
+            ("", "<p>No findings — the fleet looks healthy.</p>")
+        )
+    return render_html_document("Fleet health report", sections)

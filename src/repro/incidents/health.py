@@ -52,6 +52,11 @@ class FleetHealth:
     total_incidents: int = 0
     stores: int = 0
     per_instance: dict[str, int] = field(default_factory=dict)
+    #: Incidents diagnosed on degraded evidence, per instance.
+    degraded_per_instance: dict[str, int] = field(default_factory=dict)
+    #: Messages quarantined/dead-lettered before diagnoses, per instance
+    #: (summed from the records' ``quarantined_logs:N`` reasons).
+    quarantined_per_instance: dict[str, int] = field(default_factory=dict)
     #: (sql_id, occurrences as top-ranked R-SQL), most recurrent first.
     top_rsql_templates: list[tuple[str, int]] = field(default_factory=list)
     verdicts: dict[str, int] = field(default_factory=dict)
@@ -66,11 +71,23 @@ class FleetHealth:
             return 0.0
         return self.repairs_executed / self.repairs_planned
 
+    @property
+    def degraded_incidents(self) -> int:
+        return sum(self.degraded_per_instance.values())
+
+    @property
+    def quarantined_messages(self) -> int:
+        return sum(self.quarantined_per_instance.values())
+
     def to_dict(self) -> dict:
         return {
             "total_incidents": self.total_incidents,
             "stores": self.stores,
             "per_instance": dict(self.per_instance),
+            "degraded_per_instance": dict(self.degraded_per_instance),
+            "degraded_incidents": self.degraded_incidents,
+            "quarantined_per_instance": dict(self.quarantined_per_instance),
+            "quarantined_messages": self.quarantined_messages,
             "top_rsql_templates": [list(t) for t in self.top_rsql_templates],
             "verdicts": dict(self.verdicts),
             "repairs_planned": self.repairs_planned,
@@ -93,10 +110,17 @@ def compute_health(
     """Roll up index entries into a :class:`FleetHealth`."""
     health = FleetHealth(total_incidents=len(metas), stores=stores)
     per_instance: Counter[str] = Counter()
+    degraded: Counter[str] = Counter()
+    quarantined: Counter[str] = Counter()
     templates: Counter[str] = Counter()
     verdicts: Counter[str] = Counter()
     for meta in metas:
-        per_instance[meta.instance_id or "(single-instance)"] += 1
+        instance = meta.instance_id or "(single-instance)"
+        per_instance[instance] += 1
+        if meta.confidence == "degraded":
+            degraded[instance] += 1
+        if meta.quarantined_messages:
+            quarantined[instance] += meta.quarantined_messages
         verdicts[meta.verdict or "untyped"] += 1
         if meta.top_r_sql is not None:
             templates[meta.top_r_sql] += 1
@@ -121,6 +145,8 @@ def compute_health(
                 )
             )
     health.per_instance = dict(sorted(per_instance.items()))
+    health.degraded_per_instance = dict(sorted(degraded.items()))
+    health.quarantined_per_instance = dict(sorted(quarantined.items()))
     health.top_rsql_templates = templates.most_common(top_k)
     health.verdicts = dict(sorted(verdicts.items()))
     return health
@@ -158,6 +184,26 @@ def publish_health(health: FleetHealth, registry: MetricsRegistry) -> None:
         "fleet_false_trigger_candidates",
         help="Incidents flagged as potential detector false triggers.",
     ).set(len(health.false_triggers))
+    for instance, count in health.degraded_per_instance.items():
+        registry.gauge(
+            "fleet_degraded_incidents",
+            help="Incidents diagnosed with degraded confidence, per instance.",
+            instance=instance,
+        ).set(count)
+    registry.gauge(
+        "fleet_degraded_incidents_total",
+        help="Degraded-confidence incidents fleet-wide.",
+    ).set(health.degraded_incidents)
+    for instance, count in health.quarantined_per_instance.items():
+        registry.gauge(
+            "fleet_quarantined_messages",
+            help="Quarantined/dead-lettered collector messages, per instance.",
+            instance=instance,
+        ).set(count)
+    registry.gauge(
+        "fleet_quarantined_messages_total",
+        help="Quarantined/dead-lettered collector messages fleet-wide.",
+    ).set(health.quarantined_messages)
 
 
 def render_health_text(health: FleetHealth) -> str:
@@ -172,7 +218,15 @@ def render_health_text(health: FleetHealth) -> str:
     ]
     if health.per_instance:
         for instance, count in health.per_instance.items():
-            lines.append(f"  {instance:<20} {count:>5}")
+            extras = []
+            degraded = health.degraded_per_instance.get(instance, 0)
+            quarantined = health.quarantined_per_instance.get(instance, 0)
+            if degraded:
+                extras.append(f"{degraded} degraded")
+            if quarantined:
+                extras.append(f"{quarantined} quarantined msg(s)")
+            suffix = f"  ({', '.join(extras)})" if extras else ""
+            lines.append(f"  {instance:<20} {count:>5}{suffix}")
     else:
         lines.append("  (no incidents)")
     lines += ["", "Top recurring R-SQL templates:"]
@@ -188,6 +242,8 @@ def render_health_text(health: FleetHealth) -> str:
         "",
         f"Repairs: {health.repairs_executed}/{health.repairs_planned} executed "
         f"({health.repair_success_rate:.0%} of planned)",
+        f"Degraded-confidence incidents: {health.degraded_incidents}",
+        f"Quarantined collector messages: {health.quarantined_messages}",
         f"False-trigger candidates: {len(health.false_triggers)}",
     ]
     for candidate in health.false_triggers[:10]:

@@ -51,6 +51,20 @@ class IncidentMeta:
     segment: str
     #: Evidence confidence the diagnosis was stamped with ("full"/"degraded").
     confidence: str = "full"
+    #: Machine-readable degradation reasons, e.g. ``quarantined_logs:3``.
+    degraded_reasons: tuple[str, ...] = ()
+
+    @property
+    def quarantined_messages(self) -> int:
+        """Messages quarantined before this diagnosis (from the reasons)."""
+        total = 0
+        for reason in self.degraded_reasons:
+            if reason.startswith("quarantined_logs:"):
+                try:
+                    total += int(reason.rsplit(":", 1)[1])
+                except ValueError:
+                    continue
+        return total
 
     @property
     def duration(self) -> int:
@@ -85,6 +99,7 @@ def _meta_from_dict(data: dict, segment: str) -> IncidentMeta:
         planned_actions=len(planned),
         segment=segment,
         confidence=data.get("confidence", "full"),
+        degraded_reasons=tuple(data.get("degraded_reasons", ())),
     )
 
 

@@ -28,6 +28,7 @@ from repro.workload.scenarios import (
     PlantedAntiPattern,
     inject_business_spike,
     inject_poor_sql,
+    inject_slow_creep,
     inject_mdl_lock,
     inject_row_lock,
     inject_composite,
@@ -60,6 +61,7 @@ __all__ = [
     "PlantedAntiPattern",
     "inject_business_spike",
     "inject_poor_sql",
+    "inject_slow_creep",
     "inject_mdl_lock",
     "inject_row_lock",
     "inject_composite",

@@ -63,6 +63,11 @@ class Population:
     #: rate (sql_id → per-second rates); used by anomaly injections whose
     #: traffic follows a bespoke profile (ramped rollouts, batch jobs).
     rate_overrides: dict[str, np.ndarray] = field(default_factory=dict)
+    #: Per-template time-varying ``examined_rows_mean`` series (sql_id →
+    #: per-second means).  Models data growth / creeping plan
+    #: regressions: the template's per-query cost changes over the run
+    #: while its spec stays fixed (see ``WorkloadGenerator.rows_at``).
+    rows_profiles: dict[str, np.ndarray] = field(default_factory=dict)
 
     @property
     def sql_ids(self) -> list[str]:

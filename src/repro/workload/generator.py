@@ -55,6 +55,19 @@ class WorkloadGenerator:
                 out[sql_id] = int(n)
         return out
 
+    def rows_at(self, t: int) -> dict[str, float]:
+        """Per-template ``examined_rows_mean`` overrides at second ``t``.
+
+        Serves the population's ``rows_profiles`` — templates whose scan
+        cost drifts over the run (data growth, creeping plan
+        regressions).  Templates without a profile keep their spec mean.
+        """
+        out: dict[str, float] = {}
+        for sql_id, profile in self.population.rows_profiles.items():
+            idx = min(max(int(t), 0), len(profile) - 1)
+            out[sql_id] = float(profile[idx])
+        return out
+
     def expected_rate(self, sql_id: str) -> np.ndarray:
         """Expected rate series of one template (zeros if unknown)."""
         rate = self._rates.get(sql_id)

@@ -39,6 +39,7 @@ __all__ = [
     "PlantedAntiPattern",
     "inject_business_spike",
     "inject_poor_sql",
+    "inject_slow_creep",
     "inject_mdl_lock",
     "inject_row_lock",
     "inject_composite",
@@ -233,6 +234,92 @@ def inject_poor_sql(
         rate * profile * _business_shape(business)
     )
     api = Api(name=f"{business.name}_rollout", calls_per_request=1.0)
+    population.add_template(business, api, spec)
+    return InjectedAnomaly(
+        category=AnomalyCategory.POOR_SQL,
+        r_sql_ids=[spec.sql_id],
+        anomaly_start=anomaly_start,
+        anomaly_end=anomaly_end,
+        business=business.name,
+        table=table,
+        new_sql_ids=[spec.sql_id],
+    )
+
+
+def inject_slow_creep(
+    population: Population,
+    rng: np.random.Generator,
+    creep_start: int,
+    anomaly_start: int,
+    anomaly_end: int,
+    start_rows: tuple[float, float] = (1_500.0, 4_000.0),
+    examined_rows: tuple[float, float] = (4e5, 2e6),
+    capacity_hint_ms: float | None = None,
+    target_rate: tuple[float, float] = (6.0, 18.0),
+) -> InjectedAnomaly:
+    """A poor SQL that creeps for minutes before it becomes an incident.
+
+    Unlike :func:`inject_poor_sql` (a rollout that is expensive from its
+    first execution), the creep starts *benign*: the new template rolls
+    out at ``creep_start`` at a steady rate with a modest scan
+    (``start_rows``), and its examined-rows count then grows
+    geometrically across ``[creep_start, anomaly_start)`` — unbounded
+    data growth under a non-sargable filter, the classic missed-index
+    rollout that degrades as the table fills.  Per-template response
+    time and rows/execution rise steadily (the signals a proactive sweep
+    watches) while the instance-level CPU footprint stays far below the
+    anomaly threshold; only near ``anomaly_start`` does the cost reach
+    CPU oversubscription and the detector fire.  This is the labelled
+    scenario the lead-time harness replays: a sweep should flag the
+    creep well before the incident.
+    """
+    if not 0 <= creep_start < anomaly_start:
+        raise ValueError("creep_start must precede anomaly_start")
+    business = _busiest_business(population, rng)
+    table = _busiest_table(population, business)
+    v = int(rng.integers(10_000, 99_999))
+    statement = (
+        f"SELECT * FROM {table} "
+        f"WHERE LOWER(c{v % 7}) = 'creep{v}' ORDER BY c{(v + 1) % 7}"
+    )
+    fp = fingerprint(statement)
+    rows0 = float(rng.uniform(*start_rows))
+    rows_final = float(rng.uniform(*examined_rows))
+    # A small base response so the scan cost dominates the rt trend.
+    spec = TemplateSpec(
+        sql_id=fp.sql_id,
+        template=fp.template,
+        kind=fp.kind,
+        tables=fp.tables if fp.tables else (table,),
+        base_response_ms=float(rng.uniform(4.0, 10.0)),
+        examined_rows_mean=rows0,
+        response_cv=0.3,
+        exemplar=statement,
+    )
+    # Steady rollout rate, sized so the *final* degraded cost
+    # oversubscribes CPU (at the initial cost it is invisible).
+    final_cost_ms = (
+        spec.base_response_ms * 0.3 + rows_final / 1000.0 * spec.cpu_per_krow
+    )
+    if capacity_hint_ms is not None:
+        oversubscribe = float(rng.uniform(1.4, 2.0))
+        rate = float(
+            np.clip(oversubscribe * capacity_hint_ms / final_cost_ms, 4.0, 40.0)
+        )
+    else:
+        rate = float(rng.uniform(*target_rate))
+    profile = ramp_profile(population.duration, creep_start, ramp=60)
+    population.rate_overrides[spec.sql_id] = (
+        rate * profile * _business_shape(business)
+    )
+    # Geometric examined-rows growth over the creep stretch, held at the
+    # degraded level afterwards.
+    t = np.arange(population.duration, dtype=np.float64)
+    fraction = np.clip(
+        (t - creep_start) / max(anomaly_start - creep_start, 1), 0.0, 1.0
+    )
+    population.rows_profiles[spec.sql_id] = rows0 * (rows_final / rows0) ** fraction
+    api = Api(name=f"{business.name}_creep", calls_per_request=1.0)
     population.add_template(business, api, spec)
     return InjectedAnomaly(
         category=AnomalyCategory.POOR_SQL,

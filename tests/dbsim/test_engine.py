@@ -281,3 +281,62 @@ class TestReadReplicaOffload:
         with _pytest.raises(ValueError):
             inst.add_read_replicas(1.0)
         inst.finish()
+
+
+class GrowingRowsWorkload(ConstantWorkload):
+    """ConstantWorkload plus the optional ``rows_at`` hook: one template's
+    examined-rows mean grows linearly over the run (data growth)."""
+
+    def __init__(self, specs, rates, growing_id, rows_start, rows_end, duration):
+        super().__init__(specs, rates)
+        self._growing_id = growing_id
+        self._profile = np.linspace(rows_start, rows_end, duration)
+
+    def rows_at(self, t):
+        idx = min(max(int(t), 0), len(self._profile) - 1)
+        return {self._growing_id: float(self._profile[idx])}
+
+
+class TestTimeVaryingRows:
+    def test_examined_rows_track_the_profile(self):
+        sel = select_spec(rows=1_000.0)
+        wl = GrowingRowsWorkload(
+            [sel], {"SEL00001": 50.0}, "SEL00001",
+            rows_start=1_000.0, rows_end=50_000.0, duration=40,
+        )
+        result = DatabaseInstance(seed=5).run(wl, duration=40)
+        q = result.query_log.queries_of("SEL00001")
+        seconds = q.arrive_ms // 1000
+        early = q.examined_rows[seconds < 1].mean()
+        late = q.examined_rows[seconds >= 39].mean()
+        assert early == pytest.approx(1_000.0, rel=0.5)
+        assert late == pytest.approx(50_000.0, rel=0.5)
+        assert late > 10 * early
+
+    def test_growing_rows_raise_response_time(self):
+        sel = select_spec(rows=1_000.0)
+        wl = GrowingRowsWorkload(
+            [sel], {"SEL00001": 50.0}, "SEL00001",
+            rows_start=1_000.0, rows_end=200_000.0, duration=40,
+        )
+        result = DatabaseInstance(seed=6).run(wl, duration=40)
+        q = result.query_log.queries_of("SEL00001")
+        seconds = q.arrive_ms // 1000
+        early_rt = q.response_ms[seconds < 5].mean()
+        late_rt = q.response_ms[seconds >= 35].mean()
+        # Scan cost dominates: response time creeps with the data.
+        assert late_rt > 3 * early_rt
+
+    def test_other_templates_unaffected(self):
+        sel = select_spec(rows=1_000.0)
+        other = select_spec("SEL00002", rows=500.0)
+        wl = GrowingRowsWorkload(
+            [sel, other], {"SEL00001": 20.0, "SEL00002": 20.0},
+            "SEL00001", rows_start=1_000.0, rows_end=50_000.0, duration=30,
+        )
+        result = DatabaseInstance(seed=7).run(wl, duration=30)
+        q = result.query_log.queries_of("SEL00002")
+        seconds = q.arrive_ms // 1000
+        early = q.examined_rows[seconds < 5].mean()
+        late = q.examined_rows[seconds >= 25].mean()
+        assert late == pytest.approx(early, rel=0.4)

@@ -1,0 +1,289 @@
+"""One firing and one quiet scenario per built-in health check."""
+
+import numpy as np
+import pytest
+
+from repro.health import check_ids, ewma, half_rise
+from repro.health.checks import (
+    _REGISTRY,
+    AntipatternShareCheck,
+    BrokerBackpressureCheck,
+    ConnectionPressureCheck,
+    DegradedConfidenceCheck,
+    HealthCheck,
+    LockFootprintTrendCheck,
+    RepeatOffenderCheck,
+    RisingResponseTimeCheck,
+    RisingRowsExaminedCheck,
+    SelfHealthCheck,
+    register_check,
+)
+from repro.sqlanalysis import Finding, Severity
+from tests.health.conftest import (
+    make_ctx,
+    make_meta,
+    make_templates,
+    metric_samples,
+    template_series,
+)
+
+BUILTIN = (
+    "rising-response-time",
+    "rising-rows-examined",
+    "lock-footprint-trend",
+    "connection-pressure",
+    "antipattern-share",
+    "broker-backpressure",
+    "repeat-offender",
+    "degraded-confidence",
+    "self-health",
+)
+
+
+class TestRegistry:
+    def test_all_builtin_checks_registered(self):
+        assert set(BUILTIN) <= set(check_ids())
+
+    def test_register_requires_check_id(self):
+        class Nameless(HealthCheck):
+            def check(self, ctx):
+                return iter(())
+
+        with pytest.raises(ValueError, match="check_id"):
+            register_check(Nameless)
+
+    def test_register_rejects_unknown_scope(self):
+        class BadScope(HealthCheck):
+            check_id = "bad-scope-check"
+            scope = "galaxy"
+
+            def check(self, ctx):
+                return iter(())
+
+        with pytest.raises(ValueError, match="scope"):
+            register_check(BadScope)
+        assert "bad-scope-check" not in _REGISTRY
+
+
+class TestTrendMath:
+    def test_ewma_preserves_length_and_smooths(self):
+        values = np.array([1.0, 1.0, 10.0, 1.0, 1.0])
+        smoothed = ewma(values)
+        assert len(smoothed) == len(values)
+        assert smoothed[2] < 10.0  # the spike is damped
+
+    def test_half_rise_on_clean_ramp(self):
+        head, tail, rise = half_rise(np.linspace(10.0, 30.0, 100))
+        assert tail > head
+        assert rise > 0.4
+
+    def test_half_rise_zero_head_is_infinite(self):
+        _, _, rise = half_rise(np.array([0.0] * 10 + [5.0] * 10))
+        assert rise == float("inf")
+
+
+class TestRisingResponseTime:
+    def test_fires_on_creeping_template(self):
+        ctx = make_ctx(templates=make_templates(
+            {"CREEP": template_series(rt_start=5.0, rt_end=60.0)}
+        ))
+        findings = list(RisingResponseTimeCheck().check(ctx))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.check == "rising-response-time"
+        assert f.sql_id == "CREEP"
+        assert f.severity >= Severity.WARNING
+        assert f.evidence["rise"] > 0.5
+
+    def test_quiet_on_flat_template(self):
+        ctx = make_ctx(templates=make_templates(
+            {"FLAT": template_series(rt_start=20.0, rt_end=21.0)}
+        ))
+        assert list(RisingResponseTimeCheck().check(ctx)) == []
+
+    def test_quiet_below_latency_floor(self):
+        # A big relative rise on a sub-15 ms template is workload noise.
+        ctx = make_ctx(templates=make_templates(
+            {"TINY": template_series(rt_start=2.0, rt_end=9.0)}
+        ))
+        assert list(RisingResponseTimeCheck().check(ctx)) == []
+
+
+class TestRisingRowsExamined:
+    def test_fires_on_scan_growth(self):
+        ctx = make_ctx(templates=make_templates(
+            {"SCAN": template_series(rows_start=800.0, rows_end=5_000.0)}
+        ))
+        findings = list(RisingRowsExaminedCheck().check(ctx))
+        assert len(findings) == 1
+        assert findings[0].sql_id == "SCAN"
+        assert findings[0].metric == "total_examined_rows"
+
+    def test_quiet_on_stable_rows(self):
+        ctx = make_ctx(templates=make_templates(
+            {"OK": template_series(rows_start=5_000.0, rows_end=5_200.0)}
+        ))
+        assert list(RisingRowsExaminedCheck().check(ctx)) == []
+
+
+class TestLockFootprintTrend:
+    def test_fires_on_rising_lock_time(self):
+        ctx = make_ctx(metrics={
+            "innodb_row_lock_time": metric_samples(np.linspace(10, 150, 120))
+        })
+        findings = list(LockFootprintTrendCheck().check(ctx))
+        assert len(findings) == 1
+        assert findings[0].metric == "innodb_row_lock_time"
+
+    def test_quiet_on_steady_lock_time(self):
+        ctx = make_ctx(metrics={
+            "innodb_row_lock_time": metric_samples([50.0] * 120)
+        })
+        assert list(LockFootprintTrendCheck().check(ctx)) == []
+
+
+class TestConnectionPressure:
+    def test_fires_on_session_growth(self):
+        ctx = make_ctx(metrics={
+            "active_session": metric_samples(np.linspace(3, 12, 120))
+        })
+        findings = list(ConnectionPressureCheck().check(ctx))
+        assert len(findings) == 1
+        assert findings[0].check == "connection-pressure"
+
+    def test_quiet_on_flat_sessions(self):
+        ctx = make_ctx(metrics={
+            "active_session": metric_samples([10.0] * 120)
+        })
+        assert list(ConnectionPressureCheck().check(ctx)) == []
+
+
+class TestAntipatternShare:
+    def _analysis(self):
+        return {"BAD": (Finding(
+            rule="unbounded-scan", severity=Severity.HIGH,
+            message="no bound", sql_id="BAD",
+        ),)}
+
+    def test_fires_when_flagged_traffic_dominates(self):
+        ctx = make_ctx(
+            templates=make_templates({
+                "BAD": template_series(execs_per_s=3.0),
+                "GOOD": template_series(execs_per_s=2.0),
+            }),
+            analysis=self._analysis(),
+        )
+        findings = list(AntipatternShareCheck().check(ctx))
+        assert len(findings) == 1
+        assert findings[0].sql_id == "BAD"
+        assert findings[0].evidence["share"] == pytest.approx(0.6)
+
+    def test_quiet_when_flagged_traffic_marginal(self):
+        ctx = make_ctx(
+            templates=make_templates({
+                "BAD": template_series(execs_per_s=0.2),
+                "GOOD": template_series(execs_per_s=2.0),
+            }),
+            analysis=self._analysis(),
+        )
+        assert list(AntipatternShareCheck().check(ctx)) == []
+
+    def test_low_severity_findings_do_not_count(self):
+        analysis = {"BAD": (Finding(
+            rule="unbounded-scan", severity=Severity.INFO,
+            message="meh", sql_id="BAD",
+        ),)}
+        ctx = make_ctx(
+            templates=make_templates({
+                "BAD": template_series(execs_per_s=3.0),
+            }),
+            analysis=analysis,
+        )
+        assert list(AntipatternShareCheck().check(ctx)) == []
+
+
+class TestBrokerBackpressure:
+    def test_fires_on_lag(self):
+        findings = list(
+            BrokerBackpressureCheck().check(make_ctx(consumer_lag=1_500))
+        )
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.WARNING
+
+    def test_escalates_on_extreme_lag(self):
+        findings = list(
+            BrokerBackpressureCheck().check(make_ctx(consumer_lag=20_000))
+        )
+        assert findings[0].severity is Severity.HIGH
+
+    def test_quiet_below_threshold(self):
+        assert list(
+            BrokerBackpressureCheck().check(make_ctx(consumer_lag=500))
+        ) == []
+
+
+class TestRepeatOffender:
+    def test_fires_on_recurring_top_rsql(self):
+        ctx = make_ctx(scope="fleet", instance_id="", incidents=[
+            make_meta("i1", "db-a", rsql_ids=("R1",)),
+            make_meta("i2", "db-b", rsql_ids=("R1",)),
+        ])
+        findings = list(RepeatOffenderCheck().check(ctx))
+        assert len(findings) == 1
+        assert findings[0].sql_id == "R1"
+        assert findings[0].evidence["incidents"] == 2
+
+    def test_quiet_on_distinct_root_causes(self):
+        ctx = make_ctx(scope="fleet", instance_id="", incidents=[
+            make_meta("i1", rsql_ids=("R1",)),
+            make_meta("i2", rsql_ids=("R2",)),
+        ])
+        assert list(RepeatOffenderCheck().check(ctx)) == []
+
+
+class TestDegradedConfidence:
+    def test_fires_when_degraded_rate_high(self):
+        ctx = make_ctx(scope="fleet", instance_id="", incidents=[
+            make_meta("i1", confidence="degraded"),
+            make_meta("i2", confidence="degraded"),
+            make_meta("i3"),
+        ])
+        findings = list(DegradedConfidenceCheck().check(ctx))
+        assert len(findings) == 1
+        assert findings[0].evidence["degraded"] == 2
+
+    def test_quiet_below_count_floor(self):
+        ctx = make_ctx(scope="fleet", instance_id="", incidents=[
+            make_meta("i1", confidence="degraded"),
+            make_meta("i2"),
+            make_meta("i3"),
+        ])
+        assert list(DegradedConfidenceCheck().check(ctx)) == []
+
+
+class TestSelfHealth:
+    def test_fires_on_span_errors_and_quarantine(self):
+        ctx = make_ctx(scope="fleet", instance_id="", counters={
+            "span_errors_total": 2.0,
+            "collector_quarantined_total": 3.0,
+        })
+        findings = list(SelfHealthCheck().check(ctx))
+        assert {f.metric for f in findings} == {
+            "span_errors_total", "collector_quarantined_total",
+        }
+
+    def test_open_breaker_is_high_severity(self):
+        ctx = make_ctx(scope="fleet", instance_id="", counters={
+            "circuit_breakers_open": 1.0,
+        })
+        findings = list(SelfHealthCheck().check(ctx))
+        assert len(findings) == 1
+        assert findings[0].severity is Severity.HIGH
+
+    def test_quiet_when_pipeline_clean(self):
+        ctx = make_ctx(scope="fleet", instance_id="", counters={
+            "span_errors_total": 0.0,
+            "collector_quarantined_total": 0.0,
+            "circuit_breakers_open": 0.0,
+        })
+        assert list(SelfHealthCheck().check(ctx)) == []

@@ -1,0 +1,141 @@
+"""`repro health` CLI: subcommands and the lint exit-code contract."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.health import FindingsStore
+from repro.incidents import IncidentStore
+from tests.incidents.conftest import make_record
+
+
+@pytest.fixture
+def incident_dir(tmp_path):
+    """An incident store whose history trips the repeat-offender check."""
+    store = IncidentStore(tmp_path / "incidents")
+    store.append(make_record("i1", "db-a", 100, 300))
+    store.append(make_record("i2", "db-b", 400, 600))
+    return tmp_path / "incidents"
+
+
+class TestSweepCommand:
+    def test_offline_sweep_exit_one_on_warnings(self, tmp_path, incident_dir, capsys):
+        code = main([
+            "health", "sweep", "--dir", str(tmp_path / "health"),
+            "--incidents", str(incident_dir),
+        ])
+        out = capsys.readouterr().out
+        assert code == 1  # repeat-offender fires at WARNING
+        assert "repeat-offender" in out
+        assert "persisted" in out
+
+    def test_fail_on_never_masks_findings(self, tmp_path, incident_dir):
+        code = main([
+            "health", "sweep", "--dir", str(tmp_path / "health"),
+            "--incidents", str(incident_dir), "--fail-on", "never",
+        ])
+        assert code == 0
+
+    def test_fail_on_critical_ignores_warnings(self, tmp_path, incident_dir):
+        code = main([
+            "health", "sweep", "--dir", str(tmp_path / "health"),
+            "--incidents", str(incident_dir), "--fail-on", "critical",
+        ])
+        assert code == 0
+
+    def test_missing_incident_store_is_a_usage_error(self, tmp_path, capsys):
+        code = main([
+            "health", "sweep", "--dir", str(tmp_path / "health"),
+            "--incidents", str(tmp_path / "nope"),
+        ])
+        assert code == 2
+        assert "no incident store" in capsys.readouterr().err
+
+    def test_json_output_parses(self, tmp_path, incident_dir, capsys):
+        main([
+            "health", "sweep", "--dir", str(tmp_path / "health"),
+            "--incidents", str(incident_dir), "--json",
+        ])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["checks_run"] > 0
+        assert any(
+            f["check"] == "repeat-offender" for f in payload["findings"]
+        )
+
+
+class TestFindingsCommand:
+    @pytest.fixture
+    def health_dir(self, tmp_path, incident_dir):
+        main([
+            "health", "sweep", "--dir", str(tmp_path / "health"),
+            "--incidents", str(incident_dir), "--fail-on", "never",
+        ])
+        return tmp_path / "health"
+
+    def test_missing_store_is_an_error(self, tmp_path, capsys):
+        code = main(["health", "findings", "--dir", str(tmp_path / "nope")])
+        assert code == 2
+        assert "no findings store" in capsys.readouterr().err
+
+    def test_empty_store_is_clean(self, tmp_path, capsys):
+        # A clean sweep creates the directory but no segments.
+        FindingsStore(tmp_path / "health")
+        code = main(["health", "findings", "--dir", str(tmp_path / "health")])
+        assert code == 0
+        assert "no findings match" in capsys.readouterr().out
+
+    def test_lists_and_filters(self, health_dir, capsys):
+        code = main(["health", "findings", "--dir", str(health_dir)])
+        assert code == 0
+        assert "repeat-offender" in capsys.readouterr().out
+        code = main([
+            "health", "findings", "--dir", str(health_dir),
+            "--check", "no-such-check",
+        ])
+        assert code == 0
+        assert "no findings match" in capsys.readouterr().out
+
+    def test_json_round_trips(self, health_dir, capsys):
+        main(["health", "findings", "--dir", str(health_dir), "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert all("severity" in f for f in payload)
+
+
+class TestReportCommand:
+    @pytest.fixture
+    def health_dir(self, tmp_path, incident_dir):
+        main([
+            "health", "sweep", "--dir", str(tmp_path / "health"),
+            "--incidents", str(incident_dir), "--fail-on", "never",
+        ])
+        return tmp_path / "health"
+
+    def test_text_report(self, health_dir, capsys):
+        code = main(["health", "report", "--dir", str(health_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fleet health report" in out
+        assert "repeat-offender" in out
+
+    def test_html_report_with_incident_link(
+        self, tmp_path, health_dir, incident_dir, capsys
+    ):
+        out_file = tmp_path / "reports" / "health.html"
+        code = main([
+            "health", "report", "--dir", str(health_dir),
+            "--incidents", str(incident_dir),
+            "--format", "html", "--out", str(out_file),
+            "--incident-report", "../incidents/report.html",
+        ])
+        assert code == 0
+        html = out_file.read_text()
+        assert '<a href="../incidents/report.html">' in html
+        # The reactive rollup rode along via --incidents.
+        assert "incidents recorded" in html
+
+    def test_empty_store_renders_healthy(self, tmp_path, capsys):
+        FindingsStore(tmp_path / "health")
+        code = main(["health", "report", "--dir", str(tmp_path / "health")])
+        assert code == 0
+        assert "looks healthy" in capsys.readouterr().out

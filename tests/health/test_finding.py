@@ -1,0 +1,66 @@
+"""HealthFinding: strict-JSON discipline and round-trips."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.health import HealthFinding
+from repro.sqlanalysis import Severity
+
+text = st.text(max_size=40)
+scalar = st.one_of(
+    st.booleans(),
+    st.integers(min_value=-(10**9), max_value=10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+findings = st.builds(
+    HealthFinding,
+    check=st.sampled_from(["rising-response-time", "self-health", "x"]),
+    severity=st.sampled_from(list(Severity)),
+    message=text,
+    instance_id=text,
+    sql_id=text,
+    metric=text,
+    detected_at=st.integers(min_value=0, max_value=10**7),
+    evidence=st.dictionaries(st.text(max_size=10), scalar, max_size=4),
+    suggestion=text,
+    sweep_id=text,
+)
+
+
+class TestRoundTrip:
+    @given(findings)
+    @settings(max_examples=100, deadline=None)
+    def test_to_from_dict_round_trips(self, finding):
+        assert HealthFinding.from_dict(finding.to_dict()) == finding
+
+    @given(findings)
+    @settings(max_examples=50, deadline=None)
+    def test_dict_is_strict_json(self, finding):
+        payload = json.dumps(finding.to_dict())
+        assert HealthFinding.from_dict(json.loads(payload)) == finding
+
+    def test_severity_serialised_as_label(self):
+        finding = HealthFinding(
+            check="x", severity=Severity.CRITICAL, message="m"
+        )
+        assert finding.to_dict()["severity"] == "critical"
+
+    def test_non_scalar_evidence_coerced_to_str(self):
+        finding = HealthFinding(
+            check="x",
+            severity=Severity.INFO,
+            message="m",
+            evidence={"ids": ["a", "b"]},
+        )
+        data = finding.to_dict()
+        assert isinstance(data["evidence"]["ids"], str)
+        json.dumps(data)  # must stay serialisable
+
+    def test_from_dict_defaults_missing_fields(self):
+        finding = HealthFinding.from_dict({"check": "x"})
+        assert finding.severity is Severity.INFO
+        assert finding.instance_id == ""
+        assert finding.detected_at == 0

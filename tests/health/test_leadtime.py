@@ -1,0 +1,70 @@
+"""Gated lead-time harness: the PR's acceptance metric.
+
+One module-scoped replay (3 instances, 2 with a planted slow creep,
+~15 s wall clock) feeds every gate, mirroring the chaos resilience
+gates: the harness runs once, the gate classes only read.
+"""
+
+import pytest
+
+from repro.evaluation import (
+    LeadTimeConfig,
+    render_leadtime_text,
+    run_leadtime,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_leadtime(LeadTimeConfig(n_instances=3, creeping=2))
+
+
+class TestScenarioShape:
+    def test_creeping_instances_fired_incidents(self, report):
+        assert set(report.creeping_instances) <= set(report.incident_starts)
+        assert len(report.creeping_instances) == 2
+
+    def test_sweeps_ran_on_schedule(self, report):
+        assert report.sweeps >= 3
+        assert report.findings_total > 0
+
+
+class TestLeadTimeGates:
+    def test_precision_gate(self, report):
+        # The ISSUE acceptance criterion: precision >= 0.8 on planted
+        # slow-creep scenarios.
+        assert report.precision >= 0.8, (
+            f"lead-time precision {report.precision:.2f} "
+            f"({report.true_positives} TP / {report.false_positives} FP)"
+        )
+
+    def test_every_creep_warned_before_its_incident(self, report):
+        assert report.recall == 1.0
+        for instance_id in report.creeping_instances:
+            lead = report.lead_time_s(instance_id)
+            assert lead is not None and lead > 0, (
+                f"{instance_id} fired with no earlier proactive warning"
+            )
+
+    def test_median_lead_is_minutes_not_seconds(self, report):
+        assert report.median_lead_s >= 60.0
+
+    def test_warnings_name_the_culprit_template(self, report):
+        # At least one proactive finding per creep named the template
+        # that later topped the R-SQL ranking.
+        assert report.template_matches >= len(report.creeping_instances)
+
+
+class TestRendering:
+    def test_text_report_carries_the_gates(self, report):
+        text = render_leadtime_text(report)
+        assert "precision" in text
+        assert "median lead" in text
+        for instance_id in report.creeping_instances:
+            assert instance_id in text
+
+    def test_to_dict_is_serialisable(self, report):
+        import json
+
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["precision"] == pytest.approx(report.precision)

@@ -1,0 +1,102 @@
+"""Daily fleet health report: dedup, grouping, text and HTML."""
+
+from repro.health import (
+    HealthFinding,
+    build_health_report,
+    render_health_report_html,
+    render_health_report_text,
+)
+from repro.incidents import compute_health
+from repro.sqlanalysis import Severity
+from tests.health.conftest import make_meta
+
+
+def finding(
+    check="rising-response-time",
+    severity=Severity.WARNING,
+    instance="db-a",
+    sql_id="Q1",
+    detected_at=100,
+    sweep="sweep-1",
+):
+    return HealthFinding(
+        check=check, severity=severity, message=f"{check} on {sql_id}",
+        instance_id=instance, sql_id=sql_id, detected_at=detected_at,
+        sweep_id=sweep, suggestion="do something",
+    )
+
+
+class TestBuildReport:
+    def test_keeps_latest_per_condition(self):
+        # Consecutive sweeps re-emit the same condition; the report
+        # shows state, not the event log.
+        report = build_health_report([
+            finding(detected_at=100, sweep="sweep-1", severity=Severity.WARNING),
+            finding(detected_at=200, sweep="sweep-2", severity=Severity.HIGH),
+            finding(sql_id="Q2", detected_at=100, sweep="sweep-1"),
+        ])
+        assert len(report.findings) == 2
+        kept = next(f for f in report.findings if f.sql_id == "Q1")
+        assert kept.detected_at == 200
+        assert kept.severity is Severity.HIGH
+
+    def test_worst_and_groupings(self):
+        report = build_health_report([
+            finding(severity=Severity.CRITICAL),
+            finding(check="self-health", instance="", sql_id="",
+                    severity=Severity.WARNING),
+            finding(check="lock-footprint-trend", instance="db-b",
+                    sql_id="", severity=Severity.INFO),
+        ])
+        assert report.worst is Severity.CRITICAL
+        assert set(report.by_instance) == {"", "db-a", "db-b"}
+        assert report.by_check["rising-response-time"] == 1
+        assert report.sweep_count == 1
+
+    def test_empty_batch(self):
+        report = build_health_report([])
+        assert report.worst is None
+        assert report.by_instance == {}
+
+
+class TestTextReport:
+    def test_lists_findings_and_suggestions(self):
+        text = render_health_report_text(build_health_report([finding()]))
+        assert "rising-response-time" in text
+        assert "Q1" in text
+        assert "do something" in text
+        assert "worst severity: warning" in text
+
+    def test_healthy_fleet_reads_healthy(self):
+        text = render_health_report_text(build_health_report([]))
+        assert "looks healthy" in text
+
+    def test_reactive_context_included(self):
+        fleet = compute_health([make_meta()])
+        text = render_health_report_text(
+            build_health_report([finding()], fleet=fleet)
+        )
+        assert "incidents recorded : 1" in text
+
+
+class TestHtmlReport:
+    def test_document_structure(self):
+        html = render_health_report_html(build_health_report([
+            finding(),
+            finding(check="self-health", instance="", sql_id=""),
+        ]))
+        assert html.startswith("<!DOCTYPE html>") or "<html" in html
+        assert "Fleet-scope findings" in html
+        assert "db-a" in html
+        assert "rising-response-time" in html
+
+    def test_links_to_incident_report(self):
+        html = render_health_report_html(
+            build_health_report([finding()]),
+            incident_report_href="../incidents/report.html",
+        )
+        assert '<a href="../incidents/report.html">' in html
+
+    def test_no_link_without_href(self):
+        html = render_health_report_html(build_health_report([finding()]))
+        assert "Reactive incident report" not in html

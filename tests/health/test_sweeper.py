@@ -1,0 +1,155 @@
+"""HealthSweeper: sweep mechanics, cadence, non-fatal checks."""
+
+from types import SimpleNamespace
+
+import numpy as np
+
+from repro.health import (
+    FindingsStore,
+    HealthConfig,
+    HealthFinding,
+    HealthSweeper,
+)
+from repro.health.checks import HealthCheck
+from repro.resilience import BreakerState
+from repro.sqlanalysis import Severity
+from repro.telemetry import MetricsRegistry
+from tests.health.conftest import make_ctx, metric_samples
+
+
+class FailingCheck(HealthCheck):
+    check_id = "boom"
+    scope = "instance"
+
+    def check(self, ctx):
+        raise RuntimeError("deliberate test failure")
+
+
+class NoisyCheck(HealthCheck):
+    check_id = "noisy"
+    scope = "instance"
+
+    def check(self, ctx):
+        yield HealthFinding(
+            check=self.check_id, severity=Severity.INFO,
+            message="hello", instance_id=ctx.instance_id,
+        )
+
+
+def fake_engine(instance_id: str = "db-x", stream_time: int = 600):
+    """Duck-types everything the sweeper reads off a live engine."""
+    return SimpleNamespace(
+        instance_id=instance_id,
+        detector=SimpleNamespace(stream_time=stream_time),
+        logstore=SimpleNamespace(sql_ids=[]),
+        catalog=SimpleNamespace(get=lambda sql_id: None),
+        analyzer=SimpleNamespace(analyze_template=lambda info: []),
+        metric_window_snapshot=lambda ts, now: {
+            "active_session": metric_samples(np.linspace(3, 12, 120))
+        },
+        lag=0,
+        repair_breaker=SimpleNamespace(state=BreakerState.CLOSED),
+    )
+
+
+def fake_service(*engines):
+    by_id = {e.instance_id: e for e in engines}
+    return SimpleNamespace(
+        instance_ids=list(by_id),
+        engine=lambda iid: by_id[iid],
+    )
+
+
+class TestSweepContexts:
+    def test_findings_stamped_with_sweep_identity(self):
+        sweeper = HealthSweeper(
+            checks=(NoisyCheck(),), registry=MetricsRegistry()
+        )
+        result = sweeper.sweep_contexts([make_ctx()], now=120)
+        assert len(result.findings) == 1
+        assert result.findings[0].sweep_id == result.sweep_id
+        assert result.findings[0].detected_at == 120
+
+    def test_scope_filter_skips_mismatched_checks(self):
+        sweeper = HealthSweeper(
+            checks=(NoisyCheck(),), registry=MetricsRegistry()
+        )
+        fleet_only = make_ctx(scope="fleet", instance_id="")
+        result = sweeper.sweep_contexts([fleet_only], now=120)
+        assert result.checks_run == 0
+        assert result.findings == []
+
+
+class TestNonFatalChecks:
+    def test_raising_check_degrades_to_a_finding(self):
+        registry = MetricsRegistry()
+        sweeper = HealthSweeper(
+            checks=(FailingCheck(), NoisyCheck()), registry=registry
+        )
+        result = sweeper.sweep_contexts([make_ctx()], now=60)
+        assert result.check_failures == 1
+        assert result.checks_run == 2
+        layer = [f for f in result.findings if f.check == "health-layer"]
+        assert len(layer) == 1
+        assert layer[0].evidence["failed_check"] == "boom"
+        assert layer[0].evidence["error"] == "RuntimeError"
+        # The healthy check still contributed: the sweep survived.
+        assert any(f.check == "noisy" for f in result.findings)
+        assert registry.counter(
+            "health_check_failures_total",
+            help="Health checks that raised during a sweep.",
+            check="boom",
+        ).value == 1.0
+
+
+class TestFleetSweeps:
+    def test_single_instance_fleet(self):
+        sweeper = HealthSweeper(registry=MetricsRegistry())
+        service = fake_service(fake_engine("db-solo"))
+        result = sweeper.sweep_fleet(service)
+        assert result.instances == ("db-solo",)
+        # 6 instance-scope + 3 fleet-scope built-in checks.
+        assert result.checks_run == 9
+        # The synthetic session ramp fires connection-pressure.
+        assert any(f.check == "connection-pressure" for f in result.findings)
+
+    def test_maybe_sweep_honours_interval(self):
+        sweeper = HealthSweeper(
+            config=HealthConfig(sweep_interval_s=300),
+            registry=MetricsRegistry(),
+        )
+        engine = fake_engine("db-x", stream_time=300)
+        service = fake_service(engine)
+        assert sweeper.maybe_sweep(service) is not None
+        engine.detector.stream_time = 450  # too soon
+        assert sweeper.maybe_sweep(service) is None
+        engine.detector.stream_time = 650
+        assert sweeper.maybe_sweep(service) is not None
+        assert len(sweeper.sweeps) == 2
+
+    def test_sweep_persists_to_store(self, tmp_path):
+        store = FindingsStore(tmp_path)
+        sweeper = HealthSweeper(
+            store=store, checks=(NoisyCheck(),), registry=MetricsRegistry()
+        )
+        result = sweeper.sweep_contexts([make_ctx()], now=60)
+        assert store.record_count == len(result.findings) == 1
+        assert FindingsStore(tmp_path).sweep_ids() == [result.sweep_id]
+
+
+class TestOfflineSweeps:
+    def test_sweep_stores_runs_incident_checks(self, tmp_path):
+        from repro.incidents import IncidentStore
+        from tests.incidents.conftest import make_record
+
+        store = IncidentStore(tmp_path / "incidents")
+        store.append(make_record("i1", "db-a", 100, 300))
+        store.append(make_record("i2", "db-b", 400, 600))
+        sweeper = HealthSweeper(registry=MetricsRegistry())
+        result = sweeper.sweep_stores(tmp_path / "incidents")
+        # Two instance contexts + the fleet context, built-ins only.
+        assert result.checks_run == 2 * 6 + 3
+        # Both records pinpoint R1: the repeat-offender check fires.
+        offenders = [f for f in result.findings if f.check == "repeat-offender"]
+        assert len(offenders) == 1
+        assert offenders[0].sql_id == "R1"

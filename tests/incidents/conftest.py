@@ -30,11 +30,15 @@ def make_record(
     verdict: str | None = "row_lock",
     rsql_ids: tuple[str, ...] = ("R1", "R2"),
     executed: bool = False,
+    confidence: str = "full",
+    degraded_reasons: tuple[str, ...] = (),
 ) -> IncidentRecord:
     return IncidentRecord(
         incident_id=incident_id,
         instance_id=instance_id,
         created_at=end if created_at is None else created_at,
+        confidence=confidence,
+        degraded_reasons=degraded_reasons,
         anomaly=AnomalyWindow(
             start=start, end=end, types=("cpu_anomaly",), detected_at=end
         ),

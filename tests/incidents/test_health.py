@@ -127,3 +127,38 @@ class TestPublishAndRender:
     def test_render_empty_rollup(self):
         text = render_health_text(compute_health([]))
         assert "(no incidents)" in text and "(none)" in text
+
+
+class TestDegradedAndQuarantinedRollup:
+    def _health(self):
+        return compute_health(
+            _metas(
+                make_record("i1", "db-a", 100, 300, confidence="degraded",
+                            degraded_reasons=("quarantined_logs:3",)),
+                make_record("i2", "db-a", 400, 600, confidence="degraded",
+                            degraded_reasons=("gappy_metrics",)),
+                make_record("i3", "db-b", 100, 300),
+            )
+        )
+
+    def test_counts_per_instance(self):
+        health = self._health()
+        assert health.degraded_per_instance == {"db-a": 2}
+        assert health.quarantined_per_instance == {"db-a": 3}
+        assert health.degraded_incidents == 2
+        assert health.quarantined_messages == 3
+
+    def test_render_surfaces_counts(self):
+        text = render_health_text(self._health())
+        assert "2 degraded" in text
+        assert "3 quarantined msg(s)" in text
+        assert "Degraded-confidence incidents: 2" in text
+        assert "Quarantined collector messages: 3" in text
+
+    def test_gauges_exported(self):
+        reg = MetricsRegistry()
+        publish_health(self._health(), reg)
+        assert reg.get("fleet_degraded_incidents_total").value == 2
+        assert reg.get("fleet_degraded_incidents", instance="db-a").value == 2
+        assert reg.get("fleet_quarantined_messages_total").value == 3
+        assert reg.get("fleet_quarantined_messages", instance="db-a").value == 3

@@ -165,3 +165,72 @@ class TestCompositeInjection:
         result = PinSQL().analyze(lc.case)
         rank = first_hit_rank(result.rsql_ids, lc.r_sqls)
         assert rank is not None and rank <= 5
+
+
+class TestSlowCreep:
+    CS = 200  # creep start
+
+    def _inject(self, pop_seed=11, rng_seed=12, **kwargs):
+        from repro.workload import inject_slow_creep
+
+        pop = make_population(pop_seed)
+        truth = inject_slow_creep(
+            pop, np.random.default_rng(rng_seed), self.CS, AS_, AE, **kwargs
+        )
+        return pop, truth
+
+    def test_labels_and_new_template(self):
+        pop, truth = self._inject()
+        assert truth.category is AnomalyCategory.POOR_SQL
+        (new_id,) = truth.r_sql_ids
+        assert truth.new_sql_ids == [new_id]
+        spec = pop.specs[new_id]
+        assert spec.kind is StatementKind.SELECT
+        # The creep starts benign: a modest scan, not a monster.
+        assert spec.examined_rows_mean < 5_000.0
+
+    def test_rows_profile_grows_to_expensive(self):
+        pop, truth = self._inject()
+        (new_id,) = truth.r_sql_ids
+        profile = pop.rows_profiles[new_id]
+        assert len(profile) == DURATION
+        # Benign before the creep, fully degraded from the onset on.
+        assert profile[: self.CS].max() == pytest.approx(
+            pop.specs[new_id].examined_rows_mean
+        )
+        assert profile[AS_] == pytest.approx(profile[-1])
+        assert profile[-1] >= 4e5
+        assert np.all(np.diff(profile) >= -1e-9)  # monotone growth
+
+    def test_rate_is_steady_not_ramping(self):
+        # The traffic rolls out once and stays put — the *cost* creeps,
+        # not the rate; only near anomaly_start does CPU oversubscribe.
+        pop, truth = self._inject()
+        (new_id,) = truth.r_sql_ids
+        rate = pop.expected_rate(new_id)
+        assert rate[: self.CS].sum() == 0.0
+        mid = rate[self.CS + 120 : AS_]
+        late = rate[AS_ : AE - 10]
+        assert mid.mean() > 0.0
+        assert late.mean() < 3.0 * mid.mean()
+
+    def test_generator_exposes_rows_at(self):
+        from repro.workload import WorkloadGenerator
+
+        pop, truth = self._inject()
+        (new_id,) = truth.r_sql_ids
+        gen = WorkloadGenerator(pop)
+        assert gen.rows_at(0)[new_id] == pytest.approx(
+            pop.specs[new_id].examined_rows_mean
+        )
+        assert gen.rows_at(DURATION + 100)[new_id] == pytest.approx(
+            pop.rows_profiles[new_id][-1]
+        )
+        assert gen.rows_at(AS_)[new_id] > 50 * gen.rows_at(self.CS)[new_id]
+
+    def test_creep_start_must_precede_onset(self):
+        from repro.workload import inject_slow_creep
+
+        pop = make_population(13)
+        with pytest.raises(ValueError):
+            inject_slow_creep(pop, np.random.default_rng(1), AS_, AS_, AE)
