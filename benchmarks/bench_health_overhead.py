@@ -24,8 +24,8 @@ from repro.collection.stream import instance_topic
 from repro.fleet import FleetConfig, FleetDiagnosisService, ServiceConfig
 from repro.health import FindingsStore, HealthConfig, HealthSweeper
 
-from benchmarks.conftest import _cached, write_report
-from benchmarks.bench_fleet_throughput import DURATION, _simulate_feeds
+from benchmarks.conftest import _cached, write_json, write_report
+from benchmarks.bench_fleet_throughput import DURATION, N_INSTANCES, _simulate_feeds
 
 CHUNK_S = 60
 SWEEP_INTERVAL_S = 120
@@ -79,7 +79,7 @@ def _chunked_drain(feeds, sweeper: HealthSweeper | None) -> tuple[float, int]:
 
 
 def test_health_sweep_overhead():
-    feeds = _cached("fleet_feeds_v1", _simulate_feeds)[:4]
+    feeds = _cached(f"fleet_feeds_v2_{N_INSTANCES}x{DURATION}", _simulate_feeds)[:4]
 
     def sweeper_for(tmp):
         return HealthSweeper(
@@ -122,6 +122,20 @@ def test_health_sweep_overhead():
         f"per sweep: {(sweeping - bare) / max(sweeps, 1) * 1e3:.1f} ms",
     ]
     write_report("health_overhead", "\n".join(lines))
+    write_json(
+        "health_overhead",
+        {
+            "instances": len(feeds),
+            "duration_s": DURATION,
+            "sweep_interval_s": SWEEP_INTERVAL_S,
+            "sweeps": sweeps,
+            "findings": findings,
+            "bare_seconds": bare,
+            "sweeping_seconds": sweeping,
+            "overhead_fraction": overhead,
+            "budget_fraction": 0.05,
+        },
+    )
 
     assert sweeps >= 3, "scheduled sweeps must fire during the chunked replay"
     assert overhead < 0.05, (

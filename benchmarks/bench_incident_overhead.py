@@ -16,7 +16,7 @@ from repro.detection.typing import classify_case
 from repro.fleet.engine import Diagnosis
 from repro.incidents import IncidentRecorder, IncidentStore
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import write_json, write_report
 
 
 def _best_of(fn, repeats: int = 9) -> float:
@@ -83,6 +83,19 @@ def test_incident_recorder_overhead(corpus, benchmark, tmp_path_factory):
             f"{store.total_bytes / 1024:.0f} KiB in {store.segment_count} segment(s)"
         )
         write_report("incident_overhead", "\n".join(lines))
+        write_json(
+            "incident_overhead",
+            {
+                "cases": len(cases),
+                "bare_seconds": total_off,
+                "recording_seconds": total_on,
+                "overhead_fraction": overall,
+                "budget_fraction": 0.05,
+                "records": store.record_count,
+                "store_bytes": store.total_bytes,
+                "segments": store.segment_count,
+            },
+        )
 
         assert overall < 0.05, (
             f"incident recording overhead {overall * 100:.2f}% exceeds 5%"

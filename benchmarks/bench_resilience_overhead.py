@@ -15,7 +15,7 @@ from repro.detection.typing import classify_case
 from repro.resilience import CircuitBreaker, DegradedModePolicy, StageWatchdog
 from repro.telemetry import MetricsRegistry
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import write_json, write_report
 
 #: A clean per-second window shaped like the real assembly input:
 #: three performance metrics over delta + anomaly (~25 minutes).
@@ -97,6 +97,16 @@ def test_resilience_overhead(corpus, benchmark):
     overall = total_on / total_off - 1
     lines.append(f"overall overhead: {overall * 100:+.2f}% (budget: +5%)")
     write_report("resilience_overhead", "\n".join(lines))
+    write_json(
+        "resilience_overhead",
+        {
+            "cases": len(cases),
+            "bare_seconds": total_off,
+            "resilient_seconds": total_on,
+            "overhead_fraction": overall,
+            "budget_fraction": 0.05,
+        },
+    )
 
     assert overall < 0.05, (
         f"resilience-layer overhead {overall * 100:.2f}% exceeds 5%"

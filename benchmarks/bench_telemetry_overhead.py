@@ -11,7 +11,7 @@ import time
 from repro.core import PinSQL
 from repro.telemetry import MetricsRegistry, Tracer
 
-from benchmarks.conftest import write_report
+from benchmarks.conftest import write_json, write_report
 
 
 def _best_of(fn, repeats: int = 9) -> float:
@@ -51,6 +51,17 @@ def test_telemetry_overhead(corpus, benchmark):
     spans = registry.get("span_duration_seconds", span="pinsql.analyze")
     lines.append(f"spans recorded: {int(spans.count)} pinsql.analyze traces")
     write_report("telemetry_overhead", "\n".join(lines))
+    write_json(
+        "telemetry_overhead",
+        {
+            "cases": len(cases),
+            "bare_seconds": total_off,
+            "instrumented_seconds": total_on,
+            "overhead_fraction": overall,
+            "budget_fraction": 0.05,
+            "spans_recorded": int(spans.count),
+        },
+    )
 
     assert overall < 0.05, f"telemetry overhead {overall * 100:.2f}% exceeds 5%"
 

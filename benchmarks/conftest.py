@@ -8,6 +8,7 @@ force regeneration.  Every benchmark also appends its report to
 
 from __future__ import annotations
 
+import json
 import pickle
 from pathlib import Path
 
@@ -53,4 +54,19 @@ def write_report(name: str, text: str) -> Path:
     path = RESULTS_DIR / f"{name}.txt"
     path.write_text(text)
     print(text)
+    return path
+
+
+def write_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result under ``results/<name>.json``.
+
+    The human table from :func:`write_report` is for eyeballs; this is
+    the shape CI jobs upload and regression tooling diffs.  Keys should
+    be stable across runs — put environment facts (cores, corpus size)
+    in the payload rather than the name.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[{name}] JSON written to {path}")
     return path

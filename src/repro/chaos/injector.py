@@ -149,7 +149,17 @@ class FaultInjector:
     # Payload mutation
     # ------------------------------------------------------------------
     def corrupt(self, value: Any, draw: float) -> Any:
-        """Deterministically mangle a record the way real pipelines do."""
+        """Deterministically mangle a record the way real pipelines do.
+
+        Columnar blocks are mangled column-wise (dictionary loss, NaN
+        columns, out-of-range template indices, negative timestamps,
+        emptied row arrays) — every mode is caught by the block
+        validators and quarantined downstream.
+        """
+        from repro.collection.blocks import MetricBlock, QueryLogBlock
+
+        if isinstance(value, (QueryLogBlock, MetricBlock)):
+            return self._corrupt_block(value, draw)
         if not isinstance(value, dict):
             return None
         record = copy.copy(value)
@@ -180,8 +190,51 @@ class FaultInjector:
                 record["response_ms"] = arr[: len(arr) // 2]
         return record
 
+    def _corrupt_block(self, block: Any, draw: float) -> Any:
+        """Column-wise corruption of one block (deterministic by draw)."""
+        from dataclasses import replace
+
+        from repro.collection.blocks import QueryLogBlock
+
+        if isinstance(block, QueryLogBlock):
+            modes = ("drop_dictionary", "bad_template", "nan_column", "empty_rows")
+        else:
+            modes = ("drop_dictionary", "nan_value", "negative_timestamp", "empty_rows")
+        mode = modes[int(draw * len(modes)) % len(modes)]
+        if mode == "drop_dictionary":
+            if isinstance(block, QueryLogBlock):
+                return replace(block, sql_ids=(), statements=())
+            return replace(block, metrics=())
+        if mode == "empty_rows":
+            return replace(block, data=block.data[:0])
+        data = block.data.copy()
+        if len(data) == 0:
+            return replace(block, data=data)
+        victim = int(draw * 997) % len(data)
+        if mode == "bad_template":
+            data["template"][victim] = len(block.sql_ids) + 7
+        elif mode == "nan_column":
+            data["response_ms"][victim] = np.nan
+        elif mode == "nan_value":
+            data["value"][victim] = np.nan
+        elif mode == "negative_timestamp":
+            data["timestamp"][victim] = -1
+        return replace(block, data=data)
+
     def skew(self, value: Any, skew_s: int) -> Any:
         """Shift every timestamp field in a record by ``skew_s`` seconds."""
+        from dataclasses import replace
+
+        from repro.collection.blocks import MetricBlock, QueryLogBlock
+
+        if isinstance(value, QueryLogBlock):
+            data = value.data.copy()
+            data["arrive_ms"] += skew_s * 1000
+            return replace(value, data=data)
+        if isinstance(value, MetricBlock):
+            data = value.data.copy()
+            data["timestamp"] += skew_s
+            return replace(value, data=data)
         if not isinstance(value, dict):
             return value
         record = copy.copy(value)
@@ -261,6 +314,36 @@ class ChaosBroker:
         released = self._release_due(topic, seq)
         last = released or last
         return last if last is not None else Message(topic, -1, key, value)
+
+    def publish_block(self, topic: str, block: Any) -> Message | None:
+        """Columnar publish through the fault pipeline.
+
+        Mirrors :meth:`Broker.publish_block` (validate, quarantine,
+        count) but routes the accepted block through :meth:`publish` so
+        drop / corrupt / skew / duplicate / late / reorder faults apply
+        to batch messages too — ``__getattr__`` delegation would
+        silently bypass injection.
+        """
+        from repro.collection.blocks import (
+            BLOCK_KEY,
+            MetricBlock,
+            QueryLogBlock,
+            validate_metric_block,
+            validate_query_block,
+        )
+        from repro.collection.quarantine import quarantine
+
+        if isinstance(block, QueryLogBlock):
+            reason = validate_query_block(block)
+        elif isinstance(block, MetricBlock):
+            reason = validate_metric_block(block)
+        else:
+            reason = "not_a_block"
+        if reason is not None:
+            quarantine(self.inner, topic, block, reason)
+            return None
+        self.inner.count_block(topic, n_records=len(block), nbytes=block.nbytes)
+        return self.publish(topic, key=BLOCK_KEY, value=block)
 
     def _emit(
         self, topic: str, seq: int, copy_idx: int, key: str, value: Any

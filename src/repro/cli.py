@@ -497,8 +497,10 @@ def _run_fleet(
             )
         db = DatabaseInstance(schema=population.schema, cpu_cores=8, seed=seed + i)
         run = db.run(WorkloadGenerator(population), duration=duration)
-        QueryLogCollector(broker, instance_id=instance_id).collect(run.query_log)
-        MetricsCollector(broker, instance_id=instance_id).collect(run.metrics)
+        QueryLogCollector(broker, instance_id=instance_id).collect_blocks(
+            run.query_log
+        )
+        MetricsCollector(broker, instance_id=instance_id).collect_blocks(run.metrics)
         truths[instance_id] = truth
         populations[instance_id] = population
     config = FleetConfig(

@@ -29,6 +29,21 @@ from repro.collection.aggregator import (
     TEMPLATE_METRICS,
 )
 from repro.collection.logstore import LogStore, PartitionedLogStore
+from repro.collection.blocks import (
+    BLOCK_KEY,
+    BlockDecodeError,
+    MetricBlock,
+    QueryLogBlock,
+    decode_block,
+    encode_block,
+    metric_block_from_metrics,
+    metric_block_from_records,
+    query_block_from_batches,
+    query_block_from_log,
+    split_query_block,
+    validate_metric_block,
+    validate_query_block,
+)
 from repro.collection.quarantine import (
     DEAD_LETTER_PREFIX,
     dead_letter_topic,
@@ -59,4 +74,17 @@ __all__ = [
     "TEMPLATE_METRICS",
     "LogStore",
     "PartitionedLogStore",
+    "BLOCK_KEY",
+    "BlockDecodeError",
+    "MetricBlock",
+    "QueryLogBlock",
+    "decode_block",
+    "encode_block",
+    "metric_block_from_metrics",
+    "metric_block_from_records",
+    "query_block_from_batches",
+    "query_block_from_log",
+    "split_query_block",
+    "validate_metric_block",
+    "validate_query_block",
 ]

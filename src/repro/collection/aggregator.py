@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.collection.blocks import QueryLogBlock
 from repro.collection.stream import Consumer
 from repro.dbsim.query import QueryLog
 from repro.timeseries import TimeSeries
@@ -208,11 +209,47 @@ class StreamAggregator:
             self._accum[sql_id] = arrays
         return arrays
 
+    def _ingest_block(self, block: QueryLogBlock) -> None:
+        """Vectorized accumulation of one columnar block.
+
+        Per-template, per-second sums are formed with one ``bincount``
+        per template over the block's sorted rows — the same partial
+        sums, in the same order, as the per-record path, so snapshots
+        stay bit-identical across the two wire formats.
+        """
+        n = self.end - self.start
+        for batch in block.iter_template_batches():
+            seconds = (batch.arrive_ms // 1000).astype(np.int64) - self.start
+            in_window = (seconds >= 0) & (seconds < n)
+            if not in_window.any():
+                continue
+            idx = seconds[in_window]
+            resp = batch.response_ms[in_window]
+            rows = batch.examined_rows[in_window]
+            arrays = self._template_arrays(batch.sql_id)
+            arrays["count"] += np.bincount(idx, minlength=n)
+            arrays["total_tres"] += np.bincount(idx, weights=resp, minlength=n)
+            arrays["total_rows"] += np.bincount(idx, weights=rows, minlength=n)
+
     def poll(self, max_messages: int = 10_000) -> int:
-        """Consume a batch of query-log messages; returns messages handled."""
+        """Consume a batch of query-log messages; returns messages handled.
+
+        Messages may carry legacy per-(second, template) records or
+        columnar :class:`QueryLogBlock` payloads; both accumulate into
+        the same per-template arrays.
+        """
         messages = self.consumer.poll(max_messages)
         for message in messages:
             record = message.value
+            if isinstance(record, QueryLogBlock):
+                if (
+                    self.instance_id
+                    and record.instance
+                    and record.instance != self.instance_id
+                ):
+                    continue
+                self._ingest_block(record)
+                continue
             if self.instance_id and record.get("instance", self.instance_id) != self.instance_id:
                 continue
             second = int(record["second"])

@@ -1,0 +1,428 @@
+"""Columnar block payloads: the batch unit of the dataplane.
+
+PinSQL is fleet-scale: the collection pipeline must move millions of
+query-log records per second, and per-record Python objects (one broker
+message per (second, template) pair, one dict per metric sample) spend
+more time on interpreter overhead and pickling than on the actual
+aggregation work.  This module defines the *block* — one broker
+``Message`` carries one block — as a numpy structured array plus a
+small string dictionary:
+
+- :class:`QueryLogBlock`: rows of ``(template, arrive_ms, response_ms,
+  examined_rows)`` with ``sql_ids`` mapping the int32 ``template``
+  column back to template ids, stamped with the source ``instance``;
+- :class:`MetricBlock`: rows of ``(metric, timestamp, value)`` with a
+  ``metrics`` name dictionary.
+
+Blocks are frozen; their arrays must be treated as immutable (decoded
+blocks are backed by read-only buffers).
+
+A binary codec (:func:`encode_block` / :func:`decode_block`) frames a
+block as ``magic + header-length + JSON header + raw column bytes`` for
+the process boundary: persistent shard workers receive encoded blocks
+and decode them with a single zero-copy ``np.frombuffer``.  Validation
+(:func:`validate_query_block` / :func:`validate_metric_block`) mirrors
+the per-record validators so malformed blocks — chaos-corrupted or
+otherwise — are quarantined to the dead-letter topic instead of
+crashing a drain loop.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.dbsim.monitor import InstanceMetrics
+    from repro.dbsim.query import QueryLog
+
+from repro.dbsim.query import SecondBatch
+
+__all__ = [
+    "BLOCK_KEY",
+    "QUERY_BLOCK_DTYPE",
+    "METRIC_BLOCK_DTYPE",
+    "BlockDecodeError",
+    "QueryLogBlock",
+    "MetricBlock",
+    "query_block_from_log",
+    "query_block_from_batches",
+    "metric_block_from_metrics",
+    "metric_block_from_records",
+    "split_query_block",
+    "encode_block",
+    "decode_block",
+    "validate_query_block",
+    "validate_metric_block",
+]
+
+#: Message key used for block payloads on broker topics.
+BLOCK_KEY = "__block__"
+
+#: Row layout of a query-log block: ``template`` indexes ``sql_ids``.
+QUERY_BLOCK_DTYPE = np.dtype(
+    [
+        ("template", np.int32),
+        ("arrive_ms", np.int64),
+        ("response_ms", np.float64),
+        ("examined_rows", np.float64),
+    ]
+)
+
+#: Row layout of a metric block: ``metric`` indexes ``metrics``.
+METRIC_BLOCK_DTYPE = np.dtype(
+    [
+        ("metric", np.int32),
+        ("timestamp", np.int64),
+        ("value", np.float64),
+    ]
+)
+
+_MAGIC_QUERY = b"PQB1"
+_MAGIC_METRIC = b"PMB1"
+_HEADER_STRUCT = struct.Struct("<4sI")
+
+
+class BlockDecodeError(ValueError):
+    """A byte frame could not be decoded into a block."""
+
+
+@dataclass(frozen=True)
+class QueryLogBlock:
+    """One columnar batch of query-log records (possibly many templates).
+
+    ``data`` is a :data:`QUERY_BLOCK_DTYPE` structured array; the int32
+    ``template`` column indexes ``sql_ids``.  ``statements`` optionally
+    carries one raw exemplar statement per template (empty string =
+    unknown), so catalogs can be taught across the process boundary.
+    """
+
+    sql_ids: tuple[str, ...]
+    data: np.ndarray
+    instance: str = ""
+    statements: tuple[str, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def n_templates(self) -> int:
+        return len(self.sql_ids)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate payload size (the structured rows)."""
+        return int(self.data.nbytes)
+
+    def iter_template_batches(self) -> Iterator[SecondBatch]:
+        """Per-template :class:`SecondBatch` slices, arrival-ordered.
+
+        One stable argsort over ``(template, arrive_ms)`` splits the
+        whole block; each yielded batch is time-ordered regardless of
+        the block's row order.
+        """
+        data = self.data
+        if len(data) == 0:
+            return
+        template = data["template"]
+        order = np.lexsort((data["arrive_ms"], template))
+        template = template[order]
+        arrive = data["arrive_ms"][order]
+        resp = data["response_ms"][order]
+        rows = data["examined_rows"][order]
+        boundaries = np.flatnonzero(np.diff(template)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [len(template)]])
+        for lo, hi in zip(starts, ends):
+            yield SecondBatch(
+                sql_id=self.sql_ids[int(template[lo])],
+                arrive_ms=arrive[lo:hi],
+                response_ms=resp[lo:hi],
+                examined_rows=rows[lo:hi],
+            )
+
+
+@dataclass(frozen=True)
+class MetricBlock:
+    """One columnar batch of performance-metric samples."""
+
+    metrics: tuple[str, ...]
+    data: np.ndarray
+    instance: str = ""
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    def iter_metric_series(self) -> Iterator[tuple[str, np.ndarray, np.ndarray]]:
+        """Per-metric ``(name, timestamps, values)`` column slices."""
+        data = self.data
+        if len(data) == 0:
+            return
+        metric = data["metric"]
+        order = np.lexsort((data["timestamp"], metric))
+        metric = metric[order]
+        ts = data["timestamp"][order]
+        values = data["value"][order]
+        boundaries = np.flatnonzero(np.diff(metric)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [len(metric)]])
+        for lo, hi in zip(starts, ends):
+            yield self.metrics[int(metric[lo])], ts[lo:hi], values[lo:hi]
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def query_block_from_log(
+    query_log: "QueryLog",
+    instance: str = "",
+    statements: Mapping[str, str] | None = None,
+) -> QueryLogBlock:
+    """Columnarise a whole simulated :class:`QueryLog` into one block.
+
+    Rows come out template-major, arrival-ordered within each template
+    — the same per-template order :meth:`QueryLog.queries_of` exposes,
+    so block ingestion reproduces the per-record path bit-for-bit.
+    """
+    sql_ids: list[str] = []
+    chunks: list[np.ndarray] = []
+    for tq in query_log.iter_templates():
+        if len(tq) == 0:
+            continue
+        rows = np.empty(len(tq), dtype=QUERY_BLOCK_DTYPE)
+        rows["template"] = len(sql_ids)
+        rows["arrive_ms"] = tq.arrive_ms
+        rows["response_ms"] = tq.response_ms
+        rows["examined_rows"] = tq.examined_rows
+        sql_ids.append(tq.sql_id)
+        chunks.append(rows)
+    data = (
+        np.concatenate(chunks)
+        if chunks
+        else np.empty(0, dtype=QUERY_BLOCK_DTYPE)
+    )
+    stmts: tuple[str, ...] = ()
+    if statements:
+        stmts = tuple(statements.get(sql_id, "") for sql_id in sql_ids)
+    return QueryLogBlock(
+        sql_ids=tuple(sql_ids), data=data, instance=instance, statements=stmts
+    )
+
+
+def query_block_from_batches(
+    batches: Iterator[SecondBatch] | list[SecondBatch], instance: str = ""
+) -> QueryLogBlock:
+    """Columnarise loose :class:`SecondBatch` records into one block."""
+    index: dict[str, int] = {}
+    chunks: list[np.ndarray] = []
+    for batch in batches:
+        if len(batch) == 0:
+            continue
+        template = index.setdefault(batch.sql_id, len(index))
+        rows = np.empty(len(batch), dtype=QUERY_BLOCK_DTYPE)
+        rows["template"] = template
+        rows["arrive_ms"] = batch.arrive_ms
+        rows["response_ms"] = batch.response_ms
+        rows["examined_rows"] = batch.examined_rows
+        chunks.append(rows)
+    data = (
+        np.concatenate(chunks)
+        if chunks
+        else np.empty(0, dtype=QUERY_BLOCK_DTYPE)
+    )
+    return QueryLogBlock(sql_ids=tuple(index), data=data, instance=instance)
+
+
+def metric_block_from_metrics(
+    metrics: "InstanceMetrics", instance: str = ""
+) -> MetricBlock:
+    """Columnarise an :class:`InstanceMetrics` bundle into one block."""
+    names: list[str] = []
+    chunks: list[np.ndarray] = []
+    for name, series in metrics.series.items():
+        n = len(series.values)
+        if n == 0:
+            continue
+        rows = np.empty(n, dtype=METRIC_BLOCK_DTYPE)
+        rows["metric"] = len(names)
+        rows["timestamp"] = np.asarray(series.timestamps, dtype=np.int64)
+        rows["value"] = np.asarray(series.values, dtype=np.float64)
+        names.append(name)
+        chunks.append(rows)
+    data = (
+        np.concatenate(chunks)
+        if chunks
+        else np.empty(0, dtype=METRIC_BLOCK_DTYPE)
+    )
+    return MetricBlock(metrics=tuple(names), data=data, instance=instance)
+
+
+def metric_block_from_records(
+    records: list[Mapping], instance: str = ""
+) -> MetricBlock:
+    """Columnarise per-record metric dicts (the legacy wire format)."""
+    names: dict[str, int] = {}
+    data = np.empty(len(records), dtype=METRIC_BLOCK_DTYPE)
+    for i, record in enumerate(records):
+        data["metric"][i] = names.setdefault(str(record["metric"]), len(names))
+        data["timestamp"][i] = int(record["timestamp"])
+        data["value"][i] = float(record["value"])
+    return MetricBlock(metrics=tuple(names), data=data, instance=instance)
+
+
+def split_query_block(
+    block: QueryLogBlock, max_rows: int
+) -> list[QueryLogBlock]:
+    """Split a block into row-bounded blocks sharing the dictionary.
+
+    Bounded message sizes keep broker memory and IPC frames sane; the
+    shared ``sql_ids`` dictionary means no re-indexing.
+    """
+    if max_rows <= 0:
+        raise ValueError("max_rows must be positive")
+    if len(block) <= max_rows:
+        return [block]
+    return [
+        replace(block, data=block.data[lo : lo + max_rows])
+        for lo in range(0, len(block), max_rows)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+def encode_block(block: QueryLogBlock | MetricBlock) -> bytes:
+    """Frame a block as ``magic + header length + JSON header + rows``."""
+    if isinstance(block, QueryLogBlock):
+        magic = _MAGIC_QUERY
+        header = {
+            "v": 1,
+            "rows": len(block.data),
+            "names": list(block.sql_ids),
+            "instance": block.instance,
+            "statements": list(block.statements),
+        }
+        expected = QUERY_BLOCK_DTYPE
+    elif isinstance(block, MetricBlock):
+        magic = _MAGIC_METRIC
+        header = {
+            "v": 1,
+            "rows": len(block.data),
+            "names": list(block.metrics),
+            "instance": block.instance,
+        }
+        expected = METRIC_BLOCK_DTYPE
+    else:
+        raise TypeError(f"not a block: {type(block).__name__}")
+    if block.data.dtype != expected:
+        raise ValueError(f"block dtype mismatch: {block.data.dtype}")
+    header_bytes = json.dumps(header, separators=(",", ":")).encode()
+    payload = np.ascontiguousarray(block.data).tobytes()
+    return _HEADER_STRUCT.pack(magic, len(header_bytes)) + header_bytes + payload
+
+
+def decode_block(raw: bytes) -> QueryLogBlock | MetricBlock:
+    """Decode a frame produced by :func:`encode_block`.
+
+    The row array is a zero-copy read-only view over ``raw``; blocks
+    are immutable by contract so no defensive copy is made.
+    """
+    if len(raw) < _HEADER_STRUCT.size:
+        raise BlockDecodeError("frame shorter than header")
+    magic, header_len = _HEADER_STRUCT.unpack_from(raw)
+    if magic not in (_MAGIC_QUERY, _MAGIC_METRIC):
+        raise BlockDecodeError(f"bad magic: {magic!r}")
+    body_start = _HEADER_STRUCT.size + header_len
+    if len(raw) < body_start:
+        raise BlockDecodeError("truncated header")
+    try:
+        header = json.loads(raw[_HEADER_STRUCT.size : body_start])
+    except ValueError as exc:
+        raise BlockDecodeError(f"bad header json: {exc}") from exc
+    if not isinstance(header, dict) or header.get("v") != 1:
+        raise BlockDecodeError("unsupported header version")
+    try:
+        rows = int(header["rows"])
+        names = tuple(str(n) for n in header["names"])
+        instance = str(header.get("instance", ""))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BlockDecodeError(f"malformed header: {exc}") from exc
+    dtype = QUERY_BLOCK_DTYPE if magic == _MAGIC_QUERY else METRIC_BLOCK_DTYPE
+    if rows < 0 or len(raw) - body_start != rows * dtype.itemsize:
+        raise BlockDecodeError(
+            f"payload size mismatch: {len(raw) - body_start} bytes for {rows} rows"
+        )
+    data = np.frombuffer(raw, dtype=dtype, count=rows, offset=body_start)
+    if magic == _MAGIC_QUERY:
+        statements = tuple(str(s) for s in header.get("statements", ()))
+        if statements and len(statements) != len(names):
+            raise BlockDecodeError("statements do not match template dictionary")
+        return QueryLogBlock(
+            sql_ids=names, data=data, instance=instance, statements=statements
+        )
+    return MetricBlock(metrics=names, data=data, instance=instance)
+
+
+# ----------------------------------------------------------------------
+# Validation (mirrors repro.collection.quarantine record validators)
+# ----------------------------------------------------------------------
+def validate_query_block(block: object) -> str | None:
+    """Reject reason for a query-log block, or ``None`` if valid."""
+    if not isinstance(block, QueryLogBlock):
+        return "not_a_block"
+    data = block.data
+    if not isinstance(data, np.ndarray) or data.dtype != QUERY_BLOCK_DTYPE:
+        return "bad_dtype"
+    if data.ndim != 1 or data.size == 0:
+        return "bad_shape:data"
+    if not all(isinstance(s, str) and s for s in block.sql_ids):
+        return "bad_type:sql_ids"
+    if block.statements and len(block.statements) != len(block.sql_ids):
+        return "length_mismatch:statements"
+    template = data["template"]
+    if len(block.sql_ids) == 0:
+        return "missing_dictionary"
+    if template.min() < 0 or template.max() >= len(block.sql_ids):
+        return "bad_index:template"
+    if data["arrive_ms"].min() < 0:
+        return "bad_type:arrive_ms"
+    if not np.isfinite(data["response_ms"]).all():
+        return "non_finite:response_ms"
+    if not np.isfinite(data["examined_rows"]).all():
+        return "non_finite:examined_rows"
+    if not isinstance(block.instance, str):
+        return "bad_type:instance"
+    return None
+
+
+def validate_metric_block(block: object) -> str | None:
+    """Reject reason for a metric block, or ``None`` if valid."""
+    if not isinstance(block, MetricBlock):
+        return "not_a_block"
+    data = block.data
+    if not isinstance(data, np.ndarray) or data.dtype != METRIC_BLOCK_DTYPE:
+        return "bad_dtype"
+    if data.ndim != 1 or data.size == 0:
+        return "bad_shape:data"
+    if not all(isinstance(s, str) and s for s in block.metrics):
+        return "bad_type:metrics"
+    metric = data["metric"]
+    if len(block.metrics) == 0:
+        return "missing_dictionary"
+    if metric.min() < 0 or metric.max() >= len(block.metrics):
+        return "bad_index:metric"
+    if data["timestamp"].min() < 0:
+        return "bad_type:timestamp"
+    if not np.isfinite(data["value"]).all():
+        return "non_finite:value"
+    if not isinstance(block.instance, str):
+        return "bad_type:instance"
+    return None

@@ -1,10 +1,22 @@
 """Instance-side collectors.
 
 ``QueryLogCollector`` drains a simulated instance's query log into the
-broker as per-(template, second) record batches — the asynchronous,
-outside-the-instance shipping that keeps PinSQL's overhead negligible
-compared with in-database monitoring (paper Section IV-C discussion).
-``MetricsCollector`` ships the per-second performance-metric points.
+broker — the asynchronous, outside-the-instance shipping that keeps
+PinSQL's overhead negligible compared with in-database monitoring
+(paper Section IV-C discussion).  ``MetricsCollector`` ships the
+performance-metric points.
+
+Two wire formats exist:
+
+- the legacy per-record path (:meth:`QueryLogCollector.collect` /
+  :meth:`MetricsCollector.collect`): one message per (second, template)
+  batch or per metric sample — kept for replay compatibility and
+  fine-grained fault-injection experiments;
+- the columnar path (:meth:`QueryLogCollector.collect_blocks` /
+  :meth:`MetricsCollector.collect_blocks`): one message carries one
+  :class:`~repro.collection.blocks.QueryLogBlock` /
+  :class:`~repro.collection.blocks.MetricBlock` of many thousands of
+  rows — the high-throughput dataplane every fleet-scale path uses.
 
 Collectors are *instance-scoped*: constructed with an ``instance_id``
 they publish to that instance's topic partition
@@ -17,8 +29,15 @@ single-instance topics.
 
 from __future__ import annotations
 
+from typing import Mapping
+
 import numpy as np
 
+from repro.collection.blocks import (
+    metric_block_from_metrics,
+    query_block_from_log,
+    split_query_block,
+)
 from repro.collection.quarantine import (
     quarantine,
     validate_metric_record,
@@ -33,10 +52,14 @@ __all__ = [
     "MetricsCollector",
     "QUERY_TOPIC",
     "METRIC_TOPIC",
+    "DEFAULT_BLOCK_ROWS",
 ]
 
 QUERY_TOPIC = "query_logs"
 METRIC_TOPIC = "performance_metrics"
+
+#: Default row bound per published block message.
+DEFAULT_BLOCK_ROWS = 262_144
 
 
 class QueryLogCollector:
@@ -89,6 +112,30 @@ class QueryLogCollector:
             sent += 1
         return sent
 
+    def collect_blocks(
+        self,
+        query_log: QueryLog,
+        statements: Mapping[str, str] | None = None,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+    ) -> int:
+        """Ship the whole log as columnar blocks; returns blocks sent.
+
+        One message carries one :class:`QueryLogBlock` of up to
+        ``block_rows`` rows — the batch dataplane.  ``statements``
+        optionally maps sql_id → raw exemplar so downstream catalogs
+        learn templates across the wire.
+        """
+        block = query_block_from_log(
+            query_log, instance=self.instance_id, statements=statements
+        )
+        if len(block) == 0:
+            return 0
+        sent = 0
+        for piece in split_query_block(block, block_rows):
+            if self.broker.publish_block(self.topic, piece) is not None:
+                sent += 1
+        return sent
+
 
 class MetricsCollector:
     """Publishes per-second performance-metric points to the broker."""
@@ -119,3 +166,10 @@ class MetricsCollector:
                 self.broker.publish(self.topic, key=name, value=record)
                 sent += 1
         return sent
+
+    def collect_blocks(self, metrics: InstanceMetrics) -> int:
+        """Ship every metric series as one columnar block message."""
+        block = metric_block_from_metrics(metrics, instance=self.instance_id)
+        if len(block) == 0:
+            return 0
+        return 1 if self.broker.publish_block(self.topic, block) is not None else 0

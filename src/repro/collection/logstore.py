@@ -132,6 +132,15 @@ class LogStore:
             help="Distinct SQL templates resident.",
             **labels,
         )
+        #: Silent de-vectorization alarm: window reads that could not
+        #: use the chronological batch index (out-of-order ingestion)
+        #: and fell back to scanning the whole retention horizon.
+        self._m_fullscans = registry.counter(
+            "logstore_fullscan_reads_total",
+            help="Window reads that fell back to a full scan because a "
+            "template's batches were ingested out of order.",
+            **labels,
+        )
         self._resident_bytes = 0
 
     def _account(self, batch: SecondBatch, sign: int) -> None:
@@ -197,6 +206,20 @@ class LogStore:
         self._m_queries.inc(len(batch))
         self._account(batch, +1)
 
+    def ingest_block(self, block) -> int:
+        """Absorb one columnar :class:`~repro.collection.blocks.QueryLogBlock`.
+
+        The block is split into per-template, arrival-ordered batches in
+        one vectorized pass (a single argsort over the block) and each
+        batch is ingested exactly like the per-record path — the
+        aggregates come out bit-identical.  Returns queries stored.
+        """
+        stored = 0
+        for batch in block.iter_template_batches():
+            self.ingest_batch(batch)
+            stored += len(batch)
+        return stored
+
     # ------------------------------------------------------------------
     # Query
     # ------------------------------------------------------------------
@@ -223,6 +246,8 @@ class LogStore:
             # arrivals inside it) skip the mask entirely.
             span = range(bisect_left(ends, lo_ms), bisect_left(starts, hi_ms))
         else:
+            if batches:
+                self._m_fullscans.inc()
             span = range(len(batches))
         arrives, resps, rows = [], [], []
         for i in span:
@@ -270,6 +295,7 @@ class LogStore:
             hi = int(np.searchsorted(sec, t1, side="left"))
             sel = slice(lo, hi)
         else:
+            self._m_fullscans.inc()
             sel = (sec >= t0) & (sec < t1)
         idx = sec[sel] - t0
         out_count = np.bincount(idx, weights=count[sel], minlength=n)

@@ -18,6 +18,13 @@ Pruned messages advance the topic's base offset — exactly Kafka's
 log-head truncation — and are counted by the
 ``broker_pruned_messages_total`` counter.
 
+Batch payloads are first class: one message may carry one columnar
+block (:mod:`repro.collection.blocks`) instead of one record.
+:meth:`Broker.publish_block` validates the block before appending and
+counts records-per-block, blocks and payload bytes per topic, so the
+batch dataplane's shape (records/block, blocks/s, bytes shipped) is
+visible next to the legacy per-message counters.
+
 The broker self-reports through :mod:`repro.telemetry`: published
 message counters per topic, poll-batch-size histograms, and per-consumer
 lag gauges — the first things an operator checks when the diagnosis
@@ -118,6 +125,61 @@ class Broker:
             topic=topic,
         ).inc()
         return message
+
+    def publish_block(self, topic: str, block: Any) -> Message | None:
+        """Publish one columnar block as one message (validated).
+
+        The block is validated up front; a malformed block is routed to
+        the topic's dead-letter quarantine and ``None`` is returned.
+        Valid blocks are counted into the batch-aware telemetry:
+        records per block (histogram), blocks published and payload
+        bytes shipped per topic.
+        """
+        from repro.collection.blocks import (
+            MetricBlock,
+            QueryLogBlock,
+            validate_metric_block,
+            validate_query_block,
+        )
+        from repro.collection.quarantine import quarantine
+
+        if isinstance(block, QueryLogBlock):
+            reason = validate_query_block(block)
+        elif isinstance(block, MetricBlock):
+            reason = validate_metric_block(block)
+        else:
+            reason = "not_a_block"
+        if reason is not None:
+            quarantine(self, topic, block, reason)
+            return None
+        self.count_block(topic, n_records=len(block), nbytes=block.nbytes)
+        from repro.collection.blocks import BLOCK_KEY
+
+        return self.publish(topic, key=BLOCK_KEY, value=block)
+
+    def count_block(self, topic: str, n_records: int, nbytes: int) -> None:
+        """Record batch telemetry for one block on ``topic``."""
+        self.registry.counter(
+            "broker_blocks_published_total",
+            help="Columnar blocks appended per topic.",
+            topic=topic,
+        ).inc()
+        self.registry.counter(
+            "broker_block_records_total",
+            help="Records carried inside published blocks, per topic.",
+            topic=topic,
+        ).inc(n_records)
+        self.registry.counter(
+            "broker_block_bytes_total",
+            help="Payload bytes of published blocks, per topic.",
+            topic=topic,
+        ).inc(nbytes)
+        self.registry.histogram(
+            "broker_block_records",
+            help="Records per published block.",
+            buckets=DEFAULT_COUNT_BUCKETS,
+            topic=topic,
+        ).observe(n_records)
 
     def size(self, topic: str) -> int:
         """Messages ever published to a topic (including pruned ones)."""

@@ -21,8 +21,17 @@ from repro.fleet.sharded import (
     run_shard_supervised,
     run_sharded,
 )
+from repro.fleet.workers import (
+    BlockFeed,
+    PersistentWorkerPool,
+    WorkItem,
+    block_feed_from_broker,
+    columnarize_feed,
+    process_work_item,
+)
 
 __all__ = [
+    "BlockFeed",
     "Diagnosis",
     "DiagnosisScheduler",
     "FleetConfig",
@@ -31,9 +40,14 @@ __all__ = [
     "InstanceDiagnosisEngine",
     "InstanceFeed",
     "InstanceRegistry",
+    "PersistentWorkerPool",
     "ServiceConfig",
     "ShardTask",
+    "WorkItem",
+    "block_feed_from_broker",
+    "columnarize_feed",
     "feed_from_broker",
+    "process_work_item",
     "run_shard",
     "run_shard_supervised",
     "run_sharded",

@@ -270,6 +270,11 @@ class InstanceDiagnosisEngine:
             help="Query-log messages drained into the LogStore.",
             **labels,
         )
+        self._m_block_records = reg.counter(
+            "service_querylog_block_records_total",
+            help="Raw query records ingested from columnar block messages.",
+            **labels,
+        )
         self._m_samples_evicted = reg.counter(
             "service_metric_samples_evicted_total",
             help="Mirrored metric samples dropped by the retention bound.",
@@ -293,6 +298,7 @@ class InstanceDiagnosisEngine:
     # Stream consumption
     # ------------------------------------------------------------------
     def _drain_query_logs(self, max_messages: int = 50_000) -> int:
+        from repro.collection.blocks import QueryLogBlock, validate_query_block
         from repro.dbsim.query import SecondBatch
 
         handled = 0
@@ -302,6 +308,32 @@ class InstanceDiagnosisEngine:
                 break
             for message in messages:
                 record = message.value
+                if isinstance(record, QueryLogBlock):
+                    if self.config.validate_records:
+                        reason = validate_query_block(record)
+                        if reason is not None:
+                            # A malformed block is one lost *batch*: park
+                            # it on the dead-letter topic, and weigh the
+                            # loss by its row count for the degraded
+                            # policy (a block is not one record).
+                            quarantine(
+                                self.broker, self.query_topic, record, reason
+                            )
+                            self._quarantined_since_diagnosis += 1
+                            continue
+                    if (
+                        self.instance_id
+                        and record.instance
+                        and record.instance != self.instance_id
+                    ):
+                        continue
+                    ingested = self.logstore.ingest_block(record)
+                    self._m_block_records.inc(ingested)
+                    for sql_id, stmt in zip(record.sql_ids, record.statements):
+                        if stmt and sql_id not in self.catalog:
+                            self.catalog.register_statement(stmt)
+                    handled += 1
+                    continue
                 if self.config.validate_records:
                     reason = validate_query_record(record)
                     if reason is not None:

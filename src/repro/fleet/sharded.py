@@ -4,10 +4,17 @@ The fleet's thread pool keeps one process's instances concurrent, but
 PinSQL analysis is CPU-bound Python: threads interleave under the GIL
 instead of truly overlapping.  For real multicore scaling the fleet is
 sharded across *processes*: the parent partitions instances with the
-same :func:`~repro.fleet.scheduler.stable_shard` hash, ships each shard
-its instances' raw message streams (plain picklable records — brokers
-and engines are rebuilt inside the worker), and merges the per-shard
+same :func:`~repro.fleet.scheduler.stable_shard` hash, ships each
+worker its instances' collected streams, and merges the per-shard
 diagnosis counts.
+
+``processes > 1`` runs on the columnar dataplane: feeds are encoded
+into block frames and dispatched one instance at a time to the
+long-lived processes of a
+:class:`~repro.fleet.workers.PersistentWorkerPool` (see that module).
+``processes <= 1`` replays in-process through the legacy per-record
+path, byte-for-byte identical to what :func:`run_shard` has always
+produced — the shared code path callers use regardless of cores.
 
 This mirrors production, where diagnosis workers are separate machines
 consuming a shared Kafka: the message stream is the interface, never
@@ -188,9 +195,17 @@ def run_sharded(
     :func:`repro.incidents.load_health`) merges them afterwards.
 
     Shard crashes — chaos-injected via ``fault_plan`` or real — are
-    supervised by the parent: each crashed shard is resubmitted with a
-    bumped attempt up to ``max_restarts`` times (counted into
+    supervised by the parent: each crashed work item is resubmitted
+    with a bumped attempt up to ``max_restarts`` times (counted into
     ``fleet_worker_restarts_total``) before being abandoned.
+
+    ``processes > 1`` runs on a
+    :class:`~repro.fleet.workers.PersistentWorkerPool`: feeds are
+    columnarised into encoded block frames, and long-lived worker
+    processes pull one instance-sized work item at a time instead of
+    receiving their whole shard up front.  ``feeds`` may mix
+    :class:`InstanceFeed` and pre-columnarised
+    :class:`~repro.fleet.workers.BlockFeed` entries.
     """
     if processes <= 1:
         shard_dir = None
@@ -205,51 +220,29 @@ def run_sharded(
             ),
             max_restarts=max_restarts,
         )
-    shards: list[list[InstanceFeed]] = [[] for _ in range(processes)]
-    for feed in feeds:
-        shards[stable_shard(feed.instance_id, processes)].append(feed)
-    tasks = [
-        ShardTask(
-            feeds=s,
-            config=config,
-            incident_dir=(
-                str(Path(incident_dir) / f"shard-{idx:02d}")
-                if incident_dir is not None
-                else None
-            ),
-            fault_plan=fault_plan,
-            shard_key=f"shard-{idx:02d}",
-        )
-        for idx, s in enumerate(shards)
-        if s
-    ]
-    import multiprocessing
+    from repro.fleet.workers import (
+        BlockFeed,
+        PersistentWorkerPool,
+        WorkItem,
+        columnarize_feed,
+    )
 
-    merged: dict[str, int] = {}
-    with multiprocessing.Pool(processes=min(processes, len(tasks))) as pool:
-        # Parent-side supervision: a crashed shard process is resubmitted
-        # (attempt bumped) until it completes or exhausts its restarts.
-        pending = [(task, pool.apply_async(run_shard, (task,))) for task in tasks]
-        while pending:
-            still_pending = []
-            for task, result in pending:
-                try:
-                    merged.update(result.get())
-                except Exception:
-                    if task.attempt >= max_restarts:
-                        _log.warning(
-                            "shard failed after supervised restarts; abandoning",
-                            extra={"shard": task.shard_key, "attempts": task.attempt},
-                            exc_info=True,
-                        )
-                        merged.update(
-                            {feed.instance_id: 0 for feed in task.feeds}
-                        )
-                        continue
-                    retry = replace(task, attempt=task.attempt + 1)
-                    _count_shard_restart(retry.shard_key)
-                    still_pending.append(
-                        (retry, pool.apply_async(run_shard, (retry,)))
-                    )
-            pending = still_pending
-    return merged
+    items = []
+    for feed in feeds:
+        idx = stable_shard(feed.instance_id, processes)
+        block_feed = feed if isinstance(feed, BlockFeed) else columnarize_feed(feed)
+        items.append(
+            WorkItem(
+                feed=block_feed,
+                config=config,
+                incident_dir=(
+                    str(Path(incident_dir) / f"shard-{idx:02d}")
+                    if incident_dir is not None
+                    else None
+                ),
+                fault_plan=fault_plan,
+                shard_key=f"shard-{idx:02d}",
+            )
+        )
+    pool = PersistentWorkerPool(processes=processes, max_restarts=max_restarts)
+    return pool.run(items)

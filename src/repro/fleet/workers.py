@@ -1,0 +1,488 @@
+"""Persistent shard worker processes fed columnar work items.
+
+The first multiprocess fleet runner shipped each shard its whole raw
+message stream up front and paid per-record pickling on the way over.
+This module replaces that with a pull model built for the columnar
+dataplane:
+
+- An :class:`InstanceFeed` is *columnarised* into a :class:`BlockFeed`
+  — encoded :class:`~repro.collection.blocks.QueryLogBlock` /
+  :class:`~repro.collection.blocks.MetricBlock` frames (plain
+  ``bytes``, trivially picklable) plus whatever legacy records could
+  not be converted (they keep flowing through the old wire format and
+  its quarantine).
+- A :class:`PersistentWorkerPool` spawns long-lived worker processes
+  once and feeds them :class:`WorkItem` units (one instance each)
+  through per-worker task queues.  Workers *pull* their next item when
+  the previous one completes; the parent keeps exactly one item in
+  flight per worker.
+- Supervision lives in the parent: a worker process that dies
+  mid-item (chaos ``worker_crash`` or a real fault) is respawned and
+  its unfinished item resubmitted with a bumped attempt, bounded by
+  ``max_restarts``; an item that keeps crashing is abandoned (zero
+  diagnoses, counted into ``fleet_worker_failures_total``) instead of
+  failing the fleet run.
+
+Worker routing uses the same
+:func:`~repro.fleet.scheduler.stable_shard` hash as the thread-pool
+scheduler, so each incident directory (``shard-NN``) keeps a single
+writer at any moment.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_mod
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.collection.blocks import (
+    BlockDecodeError,
+    MetricBlock,
+    QueryLogBlock,
+    decode_block,
+    encode_block,
+    metric_block_from_records,
+    query_block_from_batches,
+    split_query_block,
+)
+from repro.collection.collector import DEFAULT_BLOCK_ROWS, METRIC_TOPIC, QUERY_TOPIC
+from repro.collection.quarantine import (
+    quarantine,
+    validate_metric_record,
+    validate_query_record,
+)
+from repro.collection.stream import Broker, instance_topic
+from repro.dbsim.query import SecondBatch
+from repro.fleet.engine import ServiceConfig
+from repro.fleet.scheduler import stable_shard
+from repro.fleet.service import FleetConfig, FleetDiagnosisService
+from repro.telemetry import MetricsRegistry, get_logger, get_registry
+
+if TYPE_CHECKING:  # pragma: no cover - chaos wraps fleet, import lazily
+    from repro.chaos.plan import FaultPlan
+
+_log = get_logger("fleet")
+
+__all__ = [
+    "BlockFeed",
+    "PersistentWorkerPool",
+    "WorkItem",
+    "block_feed_from_broker",
+    "columnarize_feed",
+    "process_work_item",
+]
+
+#: Exit code a worker uses for a chaos-injected hard crash.
+_CRASH_EXIT_CODE = 17
+
+
+@dataclass
+class BlockFeed:
+    """One instance's collected streams as encoded columnar frames.
+
+    ``query_payloads`` / ``metric_payloads`` hold
+    :func:`~repro.collection.blocks.encode_block` frames — plain bytes,
+    so shipping a feed to a worker process pickles a handful of
+    buffers instead of thousands of per-record dicts.  Records that
+    could not be columnarised (malformed, foreign shapes) ride along
+    in ``query_records`` / ``metric_records`` and replay through the
+    legacy wire format, where validation quarantines them exactly as
+    before.
+    """
+
+    instance_id: str
+    query_payloads: list[bytes] = field(default_factory=list)
+    metric_payloads: list[bytes] = field(default_factory=list)
+    query_records: list[tuple] = field(default_factory=list)
+    metric_records: list[tuple] = field(default_factory=list)
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded payload bytes shipped for this feed."""
+        return sum(len(p) for p in self.query_payloads) + sum(
+            len(p) for p in self.metric_payloads
+        )
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.query_payloads) + len(self.metric_payloads)
+
+
+def columnarize_feed(feed: Any, block_rows: int = DEFAULT_BLOCK_ROWS) -> "BlockFeed":
+    """Convert an :class:`~repro.fleet.sharded.InstanceFeed` to blocks.
+
+    Valid legacy records are gathered into columnar blocks (row-bounded
+    by ``block_rows``); records already carried as blocks are re-encoded
+    as-is.  Anything unconvertible stays a legacy record so the replay
+    path can quarantine it.
+    """
+    out = BlockFeed(instance_id=feed.instance_id)
+    batches: list[SecondBatch] = []
+    for key, value in feed.query_records:
+        if isinstance(value, QueryLogBlock):
+            out.query_payloads.append(encode_block(value))
+        elif validate_query_record(value) is None:
+            batches.append(
+                SecondBatch(
+                    sql_id=str(value["sql_id"]),
+                    arrive_ms=np.asarray(value["arrive_ms"], dtype=np.int64),
+                    response_ms=np.asarray(value["response_ms"], dtype=np.float64),
+                    examined_rows=np.asarray(
+                        value["examined_rows"], dtype=np.float64
+                    ),
+                )
+            )
+        else:
+            out.query_records.append((key, value))
+    if batches:
+        block = query_block_from_batches(batches, instance=feed.instance_id)
+        out.query_payloads.extend(
+            encode_block(piece) for piece in split_query_block(block, block_rows)
+        )
+    metric_dicts: list[dict] = []
+    for key, value in feed.metric_records:
+        if isinstance(value, MetricBlock):
+            out.metric_payloads.append(encode_block(value))
+        elif validate_metric_record(value) is None:
+            metric_dicts.append(dict(value))
+        else:
+            out.metric_records.append((key, value))
+    if metric_dicts:
+        out.metric_payloads.append(
+            encode_block(
+                metric_block_from_records(metric_dicts, instance=feed.instance_id)
+            )
+        )
+    return out
+
+
+def block_feed_from_broker(
+    broker: Broker, instance_id: str, block_rows: int = DEFAULT_BLOCK_ROWS
+) -> "BlockFeed":
+    """Capture an instance's topic partitions as a columnar feed."""
+    from repro.fleet.sharded import feed_from_broker
+
+    return columnarize_feed(feed_from_broker(broker, instance_id), block_rows)
+
+
+@dataclass
+class WorkItem:
+    """One pull-scheduled unit of fleet work: diagnose one instance."""
+
+    feed: BlockFeed
+    config: ServiceConfig | None = None
+    #: Incident store directory of the *worker* this item routes to
+    #: (``shard-NN``) — JSONL segments are single-writer, and routing
+    #: by :func:`stable_shard` keeps one live writer per directory.
+    incident_dir: str | None = None
+    fault_plan: "FaultPlan | None" = None
+    shard_key: str = "shard-00"
+    attempt: int = 0
+
+    @property
+    def scope(self) -> str:
+        """Stable identity the chaos crash decision keys on."""
+        return f"{self.shard_key}/{self.feed.instance_id}"
+
+
+def process_work_item(item: WorkItem) -> dict[str, int]:
+    """Diagnose one work item in-process; returns diagnoses per instance.
+
+    The worker-side body of the pool: rebuild a broker, replay the
+    feed's columnar frames (and legacy leftovers) through it — via the
+    chaos facade when a fault plan is armed, so drop/corrupt/skew and
+    friends apply to batch messages — and drain a single-instance
+    fleet service over the result.
+    """
+    broker = Broker()
+    publish_broker: Any = broker
+    fault_hook = None
+    chaos_broker = None
+    if item.fault_plan is not None:
+        from repro.chaos.injector import FaultInjector, InjectedWorkerCrash
+
+        injector = FaultInjector(item.fault_plan)
+        if injector.should_crash_shard(item.scope, item.attempt):
+            raise InjectedWorkerCrash(
+                f"injected crash of {item.scope} (attempt {item.attempt})"
+            )
+        chaos_broker = injector.wrap_broker(broker)
+        publish_broker = chaos_broker
+        fault_hook = injector.fleet_hook()
+    recorder = None
+    if item.incident_dir is not None:
+        from repro.incidents import IncidentRecorder, IncidentStore
+
+        recorder = IncidentRecorder(IncidentStore(item.incident_dir))
+    service = FleetDiagnosisService(
+        broker,
+        config=FleetConfig(service=item.config or ServiceConfig(), workers=1),
+        recorder=recorder,
+        fault_hook=fault_hook,
+    )
+    feed = item.feed
+    service.register_instance(feed.instance_id)
+    query_topic = instance_topic(QUERY_TOPIC, feed.instance_id)
+    metric_topic = instance_topic(METRIC_TOPIC, feed.instance_id)
+    for topic, payloads in (
+        (query_topic, feed.query_payloads),
+        (metric_topic, feed.metric_payloads),
+    ):
+        for payload in payloads:
+            try:
+                block = decode_block(payload)
+            except BlockDecodeError as exc:
+                quarantine(broker, topic, payload, f"undecodable_block:{exc}")
+                continue
+            publish_broker.publish_block(topic, block)
+    for key, value in feed.query_records:
+        publish_broker.publish(query_topic, key, value)
+    for key, value in feed.metric_records:
+        publish_broker.publish(metric_topic, key, value)
+    if chaos_broker is not None:
+        chaos_broker.flush()
+    service.run_until_drained()
+    return {
+        instance_id: len(service.diagnoses_for(instance_id))
+        for instance_id in service.instance_ids
+    }
+
+
+def _worker_main(worker_idx: int, task_queue: Any, result_queue: Any) -> None:
+    """Long-lived worker loop: pull an item, process, report, repeat.
+
+    A chaos-injected crash kills the *process* (``os._exit``) so the
+    parent's supervision — respawn plus resubmission of the unfinished
+    item — is exercised for real, not simulated by an exception.
+    """
+    while True:
+        item = task_queue.get()
+        if item is None:
+            return
+        try:
+            counts = process_work_item(item)
+        except BaseException as exc:  # noqa: BLE001 - worker must not die silently
+            from repro.chaos.injector import InjectedWorkerCrash
+
+            if isinstance(exc, InjectedWorkerCrash):
+                os._exit(_CRASH_EXIT_CODE)
+            result_queue.put(
+                ("error", worker_idx, item.feed.instance_id, repr(exc))
+            )
+            continue
+        result_queue.put(("done", worker_idx, item.feed.instance_id, counts))
+
+
+class PersistentWorkerPool:
+    """A fixed set of long-lived worker processes pulling work items.
+
+    Unlike a ``Pool.map`` over whole-shard tasks, workers here stay
+    alive across items and pull the next one only when the previous
+    completes — the parent keeps exactly one item in flight per worker,
+    so a crash loses at most one item and restart resubmission is
+    precise.  Items route to workers by ``stable_shard(instance_id,
+    processes)``; pass items whose ``incident_dir``/``shard_key``
+    follow the same hash (as :func:`repro.fleet.sharded.run_sharded`
+    does) to keep incident stores single-writer.
+    """
+
+    def __init__(
+        self,
+        processes: int,
+        max_restarts: int = 2,
+        registry: MetricsRegistry | None = None,
+        poll_interval_s: float = 0.2,
+    ) -> None:
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = int(processes)
+        self.max_restarts = int(max_restarts)
+        self.registry = registry or get_registry()
+        self.poll_interval_s = float(poll_interval_s)
+
+    # -- telemetry -----------------------------------------------------
+    def _count_item(self, status: str) -> None:
+        self.registry.counter(
+            "fleet_work_items_total",
+            help="Work items through the persistent pool, by outcome.",
+            status=status,
+        ).inc()
+
+    def _count_bytes(self, nbytes: int) -> None:
+        self.registry.counter(
+            "fleet_shard_bytes_shipped_total",
+            help="Encoded block bytes shipped to shard workers.",
+        ).inc(nbytes)
+
+    def _count_restart(self, shard_key: str) -> None:
+        self.registry.counter(
+            "fleet_worker_restarts_total",
+            help="Supervised restarts of crashed fleet worker steps.",
+            instance=shard_key,
+        ).inc()
+
+    def _count_failure(self, instance_id: str) -> None:
+        self.registry.counter(
+            "fleet_worker_failures_total",
+            help="Instance steps abandoned after exhausting "
+            "supervised restarts.",
+            instance=instance_id,
+        ).inc()
+
+    # -- run loop ------------------------------------------------------
+    def run(self, items: list[WorkItem]) -> dict[str, int]:
+        """Process every item; returns merged diagnosis counts."""
+        if not items:
+            return {}
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        n = self.processes
+        pending: list[deque[WorkItem]] = [deque() for _ in range(n)]
+        for item in items:
+            pending[stable_shard(item.feed.instance_id, n)].append(item)
+            self._count_bytes(item.feed.nbytes)
+        result_queue = ctx.Queue()
+        task_queues: dict[int, Any] = {}
+        workers: dict[int, Any] = {}
+        inflight: dict[int, WorkItem | None] = {}
+        for idx in range(n):
+            if not pending[idx]:
+                continue
+            task_queues[idx] = ctx.Queue()
+            workers[idx] = ctx.Process(
+                target=_worker_main,
+                args=(idx, task_queues[idx], result_queue),
+                daemon=True,
+            )
+            workers[idx].start()
+            inflight[idx] = None
+            self._submit(idx, task_queues, pending, inflight)
+        merged: dict[str, int] = {}
+        remaining = len(items)
+        while remaining > 0:
+            try:
+                kind, idx, instance_id, payload = result_queue.get(
+                    timeout=self.poll_interval_s
+                )
+            except queue_mod.Empty:
+                remaining -= self._sweep_dead_workers(
+                    ctx, result_queue, task_queues, workers, pending, inflight, merged
+                )
+                continue
+            if kind == "done":
+                merged.update(payload)
+                self._count_item("completed")
+                inflight[idx] = None
+                remaining -= 1
+                self._submit(idx, task_queues, pending, inflight)
+            elif kind == "error":
+                _log.warning(
+                    "work item failed in persistent worker",
+                    extra={"worker": idx, "instance": instance_id, "error": payload},
+                )
+                item = inflight[idx]
+                inflight[idx] = None
+                if item is not None:
+                    remaining -= self._requeue_or_abandon(idx, item, pending, merged)
+                self._submit(idx, task_queues, pending, inflight)
+        for idx, task_queue in task_queues.items():
+            worker = workers.get(idx)
+            if worker is not None and worker.is_alive():
+                task_queue.put(None)
+        for worker in workers.values():
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - orderly shutdown backstop
+                worker.terminate()
+                worker.join(timeout=5)
+        return merged
+
+    def _submit(
+        self,
+        idx: int,
+        task_queues: dict[int, Any],
+        pending: list[deque[WorkItem]],
+        inflight: dict[int, WorkItem | None],
+    ) -> None:
+        if inflight.get(idx) is None and pending[idx]:
+            item = pending[idx].popleft()
+            inflight[idx] = item
+            task_queues[idx].put(item)
+            self._count_item("submitted")
+
+    def _requeue_or_abandon(
+        self,
+        idx: int,
+        item: WorkItem,
+        pending: list[deque[WorkItem]],
+        merged: dict[str, int],
+    ) -> int:
+        """Resubmit a failed item (attempt bumped) or abandon it.
+
+        Returns 1 when the item is finished (abandoned) so the caller
+        can decrement its remaining count, 0 when it was requeued.
+        """
+        if item.attempt >= self.max_restarts:
+            _log.warning(
+                "work item failed after supervised restarts; abandoning",
+                extra={"shard": item.shard_key, "instance": item.feed.instance_id},
+            )
+            merged[item.feed.instance_id] = 0
+            self._count_failure(item.feed.instance_id)
+            self._count_item("abandoned")
+            return 1
+        pending[idx].appendleft(replace(item, attempt=item.attempt + 1))
+        self._count_restart(item.shard_key)
+        self._count_item("resubmitted")
+        return 0
+
+    def _sweep_dead_workers(
+        self,
+        ctx: Any,
+        result_queue: Any,
+        task_queues: dict[int, Any],
+        workers: dict[int, Any],
+        pending: list[deque[WorkItem]],
+        inflight: dict[int, WorkItem | None],
+        merged: dict[str, int],
+    ) -> int:
+        """Respawn dead workers, resubmitting their unfinished item.
+
+        Returns how many items were finished (abandoned) during the
+        sweep so the run loop can decrement its remaining count.
+        """
+        finished = 0
+        for idx in list(workers):
+            worker = workers[idx]
+            if worker.is_alive():
+                continue
+            worker.join()
+            item = inflight.get(idx)
+            inflight[idx] = None
+            _log.warning(
+                "persistent worker died; respawning",
+                extra={
+                    "worker": idx,
+                    "exitcode": worker.exitcode,
+                    "instance": item.feed.instance_id if item else None,
+                },
+            )
+            if item is not None:
+                finished += self._requeue_or_abandon(idx, item, pending, merged)
+            if not pending[idx]:
+                del workers[idx]
+                del task_queues[idx]
+                continue
+            task_queues[idx] = ctx.Queue()
+            workers[idx] = ctx.Process(
+                target=_worker_main,
+                args=(idx, task_queues[idx], result_queue),
+                daemon=True,
+            )
+            workers[idx].start()
+            self._submit(idx, task_queues, pending, inflight)
+        return finished

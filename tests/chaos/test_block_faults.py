@@ -1,0 +1,200 @@
+"""Chaos faults against columnar block messages.
+
+The fault injector predates the columnar dataplane; these tests pin
+that it kept up.  ``ChaosBroker.publish_block`` must route batch
+messages through the same drop / corrupt / skew / duplicate pipeline
+as per-record traffic (``__getattr__`` delegation to the inner broker
+would silently bypass injection), every corruption mode must produce a
+block the validators catch, and a consumer positioned behind the chaos
+facade must quarantine the damage instead of aggregating it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import ChaosBroker, FaultInjector, FaultPlan, FaultSpec, single_fault_plan
+from repro.collection import Broker, LogStore, StreamAggregator
+from repro.collection.blocks import (
+    MetricBlock,
+    QueryLogBlock,
+    metric_block_from_records,
+    query_block_from_batches,
+    validate_metric_block,
+    validate_query_block,
+)
+from repro.dbsim.query import SecondBatch
+from repro.telemetry import MetricsRegistry
+
+
+def query_block(instance=""):
+    return query_block_from_batches(
+        [
+            SecondBatch(
+                "q1",
+                np.array([5_000, 5_400, 6_100], dtype=np.int64),
+                np.array([10.0, 20.0, 30.0]),
+                np.array([100.0, 200.0, 300.0]),
+            ),
+            SecondBatch(
+                "q2",
+                np.array([5_200], dtype=np.int64),
+                np.array([5.0]),
+                np.array([50.0]),
+            ),
+        ],
+        instance=instance,
+    )
+
+
+def metric_block(instance=""):
+    return metric_block_from_records(
+        [
+            {"metric": "cpu", "timestamp": 5, "value": 0.5},
+            {"metric": "cpu", "timestamp": 6, "value": 0.7},
+        ],
+        instance=instance,
+    )
+
+
+def chaos_broker(kind, rate=1.0, seed=7, registry=None, **params):
+    registry = registry or MetricsRegistry()
+    broker = Broker(registry=registry)
+    injector = FaultInjector(
+        single_fault_plan(kind, seed=seed, rate=rate, **params), registry=registry
+    )
+    return injector.wrap_broker(broker), broker, registry
+
+
+class TestCorruptionModes:
+    """Every deterministic block-corruption mode is validator-visible."""
+
+    @pytest.mark.parametrize("draw", [i / 8 + 0.01 for i in range(8)])
+    def test_corrupted_query_blocks_fail_validation(self, draw):
+        inj = FaultInjector(
+            single_fault_plan("corrupt", rate=1.0), registry=MetricsRegistry()
+        )
+        mangled = inj.corrupt(query_block(), draw)
+        assert validate_query_block(mangled) is not None
+
+    @pytest.mark.parametrize("draw", [i / 8 + 0.01 for i in range(8)])
+    def test_corrupted_metric_blocks_fail_validation(self, draw):
+        inj = FaultInjector(
+            single_fault_plan("corrupt", rate=1.0), registry=MetricsRegistry()
+        )
+        mangled = inj.corrupt(metric_block(), draw)
+        assert validate_metric_block(mangled) is not None
+
+    def test_corruption_does_not_mutate_the_original(self):
+        inj = FaultInjector(
+            single_fault_plan("corrupt", rate=1.0), registry=MetricsRegistry()
+        )
+        block = query_block()
+        before = block.data.copy()
+        inj.corrupt(block, 0.4)
+        np.testing.assert_array_equal(block.data, before)
+
+    def test_skewed_blocks_stay_valid_with_exact_shift(self):
+        inj = FaultInjector(
+            single_fault_plan("clock_skew", rate=1.0), registry=MetricsRegistry()
+        )
+        qb = inj.skew(query_block(), 90)
+        assert isinstance(qb, QueryLogBlock)
+        assert validate_query_block(qb) is None
+        np.testing.assert_array_equal(
+            qb.data["arrive_ms"], query_block().data["arrive_ms"] + 90_000
+        )
+        mb = inj.skew(metric_block(), 90)
+        assert isinstance(mb, MetricBlock)
+        assert validate_metric_block(mb) is None
+        np.testing.assert_array_equal(
+            mb.data["timestamp"], metric_block().data["timestamp"] + 90
+        )
+
+
+class TestChaosPublishBlock:
+    def test_dropped_blocks_never_reach_the_topic(self):
+        chaos, broker, registry = chaos_broker("drop", rate=1.0)
+        message = chaos.publish_block("query_logs.db-a", query_block())
+        assert message.offset == -1  # chaos sentinel: nothing was retained
+        assert broker.retained("query_logs.db-a") == 0
+        assert (
+            registry.get("chaos_faults_injected_total", kind="drop").value == 1
+        )
+
+    def test_corrupted_blocks_are_delivered_then_quarantined_downstream(self):
+        chaos, broker, registry = chaos_broker("corrupt", rate=1.0)
+        chaos.publish_block("query_logs.db-a", query_block())
+        messages = broker.read("query_logs.db-a", 0, 10)
+        assert len(messages) == 1
+        # Chaos delivered a damaged block — but one the validator catches.
+        assert validate_query_block(messages[0].value) is not None
+
+    def test_invalid_blocks_are_quarantined_before_injection(self):
+        chaos, broker, registry = chaos_broker("drop", rate=1.0)
+        bad = QueryLogBlock(sql_ids=(), data=query_block().data)
+        assert chaos.publish_block("query_logs.db-a", bad) is None
+        dead = broker.read("dead_letter.query_logs.db-a", 0, 10)
+        assert len(dead) == 1 and dead[0].key == "missing_dictionary"
+        # The quarantine consumed the message; no drop fault fired.
+        assert registry.get("chaos_faults_injected_total", kind="drop") is None
+
+    def test_duplicate_blocks_double_aggregates_honestly(self):
+        chaos, broker, _ = chaos_broker("duplicate", rate=1.0)
+        chaos.publish_block("query_logs", query_block())
+        assert broker.retained("query_logs") == 2
+        aggregator = StreamAggregator(broker.consumer("query_logs"), start=0, end=10)
+        aggregator.drain()
+        # Both copies aggregate — duplication is a data fault the
+        # detector layer sees, not one the transport hides.
+        assert aggregator.snapshot().get("q1", "#execution").values.sum() == 6
+
+
+class TestDownstreamResilience:
+    def test_aggregator_skips_chaos_corrupted_blocks(self):
+        """A consumer validates blocks and quarantines the damage."""
+        registry = MetricsRegistry()
+        broker = Broker(registry=registry)
+        injector = FaultInjector(
+            FaultPlan(
+                name="mixed",
+                seed=3,
+                specs=(FaultSpec(kind="corrupt", rate=0.5),),
+            ),
+            registry=registry,
+        )
+        chaos = injector.wrap_broker(broker)
+        delivered_valid = 0
+        for seed in range(20):
+            block = query_block()
+            chaos.publish_block("query_logs", block)
+        chaos.flush()
+        store = LogStore(registry=registry)
+        consumer = broker.consumer("query_logs")
+        quarantined = 0
+        for message in consumer.poll(100):
+            reason = validate_query_block(message.value)
+            if reason is not None:
+                quarantined += 1
+                continue
+            store.ingest_block(message.value)
+            delivered_valid += 1
+        assert delivered_valid + quarantined == 20
+        assert quarantined > 0, "corrupt rate 0.5 over 20 blocks must hit"
+        assert delivered_valid > 0, "corrupt rate 0.5 over 20 blocks must miss"
+        # The store only absorbed intact blocks: counts are a multiple
+        # of one block's four queries.
+        assert store.total_queries() == delivered_valid * 4
+
+    def test_fault_counts_are_deterministic_across_runs(self):
+        def run():
+            chaos, broker, registry = chaos_broker("corrupt", rate=0.5, seed=42)
+            for _ in range(30):
+                chaos.publish_block("query_logs", query_block())
+            damaged = sum(
+                1
+                for m in broker.read("query_logs", 0, 100)
+                if validate_query_block(m.value) is not None
+            )
+            return damaged
+
+        assert run() == run() > 0

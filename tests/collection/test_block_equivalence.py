@@ -1,0 +1,200 @@
+"""Batched (columnar) ingestion must reproduce the per-record path.
+
+The equivalence contract of the columnar dataplane: shipping the same
+queries as blocks instead of per-(second, template) records changes
+nothing downstream — LogStore aggregates are byte-identical, the
+stream aggregator's snapshot is byte-identical to the batch
+aggregation, and the full-scan fallback telemetry fires only when
+ingestion actually goes out of order.
+"""
+
+import numpy as np
+
+from repro.collection import (
+    Broker,
+    LogStore,
+    StreamAggregator,
+    aggregate_logstore,
+    aggregate_query_log,
+    query_block_from_log,
+)
+from repro.dbsim import QueryLog, SecondBatch
+from repro.telemetry import MetricsRegistry
+
+
+def make_log(seed=7, templates=3, seconds=30):
+    """A deterministic multi-template log with irregular arrivals."""
+    rng = np.random.default_rng(seed)
+    log = QueryLog()
+    for t in range(templates):
+        for s in range(0, seconds, 1 + t):
+            n = int(rng.integers(1, 6))
+            arrive = np.sort(rng.integers(s * 1000, (s + 1) * 1000, size=n))
+            log.append(
+                SecondBatch(
+                    f"q{t}",
+                    arrive.astype(np.int64),
+                    rng.uniform(1.0, 50.0, size=n),
+                    rng.uniform(10.0, 500.0, size=n),
+                )
+            )
+    return log
+
+
+def ingest_per_record(log):
+    store = LogStore(registry=MetricsRegistry())
+    for tq in log.iter_templates():
+        # The wire format ships one batch per (second, template); split
+        # the template stream on second boundaries the way the
+        # collector does.
+        seconds = tq.arrive_ms // 1000
+        for s in np.unique(seconds):
+            mask = seconds == s
+            store.ingest_batch(
+                SecondBatch(
+                    tq.sql_id,
+                    tq.arrive_ms[mask],
+                    tq.response_ms[mask],
+                    tq.examined_rows[mask],
+                )
+            )
+    return store
+
+
+def ingest_as_block(log, instance=""):
+    store = LogStore(registry=MetricsRegistry())
+    store.ingest_block(query_block_from_log(log, instance=instance))
+    return store
+
+
+class TestLogStoreEquivalence:
+    def test_second_aggregates_are_byte_identical(self):
+        log = make_log()
+        per_record = ingest_per_record(log)
+        block = ingest_as_block(log)
+        assert set(per_record.sql_ids) == set(block.sql_ids)
+        for sql_id in per_record.sql_ids:
+            for a, b in zip(
+                per_record.second_aggregates(sql_id, 0, 30),
+                block.second_aggregates(sql_id, 0, 30),
+            ):
+                np.testing.assert_array_equal(a, b)
+
+    def test_window_reads_are_byte_identical(self):
+        log = make_log()
+        per_record = ingest_per_record(log)
+        block = ingest_as_block(log)
+        for sql_id in per_record.sql_ids:
+            a = per_record.queries_in_window(sql_id, 5, 25)
+            b = block.queries_in_window(sql_id, 5, 25)
+            np.testing.assert_array_equal(a.arrive_ms, b.arrive_ms)
+            np.testing.assert_array_equal(a.response_ms, b.response_ms)
+            np.testing.assert_array_equal(a.examined_rows, b.examined_rows)
+
+    def test_aggregate_logstore_output_is_byte_identical(self):
+        log = make_log()
+        from_records = aggregate_logstore(ingest_per_record(log), 0, 30)
+        from_blocks = aggregate_logstore(ingest_as_block(log), 0, 30)
+        assert set(from_records.sql_ids) == set(from_blocks.sql_ids)
+        for sql_id in from_records.sql_ids:
+            for metric in (
+                "#execution",
+                "total_tres",
+                "avg_tres",
+                "total_examined_rows",
+            ):
+                np.testing.assert_array_equal(
+                    from_records.get(sql_id, metric).values,
+                    from_blocks.get(sql_id, metric).values,
+                )
+
+    def test_query_counts_match(self):
+        log = make_log()
+        assert (
+            ingest_per_record(log).total_queries()
+            == ingest_as_block(log).total_queries()
+        )
+
+
+class TestStreamAggregatorEquivalence:
+    def test_block_path_matches_batch_aggregation_bit_for_bit(self):
+        log = make_log()
+        broker = Broker(registry=MetricsRegistry())
+        broker.publish_block("query_logs", query_block_from_log(log))
+        aggregator = StreamAggregator(broker.consumer("query_logs"), start=0, end=30)
+        aggregator.drain()
+        snapshot = aggregator.snapshot()
+        reference = aggregate_query_log(log, 0, 30)
+        assert set(snapshot.sql_ids) == set(reference.sql_ids)
+        for sql_id in reference.sql_ids:
+            for metric in ("#execution", "total_tres", "total_examined_rows"):
+                np.testing.assert_array_equal(
+                    snapshot.get(sql_id, metric).values,
+                    reference.get(sql_id, metric).values,
+                )
+
+    def test_instance_filter_skips_foreign_blocks(self):
+        log = make_log()
+        broker = Broker(registry=MetricsRegistry())
+        broker.publish_block(
+            "query_logs", query_block_from_log(log, instance="db-other")
+        )
+        aggregator = StreamAggregator(
+            broker.consumer("query_logs"), start=0, end=30, instance_id="db-a"
+        )
+        aggregator.drain()
+        assert aggregator.snapshot().sql_ids == []
+
+
+class TestFullScanFallbackTelemetry:
+    def test_chronological_ingestion_never_full_scans(self):
+        registry = MetricsRegistry()
+        store = LogStore(registry=registry)
+        store.ingest_block(query_block_from_log(make_log()))
+        for sql_id in store.sql_ids:
+            store.queries_in_window(sql_id, 0, 30)
+            store.second_aggregates(sql_id, 0, 30)
+        assert registry.get("logstore_fullscan_reads_total").value == 0
+
+    def test_out_of_order_ingestion_counts_each_fallback_read(self):
+        registry = MetricsRegistry()
+        store = LogStore(registry=registry)
+        late = SecondBatch(
+            "q0",
+            np.array([9_000, 9_500], dtype=np.int64),
+            np.array([1.0, 2.0]),
+            np.array([10.0, 20.0]),
+        )
+        early = SecondBatch(
+            "q0",
+            np.array([1_000], dtype=np.int64),
+            np.array([3.0]),
+            np.array([30.0]),
+        )
+        store.ingest_batch(late)
+        store.ingest_batch(early)  # out of order: index invalidated
+        counter = registry.get("logstore_fullscan_reads_total")
+        assert counter.value == 0  # ingestion alone does not scan
+
+        tq = store.queries_in_window("q0", 0, 30)
+        assert counter.value == 1
+        # The fallback still returns every query, time-sorted.
+        np.testing.assert_array_equal(tq.arrive_ms, [1_000, 9_000, 9_500])
+
+        count, tres, _rows = store.second_aggregates("q0", 0, 30)
+        assert counter.value == 2
+        assert count.sum() == 3
+        assert tres.sum() == 6.0
+
+        # Templates that stayed chronological keep the indexed path.
+        store.ingest_batch(
+            SecondBatch(
+                "q1",
+                np.array([2_000], dtype=np.int64),
+                np.array([1.0]),
+                np.array([1.0]),
+            )
+        )
+        store.queries_in_window("q1", 0, 30)
+        store.second_aggregates("q1", 0, 30)
+        assert counter.value == 2
