@@ -10,6 +10,7 @@ produced it.
 from __future__ import annotations
 
 import copy
+import time
 from fnmatch import fnmatch
 from hashlib import blake2b
 from typing import Any, Callable
@@ -328,10 +329,12 @@ class ChaosBroker:
             BLOCK_KEY,
             MetricBlock,
             QueryLogBlock,
+            stamp_block,
             validate_metric_block,
             validate_query_block,
         )
         from repro.collection.quarantine import quarantine
+        from repro.telemetry import trace_propagation_enabled
 
         if isinstance(block, QueryLogBlock):
             reason = validate_query_block(block)
@@ -343,6 +346,15 @@ class ChaosBroker:
             quarantine(self.inner, topic, block, reason)
             return None
         self.inner.count_block(topic, n_records=len(block), nbytes=block.nbytes)
+        if trace_propagation_enabled():
+            # Same trace stamping as Broker.publish_block — fault
+            # injection must not strip distributed-tracing coverage.
+            tracer = self.inner.tracer
+            with tracer.span(
+                "broker.publish_block", topic=topic, records=len(block)
+            ) as span:
+                block = stamp_block(block, tracer.context_for(span), time.time())
+                return self.publish(topic, key=BLOCK_KEY, value=block)
         return self.publish(topic, key=BLOCK_KEY, value=block)
 
     def _emit(

@@ -9,6 +9,8 @@ Seven subcommands cover the adoption path:
 * ``repro fleet-demo`` — simulate a fleet of instances on one broker and
   diagnose them concurrently with the sharded worker pool;
   ``--record DIR`` persists every diagnosis to an incident store;
+  ``--processes N`` drains over the columnar dataplane in N worker
+  processes, with spans and telemetry merged back into the parent;
 * ``repro obs``        — exercise the pipeline and dump its self-telemetry
   (metrics snapshot as summary / JSON / Prometheus text exposition);
   ``--fleet N`` exercises a fleet instead and ``--instance ID`` restricts
@@ -16,6 +18,8 @@ Seven subcommands cover the adoption path:
 * ``repro incidents``  — query a recorded incident store:
   ``list`` the index, ``show`` one evidence chain as text, ``report``
   one as self-contained HTML, ``health`` for the fleet-wide rollup;
+* ``repro trace``      — render one incident's cross-process span tree
+  as a time waterfall: ``show`` (ASCII) or ``report`` (HTML);
 * ``repro lint``       — static anti-pattern analysis over SQL templates:
   the default scenario catalog (with planted-label precision/recall), a
   saved case corpus (``--cases DIR``) or one statement (``--sql``);
@@ -116,6 +120,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach a proactive health sweeper (scheduled "
                             "sweeps during the run plus a final one); with "
                             "--record, findings persist under DIR/health")
+    fleet.add_argument("--processes", type=int, default=0, metavar="N",
+                       help="diagnose in N worker processes over the "
+                            "columnar dataplane instead of in-process "
+                            "threads; worker spans and telemetry merge back "
+                            "into the parent (recorded incidents carry "
+                            "cross-process traces)")
 
     obs = sub.add_parser(
         "obs", help="exercise the pipeline and dump its self-telemetry"
@@ -192,6 +202,32 @@ def build_parser() -> argparse.ArgumentParser:
                             help="recurring R-SQL templates to list")
     inc_health.add_argument("--json", action="store_true",
                             help="emit the rollup as JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="render an incident's cross-process trace as a waterfall",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    tr_show = trace_sub.add_parser(
+        "show", help="ASCII waterfall of one incident's span tree"
+    )
+    _add_dir(tr_show)
+    tr_show.add_argument("id", nargs="?", default=None,
+                         help="incident id (omit with --latest)")
+    tr_show.add_argument("--latest", action="store_true",
+                         help="show the most recent incident's trace")
+
+    tr_report = trace_sub.add_parser(
+        "report", help="self-contained HTML waterfall of one incident's trace"
+    )
+    _add_dir(tr_report)
+    tr_report.add_argument("id", nargs="?", default=None,
+                           help="incident id (omit with --latest)")
+    tr_report.add_argument("--latest", action="store_true",
+                           help="report the most recent incident's trace")
+    tr_report.add_argument("--out", type=Path, default=None,
+                           help="write HTML here (default: stdout)")
 
     lint = sub.add_parser(
         "lint", help="static anti-pattern analysis over SQL templates"
@@ -452,30 +488,19 @@ def _fleet_instance_ids(n_instances: int) -> list[str]:
     return [f"db-{i:02d}" for i in range(n_instances)]
 
 
-def _run_fleet(
-    n_instances: int,
-    workers: int,
-    anomalous: int,
-    duration: int,
-    seed: int,
-    prune: bool,
-    record_dir: "Path | None" = None,
-    sweeper=None,
-):
-    """Simulate a fleet onto one broker and drain it; returns (service, truths).
+def _simulate_fleet(n_instances: int, anomalous: int, duration: int, seed: int):
+    """Simulate a fleet onto one broker; returns (broker, truths,
+    populations, onset).
 
     The first ``anomalous`` instances get an injected row-lock anomaly
-    at two-thirds of the run; the rest stay healthy (the cross-instance
-    isolation check of the demo).  ``sweeper`` optionally attaches a
-    :class:`~repro.health.HealthSweeper` whose scheduled sweeps run
-    during the drain; when incidents are recorded the sweeper's
-    incident-backed checks read the same store.
+    at two-thirds of the run; the rest stay healthy.  Shared by the
+    in-process drain (:func:`_run_fleet`) and the multiprocess
+    columnar-dataplane path of ``fleet-demo --processes N``.
     """
     import numpy as np
 
     from repro.collection import Broker, MetricsCollector, QueryLogCollector
     from repro.dbsim import DatabaseInstance
-    from repro.fleet import FleetConfig, FleetDiagnosisService, ServiceConfig
     from repro.workload import (
         AnomalyCategory,
         WorkloadGenerator,
@@ -503,6 +528,33 @@ def _run_fleet(
         MetricsCollector(broker, instance_id=instance_id).collect_blocks(run.metrics)
         truths[instance_id] = truth
         populations[instance_id] = population
+    return broker, truths, populations, onset
+
+
+def _run_fleet(
+    n_instances: int,
+    workers: int,
+    anomalous: int,
+    duration: int,
+    seed: int,
+    prune: bool,
+    record_dir: "Path | None" = None,
+    sweeper=None,
+):
+    """Simulate a fleet onto one broker and drain it; returns (service, truths).
+
+    The first ``anomalous`` instances get an injected row-lock anomaly
+    at two-thirds of the run; the rest stay healthy (the cross-instance
+    isolation check of the demo).  ``sweeper`` optionally attaches a
+    :class:`~repro.health.HealthSweeper` whose scheduled sweeps run
+    during the drain; when incidents are recorded the sweeper's
+    incident-backed checks read the same store.
+    """
+    from repro.fleet import FleetConfig, FleetDiagnosisService, ServiceConfig
+
+    broker, truths, populations, onset = _simulate_fleet(
+        n_instances, anomalous, duration, seed
+    )
     config = FleetConfig(
         service=ServiceConfig(
             delta_start_s=min(500, onset - 60), detector_window_s=duration
@@ -528,16 +580,121 @@ def _run_fleet(
     return service, truths
 
 
+def _fleet_demo_multiprocess(args, anomalous: int, record_dir) -> int:
+    """``fleet-demo --processes N``: drain over the columnar dataplane.
+
+    Feeds are captured from the broker as encoded block frames and
+    diagnosed by long-lived worker processes
+    (:class:`~repro.fleet.workers.PersistentWorkerPool`); each worker
+    ships its spans and telemetry back, so the parent's registry and
+    tracer show the whole fleet and recorded incidents carry
+    cross-process traces (``repro trace show --latest``).
+    """
+    from repro.fleet import ServiceConfig, run_sharded
+    from repro.fleet.workers import block_feed_from_broker
+    from repro.telemetry import get_registry
+
+    broker, truths, populations, onset = _simulate_fleet(
+        args.instances, anomalous, args.duration, args.seed
+    )
+    feeds = []
+    for instance_id, population in populations.items():
+        feed = block_feed_from_broker(broker, instance_id)
+        # Prefer the raw exemplar: literals matter to static analysis.
+        feed.statements = [
+            spec.exemplar or spec.template.replace("?", "1")
+            for spec in population.specs.values()
+        ]
+        feeds.append(feed)
+    shipped = sum(f.nbytes for f in feeds)
+    print(
+        f"columnar dataplane: {sum(f.n_blocks for f in feeds)} block(s), "
+        f"{shipped:,} bytes shipped to {args.processes} worker process(es)"
+    )
+    config = ServiceConfig(
+        delta_start_s=min(500, onset - 60), detector_window_s=args.duration
+    )
+    counts = run_sharded(
+        feeds,
+        processes=args.processes,
+        config=config,
+        incident_dir=str(record_dir) if record_dir is not None else None,
+    )
+    top_rsql = {}
+    if record_dir is not None:
+        from repro.incidents import IncidentStore, discover_stores
+
+        for root in discover_stores(record_dir):
+            for meta in IncidentStore(root).metas():
+                top_rsql[meta.instance_id] = meta.top_r_sql or "-"
+    print(f"{'instance':<10} {'injected':>8} {'diagnoses':>9}  top R-SQL  verdict")
+    missed, spurious, wrong = [], [], []
+    for instance_id in sorted(truths):
+        truth = truths[instance_id]
+        n = counts.get(instance_id, 0)
+        top = top_rsql.get(instance_id, "-")
+        if truth is None:
+            verdict = "clean" if not n else "SPURIOUS"
+            if n:
+                spurious.append(instance_id)
+        elif not n:
+            verdict = "MISSED"
+            missed.append(instance_id)
+        elif top != "-":
+            verdict = "hit" if top in truth.r_sql_ids else "wrong-sql"
+            if verdict == "wrong-sql":
+                wrong.append(instance_id)
+        else:
+            verdict = "diagnosed"
+        print(
+            f"{instance_id:<10} {'yes' if truth else 'no':>8} "
+            f"{n:>9}  {top:<9}  {verdict}"
+        )
+    imported = 0.0
+    for name, kind, _key, inst in get_registry():
+        if name == "fleet_spans_imported_total" and kind == "counter":
+            imported += inst.value
+    print(f"spans imported from workers: {int(imported)}")
+    if record_dir is not None:
+        print(
+            f"incidents recorded under {record_dir} (waterfall: "
+            f"`repro trace show --latest --dir {record_dir}`)"
+        )
+    if getattr(args, "telemetry", False):
+        _print_telemetry()
+    if missed or spurious:
+        if missed:
+            print(f"FAIL: anomalies missed on {missed}", file=sys.stderr)
+        if spurious:
+            print(f"FAIL: spurious diagnoses on {spurious}", file=sys.stderr)
+        return 1
+    print("attribution check: every diagnosis on the right instance, no bleed")
+    return 0
+
+
 def cmd_fleet_demo(args) -> int:
     anomalous = args.anomalous
     if anomalous is None:
         anomalous = max(1, args.instances // 2)
     anomalous = min(anomalous, args.instances)
+    record_dir = getattr(args, "record", None)
+    processes = getattr(args, "processes", 0)
+    if processes > 1:
+        print(
+            f"simulating {args.instances} instances ({anomalous} anomalous) "
+            f"for {args.duration}s, diagnosing in {processes} processes ..."
+        )
+        if getattr(args, "health", False):
+            print(
+                "note: --health is ignored with --processes "
+                "(sweeps run in-process)",
+                file=sys.stderr,
+            )
+        return _fleet_demo_multiprocess(args, anomalous, record_dir)
     print(
         f"simulating {args.instances} instances ({anomalous} anomalous) "
         f"for {args.duration}s, diagnosing with {args.workers} workers ..."
     )
-    record_dir = getattr(args, "record", None)
     sweeper = None
     if getattr(args, "health", False):
         from repro.health import FindingsStore, HealthSweeper
@@ -712,10 +869,43 @@ def cmd_obs(args) -> int:
         else:
             print("=== metrics snapshot ===")
         print(render_summary(snap))
-        if not args.fleet:
+        if args.fleet:
+            _print_freshness(snap)
+        else:
             print("\n=== span tree (last trace) ===")
             print(get_tracer().format_tree())
     return 0
+
+
+def _print_freshness(snap: dict) -> None:
+    """Fleet watermarks: per-instance staleness and per-stage lag p95."""
+    freshness = [
+        e for e in snap["gauges"] if e["name"] == "data_freshness_seconds"
+    ]
+    lags = [
+        e for e in snap["histograms"] if e["name"] == "pipeline_lag_seconds"
+    ]
+    if not freshness and not lags:
+        return
+    print("\n=== pipeline freshness & lag ===")
+    for entry in sorted(
+        freshness, key=lambda e: e["labels"].get("instance", "")
+    ):
+        print(
+            f"  {entry['labels'].get('instance') or '(local)':<10} "
+            f"staleness {entry['value']:.0f} s (stream time vs newest event)"
+        )
+    for entry in sorted(
+        lags,
+        key=lambda e: (e["labels"].get("stage", ""),
+                       e["labels"].get("instance", "")),
+    ):
+        q = entry.get("quantiles") or {}
+        print(
+            f"  {entry['labels'].get('stage', '-'):<9} "
+            f"{entry['labels'].get('instance') or '(local)':<10} "
+            f"count={entry['count']:<5} p95={q.get('p95', 0.0):.4g} s"
+        )
 
 
 def _open_stores(args):
@@ -835,6 +1025,32 @@ def cmd_incidents(args) -> int:
     from repro.incidents import render_incident_html
 
     html_text = render_incident_html(record)
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(html_text, encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        sys.stdout.write(html_text)
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Dispatch the ``repro trace`` subcommands."""
+    stores = _open_stores(args)
+    if not stores:
+        return 1
+    record = _resolve_incident(stores, args)
+    if record is None:
+        return 1
+    if args.trace_command == "show":
+        from repro.incidents import render_trace_text
+
+        print(render_trace_text(record))
+        return 0
+    # report
+    from repro.incidents import render_trace_html
+
+    html_text = render_trace_html(record)
     if args.out is not None:
         args.out.parent.mkdir(parents=True, exist_ok=True)
         args.out.write_text(html_text, encoding="utf-8")
@@ -1171,6 +1387,7 @@ _COMMANDS = {
     "fleet-demo": cmd_fleet_demo,
     "obs": cmd_obs,
     "incidents": cmd_incidents,
+    "trace": cmd_trace,
     "lint": cmd_lint,
     "health": cmd_health,
     "chaos": cmd_chaos,

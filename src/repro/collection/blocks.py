@@ -25,6 +25,12 @@ and decode them with a single zero-copy ``np.frombuffer``.  Validation
 the per-record validators so malformed blocks — chaos-corrupted or
 otherwise — are quarantined to the dead-letter topic instead of
 crashing a drain loop.
+
+Header v2 carries the distributed-tracing envelope: the publishing
+span's :class:`~repro.telemetry.tracing.TraceContext` (``trace`` key)
+and the publish wall-clock time (``created`` key, unix seconds) used
+for pipeline-lag watermarks.  Both are optional; v1 frames — and v2
+frames without them — decode to ``trace=None`` / ``created_unix=0.0``.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.dbsim.query import QueryLog
 
 from repro.dbsim.query import SecondBatch
+from repro.telemetry.tracing import TraceContext
 
 __all__ = [
     "BLOCK_KEY",
@@ -54,6 +61,7 @@ __all__ = [
     "metric_block_from_metrics",
     "metric_block_from_records",
     "split_query_block",
+    "stamp_block",
     "encode_block",
     "decode_block",
     "validate_query_block",
@@ -105,6 +113,11 @@ class QueryLogBlock:
     data: np.ndarray
     instance: str = ""
     statements: tuple[str, ...] = ()
+    #: Publishing span's trace context (v2 header), None on v1 frames.
+    trace: TraceContext | None = None
+    #: Publish wall-clock time (unix seconds; 0.0 = unstamped) used for
+    #: pipeline-lag watermarks downstream.
+    created_unix: float = 0.0
 
     def __len__(self) -> int:
         return len(self.data)
@@ -153,6 +166,8 @@ class MetricBlock:
     metrics: tuple[str, ...]
     data: np.ndarray
     instance: str = ""
+    trace: TraceContext | None = None
+    created_unix: float = 0.0
 
     def __len__(self) -> int:
         return len(self.data)
@@ -296,15 +311,39 @@ def split_query_block(
     ]
 
 
+def stamp_block(
+    block: QueryLogBlock | MetricBlock,
+    trace: TraceContext | None,
+    created_unix: float,
+) -> QueryLogBlock | MetricBlock:
+    """Stamp the tracing envelope onto a block at publish time.
+
+    Existing stamps win — a block republished by a shard worker keeps
+    the parent's trace context and original publish time, which is what
+    makes end-to-end pipeline-lag watermarks honest.
+    """
+    updates: dict[str, object] = {}
+    if trace is not None and block.trace is None:
+        updates["trace"] = trace
+    if created_unix and not block.created_unix:
+        updates["created_unix"] = float(created_unix)
+    return replace(block, **updates) if updates else block
+
+
 # ----------------------------------------------------------------------
 # Codec
 # ----------------------------------------------------------------------
 def encode_block(block: QueryLogBlock | MetricBlock) -> bytes:
-    """Frame a block as ``magic + header length + JSON header + rows``."""
+    """Frame a block as ``magic + header length + JSON header + rows``.
+
+    Emits a v2 header; the tracing envelope keys are included only when
+    the block is stamped, so unstamped blocks stay byte-identical
+    across publishes.
+    """
     if isinstance(block, QueryLogBlock):
         magic = _MAGIC_QUERY
         header = {
-            "v": 1,
+            "v": 2,
             "rows": len(block.data),
             "names": list(block.sql_ids),
             "instance": block.instance,
@@ -314,7 +353,7 @@ def encode_block(block: QueryLogBlock | MetricBlock) -> bytes:
     elif isinstance(block, MetricBlock):
         magic = _MAGIC_METRIC
         header = {
-            "v": 1,
+            "v": 2,
             "rows": len(block.data),
             "names": list(block.metrics),
             "instance": block.instance,
@@ -322,6 +361,10 @@ def encode_block(block: QueryLogBlock | MetricBlock) -> bytes:
         expected = METRIC_BLOCK_DTYPE
     else:
         raise TypeError(f"not a block: {type(block).__name__}")
+    if block.trace is not None:
+        header["trace"] = block.trace.to_dict()
+    if block.created_unix:
+        header["created"] = float(block.created_unix)
     if block.data.dtype != expected:
         raise ValueError(f"block dtype mismatch: {block.data.dtype}")
     header_bytes = json.dumps(header, separators=(",", ":")).encode()
@@ -347,7 +390,7 @@ def decode_block(raw: bytes) -> QueryLogBlock | MetricBlock:
         header = json.loads(raw[_HEADER_STRUCT.size : body_start])
     except ValueError as exc:
         raise BlockDecodeError(f"bad header json: {exc}") from exc
-    if not isinstance(header, dict) or header.get("v") != 1:
+    if not isinstance(header, dict) or header.get("v") not in (1, 2):
         raise BlockDecodeError("unsupported header version")
     try:
         rows = int(header["rows"])
@@ -355,6 +398,15 @@ def decode_block(raw: bytes) -> QueryLogBlock | MetricBlock:
         instance = str(header.get("instance", ""))
     except (KeyError, TypeError, ValueError) as exc:
         raise BlockDecodeError(f"malformed header: {exc}") from exc
+    # v2 tracing envelope; junk degrades to "unstamped", never raises —
+    # a corrupted trace dict must not dead-letter an otherwise valid
+    # block.
+    trace: TraceContext | None = None
+    trace_payload = header.get("trace")
+    if isinstance(trace_payload, dict):
+        trace = TraceContext.from_dict(trace_payload)
+    created = header.get("created", 0.0)
+    created_unix = float(created) if isinstance(created, (int, float)) else 0.0
     dtype = QUERY_BLOCK_DTYPE if magic == _MAGIC_QUERY else METRIC_BLOCK_DTYPE
     if rows < 0 or len(raw) - body_start != rows * dtype.itemsize:
         raise BlockDecodeError(
@@ -366,9 +418,13 @@ def decode_block(raw: bytes) -> QueryLogBlock | MetricBlock:
         if statements and len(statements) != len(names):
             raise BlockDecodeError("statements do not match template dictionary")
         return QueryLogBlock(
-            sql_ids=names, data=data, instance=instance, statements=statements
+            sql_ids=names, data=data, instance=instance, statements=statements,
+            trace=trace, created_unix=created_unix,
         )
-    return MetricBlock(metrics=names, data=data, instance=instance)
+    return MetricBlock(
+        metrics=names, data=data, instance=instance,
+        trace=trace, created_unix=created_unix,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -400,7 +456,7 @@ def validate_query_block(block: object) -> str | None:
         return "non_finite:examined_rows"
     if not isinstance(block.instance, str):
         return "bad_type:instance"
-    return None
+    return _validate_envelope(block)
 
 
 def validate_metric_block(block: object) -> str | None:
@@ -425,4 +481,14 @@ def validate_metric_block(block: object) -> str | None:
         return "non_finite:value"
     if not isinstance(block.instance, str):
         return "bad_type:instance"
+    return _validate_envelope(block)
+
+
+def _validate_envelope(block: QueryLogBlock | MetricBlock) -> str | None:
+    if block.trace is not None and not isinstance(block.trace, TraceContext):
+        return "bad_type:trace"
+    if not isinstance(block.created_unix, (int, float)) or not np.isfinite(
+        block.created_unix
+    ) or block.created_unix < 0:
+        return "bad_type:created_unix"
     return None

@@ -33,13 +33,16 @@ loop stalls.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.telemetry import (
     DEFAULT_COUNT_BUCKETS,
     MetricsRegistry,
+    Tracer,
     get_registry,
+    trace_propagation_enabled,
 )
 
 __all__ = [
@@ -100,11 +103,19 @@ class _Topic:
 class Broker:
     """A minimal polling broker with per-consumer offsets."""
 
-    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self._topics: dict[str, _Topic] = {}
         self._consumers: dict[str, list["Consumer"]] = {}
         self._consumer_seq: dict[str, int] = {}
         self.registry = registry or get_registry()
+        #: Traces block publishes; the publish span's context is stamped
+        #: onto the outgoing block so downstream diagnosis spans — even
+        #: in other processes — parent under it.
+        self.tracer = tracer if tracer is not None else Tracer(registry=self.registry)
 
     def create_topic(self, topic: str) -> None:
         """Create a topic (idempotent)."""
@@ -153,8 +164,15 @@ class Broker:
             quarantine(self, topic, block, reason)
             return None
         self.count_block(topic, n_records=len(block), nbytes=block.nbytes)
-        from repro.collection.blocks import BLOCK_KEY
+        from repro.collection.blocks import BLOCK_KEY, stamp_block
 
+        if trace_propagation_enabled():
+            with self.tracer.span(
+                "broker.publish_block", topic=topic, records=len(block)
+            ) as span:
+                ctx = self.tracer.context_for(span)
+                block = stamp_block(block, ctx, time.time())
+                return self.publish(topic, key=BLOCK_KEY, value=block)
         return self.publish(topic, key=BLOCK_KEY, value=block)
 
     def count_block(self, topic: str, n_records: int, nbytes: int) -> None:

@@ -27,6 +27,7 @@ from repro.fleet.workers import (
     WorkItem,
     block_feed_from_broker,
     columnarize_feed,
+    execute_work_item,
     process_work_item,
 )
 
@@ -46,6 +47,7 @@ __all__ = [
     "WorkItem",
     "block_feed_from_broker",
     "columnarize_feed",
+    "execute_work_item",
     "feed_from_broker",
     "process_work_item",
     "run_shard",

@@ -17,6 +17,7 @@ engine without synchronising with the others.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
@@ -51,8 +52,10 @@ from repro.resilience import (
 from repro.sqlanalysis import Finding, SqlAnalyzer
 from repro.sqltemplate import TemplateCatalog, fingerprint
 from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
     MetricsRegistry,
     SelfMonitor,
+    TraceContext,
     Tracer,
     get_logger,
     get_registry,
@@ -119,6 +122,10 @@ class Diagnosis:
     confidence: str = DiagnosisConfidence.FULL.value
     #: Machine-readable reasons the diagnosis was degraded.
     degraded_reasons: tuple[str, ...] = ()
+    #: Pipeline freshness when the diagnosis completed: newest ingested
+    #: event second vs. the detector's stream clock, plus the publish
+    #: wall-time of the newest block (persisted onto incident records).
+    data_freshness: dict = field(default_factory=dict)
 
 
 class InstanceDiagnosisEngine:
@@ -285,6 +292,33 @@ class InstanceDiagnosisEngine:
             help="Mirrored metric samples currently retained.",
             **labels,
         )
+        self._h_ingest_lag = reg.histogram(
+            "pipeline_lag_seconds",
+            help="Block age per pipeline stage (publish wall-time to now).",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            stage="ingest",
+            **labels,
+        )
+        self._h_diagnose_lag = reg.histogram(
+            "pipeline_lag_seconds",
+            help="Block age per pipeline stage (publish wall-time to now).",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            stage="diagnose",
+            **labels,
+        )
+        self._g_freshness = reg.gauge(
+            "data_freshness_seconds",
+            help="Stream seconds between the detector clock and the "
+            "newest ingested event.",
+            **labels,
+        )
+        #: Trace context of the newest ingested block — the remote
+        #: publish span that parents this engine's diagnosis spans.
+        self._ingest_trace: TraceContext | None = None
+        #: Publish wall-time of the newest ingested block.
+        self._last_publish_unix: float = 0.0
+        #: Newest event second observed in ingested query batches.
+        self._last_event_s: int | None = None
 
     def _count_skip(self, reason: str) -> None:
         self.registry.counter(
@@ -327,8 +361,19 @@ class InstanceDiagnosisEngine:
                         and record.instance != self.instance_id
                     ):
                         continue
+                    if record.trace is not None:
+                        # Adopt the publish span's context: subsequent
+                        # root spans (service.diagnose) join its trace.
+                        self._ingest_trace = record.trace
+                        self.tracer.set_remote_parent(record.trace)
+                    if record.created_unix:
+                        self._last_publish_unix = record.created_unix
+                        self._h_ingest_lag.observe(
+                            max(0.0, time.time() - record.created_unix)
+                        )
                     ingested = self.logstore.ingest_block(record)
                     self._m_block_records.inc(ingested)
+                    self._note_event_second(int(record.data["arrive_ms"].max()))
                     for sql_id, stmt in zip(record.sql_ids, record.statements):
                         if stmt and sql_id not in self.catalog:
                             self.catalog.register_statement(stmt)
@@ -349,18 +394,54 @@ class InstanceDiagnosisEngine:
                 ):
                     continue
                 sql_id = record["sql_id"]
+                arrive_ms = np.asarray(record["arrive_ms"], dtype=np.int64)
                 self.logstore.ingest_batch(
                     SecondBatch(
                         sql_id=sql_id,
-                        arrive_ms=np.asarray(record["arrive_ms"], dtype=np.int64),
+                        arrive_ms=arrive_ms,
                         response_ms=np.asarray(record["response_ms"], dtype=np.float64),
                         examined_rows=np.asarray(record["examined_rows"], dtype=np.float64),
                     )
                 )
+                if arrive_ms.size:
+                    self._note_event_second(int(arrive_ms.max()))
                 if sql_id not in self.catalog and "statement" in record:
                     self.catalog.register_statement(record["statement"])
                 handled += 1
         return handled
+
+    def _note_event_second(self, arrive_ms_max: int) -> None:
+        """Track the newest event second for the freshness gauge."""
+        event_s = arrive_ms_max // 1000
+        if self._last_event_s is None or event_s > self._last_event_s:
+            self._last_event_s = event_s
+
+    @property
+    def ingest_trace(self) -> TraceContext | None:
+        """Trace context adopted from the newest ingested block (the
+        publish span an incident's span tree is parented under)."""
+        return self._ingest_trace
+
+    def freshness_snapshot(self) -> dict:
+        """Event-time vs. stream/wall clocks right now.
+
+        The evidence chain's ``data_freshness``: stamped onto every
+        completed :class:`Diagnosis` and persisted with its incident
+        record, so an operator can tell a diagnosis built on stale
+        evidence from one built on a current window.
+        """
+        out: dict[str, float | int] = {"diagnosed_unix": time.time()}
+        if self._last_event_s is not None:
+            out["event_time_s"] = self._last_event_s
+        stream_time = self.detector.stream_time
+        if stream_time is not None:
+            out["stream_time_s"] = stream_time
+            if self._last_event_s is not None:
+                out["staleness_s"] = max(0, stream_time - self._last_event_s)
+        if self._last_publish_unix:
+            out["publish_unix"] = self._last_publish_unix
+            out["ingest_lag_s"] = max(0.0, time.time() - self._last_publish_unix)
+        return out
 
     def register_statement(self, sql: str) -> None:
         """Teach the catalog a statement (collectors may also inline them)."""
@@ -428,6 +509,10 @@ class InstanceDiagnosisEngine:
             self._m_log_messages.inc(handled)
         events = self.detector.poll()
         self._capture_metric_samples()
+        if self.detector.stream_time is not None and self._last_event_s is not None:
+            self._g_freshness.set(
+                max(0.0, self.detector.stream_time - self._last_event_s)
+            )
         produced: list[Diagnosis] = []
         if events and self._log_consumer.lag > 0:
             # The metric stream has outrun the query-log stream (e.g.
@@ -577,6 +662,12 @@ class InstanceDiagnosisEngine:
             # Stamp while the span is open so retained traces (and the
             # incident records built from them) carry the outcome.
             span.attrs["produced"] = diagnosis is not None
+        if diagnosis is not None:
+            diagnosis.data_freshness = self.freshness_snapshot()
+            if self._last_publish_unix:
+                self._h_diagnose_lag.observe(
+                    max(0.0, time.time() - self._last_publish_unix)
+                )
         return diagnosis
 
     def _diagnose_inner(self, anomaly: DetectedAnomaly) -> Diagnosis | None:

@@ -22,6 +22,15 @@ dataplane:
   ``max_restarts``; an item that keeps crashing is abandoned (zero
   diagnoses, counted into ``fleet_worker_failures_total``) instead of
   failing the fleet run.
+- Observability crosses the process boundary: each item runs against a
+  *private* registry and ships its finished diagnosis spans plus a
+  registry snapshot back over the result channel (a clean per-item
+  delta — persistent workers never double-count across items).  The
+  parent adopts the spans into its tracer and folds the snapshot into
+  its registry, so ``repro obs`` shows one fleet-wide view; an item
+  whose process dies before shipping is counted into
+  ``span_export_dropped_total`` and replaced by a synthetic
+  ``fleet.worker_crash`` span linked to the feed's trace context.
 
 Worker routing uses the same
 :func:`~repro.fleet.scheduler.stable_shard` hash as the thread-pool
@@ -33,6 +42,7 @@ from __future__ import annotations
 
 import os
 import queue as queue_mod
+import time
 from collections import deque
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any
@@ -60,7 +70,15 @@ from repro.dbsim.query import SecondBatch
 from repro.fleet.engine import ServiceConfig
 from repro.fleet.scheduler import stable_shard
 from repro.fleet.service import FleetConfig, FleetDiagnosisService
-from repro.telemetry import MetricsRegistry, get_logger, get_registry
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    get_logger,
+    get_registry,
+    get_tracer,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - chaos wraps fleet, import lazily
     from repro.chaos.plan import FaultPlan
@@ -73,6 +91,7 @@ __all__ = [
     "WorkItem",
     "block_feed_from_broker",
     "columnarize_feed",
+    "execute_work_item",
     "process_work_item",
 ]
 
@@ -99,6 +118,16 @@ class BlockFeed:
     metric_payloads: list[bytes] = field(default_factory=list)
     query_records: list[tuple] = field(default_factory=list)
     metric_records: list[tuple] = field(default_factory=list)
+    #: Trace context of the first stamped block in the feed — the
+    #: publish span the worker's diagnosis spans parent under.  Kept on
+    #: the feed (not just in block headers) so the parent can link a
+    #: synthetic crash span to the trace when a worker dies before
+    #: shipping any spans of its own.
+    trace: TraceContext | None = None
+    #: Raw SQL exemplars for the instance's templates, so the worker's
+    #: engine runs the same static analysis the in-process path gets
+    #: from ``register_statement``.
+    statements: list[str] = field(default_factory=list)
 
     @property
     def nbytes(self) -> int:
@@ -125,6 +154,8 @@ def columnarize_feed(feed: Any, block_rows: int = DEFAULT_BLOCK_ROWS) -> "BlockF
     for key, value in feed.query_records:
         if isinstance(value, QueryLogBlock):
             out.query_payloads.append(encode_block(value))
+            if out.trace is None and value.trace is not None:
+                out.trace = value.trace
         elif validate_query_record(value) is None:
             batches.append(
                 SecondBatch(
@@ -147,6 +178,8 @@ def columnarize_feed(feed: Any, block_rows: int = DEFAULT_BLOCK_ROWS) -> "BlockF
     for key, value in feed.metric_records:
         if isinstance(value, MetricBlock):
             out.metric_payloads.append(encode_block(value))
+            if out.trace is None and value.trace is not None:
+                out.trace = value.trace
         elif validate_metric_record(value) is None:
             metric_dicts.append(dict(value))
         else:
@@ -189,16 +222,48 @@ class WorkItem:
         return f"{self.shard_key}/{self.feed.instance_id}"
 
 
-def process_work_item(item: WorkItem) -> dict[str, int]:
-    """Diagnose one work item in-process; returns diagnoses per instance.
+def _export_envelope(
+    service: FleetDiagnosisService,
+    registry: MetricsRegistry,
+    counts: dict[str, int] | None,
+) -> dict[str, Any]:
+    """The result-channel payload of one work item.
+
+    ``spans`` are the finished diagnosis traces of every engine (plain
+    dicts via :func:`~repro.telemetry.span_to_dict`); ``telemetry`` is
+    the item's private-registry snapshot — a delta the parent folds in
+    with :meth:`~repro.telemetry.MetricsRegistry.merge_snapshot`.
+    """
+    spans: list[dict[str, Any]] = []
+    for instance_id in service.instance_ids:
+        spans.extend(service.engine(instance_id).tracer.export_roots(clear=True))
+    return {
+        "counts": counts or {},
+        "spans": spans,
+        "telemetry": registry.snapshot(),
+    }
+
+
+def execute_work_item(
+    item: WorkItem, registry: MetricsRegistry | None = None
+) -> dict[str, Any]:
+    """Diagnose one work item in-process; returns its export envelope.
 
     The worker-side body of the pool: rebuild a broker, replay the
     feed's columnar frames (and legacy leftovers) through it — via the
     chaos facade when a fault plan is armed, so drop/corrupt/skew and
     friends apply to batch messages — and drain a single-instance
     fleet service over the result.
+
+    Everything runs against a private registry (unless one is passed),
+    so the returned snapshot is a clean per-item delta and the parent's
+    repeated merges never double-count a persistent worker's history.
+    A drain that raises still attaches the partial envelope to the
+    exception (``partial_export``) so the worker loop can flush the
+    spans completed before the failure.
     """
-    broker = Broker()
+    registry = registry if registry is not None else MetricsRegistry()
+    broker = Broker(registry=registry)
     publish_broker: Any = broker
     fault_hook = None
     chaos_broker = None
@@ -221,11 +286,25 @@ def process_work_item(item: WorkItem) -> dict[str, int]:
     service = FleetDiagnosisService(
         broker,
         config=FleetConfig(service=item.config or ServiceConfig(), workers=1),
+        registry=registry,
         recorder=recorder,
         fault_hook=fault_hook,
     )
     feed = item.feed
-    service.register_instance(feed.instance_id)
+    engine = service.register_instance(feed.instance_id)
+    if feed.trace is not None:
+        # Legacy-record-only feeds carry no per-block context; the
+        # feed-level one still parents the worker's diagnosis spans.
+        engine.tracer.set_remote_parent(feed.trace)
+    for statement in feed.statements:
+        engine.register_statement(statement)
+    dispatch_lag = registry.histogram(
+        "pipeline_lag_seconds",
+        help="Block age per pipeline stage (publish wall-time to now).",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+        stage="dispatch",
+        instance=feed.instance_id,
+    )
     query_topic = instance_topic(QUERY_TOPIC, feed.instance_id)
     metric_topic = instance_topic(METRIC_TOPIC, feed.instance_id)
     for topic, payloads in (
@@ -238,6 +317,8 @@ def process_work_item(item: WorkItem) -> dict[str, int]:
             except BlockDecodeError as exc:
                 quarantine(broker, topic, payload, f"undecodable_block:{exc}")
                 continue
+            if block.created_unix:
+                dispatch_lag.observe(max(0.0, time.time() - block.created_unix))
             publish_broker.publish_block(topic, block)
     for key, value in feed.query_records:
         publish_broker.publish(query_topic, key, value)
@@ -245,11 +326,25 @@ def process_work_item(item: WorkItem) -> dict[str, int]:
         publish_broker.publish(metric_topic, key, value)
     if chaos_broker is not None:
         chaos_broker.flush()
-    service.run_until_drained()
-    return {
+    try:
+        service.run_until_drained()
+    except BaseException as exc:
+        exc.partial_export = _export_envelope(service, registry, counts=None)  # type: ignore[attr-defined]
+        raise
+    counts = {
         instance_id: len(service.diagnoses_for(instance_id))
         for instance_id in service.instance_ids
     }
+    return _export_envelope(service, registry, counts=counts)
+
+
+def process_work_item(item: WorkItem) -> dict[str, int]:
+    """Diagnose one work item in-process; returns diagnoses per instance.
+
+    The counts-only façade over :func:`execute_work_item`, kept for
+    callers (and equivalence tests) that only care about outcomes.
+    """
+    return execute_work_item(item)["counts"]
 
 
 def _worker_main(worker_idx: int, task_queue: Any, result_queue: Any) -> None:
@@ -264,17 +359,28 @@ def _worker_main(worker_idx: int, task_queue: Any, result_queue: Any) -> None:
         if item is None:
             return
         try:
-            counts = process_work_item(item)
+            export = execute_work_item(item)
         except BaseException as exc:  # noqa: BLE001 - worker must not die silently
             from repro.chaos.injector import InjectedWorkerCrash
 
             if isinstance(exc, InjectedWorkerCrash):
                 os._exit(_CRASH_EXIT_CODE)
+            # Ship whatever the item completed before failing: the
+            # parent flushes these spans during the supervised restart
+            # instead of losing the whole trace.
             result_queue.put(
-                ("error", worker_idx, item.feed.instance_id, repr(exc))
+                (
+                    "error",
+                    worker_idx,
+                    item.feed.instance_id,
+                    {
+                        "error": repr(exc),
+                        "export": getattr(exc, "partial_export", None),
+                    },
+                )
             )
             continue
-        result_queue.put(("done", worker_idx, item.feed.instance_id, counts))
+        result_queue.put(("done", worker_idx, item.feed.instance_id, export))
 
 
 class PersistentWorkerPool:
@@ -296,6 +402,7 @@ class PersistentWorkerPool:
         max_restarts: int = 2,
         registry: MetricsRegistry | None = None,
         poll_interval_s: float = 0.2,
+        tracer: Tracer | None = None,
     ) -> None:
         if processes < 1:
             raise ValueError("processes must be >= 1")
@@ -303,6 +410,14 @@ class PersistentWorkerPool:
         self.max_restarts = int(max_restarts)
         self.registry = registry or get_registry()
         self.poll_interval_s = float(poll_interval_s)
+        #: Receives the spans workers ship back; defaults to the
+        #: process tracer so ``repro obs`` shows the fleet-wide tree.
+        if tracer is not None:
+            self.tracer = tracer
+        elif registry is None:
+            self.tracer = get_tracer()
+        else:
+            self.tracer = Tracer(registry=self.registry)
 
     # -- telemetry -----------------------------------------------------
     def _count_item(self, status: str) -> None:
@@ -332,6 +447,51 @@ class PersistentWorkerPool:
             "supervised restarts.",
             instance=instance_id,
         ).inc()
+
+    # -- cross-process observability ----------------------------------
+    def _merge_export(self, export: Any) -> None:
+        """Fold a worker's export envelope into the parent's view."""
+        if not isinstance(export, dict):
+            return
+        spans = export.get("spans")
+        if spans:
+            adopted = self.tracer.adopt(spans)
+            if adopted:
+                self.registry.counter(
+                    "fleet_spans_imported_total",
+                    help="Spans adopted from shard worker processes.",
+                ).inc(adopted)
+        snapshot = export.get("telemetry")
+        if isinstance(snapshot, dict):
+            self.registry.merge_snapshot(snapshot)
+
+    def _flush_crashed_item(self, item: WorkItem, exitcode: Any) -> None:
+        """Account for spans lost with a dead worker process.
+
+        The spans themselves are unrecoverable (the process died before
+        shipping), so the loss is counted and a synthetic error span —
+        linked to the feed's trace context when it has one — keeps the
+        crash visible in the fleet span tree.
+        """
+        self.registry.counter(
+            "span_export_dropped_total",
+            help="Work items whose worker died before exporting spans.",
+            instance=item.feed.instance_id,
+        ).inc()
+        attrs: dict[str, Any] = {
+            "status": "error",
+            "error": "worker_crash",
+            "instance": item.feed.instance_id,
+            "shard": item.shard_key,
+            "exitcode": exitcode,
+        }
+        if item.feed.trace is not None:
+            attrs["trace_id"] = item.feed.trace.trace_id
+            attrs["parent_span_id"] = item.feed.trace.span_id
+        self.tracer.adopt(
+            [{"name": "fleet.worker_crash", "elapsed": None,
+              "attrs": attrs, "children": []}]
+        )
 
     # -- run loop ------------------------------------------------------
     def run(self, items: list[WorkItem]) -> dict[str, int]:
@@ -375,7 +535,8 @@ class PersistentWorkerPool:
                 )
                 continue
             if kind == "done":
-                merged.update(payload)
+                merged.update(payload.get("counts", {}))
+                self._merge_export(payload)
                 self._count_item("completed")
                 inflight[idx] = None
                 remaining -= 1
@@ -383,8 +544,17 @@ class PersistentWorkerPool:
             elif kind == "error":
                 _log.warning(
                     "work item failed in persistent worker",
-                    extra={"worker": idx, "instance": instance_id, "error": payload},
+                    extra={
+                        "worker": idx,
+                        "instance": instance_id,
+                        "error": payload.get("error")
+                        if isinstance(payload, dict)
+                        else payload,
+                    },
                 )
+                if isinstance(payload, dict):
+                    # Flush the spans the item completed before failing.
+                    self._merge_export(payload.get("export"))
                 item = inflight[idx]
                 inflight[idx] = None
                 if item is not None:
@@ -472,6 +642,7 @@ class PersistentWorkerPool:
                 },
             )
             if item is not None:
+                self._flush_crashed_item(item, worker.exitcode)
                 finished += self._requeue_or_abandon(idx, item, pending, merged)
             if not pending[idx]:
                 del workers[idx]

@@ -11,6 +11,8 @@ that surface problems *before* the anomaly threshold is crossed.
 - :mod:`~repro.health.checks` — the pluggable check registry and the
   built-in suite (trend, traffic, incident-history and self-health
   checks);
+- :mod:`~repro.health.slo` — declarative latency SLOs with error-budget
+  burn-rate checks over the pipeline's own stage histograms;
 - :mod:`~repro.health.sweeper` — the scheduled :class:`HealthSweeper`;
 - :mod:`~repro.health.store` — the durable JSONL findings store;
 - :mod:`~repro.health.report` — the daily fleet report (text + HTML).
@@ -33,19 +35,23 @@ from repro.health.report import (
     render_health_report_html,
     render_health_report_text,
 )
+from repro.health.slo import DEFAULT_SLOS, SloSpec, burn_rate
 from repro.health.store import FindingsStore, discover_findings_stores
 from repro.health.sweeper import HealthSweeper, SweepResult
 
 __all__ = [
     "CheckContext",
+    "DEFAULT_SLOS",
     "FindingsStore",
     "HealthCheck",
     "HealthConfig",
     "HealthFinding",
     "HealthReport",
     "HealthSweeper",
+    "SloSpec",
     "SweepResult",
     "build_health_report",
+    "burn_rate",
     "check_ids",
     "default_checks",
     "discover_findings_stores",

@@ -110,6 +110,12 @@ class HealthConfig:
     min_degraded_incidents: int = 2
     #: self-health: quarantined messages tolerated before a finding.
     max_quarantined: int = 0
+    #: latency-slo-burn-rate: histogram observations needed before a
+    #: burn rate is trustworthy enough to report.
+    slo_min_samples: int = 20
+    #: data-freshness: stream-time staleness (newest ingested event vs.
+    #: detector clock) tolerated before a finding, in seconds.
+    max_data_staleness_s: float = 900.0
 
     def __post_init__(self) -> None:
         if self.sweep_window_s <= 0 or self.sweep_interval_s <= 0:
@@ -148,6 +154,13 @@ class CheckContext:
     consumer_lag: int = 0
     #: Instances covered by a fleet-scope context.
     instances: int = 1
+    #: Registry snapshot in scope (:meth:`MetricsRegistry.snapshot`,
+    #: filtered to this instance's label for instance contexts).  SLO
+    #: checks read histogram buckets and freshness gauges from here.
+    telemetry: Mapping = field(default_factory=dict)
+    #: Latency SLO specs to evaluate (:data:`repro.health.slo.DEFAULT_SLOS`
+    #: when empty).
+    slos: Sequence = ()
 
     def metric_values(self, name: str) -> np.ndarray:
         """The sample values of one metric, time-ordered."""

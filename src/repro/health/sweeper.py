@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.fleet.engine import InstanceDiagnosisEngine
@@ -46,7 +46,12 @@ from repro.health.store import FindingsStore
 from repro.incidents.store import IncidentMeta, IncidentStore, discover_stores
 from repro.resilience import BreakerState
 from repro.sqlanalysis import Severity
-from repro.telemetry import MetricsRegistry, get_logger, get_registry
+from repro.telemetry import (
+    MetricsRegistry,
+    filter_snapshot,
+    get_logger,
+    get_registry,
+)
 
 __all__ = ["HealthSweeper", "SweepResult"]
 
@@ -129,10 +134,22 @@ class HealthSweeper:
     # Context assembly
     # ------------------------------------------------------------------
     def context_for_engine(
-        self, engine: "InstanceDiagnosisEngine", now: int
+        self,
+        engine: "InstanceDiagnosisEngine",
+        now: int,
+        telemetry: Mapping | None = None,
     ) -> CheckContext:
-        """One instance's observations over the sweep window."""
+        """One instance's observations over the sweep window.
+
+        ``telemetry`` lets :meth:`sweep_fleet` snapshot the registry
+        once and hand each context its instance-filtered slice; when
+        omitted, the slice is computed here.
+        """
         cfg = self.config
+        if telemetry is None:
+            telemetry = self._instance_telemetry(
+                self.registry.snapshot(), engine.instance_id
+            )
         ts = max(0, now - cfg.sweep_window_s)
         templates = None
         analysis: dict[str, tuple] = {}
@@ -167,13 +184,32 @@ class HealthSweeper:
             analysis=analysis,
             incidents=incidents,
             consumer_lag=engine.lag,
+            telemetry=telemetry,
         )
 
+    @staticmethod
+    def _instance_telemetry(snapshot: Mapping, instance_id: str) -> Mapping:
+        """One instance's slice of a registry snapshot.
+
+        Single-instance engines (empty id) label nothing, so their
+        slice is the whole snapshot — there is nobody to confuse them
+        with.
+        """
+        if not instance_id:
+            return snapshot
+        return filter_snapshot(dict(snapshot), instance=instance_id)
+
     def fleet_context(
-        self, now: int, instances: int, breakers_open: int = 0
+        self,
+        now: int,
+        instances: int,
+        breakers_open: int = 0,
+        telemetry: Mapping | None = None,
     ) -> CheckContext:
         """The fleet-scope context: merged incidents + self-telemetry."""
         cfg = self.config
+        if telemetry is None:
+            telemetry = self.registry.snapshot()
         incidents: list[IncidentMeta] = []
         if self.incident_store is not None:
             incidents = self.incident_store.query(
@@ -191,6 +227,7 @@ class HealthSweeper:
             incidents=incidents,
             counters=counters,
             instances=instances,
+            telemetry=telemetry,
         )
 
     def _counter_total(self, name: str) -> float:
@@ -307,12 +344,23 @@ class HealthSweeper:
                 if e.detector.stream_time is not None
             ]
             now = max(times) if times else 0
-        contexts = [self.context_for_engine(e, now) for e in engines]
+        snap = self.registry.snapshot()
+        contexts = [
+            self.context_for_engine(
+                e, now, telemetry=self._instance_telemetry(snap, e.instance_id)
+            )
+            for e in engines
+        ]
         breakers_open = sum(
             1 for e in engines if e.repair_breaker.state is BreakerState.OPEN
         )
         contexts.append(
-            self.fleet_context(now, instances=len(engines), breakers_open=breakers_open)
+            self.fleet_context(
+                now,
+                instances=len(engines),
+                breakers_open=breakers_open,
+                telemetry=snap,
+            )
         )
         return self.sweep_contexts(contexts, now)
 

@@ -11,12 +11,15 @@ queryable, human-renderable artifact:
   index, size-bounded rollover, count/age retention and crash recovery;
 * :class:`IncidentRecorder` — hooks into the diagnosis engines and
   persists each completed diagnosis without ever failing the loop;
-* renderers — per-incident text and self-contained HTML reports;
+* renderers — per-incident text and self-contained HTML reports, plus
+  trace waterfalls (:func:`render_trace_text` / :func:`render_trace_html`)
+  that draw the cross-process span tree against time;
 * :func:`load_health` — fleet-wide rollup (incidents per instance, top
   recurring R-SQLs, repair success rates, detector false-trigger
   candidates), merging per-shard stores.
 
-CLI: ``repro incidents list|show|report|health``.
+CLI: ``repro incidents list|show|report|health`` and
+``repro trace show|report``.
 """
 
 from repro.incidents.health import (
@@ -40,6 +43,11 @@ from repro.incidents.record import (
 from repro.incidents.recorder import IncidentRecorder
 from repro.incidents.render import render_incident_html, render_incident_text
 from repro.incidents.store import IncidentMeta, IncidentStore, discover_stores
+from repro.incidents.waterfall import (
+    render_trace_html,
+    render_trace_text,
+    trace_rows,
+)
 
 __all__ = [
     "AnomalyWindow",
@@ -62,4 +70,7 @@ __all__ = [
     "render_health_text",
     "render_incident_html",
     "render_incident_text",
+    "render_trace_html",
+    "render_trace_text",
+    "trace_rows",
 ]

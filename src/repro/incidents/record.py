@@ -302,6 +302,10 @@ class IncidentRecord:
     #: Machine-readable reasons when degraded, e.g.
     #: ``metric_gap:active_session:0.41`` or ``quarantined_logs:3``.
     degraded_reasons: tuple[str, ...] = ()
+    #: Pipeline freshness when the diagnosis completed: newest ingested
+    #: event second, detector stream time, staleness and the publish →
+    #: ingest wall-clock lag (see ``InstanceDiagnosisEngine.freshness_snapshot``).
+    data_freshness: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -340,6 +344,7 @@ class IncidentRecord:
             "recorded_at_unix": self.recorded_at_unix,
             "confidence": self.confidence,
             "degraded_reasons": list(self.degraded_reasons),
+            "data_freshness": dict(self.data_freshness),
         }
 
     @classmethod
@@ -377,4 +382,5 @@ class IncidentRecord:
             recorded_at_unix=float(data.get("recorded_at_unix", 0.0)),
             confidence=data.get("confidence", "full"),
             degraded_reasons=tuple(data.get("degraded_reasons", ())),
+            data_freshness=dict(data.get("data_freshness", {})),
         )

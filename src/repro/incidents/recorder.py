@@ -126,6 +126,25 @@ class IncidentRecorder:
             root = engine.tracer.last_root()
             if root is not None and root.name == "service.diagnose":
                 trace = SpanNode.from_span(root)
+                ctx = getattr(engine, "ingest_trace", None)
+                if (
+                    ctx is not None
+                    and trace.attrs.get("parent_span_id") == ctx.span_id
+                ):
+                    # The diagnosis parented under a remote publish
+                    # span; wrap the tree in a synthetic node for it so
+                    # the record shows the full cross-process trace.
+                    trace = SpanNode(
+                        name="broker.publish_block",
+                        elapsed=None,
+                        attrs={
+                            "trace_id": ctx.trace_id,
+                            "span_id": ctx.span_id,
+                            "process": ctx.process,
+                            "remote": True,
+                        },
+                        children=(trace,),
+                    )
         return IncidentRecord(
             incident_id=self._incident_id(instance_id, anomaly),
             instance_id=instance_id,
@@ -162,6 +181,7 @@ class IncidentRecorder:
             recorded_at_unix=time.time(),
             confidence=getattr(diagnosis, "confidence", "full") or "full",
             degraded_reasons=tuple(getattr(diagnosis, "degraded_reasons", ())),
+            data_freshness=dict(getattr(diagnosis, "data_freshness", {}) or {}),
         )
 
     # ------------------------------------------------------------------

@@ -25,6 +25,20 @@ def _trace_summary(trace: MetricTrace) -> tuple[float, float, float]:
     return min(values), sum(values) / len(values), max(values)
 
 
+def _freshness_summary(df: dict) -> str:
+    """One-line rendering of a record's ``data_freshness`` dict."""
+    if not df:
+        return "-"
+    parts = []
+    if "staleness_s" in df:
+        parts.append(f"staleness {df['staleness_s']} s (stream)")
+    if "ingest_lag_s" in df:
+        parts.append(f"ingest lag {float(df['ingest_lag_s']):.3f} s")
+    if "event_time_s" in df:
+        parts.append(f"newest event t={df['event_time_s']}")
+    return ", ".join(parts) or "-"
+
+
 def _span_lines(node: SpanNode) -> list[str]:
     lines = []
     for depth, span in node.walk():
@@ -58,6 +72,7 @@ def render_incident_text(record: IncidentRecord) -> str:
             if r.degraded_reasons
             else ""
         ),
+        f"data freshness : {_freshness_summary(r.data_freshness)}",
         f"templates seen : {r.templates_seen}",
         "",
         "Triggering metrics (raw detector samples over the evidence window):",
@@ -144,7 +159,13 @@ def render_incident_text(record: IncidentRecord) -> str:
         lines.append(f"  {stage:<28} {seconds * 1000:10.2f} ms")
 
     if r.trace is not None:
-        lines += ["", "Diagnosis trace (span tree):"]
+        trace_id = r.trace.attrs.get("trace_id")
+        header = (
+            f"Diagnosis trace (span tree, trace {trace_id}):"
+            if trace_id
+            else "Diagnosis trace (span tree):"
+        )
+        lines += ["", header]
         lines += ["  " + line for line in _span_lines(r.trace)]
     lines.append(_RULE)
     return "\n".join(lines)
@@ -166,6 +187,9 @@ def render_incident_html(record: IncidentRecord) -> str:
             ("verdict evidence", r.verdict_evidence or "-"),
             ("confidence", r.confidence or "full"),
             ("degraded reasons", "; ".join(r.degraded_reasons) or "-"),
+            ("data freshness", _freshness_summary(r.data_freshness)),
+            ("trace id",
+             (r.trace.attrs.get("trace_id") or "-") if r.trace else "-"),
             ("templates seen", r.templates_seen),
             ("repair outcome", r.repair.outcome),
         ],

@@ -26,11 +26,23 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     DEFAULT_COUNT_BUCKETS,
     DEFAULT_LATENCY_BUCKETS,
+    EXPORT_QUANTILES,
     filter_snapshot,
+    fraction_at_most,
     labeled_name,
+    quantile_from_buckets,
     render_summary,
 )
-from repro.telemetry.tracing import Span, Tracer
+from repro.telemetry.tracing import (
+    Span,
+    TraceContext,
+    Tracer,
+    new_trace_context,
+    set_trace_propagation,
+    span_from_dict,
+    span_to_dict,
+    trace_propagation_enabled,
+)
 from repro.telemetry.logs import (
     JsonFormatter,
     KeyValueFormatter,
@@ -46,11 +58,20 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_COUNT_BUCKETS",
     "DEFAULT_LATENCY_BUCKETS",
+    "EXPORT_QUANTILES",
     "filter_snapshot",
+    "fraction_at_most",
     "labeled_name",
+    "quantile_from_buckets",
     "render_summary",
     "Span",
+    "TraceContext",
     "Tracer",
+    "new_trace_context",
+    "set_trace_propagation",
+    "span_from_dict",
+    "span_to_dict",
+    "trace_propagation_enabled",
     "JsonFormatter",
     "KeyValueFormatter",
     "configure_telemetry",
@@ -82,3 +103,4 @@ def reset_telemetry() -> None:
     """Clear the default registry and tracer (tests, CLI runs)."""
     _REGISTRY.reset()
     _TRACER.reset()
+    set_trace_propagation(True)

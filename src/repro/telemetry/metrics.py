@@ -26,10 +26,21 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_COUNT_BUCKETS",
+    "EXPORT_QUANTILES",
     "labeled_name",
     "filter_snapshot",
+    "fraction_at_most",
+    "quantile_from_buckets",
     "render_summary",
 ]
+
+#: Quantiles exported in JSON snapshots, the Prometheus exposition
+#: (synthetic ``<name>_quantile`` series) and ``render_summary``.
+EXPORT_QUANTILES: tuple[tuple[float, str], ...] = (
+    (0.50, "p50"),
+    (0.95, "p95"),
+    (0.99, "p99"),
+)
 
 #: Latency buckets (seconds) sized for the pipeline's sub-second stages
 #: up to multi-second whole-corpus analyses.
@@ -114,6 +125,105 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile, linearly interpolated within the
+        bucket holding the target rank (Prometheus ``histogram_quantile``
+        semantics: first finite bucket is assumed to start at 0, the
+        overflow bucket reports the largest finite bound)."""
+        return _quantile_from_pairs(self.cumulative(), q)
+
+    def merge_cumulative(
+        self, buckets: list, sum_: float, count: int
+    ) -> bool:
+        """Fold another histogram's snapshot-format cumulative buckets
+        into this one (cross-process registry merge).  Returns False —
+        without mutating — when the bucket layouts differ."""
+        pairs = _bucket_pairs(buckets)
+        uppers = tuple(u for u, _ in pairs if not math.isinf(u))
+        if uppers != self.uppers or len(pairs) != len(self.counts):
+            return False
+        deltas, prev = [], 0
+        for _, cum in pairs:
+            if cum < prev:
+                return False
+            deltas.append(cum - prev)
+            prev = cum
+        for i, delta in enumerate(deltas):
+            self.counts[i] += delta
+        self.sum += float(sum_)
+        self.count += int(count)
+        return True
+
+
+def _bucket_pairs(buckets) -> list[tuple[float, int]]:
+    """Normalise snapshot-format buckets (``"+Inf"`` markers) into
+    ``(upper: float, cumulative: int)`` pairs."""
+    pairs: list[tuple[float, int]] = []
+    for upper, cum in buckets:
+        bound = math.inf if isinstance(upper, str) else float(upper)
+        pairs.append((bound, int(cum)))
+    return pairs
+
+
+def _quantile_from_pairs(pairs: list[tuple[float, int]], q: float) -> float:
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if not pairs:
+        return 0.0
+    total = pairs[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    lower: float | None = None
+    prev_cum = 0
+    for upper, cum in pairs:
+        if cum >= rank:
+            if math.isinf(upper):
+                # Overflow bucket: no finite upper bound to interpolate
+                # toward — report the largest finite bound.
+                return lower if lower is not None else 0.0
+            lo = lower if lower is not None else min(0.0, upper)
+            width = cum - prev_cum
+            frac = (rank - prev_cum) / width if width > 0 else 1.0
+            return lo + (upper - lo) * frac
+        if not math.isinf(upper):
+            lower = upper
+        prev_cum = cum
+    return lower if lower is not None else 0.0
+
+
+def quantile_from_buckets(buckets, q: float) -> float:
+    """Quantile estimate from snapshot-format cumulative buckets."""
+    return _quantile_from_pairs(_bucket_pairs(buckets), q)
+
+
+def fraction_at_most(buckets, bound: float) -> float:
+    """Estimated fraction of observations ``<= bound`` from snapshot-
+    format cumulative buckets (linear interpolation inside the bucket
+    containing ``bound``).  Observations in the +Inf overflow bucket are
+    assumed to exceed any finite ``bound`` — the conservative reading
+    for SLO evaluation."""
+    pairs = _bucket_pairs(buckets)
+    if not pairs:
+        return 1.0
+    total = pairs[-1][1]
+    if total <= 0:
+        return 1.0
+    lower: float | None = None
+    prev_cum = 0
+    for upper, cum in pairs:
+        if math.isinf(upper):
+            break
+        if bound <= upper:
+            lo = lower if lower is not None else min(0.0, upper)
+            width = upper - lo
+            frac_in = (bound - lo) / width if width > 0 else 1.0
+            frac_in = min(max(frac_in, 0.0), 1.0)
+            return (prev_cum + (cum - prev_cum) * frac_in) / total
+        lower = upper
+        prev_cum = cum
+    return prev_cum / total
 
 
 class _Family:
@@ -250,8 +360,47 @@ class MetricsRegistry:
                     ]
                     entry["sum"] = inst.sum
                     entry["count"] = inst.count
+                    entry["quantiles"] = {
+                        label: inst.quantile(q) for q, label in EXPORT_QUANTILES
+                    }
                     histograms.append(entry)
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def merge_snapshot(self, snapshot: Mapping) -> int:
+        """Fold another registry's snapshot into this one.
+
+        The cross-process aggregation path: shard workers ship their
+        (per-work-item, hence delta) registry snapshots back over the
+        result channel and the parent merges them here so ``repro obs``
+        shows one fleet-wide registry.  Counters add, gauges take the
+        incoming value (last-writer-wins freshness semantics), and
+        histograms add per-bucket — skipped when bucket layouts differ.
+        Returns the number of series merged.
+        """
+        merged = 0
+        for entry in snapshot.get("counters", ()):
+            value = float(entry.get("value", 0.0))
+            if value > 0:
+                self.counter(entry["name"], **entry.get("labels", {})).inc(value)
+                merged += 1
+        for entry in snapshot.get("gauges", ()):
+            self.gauge(entry["name"], **entry.get("labels", {})).set(
+                float(entry.get("value", 0.0))
+            )
+            merged += 1
+        for entry in snapshot.get("histograms", ()):
+            pairs = _bucket_pairs(entry.get("buckets", ()))
+            uppers = tuple(u for u, _ in pairs if not math.isinf(u))
+            if not uppers:
+                continue
+            inst = self.histogram(entry["name"], buckets=uppers,
+                                  **entry.get("labels", {}))
+            if inst.merge_cumulative(
+                entry.get("buckets", ()), entry.get("sum", 0.0),
+                entry.get("count", 0),
+            ):
+                merged += 1
+        return merged
 
     def render_prometheus(self) -> str:
         """Prometheus text-exposition format (version 0.0.4)."""
@@ -261,6 +410,7 @@ class MetricsRegistry:
             if family.help:
                 lines.append(f"# HELP {name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {name} {family.kind}")
+            quantile_lines: list[str] = []
             for key in sorted(family.series):
                 inst = family.series[key]
                 if family.kind in ("counter", "gauge"):
@@ -273,6 +423,17 @@ class MetricsRegistry:
                     )
                 lines.append(f"{name}_sum{_fmt_labels(key)} {_fmt_value(inst.sum)}")
                 lines.append(f"{name}_count{_fmt_labels(key)} {inst.count}")
+                for q, _label in EXPORT_QUANTILES:
+                    quantile_lines.append(
+                        f"{name}_quantile"
+                        f"{_fmt_labels(key + (('quantile', _fmt_value(q)),))} "
+                        f"{_fmt_value(inst.quantile(q))}"
+                    )
+            if quantile_lines:
+                # Synthetic estimated-quantile series derived from the
+                # fixed buckets; typed as gauges (they can go down).
+                lines.append(f"# TYPE {name}_quantile gauge")
+                lines.extend(quantile_lines)
         return "\n".join(lines) + "\n" if lines else ""
 
     def __iter__(self) -> Iterator[tuple[str, str, _LabelKey, object]]:
@@ -346,11 +507,21 @@ def render_summary(
         for entry in snap["histograms"]:
             count = entry["count"]
             mean = entry["sum"] / count if count else 0.0
+            # Quantiles come from the entry when present, else are
+            # derived from the buckets (older snapshots round-trip).
+            quantiles = entry.get("quantiles") or {
+                label: quantile_from_buckets(entry["buckets"], q)
+                for q, label in EXPORT_QUANTILES
+            }
+            qtext = " ".join(
+                f"{label}={quantiles[label]:.6g}"
+                for _, label in EXPORT_QUANTILES if label in quantiles
+            )
             occupied = [
                 f"le={u}:{c}" for u, c in entry["buckets"] if c > 0
             ][:max_buckets]
             lines.append(
                 f"  {labeled_name(entry['name'], entry['labels']):<58} "
-                f"count={count} mean={mean:.6g} {' '.join(occupied)}"
+                f"count={count} mean={mean:.6g} {qtext} {' '.join(occupied)}"
             )
     return "\n".join(lines)

@@ -51,17 +51,24 @@ class SelfMonitor:
     """
 
     def __init__(self, registry: MetricsRegistry, window_s: int = 3600,
-                 include_counters: bool = True) -> None:
+                 include_counters: bool = True,
+                 include_histograms: bool = True) -> None:
         if window_s <= 0:
             raise ValueError("window_s must be positive")
         self.registry = registry
         self.window_s = int(window_s)
         self.include_counters = include_counters
+        self.include_histograms = include_histograms
         self._samples: dict[str, dict[int, float]] = {}
         self._last_sample_at: int | None = None
 
     def sample(self, now_s: int) -> int:
         """Record the current value of every gauge (and counter).
+
+        Histogram-kind series export two derived scalars per sample so
+        latency distributions (span durations, pipeline lag) are
+        watchable too: the running mean under the plain series key and
+        the p95 estimate under ``<name>_p95{...}``.
 
         Returns the number of series sampled.
         """
@@ -69,6 +76,15 @@ class SelfMonitor:
         sampled = 0
         for name, kind, key, inst in self.registry:
             if kind == "histogram":
+                if not self.include_histograms:
+                    continue
+                mean_history = self._samples.setdefault(
+                    labeled_name(name, key), {})
+                mean_history[now_s] = inst.mean
+                p95_history = self._samples.setdefault(
+                    labeled_name(name + "_p95", key), {})
+                p95_history[now_s] = inst.quantile(0.95)
+                sampled += 2
                 continue
             if kind == "counter" and not self.include_counters:
                 continue

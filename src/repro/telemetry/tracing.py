@@ -16,17 +16,105 @@ is observed into the registry's ``span_duration_seconds`` histogram
 A disabled tracer still times — callers rely on ``elapsed`` to fill
 :class:`~repro.core.pipeline.StageTimings` — but skips tree retention
 and histogram observation, which is the whole measurable overhead.
+
+Distributed tracing: every *root* span is minted a blake2b-derived
+``trace_id``/``span_id`` (stamped into ``attrs`` so they survive every
+existing serialization path — span trees, incident records, pickles).
+A :class:`TraceContext` carries that identity across process
+boundaries: stamped into columnar block headers at publish time,
+adopted by the consuming engine's tracer via :meth:`Tracer.set_remote_parent`,
+so a ``service.diagnose`` span in a shard worker is parented to the
+``broker.publish_block`` span in the parent process.  Finished traces
+round-trip through :func:`span_to_dict`/:func:`span_from_dict` for
+shipment over the worker result channel (:meth:`Tracer.export_roots` /
+:meth:`Tracer.adopt`).
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from hashlib import blake2b
+from typing import Any, Iterable, Mapping
 
 from repro.telemetry.metrics import MetricsRegistry
 
-__all__ = ["Span", "Tracer"]
+__all__ = [
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "new_trace_context",
+    "set_trace_propagation",
+    "span_from_dict",
+    "span_to_dict",
+    "trace_propagation_enabled",
+]
+
+#: Process-wide kill switch for trace-context propagation (id minting,
+#: block stamping, remote parenting).  Spans still time and observe
+#: histograms when this is off — only the distributed-identity layer is
+#: skipped.  ``bench_trace_overhead.py`` toggles this to measure the
+#: marginal cost of the feature.
+_PROPAGATION_ENABLED = True
+
+#: Monotone per-process sequence folded into every minted id so two ids
+#: minted in the same nanosecond tick still differ.
+_ID_SEQ = itertools.count()
+
+
+def set_trace_propagation(enabled: bool) -> None:
+    """Enable/disable trace-context propagation process-wide."""
+    global _PROPAGATION_ENABLED
+    _PROPAGATION_ENABLED = bool(enabled)
+
+
+def trace_propagation_enabled() -> bool:
+    return _PROPAGATION_ENABLED
+
+
+def _mint_id(kind: str) -> str:
+    """A 16-hex-char blake2b id, unique within and across processes."""
+    payload = f"{kind}|{os.getpid()}|{next(_ID_SEQ)}|{time.perf_counter_ns()}"
+    return blake2b(payload.encode("ascii"), digest_size=8).hexdigest()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The cross-process identity of one span: ``(trace_id, span_id)``.
+
+    ``process`` records the minting pid so consumers can tell which
+    process the parent span lived in (rendered in incident span trees
+    and the ``repro trace`` waterfall).
+    """
+
+    trace_id: str
+    span_id: str
+    process: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id, "process": self.process}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceContext | None":
+        """Rebuild from a header dict; ``None`` on junk (chaos-corrupted
+        headers must degrade to "no context", never raise)."""
+        try:
+            trace_id = payload["trace_id"]
+            span_id = payload["span_id"]
+        except (KeyError, TypeError):
+            return None
+        if not isinstance(trace_id, str) or not isinstance(span_id, str):
+            return None
+        process = payload.get("process", 0)
+        return cls(trace_id, span_id, int(process) if isinstance(process, (int, float)) else 0)
+
+
+def new_trace_context() -> TraceContext:
+    """Mint a fresh root context (new trace_id, new span_id)."""
+    return TraceContext(_mint_id("t"), _mint_id("s"), os.getpid())
 
 
 @dataclass
@@ -93,6 +181,10 @@ class Tracer:
         self.labels = dict(labels) if labels else {}
         self._stack: list[Span] = []
         self._roots: deque[Span] = deque(maxlen=max_roots)
+        #: Cross-process parent adopted from an ingested block's trace
+        #: context: new root spans join its trace_id and record its
+        #: span_id as ``parent_span_id``.
+        self._remote_parent: TraceContext | None = None
 
     def span(self, name: str, **attrs: object) -> Span:
         """A new span; use as a context manager."""
@@ -102,8 +194,76 @@ class Tracer:
         span = Span(name, attrs=dict(attrs), _tracer=self)
         if self._stack:
             self._stack[-1].children.append(span)
+        elif _PROPAGATION_ENABLED:
+            # Root spans carry the distributed identity in attrs so it
+            # survives every serialization path unchanged.
+            parent = self._remote_parent
+            span.attrs["trace_id"] = parent.trace_id if parent else _mint_id("t")
+            span.attrs["span_id"] = _mint_id("s")
+            if parent is not None:
+                span.attrs["parent_span_id"] = parent.span_id
+            span.attrs["process"] = os.getpid()
         self._stack.append(span)
         return span
+
+    # -- distributed identity ------------------------------------------
+    def set_remote_parent(self, ctx: TraceContext | None) -> None:
+        """Parent subsequent root spans under a remote span's context."""
+        self._remote_parent = ctx
+
+    @property
+    def remote_parent(self) -> TraceContext | None:
+        return self._remote_parent
+
+    def context_for(self, span: Span) -> TraceContext | None:
+        """The :class:`TraceContext` identifying ``span``, minting ids
+        lazily.
+
+        Nested spans normally carry no ids of their own (the root owns
+        the trace); asking for a nested span's context — e.g. to stamp
+        an outgoing block at publish time — assigns it a ``span_id``
+        under the enclosing root's ``trace_id``.
+        """
+        if not self.enabled or not _PROPAGATION_ENABLED:
+            return None
+        trace_id = span.attrs.get("trace_id")
+        if not isinstance(trace_id, str):
+            root = self._stack[0] if self._stack else span
+            trace_id = root.attrs.get("trace_id")
+            if not isinstance(trace_id, str):
+                trace_id = _mint_id("t")
+                root.attrs["trace_id"] = trace_id
+            if span is not root:
+                span.attrs["trace_id"] = trace_id
+        span_id = span.attrs.get("span_id")
+        if not isinstance(span_id, str):
+            span_id = _mint_id("s")
+            span.attrs["span_id"] = span_id
+        return TraceContext(trace_id, span_id, os.getpid())
+
+    # -- cross-process export ------------------------------------------
+    def export_roots(self, clear: bool = False) -> list[dict[str, Any]]:
+        """Finished root spans as plain dicts (oldest first), for
+        shipment over a result queue; optionally drains the buffer so
+        repeated exports never double-ship."""
+        payloads = [span_to_dict(span) for span in self._roots]
+        if clear:
+            self._roots.clear()
+        return payloads
+
+    def adopt(self, payloads: Iterable[Mapping[str, Any]]) -> int:
+        """Merge spans exported by another process into this tracer's
+        finished roots (no histogram re-observation — metric deltas
+        travel separately so nothing is double-counted)."""
+        adopted = 0
+        for payload in payloads:
+            try:
+                span = span_from_dict(payload)
+            except (AttributeError, KeyError, TypeError, ValueError):
+                continue
+            self._roots.append(span)
+            adopted += 1
+        return adopted
 
     def _finish(self, span: Span) -> None:
         # Exits must mirror entries; tolerate a foreign span defensively.
@@ -143,6 +303,7 @@ class Tracer:
     def reset(self) -> None:
         self._stack.clear()
         self._roots.clear()
+        self._remote_parent = None
 
     # ------------------------------------------------------------------
     def format_tree(self, root: Span | None = None) -> str:
@@ -167,3 +328,25 @@ def _fmt_seconds(seconds: float) -> str:
     if seconds < 1.0:
         return f"{seconds * 1000:.2f} ms"
     return f"{seconds:.3f} s"
+
+
+# ----------------------------------------------------------------------
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """A picklable/JSON-able rendering of a finished span subtree."""
+    return {
+        "name": span.name,
+        "elapsed": span.elapsed,
+        "attrs": dict(span.attrs),
+        "children": [span_to_dict(c) for c in span.children],
+    }
+
+
+def span_from_dict(payload: Mapping[str, Any]) -> Span:
+    """Inverse of :func:`span_to_dict`."""
+    elapsed = payload.get("elapsed")
+    return Span(
+        name=str(payload["name"]),
+        attrs=dict(payload.get("attrs") or {}),
+        children=[span_from_dict(c) for c in payload.get("children") or ()],
+        elapsed=float(elapsed) if elapsed is not None else None,
+    )

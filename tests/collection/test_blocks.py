@@ -22,6 +22,7 @@ from repro.collection.blocks import (
     validate_query_block,
 )
 from repro.dbsim.query import SecondBatch
+from repro.telemetry.tracing import TraceContext
 
 
 def _batch(sql_id="q1", arrive=(1000, 2500, 2600), resp=None, rows=None):
@@ -222,7 +223,17 @@ class TestBrokerPublication:
         message = broker.publish_block("query_logs.db-a", block)
         assert message is not None
         assert message.key == BLOCK_KEY
-        assert message.value is block
+        # The published block is the same payload stamped with the
+        # publish span's trace context and the publish wall-time.
+        assert message.value.data is block.data
+        assert message.value.sql_ids == block.sql_ids
+        assert message.value.trace is not None
+        assert message.value.trace.trace_id
+        assert message.value.created_unix > 0
+        # The publish itself was traced.
+        publish_span = broker.tracer.last_root()
+        assert publish_span.name == "broker.publish_block"
+        assert publish_span.attrs["span_id"] == message.value.trace.span_id
         assert (
             registry.get("broker_blocks_published_total", topic="query_logs.db-a").value
             == 1
@@ -289,7 +300,39 @@ def query_blocks(draw):
     data["response_ms"] = draw(st.lists(finite, min_size=n_rows, max_size=n_rows))
     data["examined_rows"] = draw(st.lists(finite, min_size=n_rows, max_size=n_rows))
     instance = draw(st.sampled_from(["", "db-a", "db-zz"]))
-    return QueryLogBlock(sql_ids=sql_ids, data=data, instance=instance)
+    # v2 header coverage: blocks randomly carry a trace context and a
+    # publish stamp (absent on both = the v1-compatible shape).
+    trace = draw(
+        st.one_of(
+            st.none(),
+            st.builds(
+                TraceContext,
+                trace_id=st.text(
+                    alphabet="0123456789abcdef", min_size=1, max_size=32
+                ),
+                span_id=st.text(
+                    alphabet="0123456789abcdef", min_size=1, max_size=32
+                ),
+                process=st.integers(min_value=0, max_value=2**31 - 1),
+            ),
+        )
+    )
+    created_unix = draw(
+        st.one_of(
+            st.just(0.0),
+            st.floats(
+                min_value=1.0, max_value=4e9,
+                allow_nan=False, allow_infinity=False,
+            ),
+        )
+    )
+    return QueryLogBlock(
+        sql_ids=sql_ids,
+        data=data,
+        instance=instance,
+        trace=trace,
+        created_unix=created_unix,
+    )
 
 
 class TestCodecProperties:
@@ -300,6 +343,8 @@ class TestCodecProperties:
         assert isinstance(decoded, QueryLogBlock)
         assert decoded.sql_ids == block.sql_ids
         assert decoded.instance == block.instance
+        assert decoded.trace == block.trace
+        assert decoded.created_unix == pytest.approx(block.created_unix)
         np.testing.assert_array_equal(decoded.data, block.data)
         # Validation agrees across the codec boundary.
         assert validate_query_block(decoded) == validate_query_block(block)

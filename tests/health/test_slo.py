@@ -1,0 +1,168 @@
+"""Latency SLO burn-rate and data-freshness checks."""
+
+import pytest
+
+from repro.health import DEFAULT_SLOS, HealthConfig, SloSpec, burn_rate
+from repro.health.slo import DataFreshnessCheck, LatencySloBurnRateCheck
+from repro.sqlanalysis import Severity
+from repro.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    filter_snapshot,
+)
+from tests.health.conftest import make_ctx
+
+
+def slo_registry(
+    instance: str = "db-01",
+    stage: str = "ingest",
+    latency_s: float = 0.1,
+    samples: int = 50,
+) -> MetricsRegistry:
+    reg = MetricsRegistry()
+    hist = reg.histogram(
+        "pipeline_lag_seconds",
+        help="test",
+        buckets=DEFAULT_LATENCY_BUCKETS,
+        stage=stage,
+        instance=instance,
+    )
+    for _ in range(samples):
+        hist.observe(latency_s)
+    return reg
+
+
+def ctx_for(reg: MetricsRegistry, instance: str = "db-01", **kwargs):
+    return make_ctx(
+        instance_id=instance,
+        telemetry=filter_snapshot(reg.snapshot(), instance=instance),
+        **kwargs,
+    )
+
+
+class TestSloSpec:
+    def test_rejects_bad_target_and_objective(self):
+        with pytest.raises(ValueError):
+            SloSpec(slo_id="x", metric="m", objective_s=1.0, target=1.0)
+        with pytest.raises(ValueError):
+            SloSpec(slo_id="x", metric="m", objective_s=0.0)
+
+    def test_matches_ignores_extra_labels(self):
+        spec = SloSpec(
+            slo_id="x",
+            metric="pipeline_lag_seconds",
+            objective_s=5.0,
+            labels=(("stage", "ingest"),),
+        )
+        assert spec.matches(
+            {"name": "pipeline_lag_seconds",
+             "labels": {"stage": "ingest", "instance": "db-9"}}
+        )
+        assert not spec.matches(
+            {"name": "pipeline_lag_seconds", "labels": {"stage": "diagnose"}}
+        )
+        assert not spec.matches({"name": "other_seconds", "labels": {}})
+
+    def test_default_slos_cover_every_watermark_stage(self):
+        lag_stages = {
+            dict(s.labels).get("stage")
+            for s in DEFAULT_SLOS
+            if s.metric == "pipeline_lag_seconds"
+        }
+        assert lag_stages == {"ingest", "dispatch", "diagnose"}
+        assert any(s.metric == "span_duration_seconds" for s in DEFAULT_SLOS)
+
+
+class TestBurnRate:
+    def test_compliant_histogram_burns_nothing(self):
+        reg = slo_registry(latency_s=0.1)
+        [entry] = reg.snapshot()["histograms"]
+        assert burn_rate(entry["buckets"], 5.0, 0.99) == pytest.approx(0.0)
+
+    def test_all_violations_burn_the_whole_budget_rate(self):
+        reg = slo_registry(latency_s=8.0)
+        [entry] = reg.snapshot()["histograms"]
+        # 0% compliance against a 1% budget: 100x burn.
+        assert burn_rate(entry["buckets"], 5.0, 0.99) == pytest.approx(100.0)
+
+
+class TestLatencySloBurnRateCheck:
+    def test_starved_instance_trips_critical(self):
+        ctx = ctx_for(slo_registry(latency_s=8.0))
+        findings = list(LatencySloBurnRateCheck().check(ctx))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.check == "latency-slo-burn-rate"
+        assert f.severity is Severity.CRITICAL
+        assert f.instance_id == "db-01"
+        assert f.metric == "pipeline_lag_seconds"
+        assert f.evidence["slo_id"] == "ingest-lag"
+        assert f.evidence["burn_rate"] >= 4.0
+        assert "db-01" in f.evidence["series"]
+
+    def test_healthy_instance_stays_quiet(self):
+        ctx = ctx_for(slo_registry(latency_s=0.05))
+        assert list(LatencySloBurnRateCheck().check(ctx)) == []
+
+    def test_min_sample_gate(self):
+        ctx = ctx_for(slo_registry(latency_s=8.0, samples=5))
+        assert list(LatencySloBurnRateCheck().check(ctx)) == []
+
+    def test_custom_specs_override_defaults(self):
+        spec = SloSpec(
+            slo_id="tight-ingest",
+            metric="pipeline_lag_seconds",
+            objective_s=0.005,
+            target=0.5,
+            labels=(("stage", "ingest"),),
+        )
+        ctx = ctx_for(slo_registry(latency_s=0.1), slos=(spec,))
+        findings = list(LatencySloBurnRateCheck().check(ctx))
+        assert [f.evidence["slo_id"] for f in findings] == ["tight-ingest"]
+
+    def test_burn_just_under_budget_stays_quiet(self):
+        # 96% of observations meet a 95% objective: burn 0.8 < 1.0.
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "span_duration_seconds",
+            help="test",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            span="service.diagnose",
+            instance="db-01",
+        )
+        for _ in range(96):
+            hist.observe(1.0)
+        for _ in range(4):
+            hist.observe(9.0)
+        ctx = ctx_for(reg)
+        assert list(LatencySloBurnRateCheck().check(ctx)) == []
+
+
+class TestDataFreshnessCheck:
+    @staticmethod
+    def freshness_ctx(staleness: float, budget: float = 900.0):
+        reg = MetricsRegistry()
+        reg.gauge(
+            "data_freshness_seconds", help="test", instance="db-01"
+        ).set(staleness)
+        return ctx_for(
+            reg, config=HealthConfig(max_data_staleness_s=budget)
+        )
+
+    def test_fresh_instance_stays_quiet(self):
+        ctx = self.freshness_ctx(staleness=10.0)
+        assert list(DataFreshnessCheck().check(ctx)) == []
+
+    @pytest.mark.parametrize(
+        "staleness, severity",
+        [
+            (900.0, Severity.WARNING),
+            (1800.0, Severity.HIGH),
+            (3600.0, Severity.CRITICAL),
+        ],
+    )
+    def test_severity_ladder(self, staleness, severity):
+        ctx = self.freshness_ctx(staleness=staleness)
+        [f] = list(DataFreshnessCheck().check(ctx))
+        assert f.severity is severity
+        assert f.evidence["staleness_s"] == pytest.approx(staleness)

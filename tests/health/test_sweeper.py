@@ -108,8 +108,8 @@ class TestFleetSweeps:
         service = fake_service(fake_engine("db-solo"))
         result = sweeper.sweep_fleet(service)
         assert result.instances == ("db-solo",)
-        # 6 instance-scope + 3 fleet-scope built-in checks.
-        assert result.checks_run == 9
+        # 8 instance-scope + 3 fleet-scope built-in checks.
+        assert result.checks_run == 11
         # The synthetic session ramp fires connection-pressure.
         assert any(f.check == "connection-pressure" for f in result.findings)
 
@@ -148,7 +148,7 @@ class TestOfflineSweeps:
         sweeper = HealthSweeper(registry=MetricsRegistry())
         result = sweeper.sweep_stores(tmp_path / "incidents")
         # Two instance contexts + the fleet context, built-ins only.
-        assert result.checks_run == 2 * 6 + 3
+        assert result.checks_run == 2 * 8 + 3
         # Both records pinpoint R1: the repeat-offender check fires.
         offenders = [f for f in result.findings if f.check == "repeat-offender"]
         assert len(offenders) == 1

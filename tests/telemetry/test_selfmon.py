@@ -38,10 +38,27 @@ class TestSelfMonitor:
         series = monitor.series("depth{topic=q}")
         np.testing.assert_allclose(series.values, [4.0, 9.0])
 
-    def test_histograms_excluded(self):
+    def test_histograms_export_mean_and_p95(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", instance="db-00")
+        for value in (0.1, 0.1, 0.1, 0.1, 4.0):
+            hist.observe(value)
+        monitor = SelfMonitor(reg)
+        assert monitor.sample(1) == 2
+        assert monitor.names() == [
+            "lat_p95{instance=db-00}", "lat{instance=db-00}",
+        ]
+        mean = monitor.series("lat{instance=db-00}")
+        np.testing.assert_allclose(mean.values, [hist.mean])
+        p95 = monitor.series("lat_p95{instance=db-00}")
+        np.testing.assert_allclose(p95.values, [hist.quantile(0.95)])
+        # The p95 watches the tail: far above the mean here.
+        assert p95.values[0] > mean.values[0]
+
+    def test_histograms_excluded_when_opted_out(self):
         reg = MetricsRegistry()
         reg.histogram("lat").observe(0.1)
-        monitor = SelfMonitor(reg)
+        monitor = SelfMonitor(reg, include_histograms=False)
         assert monitor.sample(1) == 0
 
     def test_window_bounds_history(self):

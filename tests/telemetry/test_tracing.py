@@ -1,8 +1,10 @@
 """Span nesting, timing, retention, and the registry hookup."""
 
+import os
 import time
 
 from repro.telemetry import MetricsRegistry, Tracer
+from repro.telemetry.tracing import TraceContext, set_trace_propagation
 
 
 class TestSpans:
@@ -176,3 +178,112 @@ class TestFormatTree:
 
     def test_empty_tracer_renders_placeholder(self):
         assert "no finished spans" in Tracer().format_tree()
+
+
+class TestTraceContextPropagation:
+    def test_root_spans_carry_distributed_identity(self):
+        tracer = Tracer()
+        with tracer.span("service.diagnose") as span:
+            pass
+        assert isinstance(span.attrs["trace_id"], str)
+        assert isinstance(span.attrs["span_id"], str)
+        assert span.attrs["process"] == os.getpid()
+        assert "parent_span_id" not in span.attrs
+
+    def test_remote_parent_links_new_roots(self):
+        tracer = Tracer()
+        ctx = TraceContext(trace_id="t" * 16, span_id="s" * 16, process=1)
+        tracer.set_remote_parent(ctx)
+        with tracer.span("service.diagnose") as span:
+            pass
+        assert span.attrs["trace_id"] == ctx.trace_id
+        assert span.attrs["parent_span_id"] == ctx.span_id
+        assert span.attrs["span_id"] != ctx.span_id
+
+    def test_context_for_nested_span_joins_roots_trace(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("publish") as inner:
+                ctx = tracer.context_for(inner)
+        assert ctx is not None
+        assert ctx.trace_id == root.attrs["trace_id"]
+        assert ctx.span_id == inner.attrs["span_id"]
+        assert ctx.process == os.getpid()
+
+    def test_propagation_toggle_suppresses_identity(self):
+        set_trace_propagation(False)
+        try:
+            tracer = Tracer()
+            with tracer.span("quiet") as span:
+                assert tracer.context_for(span) is None
+            assert "trace_id" not in span.attrs
+        finally:
+            set_trace_propagation(True)
+
+    def test_context_round_trips_through_junk_tolerant_from_dict(self):
+        ctx = TraceContext(trace_id="abc", span_id="def", process=7)
+        again = TraceContext.from_dict(ctx.to_dict())
+        assert again == ctx
+        assert TraceContext.from_dict({"trace_id": "x"}) is None
+        assert TraceContext.from_dict("garbage") is None
+
+
+class TestCrossProcessExport:
+    def test_export_and_adopt_round_trip(self):
+        src = Tracer()
+        with src.span("service.diagnose"):
+            with src.span("pinsql.analyze"):
+                pass
+        dst = Tracer()
+        payloads = src.export_roots(clear=True)
+        assert src.roots == []
+        assert dst.adopt(payloads) == 1
+        [root] = dst.roots
+        assert root.name == "service.diagnose"
+        assert root.children[0].name == "pinsql.analyze"
+        assert root.attrs["trace_id"]
+
+    def test_adopt_skips_malformed_payloads(self):
+        dst = Tracer()
+        good = {"name": "ok", "elapsed": 0.1, "attrs": {}, "children": []}
+        assert dst.adopt([{"nope": 1}, "junk", good]) == 1
+        assert dst.last_root().name == "ok"
+
+    def test_adopt_does_not_reobserve_histograms(self):
+        registry = MetricsRegistry()
+        dst = Tracer(registry=registry)
+        src = Tracer()
+        with src.span("work"):
+            pass
+        dst.adopt(src.export_roots())
+        assert registry.snapshot()["histograms"] == []
+
+
+class TestLabelPropagation:
+    def test_child_spans_observe_with_tracer_labels(self):
+        # The extra-labels path: a fleet engine's tracer stamps its
+        # instance label on EVERY span observation, children included,
+        # so per-stage latency histograms stay separable per instance.
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, labels={"instance": "db-09"})
+        with tracer.span("service.diagnose"):
+            with tracer.span("pinsql.analyze"):
+                pass
+        for span_name in ("service.diagnose", "pinsql.analyze"):
+            hist = registry.get(
+                "span_duration_seconds", span=span_name, instance="db-09"
+            )
+            assert hist is not None and hist.count == 1
+
+    def test_error_counter_carries_tracer_labels(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(registry=registry, labels={"instance": "db-09"})
+        try:
+            with tracer.span("service.diagnose"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        counter = registry.get(
+            "span_errors_total", span="service.diagnose", instance="db-09"
+        )
+        assert counter is not None and counter.value == 1
