@@ -24,6 +24,10 @@ Seven subcommands cover the adoption path:
   the default scenario catalog (with planted-label precision/recall), a
   saved case corpus (``--cases DIR``) or one statement (``--sql``);
   exits non-zero when findings reach ``--fail-on`` (the CI contract);
+* ``repro advise``     — workload-level cross-statement analysis: the
+  lock-conflict graph, traffic-weighted index advisor and join/fan-out
+  passes over the default scenario catalog (with planted-label
+  precision/recall); shares the ``repro lint`` exit contract;
 * ``repro health``     — proactive fleet health sweeps (the automated
   DBA): ``sweep`` runs the check suite (offline over incident stores,
   or live over a simulated fleet with ``--fleet N``) and persists the
@@ -247,6 +251,23 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["info", "warning", "high", "critical", "never"],
         default="warning",
         help="exit 1 when any finding reaches this severity "
+             "(default: warning; 'never' always exits 0)",
+    )
+
+    advise = sub.add_parser(
+        "advise",
+        help="workload-level cross-statement analysis (locks, indexes, joins)",
+    )
+    advise.add_argument("--seed", type=int, default=0,
+                        help="seed of the default scenario catalog")
+    advise.add_argument("--format", choices=["text", "json"], default="text")
+    advise.add_argument("--out", type=Path, default=None,
+                        help="write the report here instead of stdout")
+    advise.add_argument(
+        "--fail-on",
+        choices=["info", "warning", "high", "critical", "never"],
+        default="warning",
+        help="exit 1 when any advisory reaches this severity "
              "(default: warning; 'never' always exits 0)",
     )
 
@@ -1156,6 +1177,50 @@ def cmd_lint(args) -> int:
     return 1 if lint_failed(report, args.fail_on) else 0
 
 
+def _advise_default_catalog(seed: int):
+    """Advise over the default scenario catalog with planted baits."""
+    import numpy as np
+
+    from repro.evaluation.advisories import (
+        advisor_for_population,
+        evaluate_advisor,
+        population_weights,
+    )
+    from repro.workload import build_population, plant_advisory_baits
+
+    rng = np.random.default_rng(seed)
+    population = build_population(600, rng, n_businesses=6)
+    planted = plant_advisory_baits(population, rng)
+    analyzer = advisor_for_population(population)
+    report = analyzer.analyze(
+        population.specs.values(), population_weights(population)
+    )
+    evaluation = evaluate_advisor(analyzer, population, planted, report=report)
+    report.evaluation = evaluation.to_dict()
+    return report
+
+
+def cmd_advise(args) -> int:
+    """Workload-level advisory analysis; exit per the --fail-on contract."""
+    import json
+
+    from repro.sqlanalysis.workload import advise_failed
+
+    report = _advise_default_catalog(args.seed)
+    text = (
+        json.dumps(report.to_dict(), indent=2)
+        if args.format == "json"
+        else report.render_text()
+    )
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 1 if advise_failed(report, args.fail_on) else 0
+
+
 def _finding_lines(findings) -> list[str]:
     """Console lines for a batch of health findings."""
     lines = []
@@ -1389,6 +1454,7 @@ _COMMANDS = {
     "incidents": cmd_incidents,
     "trace": cmd_trace,
     "lint": cmd_lint,
+    "advise": cmd_advise,
     "health": cmd_health,
     "chaos": cmd_chaos,
 }

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.core.case import AnomalyCase
 from repro.dbsim.instance import DatabaseInstance
-from repro.sqlanalysis import Finding
+from repro.sqlanalysis import Advisory, Finding
 
 __all__ = [
     "RepairAction",
@@ -74,10 +74,19 @@ class QueryOptimizationAction(RepairAction):
     rows_gain: float = 0.9
     tres_gain: float = 0.85
     evidence: tuple[str, ...] = ()
+    #: When the workload index advisor backs the action, the concrete
+    #: index it recommended; executing the action also materialises it in
+    #: the instance schema so later analyses see the access as backed.
+    index_table: str = ""
+    index_columns: tuple[str, ...] = ()
 
     def execute(self, instance: DatabaseInstance, now_s: int) -> None:
         spec = instance.engine._spec(self.sql_id)
         instance.apply_optimization(spec, rows_gain=self.rows_gain, tres_gain=self.tres_gain)
+        if self.index_table and self.index_columns:
+            table = instance.schema.get(self.index_table)
+            if table is not None:
+                table.add_composite_index(self.index_columns)
 
 
 @dataclass(frozen=True)
@@ -134,10 +143,22 @@ _STRUCTURAL_RULES = frozenset(
 )
 
 
+def _index_advisories(
+    advisories: Sequence["Advisory"] | None, sql_id: str
+) -> list["Advisory"]:
+    """Index advisories from the workload analyzer that target ``sql_id``."""
+    return [
+        a
+        for a in (advisories or ())
+        if a.advisor == "index-advisor" and sql_id in a.sql_ids
+    ]
+
+
 def plan_optimization(
     case: AnomalyCase,
     sql_id: str,
     findings: Sequence[Finding] | None = None,
+    advisories: Sequence["Advisory"] | None = None,
 ) -> QueryOptimizationAction | OptimizationSkip:
     """Derive optimization gains from observed metrics plus static findings.
 
@@ -153,12 +174,47 @@ def plan_optimization(
     while an analyzed template with no structural explanation gets a
     tempered gain — the optimizer has nothing concrete to fix, so the
     statistical promise is discounted.
+
+    ``advisories`` corroborates from workload scope.  An index advisory
+    targeting this template joins the evidence, and — the key upgrade —
+    rescues a template that looks index-backed *inside the anomaly
+    window*: the workload advisor saw enough traffic-weighted scanning to
+    recommend a concrete index, so instead of an :class:`OptimizationSkip`
+    the plan carries an add-index action with gains derived from the
+    advisory's own rows-per-call estimate.
     """
     lo, hi = case.anomaly_indices()
     execs = case.templates.executions(sql_id).values[lo:hi].sum()
     rows = case.templates.get(sql_id, "total_examined_rows").values[lo:hi].sum()
     avg_rows = rows / execs if execs > 0 else 0.0
+    target_rows = 200.0
+    index_advisories = _index_advisories(advisories, sql_id)
     if avg_rows <= INDEX_BACKED_ROWS:
+        if index_advisories:
+            best = index_advisories[0]
+            advised_rows = max(
+                float(best.evidence.get("rows_per_call", 0.0) or 0.0),
+                avg_rows,
+                target_rows,
+            )
+            # Workload-scope estimate, tempered: the anomaly window itself
+            # showed an index-backed profile, so trust the advisor less
+            # than an in-window scan would earn.
+            rows_gain = float(
+                np.clip(1.0 - target_rows / advised_rows, 0.0, 0.98)
+            ) * 0.8
+            return QueryOptimizationAction(
+                sql_id=sql_id,
+                rows_gain=rows_gain,
+                tres_gain=float(np.clip(rows_gain * 0.95, 0.0, 0.95)),
+                evidence=(f"{best.advisor}: {best.message}",),
+                index_table=best.table,
+                index_columns=tuple(
+                    str(best.evidence.get("columns", "")).split(",")
+                )
+                if best.evidence.get("columns")
+                else (),
+            )
         return OptimizationSkip(
             sql_id=sql_id,
             reason=(
@@ -166,7 +222,6 @@ def plan_optimization(
                 f"{avg_rows:.0f} <= {INDEX_BACKED_ROWS:.0f}"
             ),
         )
-    target_rows = 200.0
     rows_gain = float(np.clip(1.0 - target_rows / max(avg_rows, target_rows), 0.0, 0.98))
     evidence: tuple[str, ...] = ()
     if findings is not None:
@@ -178,8 +233,21 @@ def plan_optimization(
         evidence = tuple(
             f"{f.rule}: {f.message}" for f in list(findings)[:5]
         )
+    index_table = ""
+    index_columns: tuple[str, ...] = ()
+    if index_advisories:
+        best = index_advisories[0]
+        evidence = (f"{best.advisor}: {best.message}",) + evidence
+        index_table = best.table
+        columns = str(best.evidence.get("columns", ""))
+        index_columns = tuple(columns.split(",")) if columns else ()
     # Response time improves almost proportionally for scan-bound queries.
     tres_gain = float(np.clip(rows_gain * 0.95, 0.0, 0.95))
     return QueryOptimizationAction(
-        sql_id=sql_id, rows_gain=rows_gain, tres_gain=tres_gain, evidence=evidence
+        sql_id=sql_id,
+        rows_gain=rows_gain,
+        tres_gain=tres_gain,
+        evidence=evidence,
+        index_table=index_table,
+        index_columns=index_columns,
     )

@@ -17,7 +17,7 @@ from repro.core.repair.actions import (
 )
 from repro.core.repair.rules import DEFAULT_REPAIR_CONFIG, RepairConfig, RepairRule
 from repro.dbsim.instance import DatabaseInstance
-from repro.sqlanalysis import Finding, SqlAnalyzer
+from repro.sqlanalysis import Advisory, Finding, SqlAnalyzer, TrafficWeight, WorkloadAnalyzer
 from repro.telemetry import MetricsRegistry, get_logger, get_registry
 
 __all__ = ["RepairPlan", "RepairEngine"]
@@ -36,6 +36,9 @@ class RepairPlan:
     skips: list[OptimizationSkip] = field(default_factory=list)
     #: Session lift factor that gated the threshold rules.
     session_lift: float = 0.0
+    #: Workload-level advisories computed over the case's catalog (when
+    #: the engine has a workload advisor), kept for records and renderers.
+    advisories: list[Advisory] = field(default_factory=list)
 
     @property
     def suggested_kinds(self) -> list[str]:
@@ -51,10 +54,12 @@ class RepairEngine:
         registry: MetricsRegistry | None = None,
         instance_id: str = "",
         analyzer: SqlAnalyzer | None = None,
+        advisor: WorkloadAnalyzer | None = None,
     ) -> None:
         self.config = config
         self.instance_id = instance_id
         self.analyzer = analyzer
+        self.advisor = advisor
         self._registry = registry or get_registry()
         self._labels = {"instance": instance_id} if instance_id else {}
 
@@ -79,6 +84,7 @@ class RepairEngine:
         """Build the action plan for the top-ranked R-SQLs."""
         lift = self._session_lift(case)
         plan = RepairPlan(session_lift=lift)
+        plan.advisories = self._advisories(case)
         targets = result.rsql_ids[: self.config.top_k]
         if not targets:
             return plan
@@ -95,7 +101,7 @@ class RepairEngine:
                 )
                 continue
             for sql_id in targets:
-                action = self._make_action(rule, case, sql_id)
+                action = self._make_action(rule, case, sql_id, plan.advisories)
                 if isinstance(action, OptimizationSkip):
                     plan.skips.append(action)
                     self._count_action("skipped_index_backed", action.kind)
@@ -118,8 +124,43 @@ class RepairEngine:
             return None
         return self.analyzer.analyze_template(info)
 
+    def _advisories(self, case: AnomalyCase) -> list[Advisory]:
+        """Workload advisories over the case catalog; never raises."""
+        if self.advisor is None:
+            return []
+        try:
+            lo, hi = case.anomaly_indices()
+            weights: dict[str, TrafficWeight] = {}
+            for info in case.catalog:
+                try:
+                    calls = float(
+                        case.templates.executions(info.sql_id).values[lo:hi].sum()
+                    )
+                    rows = float(
+                        case.templates.get(info.sql_id, "total_examined_rows")
+                        .values[lo:hi]
+                        .sum()
+                    )
+                except Exception:
+                    continue
+                weights[info.sql_id] = TrafficWeight(
+                    calls=calls, rows_examined=rows
+                )
+            report = self.advisor.analyze(case.catalog, weights)
+            return list(report.advisories)
+        except Exception as exc:
+            _log.warning(
+                "workload advisory planning failed",
+                extra={"error": type(exc).__name__, "instance": self.instance_id},
+            )
+            return []
+
     def _make_action(
-        self, rule: RepairRule, case: AnomalyCase, sql_id: str
+        self,
+        rule: RepairRule,
+        case: AnomalyCase,
+        sql_id: str,
+        advisories: list[Advisory] | None = None,
     ) -> RepairAction | OptimizationSkip:
         params = rule.param_dict
         if rule.action == "sql_throttle":
@@ -136,7 +177,9 @@ class RepairEngine:
                     rows_gain=float(params.get("rows_gain", 0.9)),
                     tres_gain=float(params.get("tres_gain", 0.85)),
                 )
-            return plan_optimization(case, sql_id, self._findings(case, sql_id))
+            return plan_optimization(
+                case, sql_id, self._findings(case, sql_id), advisories
+            )
         return AutoScaleAction(
             sql_id="",
             new_cores=int(params.get("new_cores", 32)),

@@ -21,14 +21,21 @@ class Table:
     name: str
     row_count: int = 1_000_000
     indexes: set[str] = field(default_factory=set)
+    #: Multi-column indexes as ordered column tuples; the workload index
+    #: advisor and the add-index repair action maintain these.
+    composite_indexes: set[tuple[str, ...]] = field(default_factory=set)
 
     def __post_init__(self) -> None:
         if self.row_count < 0:
             raise ValueError("row_count must be non-negative")
         self.indexes = set(self.indexes)
+        self.composite_indexes = {tuple(ix) for ix in self.composite_indexes if ix}
 
     def has_index(self, column: str) -> bool:
-        return column in self.indexes
+        """True when ``column`` is the leading key part of some index."""
+        if column in self.indexes:
+            return True
+        return any(ix[0] == column for ix in self.composite_indexes)
 
     def add_index(self, column: str) -> bool:
         """Add an index; returns False if it already existed."""
@@ -36,6 +43,32 @@ class Table:
             return False
         self.indexes.add(column)
         return True
+
+    def add_composite_index(self, columns: tuple[str, ...] | list[str]) -> bool:
+        """Add a multi-column index; returns False if it already existed."""
+        cols = tuple(columns)
+        if not cols:
+            return False
+        if len(cols) == 1:
+            return self.add_index(cols[0])
+        if cols in self.composite_indexes:
+            return False
+        self.composite_indexes.add(cols)
+        return True
+
+    def covers(self, columns: tuple[str, ...] | list[str]) -> bool:
+        """True when an existing index serves ``columns`` as a key prefix."""
+        cols = tuple(columns)
+        if not cols:
+            return False
+        if len(cols) == 1 and cols[0] in self.indexes:
+            return True
+        return any(ix[: len(cols)] == cols for ix in self.composite_indexes)
+
+    def index_specs(self) -> tuple[tuple[str, ...], ...]:
+        """Every index as an ordered column tuple (deterministic order)."""
+        singles = [(c,) for c in sorted(self.indexes)]
+        return tuple(singles + sorted(self.composite_indexes))
 
 
 class Schema:

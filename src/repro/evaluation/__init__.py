@@ -26,6 +26,12 @@ from repro.evaluation.analysis import (
     analyzer_for_population,
     evaluate_analyzer,
 )
+from repro.evaluation.advisories import (
+    AdvisoryEvaluation,
+    advisor_for_population,
+    evaluate_advisor,
+    population_weights,
+)
 from repro.evaluation.chaos import (
     ChaosHarnessConfig,
     FleetFixture,
@@ -58,6 +64,10 @@ __all__ = [
     "AnalyzerEvaluation",
     "analyzer_for_population",
     "evaluate_analyzer",
+    "AdvisoryEvaluation",
+    "advisor_for_population",
+    "evaluate_advisor",
+    "population_weights",
     "ChaosHarnessConfig",
     "FleetFixture",
     "InstanceTruth",

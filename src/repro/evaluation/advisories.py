@@ -1,0 +1,146 @@
+"""Evaluation of the workload-level analyzer against planted ground truth.
+
+:func:`repro.workload.plant_advisory_baits` registers template *groups*
+whose cross-statement hazards are known by construction — a lock-order
+cycle, a write-write hotspot, a prefix-subsumed missing composite index,
+a cartesian-prone comma join, and an unbounded fan-out on a hot table —
+each carrying an exact ``(advisor, sql_id)`` label set.  This module
+scores :class:`~repro.sqlanalysis.workload.WorkloadAnalyzer` the way
+:mod:`repro.evaluation.analysis` scores the per-statement linter: run it
+over the *whole* population catalog (planted baits plus the healthy,
+index-backed background templates) with realistic traffic weights and
+count exact pairs.
+
+* a **true positive** is a planted pair some advisory reported;
+* a **false negative** is a planted pair no advisory covered;
+* a **false positive** is any reported pair outside the labels — an
+  advisory implicating a healthy background template costs precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.sqlanalysis.workload import (
+    AdvisoryReport,
+    TrafficWeight,
+    WorkloadAnalyzer,
+)
+from repro.workload.catalog import Population
+from repro.workload.scenarios import PlantedAdvisoryBait
+
+__all__ = [
+    "AdvisoryEvaluation",
+    "advisor_for_population",
+    "evaluate_advisor",
+    "population_weights",
+]
+
+
+@dataclass
+class AdvisoryEvaluation:
+    """Exact-pair precision/recall of the advisor on planted labels."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    #: ``advisor -> {"tp": n, "fp": n, "fn": n}`` breakdown.
+    per_advisor: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: The offending ``(advisor, sql_id)`` pairs, for debugging.
+    missed: list[tuple[str, str]] = field(default_factory=list)
+    spurious: list[tuple[str, str]] = field(default_factory=list)
+    templates_analyzed: int = 0
+    advisories_emitted: int = 0
+
+    @property
+    def precision(self) -> float:
+        denom = self.true_positives + self.false_positives
+        return self.true_positives / denom if denom else 1.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.true_positives + self.false_negatives
+        return self.true_positives / denom if denom else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "true_positives": self.true_positives,
+            "false_positives": self.false_positives,
+            "false_negatives": self.false_negatives,
+            "precision": self.precision,
+            "recall": self.recall,
+            "per_advisor": {a: dict(c) for a, c in sorted(self.per_advisor.items())},
+            "missed": [list(p) for p in self.missed],
+            "spurious": [list(p) for p in self.spurious],
+            "templates_analyzed": self.templates_analyzed,
+            "advisories_emitted": self.advisories_emitted,
+        }
+
+
+def advisor_for_population(population: Population) -> WorkloadAnalyzer:
+    """Analyzer wired with the population's schema."""
+    return WorkloadAnalyzer(schema=population.schema)
+
+
+def population_weights(population: Population) -> dict[str, TrafficWeight]:
+    """Expected traffic weights of every template over the window.
+
+    ``calls`` integrates the expected per-second arrival rate;
+    ``rows_examined`` scales it by the spec's mean per-query rows — the
+    same quantities the live path sums out of the aggregated log store.
+    """
+    weights: dict[str, TrafficWeight] = {}
+    for sql_id, spec in population.specs.items():
+        calls = float(population.expected_rate(sql_id).sum())
+        weights[sql_id] = TrafficWeight(
+            calls=calls,
+            rows_examined=calls * float(spec.examined_rows_mean),
+        )
+    return weights
+
+
+def evaluate_advisor(
+    analyzer: WorkloadAnalyzer,
+    population: Population,
+    planted: Sequence[PlantedAdvisoryBait],
+    report: AdvisoryReport | None = None,
+) -> AdvisoryEvaluation:
+    """Score ``analyzer`` over the population catalog vs planted labels.
+
+    Pass ``report`` to score an already-computed run (the CLI does, so
+    the report it prints and the evaluation it gates are one analysis).
+    """
+    if report is None:
+        report = analyzer.analyze(
+            population.specs.values(), population_weights(population)
+        )
+    expected: set[tuple[str, str]] = {
+        (advisor, p.sql_id) for p in planted for advisor in p.advisors
+    }
+    predicted: set[tuple[str, str]] = set()
+    for advisory in report.advisories:
+        for sql_id in advisory.sql_ids:
+            predicted.add((advisory.advisor, sql_id))
+    evaluation = AdvisoryEvaluation(
+        templates_analyzed=report.analyzed,
+        advisories_emitted=len(report.advisories),
+    )
+
+    def _bucket(advisor: str) -> dict[str, int]:
+        return evaluation.per_advisor.setdefault(
+            advisor, {"tp": 0, "fp": 0, "fn": 0}
+        )
+
+    for pair in sorted(predicted & expected):
+        evaluation.true_positives += 1
+        _bucket(pair[0])["tp"] += 1
+    for pair in sorted(predicted - expected):
+        evaluation.false_positives += 1
+        _bucket(pair[0])["fp"] += 1
+        evaluation.spurious.append(pair)
+    for pair in sorted(expected - predicted):
+        evaluation.false_negatives += 1
+        _bucket(pair[0])["fn"] += 1
+        evaluation.missed.append(pair)
+    return evaluation

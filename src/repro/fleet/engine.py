@@ -49,7 +49,7 @@ from repro.resilience import (
     DiagnosisConfidence,
     StageWatchdog,
 )
-from repro.sqlanalysis import Finding, SqlAnalyzer
+from repro.sqlanalysis import Advisory, Finding, SqlAnalyzer, WorkloadAnalyzer
 from repro.sqltemplate import TemplateCatalog, fingerprint
 from repro.telemetry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -126,6 +126,10 @@ class Diagnosis:
     #: event second vs. the detector's stream clock, plus the publish
     #: wall-time of the newest block (persisted onto incident records).
     data_freshness: dict = field(default_factory=dict)
+    #: Workload-level advisories (lock conflicts, index candidates,
+    #: join fan-out) computed over the case catalog during repair
+    #: planning; persisted onto incident records.
+    advisories: tuple[Advisory, ...] = ()
 
 
 class InstanceDiagnosisEngine:
@@ -223,9 +227,15 @@ class InstanceDiagnosisEngine:
             schema=instance.schema if instance is not None else None,
             registry=self.registry,
         )
+        #: Workload-level advisor (lock-conflict graph, index advisor,
+        #: join/fan-out) shared by repair planning and health sweeps.
+        self.advisor = WorkloadAnalyzer(
+            schema=instance.schema if instance is not None else None,
+            registry=self.registry,
+        )
         self._repair = RepairEngine(
             self.config.repair, registry=self.registry, instance_id=instance_id,
-            analyzer=self.analyzer,
+            analyzer=self.analyzer, advisor=self.advisor,
         )
         #: Self-monitoring: gauge/counter history of this very service,
         #: exposed as TimeSeries so the repo's detectors can watch it.
@@ -756,6 +766,7 @@ class InstanceDiagnosisEngine:
             instance_id=self.instance_id,
             confidence=assessment.confidence.value,
             degraded_reasons=assessment.reasons,
+            advisories=tuple(plan.advisories),
         )
 
     def _template_findings(

@@ -116,6 +116,10 @@ class HealthConfig:
     #: data-freshness: stream-time staleness (newest ingested event vs.
     #: detector clock) tolerated before a finding, in seconds.
     max_data_staleness_s: float = 900.0
+    #: workload-advisory: advisories reported per sweep, and the minimum
+    #: advisory severity that becomes a health finding.
+    max_advisories_reported: int = 5
+    min_advisory_severity: int = int(Severity.WARNING)
 
     def __post_init__(self) -> None:
         if self.sweep_window_s <= 0 or self.sweep_interval_s <= 0:
@@ -161,6 +165,9 @@ class CheckContext:
     #: Latency SLO specs to evaluate (:data:`repro.health.slo.DEFAULT_SLOS`
     #: when empty).
     slos: Sequence = ()
+    #: Workload-level advisories over the sweep window's templates
+    #: (lock conflicts, index candidates, join fan-out).
+    advisories: Sequence = ()
 
     def metric_values(self, name: str) -> np.ndarray:
         """The sample values of one metric, time-ordered."""
@@ -604,6 +611,43 @@ class DegradedConfidenceCheck(HealthCheck):
                 "backpressure) before trusting further R-SQL verdicts"
             ),
         )
+
+
+@register_check
+class WorkloadAdvisoryCheck(HealthCheck):
+    check_id = "workload-advisory"
+    description = "Cross-statement workload advisories surfacing in a sweep."
+    scope = "instance"
+
+    def check(self, ctx: CheckContext) -> Iterator[HealthFinding]:
+        cfg = ctx.config
+        reported = 0
+        for advisory in ctx.advisories:
+            if int(advisory.severity) < cfg.min_advisory_severity:
+                continue
+            if reported >= cfg.max_advisories_reported:
+                break
+            reported += 1
+            evidence: dict = {
+                "advisor": advisory.advisor,
+                "score": round(float(advisory.score), 4),
+            }
+            if advisory.tables:
+                evidence["tables"] = ",".join(advisory.tables)
+            if advisory.sql_ids:
+                evidence["templates"] = ",".join(advisory.sql_ids[:6])
+            for key, value in advisory.evidence.items():
+                evidence.setdefault(str(key), value)
+            yield HealthFinding(
+                check=self.check_id,
+                severity=Severity(int(advisory.severity)),
+                instance_id=ctx.instance_id,
+                sql_id=advisory.sql_ids[0] if advisory.sql_ids else "",
+                message=f"{advisory.advisor}: {advisory.message}",
+                evidence=evidence,
+                suggestion=advisory.suggestion
+                or "review the flagged templates together, not one by one",
+            )
 
 
 @register_check

@@ -185,7 +185,47 @@ class HealthSweeper:
             incidents=incidents,
             consumer_lag=engine.lag,
             telemetry=telemetry,
+            advisories=self._advisories_for_engine(engine, templates),
         )
+
+    @staticmethod
+    def _advisories_for_engine(
+        engine: "InstanceDiagnosisEngine", templates
+    ) -> tuple:
+        """Workload advisories over the sweep window's templates.
+
+        Uses the engine's own :class:`WorkloadAnalyzer` (when present)
+        with traffic weights taken from the window's aggregated metric
+        store.  Non-fatal by design: an advisory failure degrades one
+        context field, never the sweep.
+        """
+        advisor = getattr(engine, "advisor", None)
+        if advisor is None or templates is None:
+            return ()
+        try:
+            from repro.sqlanalysis.workload import TrafficWeight
+
+            weights = {}
+            infos = []
+            for sql_id in templates.sql_ids:
+                info = engine.catalog.get(sql_id)
+                if info is None:
+                    continue
+                infos.append(info)
+                calls = float(templates.executions(sql_id).values.sum())
+                rows = float(
+                    templates.get(sql_id, "total_examined_rows").values.sum()
+                )
+                weights[sql_id] = TrafficWeight(calls=calls, rows_examined=rows)
+            report = advisor.analyze(infos, weights)
+            return tuple(report.advisories)
+        except Exception:
+            _log.warning(
+                "workload advisory pass failed during sweep",
+                extra={"instance": engine.instance_id},
+                exc_info=True,
+            )
+            return ()
 
     @staticmethod
     def _instance_telemetry(snapshot: Mapping, instance_id: str) -> Mapping:

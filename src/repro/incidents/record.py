@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.sqlanalysis import Finding
+from repro.sqlanalysis import Advisory, Finding
 
 __all__ = [
     "AnomalyWindow",
@@ -287,6 +287,9 @@ class IncidentRecord:
     #: Static-analysis findings on the top-ranked templates, most severe
     #: first (the structural "why is this SQL slow" evidence).
     analysis: tuple[Finding, ...] = ()
+    #: Workload-level advisories (lock-conflict graph, index advisor,
+    #: join/fan-out) computed over the case catalog, most severe first.
+    advisories: tuple[Advisory, ...] = ()
     #: Per-stage wall-clock seconds (StageTimings fields + total).
     timings: dict = field(default_factory=dict)
     #: The diagnosis run's span tree, when the tracer retained it.
@@ -337,6 +340,7 @@ class IncidentRecord:
             "verdict_evidence": self.verdict_evidence,
             "repair": self.repair.to_dict(),
             "analysis": [f.to_dict() for f in self.analysis],
+            "advisories": [a.to_dict() for a in self.advisories],
             "timings": dict(self.timings),
             "trace": self.trace.to_dict() if self.trace is not None else None,
             "report_text": self.report_text,
@@ -370,6 +374,9 @@ class IncidentRecord:
             repair=RepairOutcome.from_dict(data.get("repair", {})),
             analysis=tuple(
                 Finding.from_dict(f) for f in data.get("analysis", ())
+            ),
+            advisories=tuple(
+                Advisory.from_dict(a) for a in data.get("advisories", ())
             ),
             timings=dict(data.get("timings", {})),
             trace=(

@@ -52,6 +52,8 @@ class IncidentRecorder:
         decimated evenly so the trace stays renderable.
     max_findings:
         Bound on static-analysis findings kept per incident.
+    max_advisories:
+        Bound on workload advisories kept per incident.
     """
 
     def __init__(
@@ -62,6 +64,7 @@ class IncidentRecorder:
         max_rsql: int = 10,
         max_samples_per_metric: int = 240,
         max_findings: int = 40,
+        max_advisories: int = 20,
     ) -> None:
         self.store = store
         self.registry = registry or get_registry()
@@ -69,6 +72,7 @@ class IncidentRecorder:
         self.max_rsql = int(max_rsql)
         self.max_samples_per_metric = int(max_samples_per_metric)
         self.max_findings = int(max_findings)
+        self.max_advisories = int(max_advisories)
 
     # ------------------------------------------------------------------
     def record(self, diagnosis, engine=None) -> IncidentRecord | None:
@@ -174,6 +178,7 @@ class IncidentRecorder:
             ),
             repair=self._repair_outcome(diagnosis),
             analysis=self._analysis(diagnosis),
+            advisories=self._advisories(diagnosis),
             timings=diagnosis.result.timings.as_dict(),
             trace=trace,
             report_text=diagnosis.report.text,
@@ -268,6 +273,12 @@ class IncidentRecorder:
         flat = [f for fs in findings_map.values() for f in fs]
         flat.sort(key=lambda f: (-int(f.severity), f.sql_id, f.rule))
         return tuple(flat[: self.max_findings])
+
+    def _advisories(self, diagnosis):
+        """Workload advisories, most severe first (bounded)."""
+        advisories = list(getattr(diagnosis, "advisories", ()) or ())
+        advisories.sort(key=lambda a: a.sort_key())
+        return tuple(advisories[: self.max_advisories])
 
     @staticmethod
     def _repair_outcome(diagnosis) -> RepairOutcome:

@@ -135,6 +135,20 @@ def render_incident_text(record: IncidentRecord) -> str:
     else:
         lines.append("  (none)")
 
+    lines += ["", "Workload advisories (cross-statement analysis):"]
+    if r.advisories:
+        for a in r.advisories:
+            where = f" on {a.table}" if a.table else ""
+            lines.append(
+                f"  [{a.severity.label.upper():>8}] {a.advisor}{where}: {a.message}"
+            )
+            if a.sql_ids:
+                lines.append(f"             templates: {', '.join(a.sql_ids[:6])}")
+            if a.suggestion:
+                lines.append(f"             fix: {a.suggestion}")
+    else:
+        lines.append("  (none)")
+
     lines += ["", f"Repair outcome: {r.repair.outcome} "
               f"(session lift {r.repair.session_lift:.2f}x)"]
     for action in r.repair.planned:
@@ -230,6 +244,16 @@ def render_incident_html(record: IncidentRecord) -> str:
             for f in r.analysis
         ],
     )
+    advisories = html_table(
+        ["severity", "advisor", "tables", "templates", "message", "suggested fix"],
+        [
+            (a.severity.label, a.advisor,
+             ", ".join(a.tables) or a.table or "-",
+             ", ".join(a.sql_ids[:6]) or "-",
+             a.message, a.suggestion or "-")
+            for a in r.advisories
+        ],
+    )
     repair_rows = [
         (a.get("kind"), a.get("sql_id") or "instance",
          html_escape({k: v for k, v in a.items()
@@ -258,6 +282,7 @@ def render_incident_html(record: IncidentRecord) -> str:
         (f"H-SQL candidates (α={r.hsql_alpha:+.3f}, β={r.hsql_beta:+.3f})", hsql),
         ("R-SQL attribution", rsql + rsql_note),
         ("Static analysis findings", analysis),
+        ("Workload advisories", advisories),
         ("Repair", repair),
         ("Stage timings", timings),
     ]

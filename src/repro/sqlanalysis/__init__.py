@@ -27,8 +27,23 @@ from repro.sqlanalysis.rules import (
     register_rule,
     rule_ids,
 )
+from repro.sqlanalysis.workload import (
+    Advisory,
+    AdvisoryPass,
+    AdvisoryReport,
+    TrafficWeight,
+    WorkloadAnalyzer,
+    WorkloadConfig,
+    advise_failed,
+    default_passes,
+    pass_ids,
+    register_pass,
+)
 
 __all__ = [
+    "Advisory",
+    "AdvisoryPass",
+    "AdvisoryReport",
     "AnalysisContext",
     "AnalyzerConfig",
     "ColumnRef",
@@ -41,9 +56,16 @@ __all__ = [
     "SqlAnalyzer",
     "StatementIR",
     "TableRef",
+    "TrafficWeight",
+    "WorkloadAnalyzer",
+    "WorkloadConfig",
+    "advise_failed",
+    "default_passes",
     "default_rules",
     "lint_failed",
     "parse_statement",
+    "pass_ids",
+    "register_pass",
     "register_rule",
     "rule_ids",
 ]

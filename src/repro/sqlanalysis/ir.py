@@ -444,6 +444,14 @@ def parse_statement(sql: str) -> StatementIR:
 
 def _parse(sql: str) -> StatementIR:
     tokens = tokenize(sql)
+    # Statement terminators carry no structure; stripping them keeps the
+    # clause spans clean for inputs like ``SELECT ... ;``.
+    while tokens and tokens[-1].text == ";":
+        tokens = tokens[:-1]
+    if not tokens:
+        # Empty / whitespace-only / comment-only input: a well-formed
+        # empty IR, not an error — the parser is total by contract.
+        return StatementIR(kind=StatementKind.OTHER, raw=sql)
     depths = _depths(tokens)
     kind = classify_statement(sql)
     ir = StatementIR(kind=kind, raw=sql)

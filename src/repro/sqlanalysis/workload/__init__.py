@@ -1,0 +1,42 @@
+"""Workload-level static analysis: cross-statement advisory passes.
+
+Public surface re-exported by :mod:`repro.sqlanalysis`.
+"""
+
+from repro.sqlanalysis.workload.advisory import (
+    Advisory,
+    AdvisoryReport,
+    advise_failed,
+)
+from repro.sqlanalysis.workload.analyzer import WorkloadAnalyzer
+from repro.sqlanalysis.workload.passes import (
+    AdvisoryPass,
+    IndexAdvisorPass,
+    JoinFanoutPass,
+    LockConflictPass,
+    TemplateFootprint,
+    TrafficWeight,
+    WorkloadConfig,
+    WorkloadContext,
+    default_passes,
+    pass_ids,
+    register_pass,
+)
+
+__all__ = [
+    "Advisory",
+    "AdvisoryReport",
+    "AdvisoryPass",
+    "IndexAdvisorPass",
+    "JoinFanoutPass",
+    "LockConflictPass",
+    "TemplateFootprint",
+    "TrafficWeight",
+    "WorkloadAnalyzer",
+    "WorkloadConfig",
+    "WorkloadContext",
+    "advise_failed",
+    "default_passes",
+    "pass_ids",
+    "register_pass",
+]

@@ -99,9 +99,11 @@ def _collapse_in_lists(tokens: list[Token]) -> list[Token]:
         is_in = tok.kind == TokenKind.KEYWORD and tok.text.lower() == "in"
         if is_in and i + 1 < n and tokens[i + 1].text == "(":
             # Scan the parenthesised list; collapse only if it is purely
-            # placeholders and commas.
+            # literal values — placeholders, NULL, unary signs and commas.
+            # Subqueries and column references must keep their shape.
             j = i + 2
             only_placeholders = True
+            has_value = False
             depth = 1
             while j < n and depth > 0:
                 t = tokens[j]
@@ -111,10 +113,16 @@ def _collapse_in_lists(tokens: list[Token]) -> list[Token]:
                     depth -= 1
                     if depth == 0:
                         break
-                elif t.kind != TokenKind.PLACEHOLDER and t.text != ",":
+                elif t.kind == TokenKind.PLACEHOLDER or (
+                    t.kind == TokenKind.KEYWORD and t.text.lower() == "null"
+                ):
+                    has_value = True
+                elif t.kind == TokenKind.OPERATOR and t.text in ("+", "-"):
+                    pass  # sign on a numeric literal: IN (-1, -2)
+                elif t.text != ",":
                     only_placeholders = False
                 j += 1
-            if only_placeholders and j < n:
+            if only_placeholders and has_value and j < n:
                 out.append(tok)
                 out.append(Token(TokenKind.PUNCT, "("))
                 out.append(Token(TokenKind.PLACEHOLDER, "?"))

@@ -25,6 +25,7 @@ from repro.workload.generator import WorkloadGenerator
 from repro.workload.scenarios import (
     AnomalyCategory,
     InjectedAnomaly,
+    PlantedAdvisoryBait,
     PlantedAntiPattern,
     inject_business_spike,
     inject_poor_sql,
@@ -34,6 +35,7 @@ from repro.workload.scenarios import (
     inject_composite,
     inject_anomaly,
     hot_tables,
+    plant_advisory_baits,
     plant_antipatterns,
 )
 from repro.workload.replay import (
@@ -58,6 +60,7 @@ __all__ = [
     "WorkloadGenerator",
     "AnomalyCategory",
     "InjectedAnomaly",
+    "PlantedAdvisoryBait",
     "PlantedAntiPattern",
     "inject_business_spike",
     "inject_poor_sql",
@@ -67,6 +70,7 @@ __all__ = [
     "inject_composite",
     "inject_anomaly",
     "hot_tables",
+    "plant_advisory_baits",
     "plant_antipatterns",
     "ReplayWorkload",
     "infer_spec",

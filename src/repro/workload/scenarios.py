@@ -648,3 +648,102 @@ def plant_antipatterns(
             )
         )
     return planted
+
+
+# ----------------------------------------------------------------------
+# Planted advisory baits: labelled ground truth for the workload-level
+# analyzer (cross-statement passes), mirroring ``plant_antipatterns``.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlantedAdvisoryBait:
+    """Ground-truth label for one planted workload-advisory template."""
+
+    sql_id: str
+    advisors: tuple[str, ...]
+    statement: str
+    table: str
+
+
+def plant_advisory_baits(
+    population: Population,
+    rng: np.random.Generator,
+    queries_per_call: float = 0.5,
+) -> list[PlantedAdvisoryBait]:
+    """Plant labelled templates that trip each workload-advisory pass.
+
+    Unlike single-statement lint baits, these work in *pairs*: a lock
+    cycle needs two opposite-order locking statements, a write-write
+    hotspot needs two broad writers on one hot table, and the index
+    advisor's prefix dedup needs overlapping sargable predicate sets.
+    Labels are exact ``(advisor, sql_id)`` pairs, scored by
+    :func:`repro.evaluation.advisories.evaluate_advisor`.
+
+    Bait predicates are engineered not to cross passes: write baits
+    filter through ``LOWER``/``UPPER`` (non-sargable, so the index
+    advisor stays silent and the footprint reads as broad), while scan
+    baits filter on unindexed ``c*`` columns with heavy per-call row
+    counts so only the index advisor fires.  Traffic is real
+    (``queries_per_call`` on the busiest business) because the passes
+    are traffic-weighted — a silent bait would be a recall bug, not
+    realism.
+    """
+    tables = sorted(population.schema, key=lambda t: t.row_count, reverse=True)
+    if not tables:
+        raise ValueError("population has no tables to plant on")
+    big = tables[0].name
+    other = tables[1].name if len(tables) > 1 else big
+    business = _busiest_business(population, rng)
+    hot = _busiest_table(population, business)
+    v = int(rng.integers(100, 999))
+
+    # statement, advisors, table, examined_rows_mean
+    seeds: list[tuple[str, tuple[str, ...], str, float]] = [
+        # Lock-order cycle: same two tables locked in opposite orders.
+        (f"SELECT a.c0 FROM {big} a JOIN {other} b ON a.id = b.fk "
+         f"WHERE a.k0 = {v} FOR UPDATE",
+         ("lock-conflict",), big, 200.0),
+        (f"SELECT b.c0 FROM {other} b JOIN {big} a ON b.fk = a.id "
+         f"WHERE b.k0 = {v + 1} FOR UPDATE",
+         ("lock-conflict",), other, 200.0),
+        # Write-write hotspot: two broad writers on the hot table whose
+        # function-wrapped predicates defeat every index.
+        (f"UPDATE {hot} SET c0 = c0 + 1 WHERE LOWER(c8) = 'm{v}'",
+         ("lock-conflict",), hot, 500.0),
+        (f"UPDATE {hot} SET c1 = {v} WHERE UPPER(c9) = 'N{v}'",
+         ("lock-conflict",), hot, 500.0),
+        # Missing composite index, plus a prefix the dedup must fold in.
+        (f"SELECT c0, c3 FROM {big} WHERE c5 = {v} AND c6 = {v + 2}",
+         ("index-advisor",), big, 300_000.0),
+        (f"SELECT c1 FROM {big} WHERE c5 = {v + 3}",
+         ("index-advisor",), big, 300_000.0),
+        # Comma join with no cross-table equality: cartesian-prone.
+        (f"SELECT a.c0, b.c1 FROM {big} a, {other} b WHERE a.c7 = {v}",
+         ("join-fanout",), big, 5_000.0),
+        # Unbounded fan-out on the hot table (no WHERE, no LIMIT).
+        (f"SELECT c0, c1 FROM {hot}",
+         ("join-fanout",), hot, 50_000.0),
+    ]
+    api = Api(name=f"{business.name}_advisebait", calls_per_request=1.0)
+    planted: list[PlantedAdvisoryBait] = []
+    for statement, advisors, table, examined in seeds:
+        fp = fingerprint(statement)
+        spec = TemplateSpec(
+            sql_id=fp.sql_id,
+            template=fp.template,
+            kind=fp.kind,
+            tables=fp.tables if fp.tables else (table,),
+            examined_rows_mean=examined,
+            exemplar=statement,
+        )
+        population.add_template(business, api, spec, queries_per_call=queries_per_call)
+        planted.append(
+            PlantedAdvisoryBait(
+                sql_id=fp.sql_id,
+                advisors=advisors,
+                statement=statement,
+                table=table,
+            )
+        )
+    return planted

@@ -1,0 +1,57 @@
+"""Tests for the ``repro advise`` CLI (exit codes, formats, artifacts)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["advise"])
+        assert args.format == "text"
+        assert args.fail_on == "warning"
+        assert args.out is None
+
+    def test_bad_fail_on_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise", "--fail-on", "loud"])
+
+
+class TestDefaultCatalog:
+    def test_planted_catalog_fails_at_default_threshold(self, capsys):
+        # The planted baits produce WARNING+ advisories: exit 1.
+        code = main(["advise", "--seed", "7"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "index-advisor" in out
+        assert "lock-conflict" in out
+        assert "Planted advisory evaluation" in out
+
+    def test_fail_on_never_forces_zero(self, capsys):
+        assert main(["advise", "--fail-on", "never"]) == 0
+        assert "join-fanout" in capsys.readouterr().out
+
+    def test_json_format_and_gate(self, capsys):
+        code = main(["advise", "--format", "json", "--fail-on", "never"])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["analyzed"] > 50
+        assert data["advisories_total"] == len(data["advisories"])
+        advisors = {a["advisor"] for a in data["advisories"]}
+        assert advisors == {"lock-conflict", "index-advisor", "join-fanout"}
+        evaluation = data["evaluation"]
+        assert evaluation["precision"] >= 0.9
+        assert evaluation["recall"] >= 0.9
+
+    def test_out_writes_artifact(self, tmp_path, capsys):
+        out = tmp_path / "advise" / "advisory-report.json"
+        code = main(
+            ["advise", "--format", "json", "--fail-on", "never", "--out", str(out)]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        data = json.loads(out.read_text(encoding="utf-8"))
+        assert "counts_by_advisor" in data
+        assert "evaluation" in data

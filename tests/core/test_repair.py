@@ -142,6 +142,88 @@ class TestPlanning:
         assert plan.actions == []
 
 
+def _index_advisory(sql_id, table="t", columns="c5,c6", rows_per_call=250_000.0):
+    from repro.sqlanalysis import Severity
+    from repro.sqlanalysis.workload import Advisory
+
+    return Advisory(
+        advisor="index-advisor",
+        severity=Severity.HIGH,
+        message=f"an index on {table} ({columns}) would avoid scans",
+        table=table,
+        tables=(table,),
+        sql_ids=(sql_id,),
+        suggestion=f"CREATE INDEX idx ON {table} ({columns})",
+        score=1e8,
+        evidence={"columns": columns, "rows_per_call": rows_per_call},
+    )
+
+
+class TestAdvisoryCorroboration:
+    def test_index_advisory_upgrades_skip_to_action(self, poor_sql_case):
+        case = poor_sql_case.case
+        cheap = min(
+            case.sql_ids,
+            key=lambda sid: case.templates.get(sid, "total_examined_rows").total(),
+        )
+        # Without the advisory the index-backed profile is skipped ...
+        assert isinstance(plan_optimization(case, cheap), OptimizationSkip)
+        # ... with it, the plan carries a concrete add-index action.
+        action = plan_optimization(
+            case, cheap, advisories=[_index_advisory(cheap)]
+        )
+        assert isinstance(action, QueryOptimizationAction)
+        assert action.rows_gain > 0
+        assert action.index_table == "t"
+        assert action.index_columns == ("c5", "c6")
+        assert any("index-advisor" in line for line in action.evidence)
+
+    def test_unrelated_advisory_does_not_upgrade(self, poor_sql_case):
+        case = poor_sql_case.case
+        cheap = min(
+            case.sql_ids,
+            key=lambda sid: case.templates.get(sid, "total_examined_rows").total(),
+        )
+        action = plan_optimization(
+            case, cheap, advisories=[_index_advisory("SOMEOTHER")]
+        )
+        assert isinstance(action, OptimizationSkip)
+
+    def test_advisory_evidence_joins_scan_gain(self, poor_sql_case):
+        sql_id = next(iter(poor_sql_case.r_sqls))
+        action = plan_optimization(
+            poor_sql_case.case, sql_id, advisories=[_index_advisory(sql_id)]
+        )
+        assert action.rows_gain > 0.9
+        assert action.evidence[0].startswith("index-advisor:")
+        assert action.index_columns == ("c5", "c6")
+
+    def test_executing_indexed_action_materialises_index(self):
+        inst = DatabaseInstance(seed=1)
+        from tests.dbsim.test_engine import ConstantWorkload
+
+        spec = TemplateSpec(
+            sql_id="POOR0001",
+            template="SELECT * FROM t WHERE c5 = ?",
+            kind=StatementKind.SELECT,
+            tables=("t",),
+            examined_rows_mean=1_000_000.0,
+        )
+        inst.start(ConstantWorkload([spec], {"POOR0001": 1.0}))
+        inst.schema.ensure_table("t", row_count=1_000_000)
+        QueryOptimizationAction(
+            "POOR0001",
+            rows_gain=0.9,
+            tres_gain=0.85,
+            index_table="t",
+            index_columns=("c5", "c6"),
+        ).execute(inst, 0)
+        table = inst.schema.get("t")
+        assert table.covers(("c5", "c6"))
+        assert table.has_index("c5")
+        inst.finish()
+
+
 class TestExecution:
     def _spec(self):
         return TemplateSpec(

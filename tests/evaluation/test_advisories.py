@@ -1,0 +1,73 @@
+"""Planted-ground-truth gate for the workload advisor.
+
+ISSUE acceptance criterion: exact-pair precision and recall both >= 0.9
+on the default catalog with planted advisory baits.  The healthy
+background templates are the negative class — an advisory implicating
+one of them costs precision.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evaluation.advisories import (
+    advisor_for_population,
+    evaluate_advisor,
+    population_weights,
+)
+from repro.workload import build_population, plant_advisory_baits
+
+
+def _planted_population(seed):
+    rng = np.random.default_rng(seed)
+    population = build_population(600, rng, n_businesses=6)
+    planted = plant_advisory_baits(population, rng)
+    return population, planted
+
+
+class TestAdvisoryGate:
+    @pytest.mark.parametrize("seed", [0, 7, 123])
+    def test_precision_and_recall_gate(self, seed):
+        population, planted = _planted_population(seed)
+        analyzer = advisor_for_population(population)
+        evaluation = evaluate_advisor(analyzer, population, planted)
+        assert evaluation.precision >= 0.9, evaluation.spurious
+        assert evaluation.recall >= 0.9, evaluation.missed
+
+    def test_every_pass_represented(self):
+        population, planted = _planted_population(0)
+        advisors = {a for p in planted for a in p.advisors}
+        assert advisors == {"lock-conflict", "index-advisor", "join-fanout"}
+        analyzer = advisor_for_population(population)
+        evaluation = evaluate_advisor(analyzer, population, planted)
+        for advisor in advisors:
+            bucket = evaluation.per_advisor[advisor]
+            assert bucket["tp"] > 0
+
+    def test_to_dict_shape(self):
+        population, planted = _planted_population(7)
+        analyzer = advisor_for_population(population)
+        data = evaluate_advisor(analyzer, population, planted).to_dict()
+        assert set(data) >= {
+            "true_positives", "false_positives", "false_negatives",
+            "precision", "recall", "per_advisor", "missed", "spurious",
+            "templates_analyzed", "advisories_emitted",
+        }
+        assert data["templates_analyzed"] >= len(planted)
+
+    def test_reusing_precomputed_report(self):
+        population, planted = _planted_population(0)
+        analyzer = advisor_for_population(population)
+        report = analyzer.analyze(
+            population.specs.values(), population_weights(population)
+        )
+        ev_fresh = evaluate_advisor(analyzer, population, planted)
+        ev_reused = evaluate_advisor(analyzer, population, planted, report=report)
+        assert ev_fresh.to_dict() == ev_reused.to_dict()
+
+    def test_unplanted_population_is_clean(self):
+        rng = np.random.default_rng(3)
+        population = build_population(600, rng, n_businesses=6)
+        analyzer = advisor_for_population(population)
+        evaluation = evaluate_advisor(analyzer, population, [])
+        assert evaluation.false_positives == 0
+        assert evaluation.precision == 1.0

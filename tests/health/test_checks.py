@@ -16,8 +16,10 @@ from repro.health.checks import (
     RisingResponseTimeCheck,
     RisingRowsExaminedCheck,
     SelfHealthCheck,
+    WorkloadAdvisoryCheck,
     register_check,
 )
+from repro.health import HealthConfig
 from repro.sqlanalysis import Finding, Severity
 from tests.health.conftest import (
     make_ctx,
@@ -200,6 +202,50 @@ class TestAntipatternShare:
             analysis=analysis,
         )
         assert list(AntipatternShareCheck().check(ctx)) == []
+
+
+class TestWorkloadAdvisory:
+    def _advisory(self, severity=None, sql_ids=("A1", "A2")):
+        from repro.sqlanalysis.workload import Advisory
+
+        return Advisory(
+            advisor="index-advisor",
+            severity=severity or Severity.HIGH,
+            message="an index on t (c5) would help",
+            table="t",
+            tables=("t",),
+            sql_ids=sql_ids,
+            suggestion="CREATE INDEX idx_t_c5 ON t (c5)",
+            score=1e6,
+            evidence={"columns": "c5"},
+        )
+
+    def test_advisories_become_findings(self):
+        ctx = make_ctx(advisories=(self._advisory(),))
+        findings = list(WorkloadAdvisoryCheck().check(ctx))
+        assert len(findings) == 1
+        f = findings[0]
+        assert f.check == "workload-advisory"
+        assert f.severity is Severity.HIGH
+        assert f.sql_id == "A1"
+        assert f.evidence["advisor"] == "index-advisor"
+        assert f.evidence["columns"] == "c5"
+        assert "CREATE INDEX" in f.suggestion
+
+    def test_below_min_severity_filtered(self):
+        ctx = make_ctx(advisories=(self._advisory(severity=Severity.INFO),))
+        assert list(WorkloadAdvisoryCheck().check(ctx)) == []
+
+    def test_bounded_per_sweep(self):
+        many = tuple(
+            self._advisory(sql_ids=(f"S{i}",)) for i in range(12)
+        )
+        ctx = make_ctx(advisories=many)
+        findings = list(WorkloadAdvisoryCheck().check(ctx))
+        assert len(findings) == HealthConfig().max_advisories_reported
+
+    def test_quiet_without_advisories(self):
+        assert list(WorkloadAdvisoryCheck().check(make_ctx())) == []
 
 
 class TestBrokerBackpressure:

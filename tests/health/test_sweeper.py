@@ -102,14 +102,69 @@ class TestNonFatalChecks:
         ).value == 1.0
 
 
+class TestAdvisoryContext:
+    def _bait_catalog(self):
+        baits = {
+            "WW1": "UPDATE hot SET c0 = c0 + 1 WHERE LOWER(c8) = 'x'",
+            "WW2": "UPDATE hot SET c1 = 2 WHERE UPPER(c9) = 'y'",
+        }
+        specs = {
+            sql_id: SimpleNamespace(sql_id=sql_id, template=sql, exemplar=sql)
+            for sql_id, sql in baits.items()
+        }
+        return SimpleNamespace(get=lambda sql_id: specs.get(sql_id))
+
+    def _templates(self):
+        from tests.health.conftest import make_templates, template_series
+
+        return make_templates({
+            "WW1": template_series(execs_per_s=2.0),
+            "WW2": template_series(execs_per_s=2.0),
+        })
+
+    def test_engine_advisor_feeds_context(self):
+        from repro.dbsim.tables import Schema, Table
+        from repro.sqlanalysis.workload import WorkloadAnalyzer
+
+        engine = fake_engine()
+        engine.catalog = self._bait_catalog()
+        engine.advisor = WorkloadAnalyzer(
+            schema=Schema([Table("hot", 2_000_000, {"id"})]),
+            registry=MetricsRegistry(),
+        )
+        advisories = HealthSweeper._advisories_for_engine(
+            engine, self._templates()
+        )
+        assert advisories
+        assert advisories[0].advisor == "lock-conflict"
+        assert set(advisories[0].sql_ids) == {"WW1", "WW2"}
+
+    def test_engine_without_advisor_yields_none(self):
+        assert HealthSweeper._advisories_for_engine(
+            fake_engine(), self._templates()
+        ) == ()
+
+    def test_broken_advisor_degrades_to_empty(self):
+        engine = fake_engine()
+        engine.catalog = self._bait_catalog()
+        engine.advisor = SimpleNamespace(
+            analyze=lambda infos, weights: (_ for _ in ()).throw(
+                RuntimeError("boom")
+            )
+        )
+        assert HealthSweeper._advisories_for_engine(
+            engine, self._templates()
+        ) == ()
+
+
 class TestFleetSweeps:
     def test_single_instance_fleet(self):
         sweeper = HealthSweeper(registry=MetricsRegistry())
         service = fake_service(fake_engine("db-solo"))
         result = sweeper.sweep_fleet(service)
         assert result.instances == ("db-solo",)
-        # 8 instance-scope + 3 fleet-scope built-in checks.
-        assert result.checks_run == 11
+        # 9 instance-scope + 3 fleet-scope built-in checks.
+        assert result.checks_run == 12
         # The synthetic session ramp fires connection-pressure.
         assert any(f.check == "connection-pressure" for f in result.findings)
 
@@ -148,7 +203,7 @@ class TestOfflineSweeps:
         sweeper = HealthSweeper(registry=MetricsRegistry())
         result = sweeper.sweep_stores(tmp_path / "incidents")
         # Two instance contexts + the fleet context, built-ins only.
-        assert result.checks_run == 2 * 8 + 3
+        assert result.checks_run == 2 * 9 + 3
         # Both records pinpoint R1: the repeat-offender check fires.
         offenders = [f for f in result.findings if f.check == "repeat-offender"]
         assert len(offenders) == 1

@@ -1,0 +1,172 @@
+"""Workload advisories in incident records: round-trip, recorder, render, e2e."""
+
+from dataclasses import replace
+from types import SimpleNamespace
+
+from repro.incidents import (
+    IncidentRecorder,
+    IncidentStore,
+    render_incident_html,
+    render_incident_text,
+)
+from repro.sqlanalysis import Severity
+from repro.sqlanalysis.workload import Advisory
+
+from tests.incidents.conftest import fake_diagnosis, make_record
+
+
+def sample_advisories():
+    return (
+        Advisory(
+            advisor="index-advisor",
+            severity=Severity.CRITICAL,
+            message="templates scan big on (c5, c6) without an index",
+            table="big",
+            tables=("big",),
+            sql_ids=("R1",),
+            suggestion="CREATE INDEX idx_big_c5_c6 ON big (c5, c6)",
+            score=2.5e8,
+            evidence={"columns": "c5,c6", "rows_per_call": 300_000.0},
+        ),
+        Advisory(
+            advisor="join-fanout",
+            severity=Severity.WARNING,
+            message="cartesian-prone join between big and other",
+            tables=("big", "other"),
+            sql_ids=("R2",),
+            suggestion="add a join condition linking big and other",
+            score=10.0,
+        ),
+    )
+
+
+def advised_record():
+    return replace(make_record(), advisories=sample_advisories())
+
+
+class TestRecordRoundTrip:
+    def test_advisories_survive_serialization(self):
+        record = advised_record()
+        data = record.to_dict()
+        assert data["advisories"][0]["advisor"] == "index-advisor"
+        assert data["advisories"][0]["severity"] == "critical"
+        back = type(record).from_dict(data)
+        assert back.advisories == record.advisories
+
+    def test_from_dict_tolerates_old_records(self):
+        # Records persisted before this PR carry no advisories field.
+        data = make_record().to_dict()
+        del data["advisories"]
+        back = type(make_record()).from_dict(data)
+        assert back.advisories == ()
+
+
+class TestRecorderFlattening:
+    def _diagnosis(self, advisories=None):
+        diagnosis = fake_diagnosis()
+        diagnosis.advisories = (
+            sample_advisories() if advisories is None else advisories
+        )
+        return diagnosis
+
+    def test_advisories_sorted_most_severe_first(self, tmp_path):
+        # Hand them over in reverse-severity order; the record re-sorts.
+        warning, critical = sample_advisories()[1], sample_advisories()[0]
+        record = IncidentRecorder(IncidentStore(tmp_path)).build(
+            self._diagnosis(advisories=(warning, critical))
+        )
+        assert [a.advisor for a in record.advisories] == [
+            "index-advisor", "join-fanout",
+        ]
+
+    def test_max_advisories_cap(self, tmp_path):
+        many = tuple(
+            replace(sample_advisories()[1], sql_ids=(f"S{i}",))
+            for i in range(30)
+        )
+        record = IncidentRecorder(IncidentStore(tmp_path), max_advisories=3).build(
+            self._diagnosis(advisories=many)
+        )
+        assert len(record.advisories) == 3
+
+    def test_diagnosis_without_advisories_still_builds(self, tmp_path):
+        record = IncidentRecorder(IncidentStore(tmp_path)).build(fake_diagnosis())
+        assert record.advisories == ()
+
+
+class TestRendering:
+    def test_text_renders_advisory_section(self):
+        text = render_incident_text(advised_record())
+        assert "Workload advisories" in text
+        assert "index-advisor" in text
+        assert "CREATE INDEX idx_big_c5_c6" in text
+
+    def test_text_shows_none_without_advisories(self):
+        text = render_incident_text(make_record())
+        assert "Workload advisories" in text
+        assert "(none)" in text
+
+    def test_html_renders_advisory_table(self):
+        html = render_incident_html(advised_record())
+        assert "Workload advisories" in html
+        assert "index-advisor" in html
+        assert "CREATE INDEX idx_big_c5_c6 ON big (c5, c6)" in html
+
+
+class TestEndToEnd:
+    """ISSUE acceptance: one index advisory flows analyzer finding →
+    repair action evidence → incident record → HTML."""
+
+    def test_index_advisory_flows_to_html(self, tmp_path, poor_sql_case):
+        from repro.core import OptimizationSkip, plan_optimization
+        from repro.dbsim.tables import Schema, Table
+        from repro.sqlanalysis.workload import (
+            TrafficWeight,
+            WorkloadAnalyzer,
+        )
+
+        case = poor_sql_case.case
+        cheap = min(
+            case.sql_ids,
+            key=lambda sid: case.templates.get(sid, "total_examined_rows").total(),
+        )
+        # Without the advisory the index-backed profile is skipped.
+        assert isinstance(plan_optimization(case, cheap), OptimizationSkip)
+
+        # 1. A real analyzer run produces the index advisory for `cheap`.
+        analyzer = WorkloadAnalyzer(
+            schema=Schema([Table("big", 5_000_000, {"id", "k0"})])
+        )
+        template = SimpleNamespace(
+            sql_id=cheap,
+            exemplar="SELECT c0, c3 FROM big WHERE c5 = 7 AND c6 = 9",
+        )
+        report = analyzer.analyze(
+            [template],
+            {cheap: TrafficWeight(calls=500.0, rows_examined=500.0 * 300_000.0)},
+        )
+        advisories = [
+            a for a in report.advisories if a.advisor == "index-advisor"
+        ]
+        assert advisories and cheap in advisories[0].sql_ids
+
+        # 2. The advisory upgrades the optimization skip into an action.
+        action = plan_optimization(case, cheap, advisories=advisories)
+        assert not isinstance(action, OptimizationSkip)
+        assert action.index_columns == ("c5", "c6")
+        assert any(line.startswith("index-advisor:") for line in action.evidence)
+
+        # 3. The action and advisory land in the incident record.
+        diagnosis = fake_diagnosis()
+        diagnosis.plan.actions = [action]
+        diagnosis.advisories = tuple(advisories)
+        record = IncidentRecorder(IncidentStore(tmp_path)).build(diagnosis)
+        assert record.advisories[0].advisor == "index-advisor"
+        (planned,) = record.repair.planned
+        assert planned["index_columns"] == ["c5", "c6"]
+        assert any("index-advisor:" in line for line in planned["evidence"])
+
+        # 4. ... and render in the HTML report.
+        html = render_incident_html(record)
+        assert advisories[0].message in html
+        assert "CREATE INDEX" in html

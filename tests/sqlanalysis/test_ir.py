@@ -153,3 +153,23 @@ class TestTotality:
     def test_non_dml(self):
         ir = parse_statement("SET SESSION sort_buffer_size = 1048576")
         assert ir.kind is StatementKind.OTHER
+
+    def test_degenerate_inputs_well_formed(self):
+        # Comment-only and whitespace-only statements tokenize to
+        # nothing; the parser must return an empty-but-well-formed IR.
+        for text in ("", "   ", ";", " ; ", "-- just a comment",
+                     "/* block */", "/* a */ -- b", ";;;"):
+            ir = parse_statement(text)
+            assert ir.kind is StatementKind.OTHER
+            assert ir.table_names == ()
+            assert ir.predicates == ()
+            assert not ir.has_where
+            assert not ir.locking
+
+    def test_trailing_semicolon_is_transparent(self):
+        bare = parse_statement("SELECT c0 FROM t WHERE k = 1")
+        tailed = parse_statement("SELECT c0 FROM t WHERE k = 1;")
+        assert tailed.kind is bare.kind
+        assert tailed.table_names == bare.table_names
+        assert len(tailed.predicates) == len(bare.predicates)
+        assert tailed.has_where

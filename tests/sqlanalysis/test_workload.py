@@ -1,0 +1,279 @@
+"""Workload-level analyzer: passes, registry, report, determinism."""
+
+from types import SimpleNamespace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dbsim.tables import Schema, Table
+from repro.sqlanalysis import Severity
+from repro.sqlanalysis.workload import (
+    Advisory,
+    AdvisoryPass,
+    AdvisoryReport,
+    IndexAdvisorPass,
+    JoinFanoutPass,
+    LockConflictPass,
+    TrafficWeight,
+    WorkloadAnalyzer,
+    WorkloadConfig,
+    advise_failed,
+    default_passes,
+    pass_ids,
+    register_pass,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def _spec(sql_id, sql):
+    return SimpleNamespace(sql_id=sql_id, template=sql, exemplar=sql)
+
+
+def _schema():
+    return Schema(
+        [
+            Table("big", 5_000_000, {"id", "k0"}),
+            Table("other", 1_000_000, {"id", "k0"}),
+            Table("hot", 2_000_000, {"id"}),
+        ]
+    )
+
+
+BAITS = [
+    _spec("LOCKA", "SELECT a.c0 FROM big a JOIN other b ON a.id = b.fk "
+                   "WHERE a.k0 = 7 FOR UPDATE"),
+    _spec("LOCKB", "SELECT b.c0 FROM other b JOIN big a ON b.fk = a.id "
+                   "WHERE b.k0 = 8 FOR UPDATE"),
+    _spec("WW1", "UPDATE hot SET c0 = c0 + 1 WHERE LOWER(c8) = 'x'"),
+    _spec("WW2", "UPDATE hot SET c1 = 2 WHERE UPPER(c9) = 'y'"),
+    _spec("IDX1", "SELECT c0, c3 FROM big WHERE c5 = 10 AND c6 = 20"),
+    _spec("IDX2", "SELECT c1 FROM big WHERE c5 = 30"),
+    _spec("CART", "SELECT a.c0, b.c1 FROM big a, other b WHERE a.c7 = 5"),
+    _spec("FAN1", "SELECT c0, c1 FROM hot"),
+    _spec("BG1", "SELECT c0 FROM big WHERE k0 = 5 AND s = 'x'"),
+]
+
+WEIGHTS = {
+    s.sql_id: TrafficWeight(calls=500.0, rows_examined=500 * 300_000.0)
+    for s in BAITS
+}
+
+
+@pytest.fixture()
+def report():
+    analyzer = WorkloadAnalyzer(schema=_schema(), registry=MetricsRegistry())
+    return analyzer.analyze(BAITS, WEIGHTS)
+
+
+class TestPasses:
+    def test_lock_order_cycle_detected(self, report):
+        cycles = [
+            a for a in report.advisories
+            if a.advisor == "lock-conflict" and "opposite orders" in a.message
+        ]
+        assert len(cycles) == 1
+        assert set(cycles[0].sql_ids) == {"LOCKA", "LOCKB"}
+        assert set(cycles[0].tables) == {"big", "other"}
+
+    def test_write_write_hotspot_detected(self, report):
+        ww = [
+            a for a in report.advisories
+            if a.advisor == "lock-conflict" and "writers contend" in a.message
+        ]
+        assert len(ww) == 1
+        assert set(ww[0].sql_ids) == {"WW1", "WW2"}
+        assert ww[0].table == "hot"
+
+    def test_index_candidates_merge_prefix(self, report):
+        idx = [a for a in report.advisories if a.advisor == "index-advisor"]
+        assert len(idx) == 1
+        # IDX2's (c5,) candidate is a prefix of IDX1's (c5, c6): one
+        # composite index serves both, so the advisories merge.
+        assert idx[0].evidence["columns"] == "c5,c6"
+        assert set(idx[0].sql_ids) == {"IDX1", "IDX2"}
+        assert "CREATE INDEX" in idx[0].suggestion
+
+    def test_cartesian_join_detected(self, report):
+        cart = [
+            a for a in report.advisories
+            if a.advisor == "join-fanout" and "no constraint" in a.message
+        ]
+        assert len(cart) == 1
+        assert cart[0].sql_ids == ("CART",)
+
+    def test_unbounded_fanout_detected(self, report):
+        fan = [
+            a for a in report.advisories
+            if a.advisor == "join-fanout" and "no WHERE" in a.message
+        ]
+        assert len(fan) == 1
+        assert fan[0].sql_ids == ("FAN1",)
+        assert fan[0].table == "hot"
+
+    def test_index_backed_background_stays_quiet(self, report):
+        for advisory in report.advisories:
+            assert "BG1" not in advisory.sql_ids
+
+    def test_most_severe_first(self, report):
+        sevs = [int(a.severity) for a in report.advisories]
+        assert sevs == sorted(sevs, reverse=True)
+
+    def test_explicit_join_is_not_cartesian(self):
+        analyzer = WorkloadAnalyzer(schema=_schema(), registry=MetricsRegistry())
+        rep = analyzer.analyze(
+            [_spec("J1", "SELECT a.c0 FROM big a JOIN other b ON a.id = b.fk "
+                         "WHERE a.k0 = 1")],
+            WEIGHTS,
+        )
+        assert not [a for a in rep.advisories if a.advisor == "join-fanout"]
+
+    def test_existing_composite_index_suppresses_advice(self):
+        schema = _schema()
+        schema.get("big").add_composite_index(("c5", "c6"))
+        analyzer = WorkloadAnalyzer(schema=schema, registry=MetricsRegistry())
+        rep = analyzer.analyze(
+            [_spec("IDX1", "SELECT c0 FROM big WHERE c5 = 10 AND c6 = 20")],
+            WEIGHTS,
+        )
+        assert not [a for a in rep.advisories if a.advisor == "index-advisor"]
+
+    def test_cold_traffic_below_benefit_threshold(self):
+        analyzer = WorkloadAnalyzer(schema=_schema(), registry=MetricsRegistry())
+        rep = analyzer.analyze(
+            [_spec("IDX1", "SELECT c0 FROM big WHERE c5 = 10")],
+            {"IDX1": TrafficWeight(calls=1.0, rows_examined=300.0)},
+        )
+        assert not [a for a in rep.advisories if a.advisor == "index-advisor"]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        ids = pass_ids()
+        assert {"lock-conflict", "index-advisor", "join-fanout"} <= set(ids)
+        assert {type(p) for p in default_passes()} >= {
+            LockConflictPass, IndexAdvisorPass, JoinFanoutPass,
+        }
+
+    def test_pass_id_required(self):
+        with pytest.raises(ValueError):
+            @register_pass
+            class Anonymous(AdvisoryPass):
+                def run(self, ctx):
+                    return iter(())
+
+    def test_custom_pass_runs(self):
+        class Shouty(AdvisoryPass):
+            pass_id = "shouty"
+
+            def run(self, ctx):
+                yield Advisory(
+                    advisor=self.pass_id,
+                    severity=Severity.INFO,
+                    message=f"saw {len(ctx.templates)} templates",
+                )
+
+        analyzer = WorkloadAnalyzer(
+            passes=[Shouty()], registry=MetricsRegistry()
+        )
+        rep = analyzer.analyze(BAITS)
+        assert [a.advisor for a in rep.advisories] == ["shouty"]
+
+
+class TestReport:
+    def test_advisory_round_trip(self, report):
+        for advisory in report.advisories:
+            assert Advisory.from_dict(advisory.to_dict()) == advisory
+
+    def test_report_dict_shape(self, report):
+        data = report.to_dict()
+        assert data["analyzed"] == len(BAITS)
+        assert data["advisories_total"] == len(report.advisories)
+        assert sum(data["counts_by_advisor"].values()) == len(report.advisories)
+
+    def test_render_text_mentions_each_advisor(self, report):
+        text = report.render_text()
+        for advisory in report.advisories:
+            assert advisory.advisor in text
+
+    def test_advise_failed_contract(self, report):
+        assert report.max_severity >= Severity.HIGH
+        assert advise_failed(report, "warning")
+        assert advise_failed(report, "high")
+        assert not advise_failed(report, "never")
+        assert not advise_failed(AdvisoryReport(), "info")
+
+
+class TestAnalyzerRobustness:
+    def test_duplicate_and_malformed_templates(self):
+        analyzer = WorkloadAnalyzer(schema=_schema(), registry=MetricsRegistry())
+        templates = BAITS + BAITS + [
+            _spec("JUNK", ")))((( ORDER LIMIT '"),
+            _spec("", "SELECT 1"),
+            SimpleNamespace(sql_id="NOTEXT", template="", exemplar=""),
+        ]
+        rep = analyzer.analyze(templates, WEIGHTS)
+        assert rep.analyzed == len(BAITS) + 1  # dedup + JUNK, drops blanks
+
+    def test_broken_pass_degrades_not_raises(self):
+        class Broken(AdvisoryPass):
+            pass_id = "broken"
+
+            def run(self, ctx):
+                raise RuntimeError("boom")
+
+        registry = MetricsRegistry()
+        analyzer = WorkloadAnalyzer(passes=[Broken()], registry=registry)
+        rep = analyzer.analyze(BAITS)
+        assert rep.advisories == []
+        names = [name for name, _kind, _key, _inst in registry]
+        assert "workload_pass_failures_total" in names
+
+    def test_max_advisories_truncates_after_sort(self):
+        config = WorkloadConfig(max_advisories=2)
+        analyzer = WorkloadAnalyzer(
+            schema=_schema(), config=config, registry=MetricsRegistry()
+        )
+        rep = analyzer.analyze(BAITS, WEIGHTS)
+        assert len(rep.advisories) == 2
+        assert int(rep.advisories[0].severity) >= int(rep.advisories[1].severity)
+
+    def test_no_schema_still_total(self):
+        analyzer = WorkloadAnalyzer(registry=MetricsRegistry())
+        rep = analyzer.analyze(BAITS, WEIGHTS)
+        assert isinstance(rep, AdvisoryReport)
+
+    def test_no_schema_suppresses_index_claims(self):
+        # Without index metadata the advisor cannot rule out an existing
+        # index, so index advisories and the broad-writer heuristic stay
+        # silent rather than flag index-backed background traffic
+        # (the schema-less fleet drain path hits exactly this).
+        analyzer = WorkloadAnalyzer(registry=MetricsRegistry())
+        rep = analyzer.analyze(BAITS, WEIGHTS)
+        advisors = {a.advisor for a in rep.advisories}
+        assert "index-advisor" not in advisors
+        assert not any(
+            "broad-footprint writers" in a.message for a in rep.advisories
+        )
+        # Schema-independent passes still fire.
+        assert "join-fanout" in advisors
+
+
+_STATEMENTS = st.sampled_from([s.exemplar for s in BAITS] + [
+    "", ";", "-- nothing", "SELECT", "DELETE FROM hot",
+    "UPDATE big SET c0 = 1", "SELECT * FROM big, other",
+    "INSERT INTO hot (c0) VALUES (1)", "totally not sql (((",
+])
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(texts=st.lists(_STATEMENTS, max_size=12), data=st.data())
+    def test_total_and_permutation_deterministic(self, texts, data):
+        """The analyzer never raises and ignores input order."""
+        templates = [_spec(f"T{i:02d}", t) for i, t in enumerate(texts)]
+        analyzer = WorkloadAnalyzer(schema=_schema(), registry=MetricsRegistry())
+        baseline = analyzer.analyze(templates, WEIGHTS)
+        assert isinstance(baseline, AdvisoryReport)
+        shuffled = data.draw(st.permutations(templates))
+        assert analyzer.analyze(shuffled, WEIGHTS).to_dict() == baseline.to_dict()

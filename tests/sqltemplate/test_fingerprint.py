@@ -89,6 +89,31 @@ class TestNormalize:
         t = normalize_statement("SELECT * FROM t WHERE id IN (SELECT id FROM u)")
         assert "SELECT" in t.split("IN", 1)[1]
 
+    def test_negative_in_list_collapsed(self):
+        # Signed literals lex as OPERATOR + NUMBER; the collapse must
+        # still see a pure value list, or list size leaks into the id.
+        a = normalize_statement("SELECT * FROM t WHERE id IN (-1, -2, -3)")
+        b = normalize_statement("SELECT * FROM t WHERE id IN (-9)")
+        c = normalize_statement("SELECT * FROM t WHERE id IN (4)")
+        assert a == b == c
+
+    def test_null_in_list_collapsed(self):
+        a = normalize_statement("SELECT * FROM t WHERE id IN (1, NULL, 3)")
+        b = normalize_statement("SELECT * FROM t WHERE id IN (2)")
+        assert a == b
+
+    def test_large_in_list_same_id_regardless_of_size(self):
+        small = fingerprint("SELECT c0 FROM t WHERE id IN (1, 2)")
+        large = fingerprint(
+            "SELECT c0 FROM t WHERE id IN (" +
+            ", ".join(str(i) for i in range(64)) + ")"
+        )
+        assert small.sql_id == large.sql_id
+
+    def test_column_list_not_collapsed(self):
+        t = normalize_statement("SELECT * FROM t WHERE id IN (a, b, c)")
+        assert "a" in t and "b" in t and "c" in t
+
     def test_keywords_uppercased(self):
         t = normalize_statement("select * from t where x = 1")
         assert t.startswith("SELECT")
