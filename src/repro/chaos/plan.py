@@ -142,10 +142,52 @@ class FaultPlan:
         return json.dumps(self.to_dict(), indent=2)
 
     @classmethod
+    def from_json(cls, text: str, *, source: str = "<string>") -> "FaultPlan":
+        """Parse a plan from a JSON string, failing fast with context.
+
+        Every malformation a generated plan can carry — invalid JSON, a
+        non-object document, a spec missing its ``kind``, an unknown
+        fault kind — raises :class:`ValueError` naming the offending
+        spec and the known kinds, so a bad plan is rejected at load
+        time instead of surfacing as an injection-time crash.
+        """
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{source}: not valid JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"{source}: fault plan must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        specs = data.get("specs", [])
+        if not isinstance(specs, (list, tuple)):
+            raise ValueError(f"{source}: 'specs' must be a list of objects")
+        for i, raw in enumerate(specs):
+            if not isinstance(raw, Mapping):
+                raise ValueError(
+                    f"{source}: specs[{i}] must be an object, "
+                    f"got {type(raw).__name__}"
+                )
+            if "kind" not in raw:
+                raise ValueError(
+                    f"{source}: specs[{i}] is missing required key 'kind'"
+                )
+            if raw["kind"] not in FAULT_KINDS:
+                raise ValueError(
+                    f"{source}: specs[{i}] has unknown fault kind "
+                    f"{raw['kind']!r}; known kinds: {', '.join(FAULT_KINDS)}"
+                )
+        try:
+            return cls.from_dict(data)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{source}: malformed fault plan: {exc}") from exc
+
+    @classmethod
     def load(cls, path: str | Path) -> "FaultPlan":
         """Read a plan from a JSON file (the ``repro chaos --plan`` format)."""
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
-        return cls.from_dict(data)
+        p = Path(path)
+        return cls.from_json(p.read_text(encoding="utf-8"), source=str(p))
 
 
 def single_fault_plan(

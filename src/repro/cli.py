@@ -383,6 +383,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the scorecard as JSON instead of text")
     chaos.add_argument("--out", type=Path, default=None,
                        help="also write the JSON scorecard here (CI artifact)")
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided scenario fuzzing: discover workloads and "
+             "fault plans that break attribution",
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="fuzz_command", required=True)
+
+    fz_run = fuzz_sub.add_parser(
+        "run", help="run the mutation fuzzer from the default seed specs"
+    )
+    fz_run.add_argument("--seed", type=int, default=7,
+                        help="fuzzer seed (same seed + budget = identical "
+                             "mutants, survivors and corpus)")
+    fz_run.add_argument("--budget", type=int, default=8,
+                        help="number of mutants to generate and evaluate")
+    fz_run.add_argument("--max-mutations", type=int, default=3,
+                        help="max mutator applications per mutant")
+    fz_run.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed clean-vs-fault Hits@k drop before a "
+                             "mutant counts as a failure")
+    fz_run.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of failing mutants")
+    fz_run.add_argument("--corpus", type=Path, default=None, metavar="DIR",
+                        help="write minimized failing entries here as "
+                             "<entry-id>.json")
+    fz_run.add_argument("--out", type=Path, default=None,
+                        help="write the JSON fuzz report here (CI artifact)")
+    fz_run.add_argument("--fail-on", choices=["failure", "never"],
+                        default="failure",
+                        help="exit 1 when failures were found (default) or "
+                             "never (CI smoke)")
+
+    fz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run every corpus entry against the current build"
+    )
+    fz_replay.add_argument("--corpus", type=Path,
+                           default=Path("tests/fuzz/corpus"), metavar="DIR",
+                           help="corpus directory "
+                                "(default: tests/fuzz/corpus)")
+    fz_replay.add_argument("--tolerance", type=float, default=0.5)
+    fz_replay.add_argument("--json", action="store_true",
+                           help="print results as JSON")
+    fz_replay.add_argument("--out", type=Path, default=None,
+                           help="also write the JSON results here")
+
+    fz_min = fuzz_sub.add_parser(
+        "minimize", help="re-minimize one corpus entry file in place"
+    )
+    fz_min.add_argument("entry", type=Path, help="corpus entry JSON file")
+    fz_min.add_argument("--tolerance", type=float, default=0.5)
+    fz_min.add_argument("--out", type=Path, default=None,
+                        help="write the minimized entry here instead of "
+                             "in place")
     return parser
 
 
@@ -1444,6 +1498,180 @@ def cmd_chaos(args) -> int:
     return 0 if scorecard.all_completed else 1
 
 
+def _fuzz_run(args) -> int:
+    from repro.fuzz import CoverageFuzzer, FuzzConfig
+
+    try:
+        cfg = FuzzConfig(
+            seed=args.seed,
+            budget=args.budget,
+            max_mutations=args.max_mutations,
+            tolerance=args.tolerance,
+            shrink=not args.no_shrink,
+            corpus_dir=str(args.corpus) if args.corpus is not None else None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"fuzz: seed={cfg.seed} budget={cfg.budget} "
+        f"(evaluating seeds + mutants through the chaos harness) ...",
+        flush=True,
+    )
+    report = CoverageFuzzer(cfg).run()
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"wrote {args.out}")
+    for failure in report.seed_failures:
+        print(f"seed failure: {failure}")
+    for mutant in report.mutants:
+        marks = []
+        if mutant.survived:
+            marks.append("survived")
+        if mutant.novel:
+            marks.append(
+                f"novel(+{len(mutant.new_coverage)} cov, "
+                f"+{len(mutant.new_outcomes)} outcomes, "
+                f"+{len(mutant.new_signals)} signals)"
+            )
+        if mutant.failures:
+            marks.append(f"FAILED: {mutant.failures[0]}")
+        chain = ">".join(s.mutator for s in mutant.steps) or "no-op"
+        print(f"  {mutant.name} <- {mutant.parent} [{chain}] "
+              + ("; ".join(marks) or "no novelty"))
+    print(
+        f"fuzz: {len(report.mutants)} mutants, {report.survivors} survivors, "
+        f"{report.novelty_mutants} novelty-increasing, "
+        f"{report.failures_found} failing; coverage {report.coverage_size} "
+        f"keys, {report.outcome_size} outcome combos"
+    )
+    for path in report.written:
+        print(f"wrote {path}")
+    found = report.failures_found + len(report.seed_failures)
+    if found and args.fail_on == "failure":
+        return 1
+    return 0
+
+
+def _fuzz_replay(args) -> int:
+    import json as _json
+
+    from repro.fuzz import ScenarioRunner, load_corpus, replay_entry
+
+    try:
+        entries = load_corpus(args.corpus)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not entries:
+        print(f"no corpus entries under {args.corpus}")
+        return 0
+    runner = ScenarioRunner(tolerance=args.tolerance)
+    results = [replay_entry(entry, runner) for entry in entries]
+    payload = [
+        {
+            "entry_id": r.entry.entry_id,
+            "ok": r.ok,
+            "note": r.note,
+            "xfail": r.entry.xfail,
+            "failures": list(r.failures),
+        }
+        for r in results
+    ]
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            _json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {args.out}")
+    if args.json:
+        print(_json.dumps(payload, indent=2))
+    else:
+        for r in results:
+            status = "ok " if r.ok else "FAIL"
+            print(f"  {status} {r.entry.entry_id}: {r.note}")
+    bad = sum(1 for r in results if not r.ok)
+    print(f"fuzz replay: {len(results) - bad}/{len(results)} entries ok")
+    return 1 if bad else 0
+
+
+def _fuzz_minimize(args) -> int:
+    from repro.fuzz import (
+        CorpusEntry,
+        ScenarioRunner,
+        default_seeds,
+        entry_id_for,
+        minimize_steps,
+    )
+
+    try:
+        entry = CorpusEntry.from_json(
+            args.entry.read_text(encoding="utf-8"), source=str(args.entry)
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not entry.steps:
+        print(f"{entry.entry_id}: no mutation chain recorded; already minimal")
+        return 0
+    base = next((s for s in default_seeds() if s.name == entry.base), None)
+    if base is None:
+        print(
+            f"error: base seed spec {entry.base!r} is not a default seed; "
+            "cannot re-derive the mutation chain",
+            file=sys.stderr,
+        )
+        return 2
+    runner = ScenarioRunner(tolerance=args.tolerance)
+    kinds = frozenset(r.split(":", 1)[0] for r in entry.reason)
+
+    def still_failing(candidate) -> bool:
+        return bool(runner.evaluate(candidate).failure_kinds & kinds)
+
+    outcome = runner.evaluate(entry.spec)
+    if not outcome.failure_kinds & kinds:
+        print(
+            f"{entry.entry_id}: recorded failure no longer reproduces; "
+            "nothing to minimize (consider promoting the entry to green)"
+        )
+        return 0
+    from repro.fuzz import apply_steps
+
+    steps = minimize_steps(base, entry.steps, still_failing)
+    spec = apply_steps(base, steps)
+    if spec is None:
+        print(f"{entry.entry_id}: chain already minimal")
+        return 0
+    final = runner.evaluate(spec)
+    new_id = entry_id_for(spec, final.failure_kinds)
+    minimized = CorpusEntry(
+        entry_id=new_id,
+        spec=spec.with_name(f"{entry.base}-{new_id}"),
+        reason=final.failures,
+        base=entry.base,
+        steps=steps,
+        fuzz_seed=entry.fuzz_seed,
+        xfail=entry.xfail,
+    )
+    out = args.out if args.out is not None else args.entry
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(minimized.to_json() + "\n", encoding="utf-8")
+    print(
+        f"minimized {entry.entry_id}: {len(entry.steps)} -> "
+        f"{len(steps)} steps; wrote {out}"
+    )
+    return 0
+
+
+def cmd_fuzz(args) -> int:
+    if args.fuzz_command == "run":
+        return _fuzz_run(args)
+    if args.fuzz_command == "replay":
+        return _fuzz_replay(args)
+    return _fuzz_minimize(args)
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "diagnose": cmd_diagnose,
@@ -1457,6 +1685,7 @@ _COMMANDS = {
     "advise": cmd_advise,
     "health": cmd_health,
     "chaos": cmd_chaos,
+    "fuzz": cmd_fuzz,
 }
 
 

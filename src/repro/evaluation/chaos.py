@@ -193,6 +193,9 @@ def run_fault_class(
     cfg: ChaosHarnessConfig,
     fault: str,
     plan: FaultPlan | None,
+    *,
+    registry: MetricsRegistry | None = None,
+    diagnoses_out: list | None = None,
 ) -> FaultClassReport:
     """Replay the fixture through the service under one fault plan.
 
@@ -200,8 +203,14 @@ def run_fault_class(
     broker and a private registry; any exception escaping the drain
     loop is captured into the report (the harness itself never raises),
     because "zero uncaught exceptions" is exactly what is under test.
+
+    Callers that need more than the scored report can pass their own
+    ``registry`` (read span/counter coverage from its snapshot after
+    the run) and a ``diagnoses_out`` list, which receives every
+    :class:`~repro.fleet.engine.Diagnosis` the service produced — the
+    fuzzer's novelty signal is built from both.
     """
-    registry = MetricsRegistry()
+    registry = MetricsRegistry() if registry is None else registry
     broker = Broker(registry=registry)
     injector = FaultInjector(plan, registry=registry) if plan is not None else None
     service_broker = injector.wrap_broker(broker) if injector else broker
@@ -262,6 +271,8 @@ def run_fault_class(
         service.close()
 
     diagnoses = service.diagnoses
+    if diagnoses_out is not None:
+        diagnoses_out.extend(diagnoses)
     report.diagnoses = len(diagnoses)
     report.degraded_diagnoses = sum(
         1 for d in diagnoses if d.confidence == "degraded"

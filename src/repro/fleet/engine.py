@@ -131,6 +131,22 @@ class Diagnosis:
     #: planning; persisted onto incident records.
     advisories: tuple[Advisory, ...] = ()
 
+    def outcome_key(self) -> str:
+        """Stable key of the (verdict, rules, advisors, confidence) combo.
+
+        Two diagnoses with the same key exercised the same explainable
+        outcome: same typed category, same set of static-analysis rules
+        fired, same advisory passes, same confidence stamp.  The
+        scenario fuzzer counts distinct keys as behavioural coverage, so
+        the format must stay stable within a build (it is not persisted).
+        """
+        verdict = self.verdict.category.value if self.verdict is not None else "untyped"
+        rules = ",".join(
+            sorted({f.rule for fs in self.findings.values() for f in fs})
+        )
+        advisors = ",".join(sorted({a.advisor for a in self.advisories}))
+        return f"{verdict}|{rules}|{advisors}|{self.confidence}"
+
 
 class InstanceDiagnosisEngine:
     """One instance's diagnosis loop over its broker topic partition.

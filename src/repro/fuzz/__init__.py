@@ -1,0 +1,75 @@
+"""repro.fuzz — coverage-guided scenario fuzzing for the diagnosis stack.
+
+The subsystem that manufactures the cases nobody hand-picked: a
+deterministic mutation fuzzer over the cross product of workload
+scenario specs (:class:`ScenarioSpec`) and chaos fault plans, guided by
+a novelty signal read from each run's private telemetry (span/counter
+coverage), diagnosis outcome combos, and resilience events.  Failing
+mutants are shrunk to minimal mutation chains and persisted as a
+regression corpus replayed by tier-1 tests and the ``repro fuzz`` CLI.
+"""
+
+from repro.fuzz.corpus import (
+    CORPUS_VERSION,
+    CorpusEntry,
+    ReplayResult,
+    entry_id_for,
+    load_corpus,
+    replay_entry,
+    save_entry,
+)
+from repro.fuzz.fuzzer import CoverageFuzzer, FuzzConfig, FuzzReport, MutantRecord
+from repro.fuzz.mutators import (
+    MutatorFn,
+    apply_mutator,
+    get_mutator,
+    mutator_names,
+    register_mutator,
+)
+from repro.fuzz.runner import (
+    RunSignature,
+    ScenarioOutcome,
+    ScenarioRunner,
+    build_fixture,
+    fixture_digest,
+)
+from repro.fuzz.shrink import MutationStep, apply_steps, minimize_steps
+from repro.fuzz.spec import (
+    CATEGORY_PARAMS,
+    SPEC_VERSION,
+    AnomalySpec,
+    ScenarioSpec,
+    default_seeds,
+)
+
+__all__ = [
+    "AnomalySpec",
+    "CATEGORY_PARAMS",
+    "CORPUS_VERSION",
+    "CorpusEntry",
+    "CoverageFuzzer",
+    "FuzzConfig",
+    "FuzzReport",
+    "MutantRecord",
+    "MutationStep",
+    "MutatorFn",
+    "ReplayResult",
+    "RunSignature",
+    "SPEC_VERSION",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "apply_mutator",
+    "apply_steps",
+    "build_fixture",
+    "default_seeds",
+    "entry_id_for",
+    "fixture_digest",
+    "get_mutator",
+    "load_corpus",
+    "minimize_steps",
+    "mutator_names",
+    "register_mutator",
+    "replay_entry",
+    "save_entry",
+]

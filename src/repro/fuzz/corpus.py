@@ -1,0 +1,195 @@
+"""The versioned regression corpus: minimized reproducers, replayed in CI.
+
+Every corpus entry is one JSON file under ``tests/fuzz/corpus/`` holding
+a minimized :class:`ScenarioSpec` plus its provenance (base seed name,
+mutation chain, fuzz seed) and expectation.  Two expectation modes:
+
+* ``xfail == ""`` — the scenario must replay **green** (no failures).
+  These entries are regression guards: either a failure that was fixed,
+  or a novelty survivor pinned so the behaviour it exercises keeps
+  working.
+* ``xfail != ""`` — a known-unfixed failure; the note links the
+  tracking item (ROADMAP/issue).  Replay asserts the failure still
+  reproduces — when it stops reproducing, the pin is stale and replay
+  says so.
+
+Entry ids are content-derived (spec content key + failure kinds), so
+the same discovery always lands in the same file and re-running the
+fuzzer is idempotent over the corpus directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.fuzz.runner import ScenarioOutcome, ScenarioRunner
+from repro.fuzz.shrink import MutationStep
+from repro.fuzz.spec import ScenarioSpec
+
+__all__ = [
+    "CORPUS_VERSION",
+    "CorpusEntry",
+    "ReplayResult",
+    "entry_id_for",
+    "load_corpus",
+    "replay_entry",
+    "save_entry",
+]
+
+CORPUS_VERSION = 1
+
+
+def entry_id_for(spec: ScenarioSpec, failure_kinds: Iterable[str]) -> str:
+    """Deterministic id from the minimized spec and its failure classes."""
+    payload = spec.content_key() + "|" + ",".join(sorted(failure_kinds))
+    return "fz-" + hashlib.blake2b(payload.encode(), digest_size=6).hexdigest()
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One minimized reproducer plus provenance and expectation."""
+
+    entry_id: str
+    spec: ScenarioSpec
+    #: The failure strings observed at discovery time (empty for pinned
+    #: novelty survivors).
+    reason: tuple[str, ...] = ()
+    #: Name of the default seed spec the mutation chain started from.
+    base: str = ""
+    steps: tuple[MutationStep, ...] = ()
+    #: Seed of the fuzz run that discovered the entry.
+    fuzz_seed: int = 0
+    #: Non-empty ⇒ known-unfixed: replay expects the failure to persist.
+    #: The text must link the tracking item.
+    xfail: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": CORPUS_VERSION,
+            "entry_id": self.entry_id,
+            "spec": self.spec.to_dict(),
+            "reason": list(self.reason),
+            "base": self.base,
+            "steps": [s.to_dict() for s in self.steps],
+            "fuzz_seed": self.fuzz_seed,
+            "xfail": self.xfail,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CorpusEntry":
+        unknown = set(data) - {
+            "version", "entry_id", "spec", "reason", "base", "steps",
+            "fuzz_seed", "xfail",
+        }
+        if unknown:
+            raise ValueError(f"corpus entry: unknown keys {sorted(unknown)}")
+        version = int(data.get("version", CORPUS_VERSION))
+        if version != CORPUS_VERSION:
+            raise ValueError(
+                f"corpus entry version {version} is not supported "
+                f"(this build reads version {CORPUS_VERSION})"
+            )
+        if "spec" not in data or not isinstance(data["spec"], Mapping):
+            raise ValueError("corpus entry: missing or malformed 'spec'")
+        return cls(
+            entry_id=str(data.get("entry_id", "")),
+            spec=ScenarioSpec.from_dict(data["spec"]),
+            reason=tuple(str(r) for r in data.get("reason", ())),
+            base=str(data.get("base", "")),
+            steps=tuple(
+                MutationStep.from_dict(s) for s in data.get("steps", ())
+            ),
+            fuzz_seed=int(data.get("fuzz_seed", 0)),
+            xfail=str(data.get("xfail", "")),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str, *, source: str = "<string>") -> "CorpusEntry":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{source}: not valid JSON: {exc}") from exc
+        if not isinstance(data, Mapping):
+            raise ValueError(f"{source}: corpus entry must be a JSON object")
+        try:
+            return cls.from_dict(data)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{source}: {exc}") from exc
+
+
+def save_entry(entry: CorpusEntry, directory: str | Path) -> Path:
+    """Write the entry as ``<entry_id>.json`` under ``directory``."""
+    path = Path(directory) / f"{entry.entry_id}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(entry.to_json() + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: str | Path) -> tuple[CorpusEntry, ...]:
+    """Load every ``*.json`` entry under ``directory``, name-sorted."""
+    root = Path(directory)
+    if not root.is_dir():
+        return ()
+    entries = []
+    for path in sorted(root.glob("*.json")):
+        entries.append(
+            CorpusEntry.from_json(
+                path.read_text(encoding="utf-8"), source=str(path)
+            )
+        )
+    return tuple(entries)
+
+
+@dataclass
+class ReplayResult:
+    """One corpus entry re-executed against the current build."""
+
+    entry: CorpusEntry
+    outcome: ScenarioOutcome
+    #: The regression verdict (see ``note`` for the explanation).
+    ok: bool
+    note: str
+
+    @property
+    def failures(self) -> tuple[str, ...]:
+        return self.outcome.failures
+
+
+def replay_entry(entry: CorpusEntry, runner: ScenarioRunner) -> ReplayResult:
+    """Re-run one entry and judge it against its expectation.
+
+    Green entries must produce zero failures.  Pinned (``xfail``)
+    entries must still fail with at least one of the originally
+    recorded failure kinds; a pin that stops reproducing is reported as
+    not-ok so the stale entry gets promoted to green (or deleted)
+    rather than silently rotting.
+    """
+    outcome = runner.evaluate(entry.spec)
+    if entry.xfail:
+        recorded = frozenset(r.split(":", 1)[0] for r in entry.reason)
+        persists = bool(outcome.failure_kinds & recorded) if recorded else bool(
+            outcome.failures
+        )
+        if persists:
+            return ReplayResult(
+                entry, outcome, ok=True,
+                note=f"pinned failure still reproduces ({entry.xfail})",
+            )
+        return ReplayResult(
+            entry, outcome, ok=False,
+            note="pinned failure no longer reproduces — promote this entry "
+                 "to green (clear 'xfail') or delete it",
+        )
+    if outcome.failures:
+        return ReplayResult(
+            entry, outcome, ok=False,
+            note="regression: previously-green scenario now fails",
+        )
+    return ReplayResult(entry, outcome, ok=True, note="replayed green")

@@ -1,0 +1,317 @@
+"""The coverage-guided mutation loop (FuzzQLite-style, determinized).
+
+One :class:`CoverageFuzzer` run:
+
+1. evaluates every seed spec, establishing the baseline coverage /
+   outcome / signal sets and the starting population;
+2. for ``budget`` iterations, picks a population member, applies 1–k
+   registered mutators (each with a child seed drawn from the run's
+   single generator), and evaluates the candidate;
+3. candidates that **pass** and add novelty join the population;
+   candidates that **fail** are shrunk to a minimal mutation chain and
+   emitted as corpus entries (written to ``corpus_dir`` when set).
+
+Every random draw comes from one ``np.random.default_rng(config.seed)``
+stream and evaluation consumes no randomness, so the same seed+budget
+reproduces the identical mutant sequence, survivors and minimized
+corpus — and a run with a smaller budget is a strict prefix of a larger
+one.  Evaluation is injectable (``evaluate=``) so the loop's
+determinism is testable without simulating fleets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.fuzz.corpus import CorpusEntry, entry_id_for, save_entry
+from repro.fuzz.mutators import apply_mutator, mutator_names
+from repro.fuzz.runner import ScenarioOutcome, ScenarioRunner
+from repro.fuzz.shrink import MutationStep, apply_steps, minimize_steps
+from repro.fuzz.spec import ScenarioSpec, default_seeds
+from repro.telemetry import get_logger
+
+__all__ = ["CoverageFuzzer", "FuzzConfig", "FuzzReport", "MutantRecord"]
+
+_log = get_logger("fuzz")
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs of one fuzz run (fixed seed = fixed everything)."""
+
+    seed: int = 7
+    #: Number of mutants to generate and evaluate (seeds come extra).
+    budget: int = 8
+    min_mutations: int = 1
+    max_mutations: int = 3
+    #: Allowed clean-vs-fault Hits@k drop before a mutant counts as a
+    #: failure (matches the chaos gate's tolerance).
+    tolerance: float = 0.5
+    #: Shrink failing mutants to minimal chains before emitting them.
+    shrink: bool = True
+    #: When set, minimized entries are written here as ``<id>.json``.
+    corpus_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.budget < 0:
+            raise ValueError("budget must be >= 0")
+        if not 1 <= self.min_mutations <= self.max_mutations <= 8:
+            raise ValueError(
+                "mutation counts must satisfy 1 <= min <= max <= 8"
+            )
+
+
+@dataclass
+class MutantRecord:
+    """One generated mutant, as reported in ``fuzz-report.json``."""
+
+    index: int
+    parent: str
+    name: str
+    steps: tuple[MutationStep, ...]
+    new_coverage: tuple[str, ...] = ()
+    new_outcomes: tuple[str, ...] = ()
+    new_signals: tuple[str, ...] = ()
+    failures: tuple[str, ...] = ()
+    survived: bool = False
+    fixture_digest: str = ""
+    clean_r_accuracy: float = 0.0
+    fault_r_accuracy: float | None = None
+
+    @property
+    def novel(self) -> bool:
+        return bool(self.new_coverage or self.new_outcomes or self.new_signals)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "parent": self.parent,
+            "name": self.name,
+            "steps": [s.to_dict() for s in self.steps],
+            "new_coverage": sorted(self.new_coverage),
+            "new_outcomes": sorted(self.new_outcomes),
+            "new_signals": sorted(self.new_signals),
+            "failures": list(self.failures),
+            "survived": self.survived,
+            "novel": self.novel,
+            "fixture_digest": self.fixture_digest,
+            "clean_r_accuracy": self.clean_r_accuracy,
+            "fault_r_accuracy": self.fault_r_accuracy,
+        }
+
+
+@dataclass
+class FuzzReport:
+    """The JSON artifact of one fuzz run (``--out fuzz-report.json``)."""
+
+    seed: int
+    budget: int
+    seed_names: tuple[str, ...] = ()
+    seed_failures: tuple[str, ...] = ()
+    mutants: list[MutantRecord] = field(default_factory=list)
+    entries: list[CorpusEntry] = field(default_factory=list)
+    written: list[str] = field(default_factory=list)
+    coverage_size: int = 0
+    outcome_size: int = 0
+    evaluations: int = 0
+
+    @property
+    def survivors(self) -> int:
+        return sum(1 for m in self.mutants if m.survived)
+
+    @property
+    def novelty_mutants(self) -> int:
+        return sum(1 for m in self.mutants if m.novel)
+
+    @property
+    def failures_found(self) -> int:
+        return sum(1 for m in self.mutants if m.failures)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "budget": self.budget,
+            "seeds": list(self.seed_names),
+            "seed_failures": list(self.seed_failures),
+            "mutants": [m.to_dict() for m in self.mutants],
+            "survivors": self.survivors,
+            "novelty_mutants": self.novelty_mutants,
+            "failures_found": self.failures_found,
+            "corpus_entries": [e.to_dict() for e in self.entries],
+            "corpus_written": list(self.written),
+            "coverage_size": self.coverage_size,
+            "outcome_size": self.outcome_size,
+            "evaluations": self.evaluations,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+
+class CoverageFuzzer:
+    """Deterministic mutation fuzzer over scenario × fault-plan space."""
+
+    def __init__(
+        self,
+        config: FuzzConfig | None = None,
+        seeds: Sequence[ScenarioSpec] | None = None,
+        runner: ScenarioRunner | None = None,
+        evaluate: Callable[[ScenarioSpec], ScenarioOutcome] | None = None,
+    ) -> None:
+        self.config = config or FuzzConfig()
+        self.seeds = tuple(seeds) if seeds is not None else default_seeds()
+        if not self.seeds:
+            raise ValueError("fuzzer needs at least one seed spec")
+        if evaluate is None:
+            self._runner = runner or ScenarioRunner(tolerance=self.config.tolerance)
+            self._evaluate: Callable[[ScenarioSpec], ScenarioOutcome] = (
+                self._runner.evaluate
+            )
+        else:
+            self._runner = runner
+            self._evaluate = evaluate
+        self._seen_coverage: set[str] = set()
+        self._seen_outcomes: set[str] = set()
+        self._seen_signals: set[str] = set()
+        #: (spec, base-seed spec, steps from that base)
+        self._population: list[
+            tuple[ScenarioSpec, ScenarioSpec, tuple[MutationStep, ...]]
+        ] = []
+        self._emitted_ids: set[str] = set()
+
+    # -- the loop ------------------------------------------------------
+
+    def run(self) -> FuzzReport:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        report = FuzzReport(
+            seed=cfg.seed,
+            budget=cfg.budget,
+            seed_names=tuple(s.name for s in self.seeds),
+        )
+        seed_failures: list[str] = []
+        for spec in self.seeds:
+            outcome = self._evaluate(spec)
+            self._absorb(outcome)
+            self._population.append((spec, spec, ()))
+            for failure in outcome.failures:
+                seed_failures.append(f"{spec.name}: {failure}")
+        report.seed_failures = tuple(seed_failures)
+
+        names = mutator_names()
+        for index in range(cfg.budget):
+            parent_spec, base, parent_steps = self._population[
+                int(rng.integers(0, len(self._population)))
+            ]
+            n_mutations = int(
+                rng.integers(cfg.min_mutations, cfg.max_mutations + 1)
+            )
+            spec = parent_spec
+            applied: list[MutationStep] = []
+            for _ in range(n_mutations):
+                for _attempt in range(8):
+                    mutator = names[int(rng.integers(0, len(names)))]
+                    child_seed = int(rng.integers(0, 2**31 - 1))
+                    candidate = apply_mutator(spec, mutator, child_seed)
+                    if candidate is not None and candidate != spec:
+                        spec = candidate
+                        applied.append(MutationStep(mutator, child_seed))
+                        break
+            record = MutantRecord(
+                index=index,
+                parent=parent_spec.name,
+                name=f"m{index}",
+                steps=tuple(applied),
+            )
+            report.mutants.append(record)
+            if not applied:
+                continue
+            outcome = self._evaluate(spec)
+            novelty = outcome.signature.new_against(
+                self._seen_coverage, self._seen_outcomes, self._seen_signals
+            )
+            self._absorb(outcome)
+            record.new_coverage = tuple(sorted(novelty.coverage))
+            record.new_outcomes = tuple(sorted(novelty.outcomes))
+            record.new_signals = tuple(sorted(novelty.signals))
+            record.failures = outcome.failures
+            record.fixture_digest = outcome.fixture_digest
+            record.clean_r_accuracy = float(outcome.clean.r_accuracy)
+            record.fault_r_accuracy = (
+                float(outcome.fault.r_accuracy)
+                if outcome.fault is not None
+                else None
+            )
+            chain = tuple(parent_steps) + tuple(applied)
+            if outcome.failures:
+                self._emit_failure(report, base, chain, outcome)
+            elif novelty.novel:
+                record.survived = True
+                self._population.append((spec, base, chain))
+            _log.info(
+                "fuzz mutant evaluated",
+                extra={
+                    "index": index,
+                    "parent": record.parent,
+                    "survived": record.survived,
+                    "failures": len(record.failures),
+                    "novel": record.novel,
+                },
+            )
+
+        report.coverage_size = len(self._seen_coverage)
+        report.outcome_size = len(self._seen_outcomes)
+        if self._runner is not None:
+            report.evaluations = self._runner.evaluations
+        return report
+
+    # -- internals -----------------------------------------------------
+
+    def _absorb(self, outcome: ScenarioOutcome) -> None:
+        self._seen_coverage |= outcome.signature.coverage
+        self._seen_outcomes |= outcome.signature.outcomes
+        self._seen_signals |= outcome.signature.signals
+
+    def _emit_failure(
+        self,
+        report: FuzzReport,
+        base: ScenarioSpec,
+        chain: tuple[MutationStep, ...],
+        outcome: ScenarioOutcome,
+    ) -> None:
+        kinds = outcome.failure_kinds
+        steps = chain
+        spec = outcome.spec
+        if self.config.shrink and len(chain) > 1:
+
+            def still_failing(candidate: ScenarioSpec) -> bool:
+                return bool(
+                    self._evaluate(candidate).failure_kinds & kinds
+                )
+
+            steps = minimize_steps(base, chain, still_failing)
+            shrunk = apply_steps(base, steps)
+            if shrunk is not None:
+                spec = shrunk
+                outcome = self._evaluate(shrunk)
+        entry_id = entry_id_for(spec, outcome.failure_kinds)
+        if entry_id in self._emitted_ids:
+            return
+        self._emitted_ids.add(entry_id)
+        entry = CorpusEntry(
+            entry_id=entry_id,
+            spec=spec.with_name(f"{base.name}-{entry_id}"),
+            reason=outcome.failures,
+            base=base.name,
+            steps=steps,
+            fuzz_seed=self.config.seed,
+        )
+        report.entries.append(entry)
+        if self.config.corpus_dir is not None:
+            path = save_entry(entry, Path(self.config.corpus_dir))
+            report.written.append(str(path))

@@ -1,0 +1,359 @@
+"""The pluggable mutator registry: one small perturbation per mutator.
+
+Mirrors the repo's other extension points (``register_rule``,
+``register_check``, ``register_pass``): a mutator is a named pure
+function ``(spec, rng) -> spec | None`` registered via
+:func:`register_mutator`.  ``None`` means "not applicable to this spec"
+(e.g. ``fault-rate`` on a spec with no fault plan) and the fuzzer draws
+again; a returned spec must be valid — :func:`apply_mutator` treats a
+:class:`ValueError` from the spec constructor as inapplicability, so a
+mutator may push against a bound without pre-checking it.
+
+Determinism contract: a mutator's output is a function of ``(spec,
+rng-seed)`` only.  The fuzzer derives one child seed per application,
+so the same fuzz seed replays the identical mutation chain — which is
+what lets a corpus entry re-derive its spec from ``(base, steps)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Mapping
+
+import numpy as np
+
+from repro.chaos import FAULT_KINDS, FaultPlan, FaultSpec
+from repro.chaos.plan import _DEFAULT_RATES
+from repro.fuzz.spec import CATEGORY_PARAMS, AnomalySpec, ScenarioSpec
+
+__all__ = [
+    "MutatorFn",
+    "apply_mutator",
+    "get_mutator",
+    "mutator_names",
+    "register_mutator",
+]
+
+MutatorFn = Callable[[ScenarioSpec, np.random.Generator], "ScenarioSpec | None"]
+
+_REGISTRY: dict[str, MutatorFn] = {}
+
+
+def register_mutator(name: str) -> Callable[[MutatorFn], MutatorFn]:
+    """Class-decorator-style registration, keyed by mutator name."""
+
+    def decorate(fn: MutatorFn) -> MutatorFn:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate mutator name {name!r}")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def mutator_names() -> tuple[str, ...]:
+    """Registered mutator names, sorted (the fuzzer indexes into this)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def get_mutator(name: str) -> MutatorFn:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown mutator {name!r}; registered: {', '.join(mutator_names())}"
+        ) from None
+
+
+def apply_mutator(
+    spec: ScenarioSpec, name: str, seed: int
+) -> ScenarioSpec | None:
+    """Apply one registered mutator with its own child generator.
+
+    Returns ``None`` when the mutator declares itself inapplicable or
+    the mutated values land outside the spec's validated bounds.
+    """
+    fn = get_mutator(name)
+    rng = np.random.default_rng(seed)
+    try:
+        return fn(spec, rng)
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Built-in mutators.  Taxonomy (DESIGN §12): anomaly category /
+# magnitude / timing / overlap, population shape, planted baits, fault
+# plan add / rate / params / topic / remove, and the workload seed.
+# ----------------------------------------------------------------------
+
+#: Injector defaults, used as the starting point when a magnitude
+#: mutation touches a parameter the spec does not pin yet (mirrors the
+#: keyword defaults in :mod:`repro.workload.scenarios`).
+_PARAM_DEFAULTS: Mapping[str, Mapping[str, tuple[float, float] | float]] = {
+    "business_spike": {"volume_lift": (1.8, 3.5), "max_factor": 30.0},
+    "poor_sql": {"target_rate": (6.0, 18.0), "examined_rows": (4e5, 2e6)},
+    "mdl_lock": {
+        "ddl_duration_ms": (8_000.0, 20_000.0),
+        "ddl_interval_s": (25.0, 50.0),
+        "copy_rate": (3.0, 9.0),
+        "activity_bump": (1.15, 1.4),
+    },
+    "row_lock": {
+        "target_rate": (6.0, 16.0),
+        "lock_hold_ms": (250.0, 450.0),
+        "activity_bump": (1.15, 1.4),
+    },
+    "composite": {},
+}
+
+_BASE_CATEGORIES: tuple[str, ...] = (
+    "business_spike", "poor_sql", "mdl_lock", "row_lock",
+)
+
+
+def _choice(rng: np.random.Generator, items: tuple[str, ...]) -> str:
+    return items[int(rng.integers(0, len(items)))]
+
+
+@register_mutator("anomaly-category")
+def _mutate_category(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Switch the anomaly to a different category (params reset: the
+    whitelists differ across categories)."""
+    if spec.anomalous == 0:
+        return None
+    options = tuple(
+        c for c in (*_BASE_CATEGORIES, "composite") if c != spec.anomaly.category
+    )
+    category = _choice(rng, options)
+    anomaly = AnomalySpec(
+        category=category,
+        onset_frac=spec.anomaly.onset_frac,
+        end_frac=spec.anomaly.end_frac,
+    )
+    return replace(spec, anomaly=anomaly)
+
+
+@register_mutator("anomaly-magnitude")
+def _mutate_magnitude(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Scale one injector parameter by 0.3–3x (seeded from the injector
+    default when the spec does not pin it yet)."""
+    if spec.anomalous == 0:
+        return None
+    allowed = sorted(CATEGORY_PARAMS[spec.anomaly.category])
+    if not allowed:
+        return None
+    name = _choice(rng, tuple(allowed))
+    factor = float(rng.uniform(0.3, 3.0))
+    defaults = _PARAM_DEFAULTS[spec.anomaly.category]
+    current = spec.anomaly.params.get(name, defaults[name])
+    value: tuple[float, float] | float
+    if isinstance(current, tuple):
+        value = (current[0] * factor, current[1] * factor)
+        if CATEGORY_PARAMS[spec.anomaly.category][name] == "int_pair":
+            value = (max(1.0, value[0]), max(2.0, value[1]))
+    else:
+        value = current * factor
+    params = dict(spec.anomaly.params)
+    params[name] = value
+    return replace(spec, anomaly=replace(spec.anomaly, params=params))
+
+
+@register_mutator("anomaly-timing")
+def _mutate_timing(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Jitter the anomaly window inside the validated fraction bounds."""
+    if spec.anomalous == 0:
+        return None
+    onset = float(
+        np.clip(spec.anomaly.onset_frac + rng.uniform(-0.15, 0.15), 0.5, 0.8)
+    )
+    end = float(
+        np.clip(spec.anomaly.end_frac + rng.uniform(-0.1, 0.1), onset + 0.2, 1.0)
+    )
+    anomaly = replace(spec.anomaly, onset_frac=onset, end_frac=end)
+    return replace(spec, anomaly=anomaly)
+
+
+@register_mutator("anomaly-overlap")
+def _mutate_overlap(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Escalate to a composite incident (or re-draw its shape): two
+    causes in overlapping windows, sometimes stacked on one target."""
+    if spec.anomalous == 0:
+        return None
+    same_target = bool(rng.integers(0, 2))
+    first = _choice(rng, ("mdl_lock", "row_lock"))
+    second = _choice(rng, _BASE_CATEGORIES)
+    if second == first and not same_target:
+        second = "business_spike" if first != "business_spike" else "poor_sql"
+    anomaly = AnomalySpec(
+        category="composite",
+        onset_frac=spec.anomaly.onset_frac,
+        end_frac=spec.anomaly.end_frac,
+        categories=(first, second),
+        same_target=same_target,
+    )
+    return replace(spec, anomaly=anomaly)
+
+
+@register_mutator("population-shape")
+def _mutate_population(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Perturb one axis of the fleet/population shape."""
+    axis = _choice(
+        rng, ("businesses", "templates", "duration", "instances", "anomalous")
+    )
+    if axis == "businesses":
+        delta = 1 if rng.integers(0, 2) else -1
+        return replace(
+            spec, n_businesses=int(np.clip(spec.n_businesses + delta, 2, 8))
+        )
+    if axis == "templates":
+        lo, hi = spec.templates_per_business
+        lo = int(np.clip(lo + int(rng.integers(-2, 3)), 2, 12))
+        hi = int(np.clip(hi + int(rng.integers(-2, 3)), lo, 16))
+        return replace(spec, templates_per_business=(lo, hi))
+    if axis == "duration":
+        return replace(
+            spec, duration_s=int(_choice(rng, ("180", "240", "300", "360")))
+        )
+    if axis == "instances":
+        n = int(np.clip(spec.n_instances + (1 if rng.integers(0, 2) else -1), 1, 4))
+        return replace(spec, n_instances=n, anomalous=min(spec.anomalous, n))
+    anomalous = int(rng.integers(0, spec.n_instances + 1))
+    if anomalous == spec.anomalous:
+        return None
+    return replace(spec, anomalous=anomalous)
+
+
+@register_mutator("plant-baits")
+def _mutate_baits(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Toggle planted anti-pattern or advisory-bait templates."""
+    if rng.integers(0, 2):
+        return replace(spec, antipatterns=not spec.antipatterns)
+    return replace(spec, advisory_baits=not spec.advisory_baits)
+
+
+@register_mutator("fault-add")
+def _mutate_fault_add(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Arm one more fault class (creates the plan when absent)."""
+    kind = _choice(rng, FAULT_KINDS)
+    plan = spec.faults
+    if plan is not None and any(s.kind == kind for s in plan.specs):
+        return None
+    new = FaultSpec(kind=kind, rate=_DEFAULT_RATES.get(kind, 0.1))
+    if plan is None:
+        plan = FaultPlan(name="fuzzed", seed=spec.seed, specs=(new,))
+    else:
+        plan = FaultPlan(name=plan.name, seed=plan.seed, specs=(*plan.specs, new))
+    return replace(spec, faults=plan)
+
+
+def _pick_fault(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> tuple[FaultPlan, int] | None:
+    if spec.faults is None or not spec.faults.specs:
+        return None
+    return spec.faults, int(rng.integers(0, len(spec.faults.specs)))
+
+
+@register_mutator("fault-rate")
+def _mutate_fault_rate(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Scale one armed fault's injection rate by 0.5–2x."""
+    picked = _pick_fault(spec, rng)
+    if picked is None:
+        return None
+    plan, i = picked
+    old = plan.specs[i]
+    rate = float(np.clip(old.rate * rng.uniform(0.5, 2.0), 0.01, 0.9))
+    specs = list(plan.specs)
+    specs[i] = FaultSpec(kind=old.kind, rate=rate, topic=old.topic, params=old.params)
+    return replace(
+        spec, faults=FaultPlan(name=plan.name, seed=plan.seed, specs=tuple(specs))
+    )
+
+
+@register_mutator("fault-params")
+def _mutate_fault_params(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Scale one parameter of one armed fault (window sizes, skew, …)."""
+    picked = _pick_fault(spec, rng)
+    if picked is None:
+        return None
+    plan, i = picked
+    old = plan.specs[i]
+    names = sorted(old.params)
+    if not names:
+        return None
+    name = _choice(rng, tuple(names))
+    value = max(1.0, float(old.params[name]) * float(rng.uniform(0.5, 2.0)))
+    params = dict(old.params)
+    params[name] = round(value, 3)
+    specs = list(plan.specs)
+    specs[i] = FaultSpec(kind=old.kind, rate=old.rate, topic=old.topic, params=params)
+    return replace(
+        spec, faults=FaultPlan(name=plan.name, seed=plan.seed, specs=tuple(specs))
+    )
+
+
+@register_mutator("fault-topic")
+def _mutate_fault_topic(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Refocus one armed fault onto a topic family (logs vs metrics)."""
+    picked = _pick_fault(spec, rng)
+    if picked is None:
+        return None
+    plan, i = picked
+    old = plan.specs[i]
+    topic = _choice(rng, ("*", "query_logs*", "performance_metrics*"))
+    if topic == old.topic:
+        return None
+    specs = list(plan.specs)
+    specs[i] = FaultSpec(kind=old.kind, rate=old.rate, topic=topic, params=old.params)
+    return replace(
+        spec, faults=FaultPlan(name=plan.name, seed=plan.seed, specs=tuple(specs))
+    )
+
+
+@register_mutator("fault-remove")
+def _mutate_fault_remove(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Disarm one fault class (drops the plan when it empties)."""
+    picked = _pick_fault(spec, rng)
+    if picked is None:
+        return None
+    plan, i = picked
+    specs = tuple(s for j, s in enumerate(plan.specs) if j != i)
+    if not specs:
+        return replace(spec, faults=None)
+    return replace(
+        spec, faults=FaultPlan(name=plan.name, seed=plan.seed, specs=specs)
+    )
+
+
+@register_mutator("workload-seed")
+def _mutate_seed(
+    spec: ScenarioSpec, rng: np.random.Generator
+) -> ScenarioSpec | None:
+    """Reroll the workload seed: same shape, different concrete fleet."""
+    seed = int(rng.integers(0, 2**20))
+    if seed == spec.seed:
+        return None
+    return replace(spec, seed=seed)

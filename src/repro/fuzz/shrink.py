@@ -1,0 +1,85 @@
+"""Greedy delta-debugging over mutation chains.
+
+A failing mutant is described by its base seed spec plus the ordered
+:class:`MutationStep` chain that produced it.  Minimization removes
+steps one at a time, keeping a removal whenever the re-derived spec
+still exhibits the original failure kinds — the classic ddmin inner
+loop, sufficient here because chains are short (a handful of steps) and
+every candidate evaluation is cached by spec content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.fuzz.mutators import apply_mutator
+from repro.fuzz.spec import ScenarioSpec
+
+__all__ = ["MutationStep", "apply_steps", "minimize_steps"]
+
+
+@dataclass(frozen=True)
+class MutationStep:
+    """One recorded mutator application (name + its child seed)."""
+
+    mutator: str
+    seed: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"mutator": self.mutator, "seed": self.seed}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MutationStep":
+        unknown = set(data) - {"mutator", "seed"}
+        if unknown:
+            raise ValueError(f"mutation step: unknown keys {sorted(unknown)}")
+        if "mutator" not in data:
+            raise ValueError("mutation step: missing required key 'mutator'")
+        return cls(mutator=str(data["mutator"]), seed=int(data.get("seed", 0)))
+
+
+def apply_steps(
+    base: ScenarioSpec, steps: Iterable[MutationStep]
+) -> ScenarioSpec | None:
+    """Re-derive a spec by replaying a mutation chain from its base.
+
+    Returns ``None`` as soon as any step is inapplicable to the
+    intermediate spec (step subsets built during shrinking routinely
+    are — e.g. a ``fault-rate`` step whose ``fault-add`` was removed).
+    """
+    spec = base
+    for step in steps:
+        mutated = apply_mutator(spec, step.mutator, step.seed)
+        if mutated is None:
+            return None
+        spec = mutated
+    return spec
+
+
+def minimize_steps(
+    base: ScenarioSpec,
+    steps: tuple[MutationStep, ...],
+    still_failing: Callable[[ScenarioSpec], bool],
+) -> tuple[MutationStep, ...]:
+    """Greedily drop steps while the re-derived spec keeps failing.
+
+    ``still_failing`` judges a candidate spec (typically: evaluates it
+    and checks that the original failure kinds persist).  The loop
+    restarts after every successful removal so later steps get another
+    chance once their prerequisites are gone; it terminates because the
+    chain only ever shrinks.  The result is 1-minimal: removing any
+    single remaining step either breaks replay or loses the failure.
+    """
+    current = list(steps)
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for i in range(len(current)):
+            trial = current[:i] + current[i + 1:]
+            spec = apply_steps(base, trial)
+            if spec is not None and still_failing(spec):
+                current = trial
+                changed = True
+                break
+    return tuple(current)

@@ -38,6 +38,7 @@ from repro.telemetry.tracing import (
     TraceContext,
     Tracer,
     new_trace_context,
+    observed_span_names,
     set_trace_propagation,
     span_from_dict,
     span_to_dict,
@@ -68,6 +69,7 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "new_trace_context",
+    "observed_span_names",
     "set_trace_propagation",
     "span_from_dict",
     "span_to_dict",

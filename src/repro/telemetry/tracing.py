@@ -47,6 +47,7 @@ __all__ = [
     "TraceContext",
     "Tracer",
     "new_trace_context",
+    "observed_span_names",
     "set_trace_propagation",
     "span_from_dict",
     "span_to_dict",
@@ -349,4 +350,20 @@ def span_from_dict(payload: Mapping[str, Any]) -> Span:
         attrs=dict(payload.get("attrs") or {}),
         children=[span_from_dict(c) for c in payload.get("children") or ()],
         elapsed=float(elapsed) if elapsed is not None else None,
+    )
+
+
+def observed_span_names(registry: MetricsRegistry) -> frozenset[str]:
+    """Names of every span whose duration was observed into ``registry``.
+
+    Every finished span lands in the ``span_duration_seconds`` histogram
+    labelled by span name, so the registry snapshot doubles as a record
+    of which pipeline stages actually executed — the scenario fuzzer
+    reads this as its code-path coverage signal.
+    """
+    snap = registry.snapshot()
+    return frozenset(
+        h["labels"]["span"]
+        for h in snap["histograms"]
+        if h["name"] == Tracer.SPAN_METRIC and "span" in h["labels"]
     )

@@ -147,6 +147,7 @@ def inject_business_spike(
     anomaly_end: int,
     volume_lift: tuple[float, float] = (1.8, 3.5),
     max_factor: float = 30.0,
+    business: BusinessService | None = None,
 ) -> InjectedAnomaly:
     """Category 1: a business's demand multiplies during the window.
 
@@ -155,8 +156,11 @@ def inject_business_spike(
     ``volume_lift`` multiple — a mid-size business must spike much harder
     than a dominant one to cause the same incident, exactly as in
     production (a niche feature going viral can 20× its backend traffic).
+    An explicit ``business`` overrides the rank-band pick (used by
+    :func:`inject_composite` to stack causes on one target).
     """
-    business = _pick_business(population, rng, band=(0.25, 0.8))
+    if business is None:
+        business = _pick_business(population, rng, band=(0.25, 0.8))
     volumes = _business_volumes(population)
     idx = population.businesses.index(business)
     total = float(volumes.sum())
@@ -191,15 +195,18 @@ def inject_poor_sql(
     target_rate: tuple[float, float] = (6.0, 18.0),
     examined_rows: tuple[float, float] = (4e5, 2e6),
     capacity_hint_ms: float | None = None,
+    business: BusinessService | None = None,
 ) -> InjectedAnomaly:
     """Category 2: roll out a new CPU-hungry template in one business.
 
     ``capacity_hint_ms`` — the instance's CPU capacity (CPU-ms/s), when
     known: the rollout rate is then sized to oversubscribe CPU by a
     1.3–2.2× factor, which is what makes a poor SQL an incident instead
-    of a curiosity.
+    of a curiosity.  An explicit ``business`` overrides the busiest-band
+    pick.
     """
-    business = _busiest_business(population, rng)
+    if business is None:
+        business = _busiest_business(population, rng)
     table = _busiest_table(population, business)
     # The rollout carries the anti-patterns that *make* it a poor SQL —
     # SELECT * plus a function-wrapped filter column — so static analysis
@@ -341,6 +348,7 @@ def inject_mdl_lock(
     ddl_interval_s: tuple[int, int] = (25, 50),
     copy_rate: tuple[float, float] = (3.0, 9.0),
     activity_bump: tuple[float, float] = (1.15, 1.4),
+    business: BusinessService | None = None,
 ) -> InjectedAnomaly:
     """Category 3(i): a schema migration holds repeated exclusive MDLs.
 
@@ -351,8 +359,10 @@ def inject_mdl_lock(
     signature the clustering module keys on — and, being co-table with
     the locked traffic, they are themselves blocked during each DDL step.
     The deploy activity also bumps the business's own traffic mildly.
+    An explicit ``business`` overrides the busiest-band pick.
     """
-    business = _busiest_business(population, rng)
+    if business is None:
+        business = _busiest_business(population, rng)
     table = _busiest_table(population, business)
     statement = make_statement(StatementKind.DDL, table, int(rng.integers(100, 999)))
     fp = fingerprint(statement)
@@ -428,15 +438,18 @@ def inject_row_lock(
     target_rate: tuple[float, float] = (6.0, 16.0),
     lock_hold_ms: tuple[float, float] = (250.0, 450.0),
     activity_bump: tuple[float, float] = (1.15, 1.4),
+    business: BusinessService | None = None,
 ) -> InjectedAnomaly:
     """Category 3(ii): a batch UPDATE job holds row locks on a hot table.
 
     As with migrations, batch jobs run alongside elevated business
     activity (they are usually triggered by it), so the business's own
     traffic bumps mildly during the window — the co-trend that lets the
-    clustering module place the job with its business.
+    clustering module place the job with its business.  An explicit
+    ``business`` overrides the busiest-band pick.
     """
-    business = _busiest_business(population, rng)
+    if business is None:
+        business = _busiest_business(population, rng)
     table = _busiest_table(population, business)
     statement = make_statement(StatementKind.UPDATE, table, int(rng.integers(10_000, 99_999)))
     fp = fingerprint(statement)
@@ -482,6 +495,7 @@ def inject_composite(
     anomaly_start: int,
     anomaly_end: int,
     categories: tuple[AnomalyCategory, AnomalyCategory] | None = None,
+    allow_same_target: bool = False,
     **kwargs,
 ) -> InjectedAnomaly:
     """Two independent root causes with overlapping windows.
@@ -493,15 +507,28 @@ def inject_composite(
     threshold (paper Section VI) exists for: the top cluster's sessions
     alone cannot explain the whole session anomaly, so the selection must
     keep extending.
+
+    ``allow_same_target`` lifts the default restriction that the two
+    causes hit distinct categories (and, usually, distinct businesses):
+    the category draw may repeat, and the second injection is steered
+    onto the *first* cause's business — so both root causes share one
+    business/table pair.  Attribution expectation: the H-SQL sets of the
+    two causes then overlap heavily, and the cumulative-threshold
+    selection must keep *both* R-SQL groups — ranked hits may interleave
+    across the causes, so accuracy is scored against the union of the
+    ground truths, not per-cause.
     """
     if categories is None:
         lock = (AnomalyCategory.MDL_LOCK, AnomalyCategory.ROW_LOCK)
         other = (AnomalyCategory.BUSINESS_SPIKE, AnomalyCategory.POOR_SQL,
                  AnomalyCategory.ROW_LOCK)
         first = lock[int(rng.integers(0, len(lock)))]
-        second = first
-        while second is first:
+        if allow_same_target:
             second = other[int(rng.integers(0, len(other)))]
+        else:
+            second = first
+            while second is first:
+                second = other[int(rng.integers(0, len(other)))]
         categories = (first, second)
     if AnomalyCategory.COMPOSITE in categories:
         raise ValueError("composite scenarios cannot nest")
@@ -513,8 +540,16 @@ def inject_composite(
     first_truth = _INJECTORS[categories[0]](
         population, rng, anomaly_start, anomaly_end
     )
+    second_kwargs: dict = {}
+    if allow_same_target:
+        target = next(
+            (b for b in population.businesses if b.name == first_truth.business),
+            None,
+        )
+        if target is not None:
+            second_kwargs["business"] = target
     second_truth = _INJECTORS[categories[1]](
-        population, rng, anomaly_start + offset, anomaly_end
+        population, rng, anomaly_start + offset, anomaly_end, **second_kwargs
     )
     return InjectedAnomaly(
         category=AnomalyCategory.COMPOSITE,

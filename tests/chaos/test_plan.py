@@ -70,3 +70,58 @@ class TestSingleFaultPlan:
         plan = single_fault_plan("backpressure", rate=1.0, stall_polls=7)
         assert plan.specs[0].rate == 1.0
         assert plan.specs[0].param("stall_polls") == 7
+
+
+class TestFromJson:
+    """Strict parsing: a generated plan is rejected at load time with a
+    message naming the offending spec, not at injection time."""
+
+    def test_round_trip(self):
+        plan = single_fault_plan("reorder", seed=5)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_invalid_json_named(self):
+        with pytest.raises(ValueError, match="chaos.json: not valid JSON"):
+            FaultPlan.from_json("{nope", source="chaos.json")
+
+    def test_non_object_document_rejected(self):
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_specs_must_be_a_list(self):
+        with pytest.raises(ValueError, match="'specs' must be a list"):
+            FaultPlan.from_json('{"name": "p", "specs": {"kind": "drop"}}')
+
+    def test_spec_entries_must_be_objects(self):
+        with pytest.raises(ValueError, match=r"specs\[0\] must be an object"):
+            FaultPlan.from_json('{"name": "p", "specs": ["drop"]}')
+
+    def test_missing_kind_pinpointed(self):
+        with pytest.raises(
+            ValueError, match=r"specs\[1\] is missing required key 'kind'"
+        ):
+            FaultPlan.from_json(
+                '{"name": "p", "specs": [{"kind": "drop"}, {"rate": 0.5}]}'
+            )
+
+    def test_unknown_kind_lists_known_kinds(self):
+        with pytest.raises(ValueError) as err:
+            FaultPlan.from_json(
+                '{"name": "p", "specs": [{"kind": "gamma_ray"}]}'
+            )
+        message = str(err.value)
+        assert "unknown fault kind 'gamma_ray'" in message
+        for kind in FAULT_KINDS:
+            assert kind in message
+
+    def test_malformed_plan_wrapped_with_context(self):
+        with pytest.raises(ValueError, match="malformed fault plan"):
+            FaultPlan.from_json(
+                '{"name": "p", "specs": [{"kind": "drop", "rate": 7.0}]}'
+            )
+
+    def test_load_names_the_file(self, tmp_path):
+        path = tmp_path / "broken-plan.json"
+        path.write_text('{"specs": [{"kind": "cosmic"}]}', encoding="utf-8")
+        with pytest.raises(ValueError, match="broken-plan.json"):
+            FaultPlan.load(path)

@@ -1,0 +1,45 @@
+"""Replay every checked-in corpus entry against the live harness.
+
+Green entries (no ``xfail``) must stay green — a failure here is a
+regression introduced by the change under test.  Pinned entries
+(``xfail`` set) are known attribution gaps: their recorded failure must
+*still* reproduce; if one stops failing it has been fixed and the pin
+is stale — promote it to green or delete it (the replay reports the
+stale pin as not-ok on purpose).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz import ScenarioRunner, load_corpus, replay_entry
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ScenarioRunner()
+
+
+def test_corpus_is_checked_in():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+    assert any(e.xfail for e in ENTRIES)
+    assert any(not e.xfail for e in ENTRIES)
+
+
+def test_entry_files_match_their_ids():
+    for entry in ENTRIES:
+        assert (CORPUS_DIR / f"{entry.entry_id}.json").is_file()
+        if entry.xfail:
+            assert entry.reason, entry.entry_id
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[e.entry_id for e in ENTRIES]
+)
+def test_replay(entry, runner):
+    result = replay_entry(entry, runner)
+    assert result.ok, f"{entry.entry_id}: {result.note} {result.failures}"

@@ -1,0 +1,65 @@
+"""One real CI-sized fuzz run over the default seeds.
+
+The acceptance criterion: a seeded, small-budget run must discover at
+least one novelty-increasing mutant starting from the default seeds.
+The run is module-scoped — every assertion reads the same report.
+"""
+
+import json
+
+import pytest
+
+from repro.fuzz import CoverageFuzzer, FuzzConfig
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    corpus = tmp_path_factory.mktemp("fuzz-corpus")
+    cfg = FuzzConfig(seed=7, budget=6, corpus_dir=str(corpus))
+    return CoverageFuzzer(cfg).run()
+
+
+def test_discovers_novelty_from_default_seeds(report):
+    assert report.novelty_mutants >= 1
+    novel = next(m for m in report.mutants if m.novel)
+    assert novel.new_coverage or novel.new_outcomes or novel.new_signals
+
+
+def test_every_evaluated_mutant_is_accounted(report):
+    assert len(report.mutants) == report.budget
+    for mutant in report.mutants:
+        if mutant.steps:
+            assert mutant.fixture_digest, mutant.name
+        if mutant.survived:
+            assert mutant.novel and not mutant.failures
+
+
+def test_baseline_coverage_established_by_seeds(report):
+    assert report.seed_names == (
+        "rowlock-storm", "spike-under-drop", "poorsql-baited"
+    )
+    assert report.coverage_size > 0
+    assert report.outcome_size > 0
+    assert report.evaluations >= len(report.seed_names)
+
+
+def test_default_seeds_replay_clean(report):
+    """Default seeds are the trusted baseline: none may fail outright.
+
+    (spike-under-drop legitimately misses detection — that is recorded
+    as a signal, not a failure.)
+    """
+    assert report.seed_failures == ()
+
+
+def test_report_artifact_is_json(report):
+    data = json.loads(report.to_json())
+    assert data["seed"] == 7
+    assert data["novelty_mutants"] == report.novelty_mutants
+    assert len(data["mutants"]) == report.budget
+
+
+def test_emitted_entries_written_to_corpus_dir(report):
+    assert len(report.written) == len(report.entries)
+    for path in report.written:
+        assert path.endswith(".json")

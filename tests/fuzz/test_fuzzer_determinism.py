@@ -1,0 +1,128 @@
+"""The fuzz loop is a pure function of (seed, budget, seeds).
+
+Evaluation is stubbed with a hash of the spec's content key, so these
+tests exercise the *loop* — population management, mutation draws,
+novelty accounting, shrinking, corpus emission — without simulating a
+single fleet.  The acceptance gate: same seed+budget ⇒ identical mutant
+sequence, survivors and minimized corpus; a smaller budget is a strict
+prefix of a larger one.
+"""
+
+import hashlib
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.fuzz import (
+    CoverageFuzzer,
+    FuzzConfig,
+    RunSignature,
+    ScenarioOutcome,
+    apply_steps,
+    default_seeds,
+    entry_id_for,
+)
+
+
+def stub_evaluate(spec):
+    """Deterministic fake harness: everything derives from content_key.
+
+    Roughly one in five specs 'fails', so a modest budget exercises the
+    shrink-and-emit path too.
+    """
+    digest = hashlib.blake2b(
+        spec.content_key().encode(), digest_size=8
+    ).digest()
+    coverage = frozenset({f"cov:{digest[0] % 16}", f"cov:{digest[1] % 16}"})
+    outcomes = frozenset({f"out:{digest[2] % 6}"})
+    signals = (
+        frozenset({f"signal:stub-{digest[3] % 4}"})
+        if digest[3] % 3 == 0
+        else frozenset()
+    )
+    failures = ()
+    if digest[4] % 5 == 0:
+        failures = (f"stub-break: content byte {digest[4]}",)
+    return ScenarioOutcome(
+        spec=spec,
+        clean=SimpleNamespace(r_accuracy=1.0),
+        fault=None,
+        signature=RunSignature(coverage, outcomes, signals),
+        failures=failures,
+        fixture_digest=digest.hex(),
+    )
+
+
+def _run(seed=7, budget=20, **kwargs):
+    cfg = FuzzConfig(seed=seed, budget=budget, **kwargs)
+    return CoverageFuzzer(cfg, evaluate=stub_evaluate).run()
+
+
+def test_identical_runs_produce_identical_reports():
+    first = _run()
+    second = _run()
+    assert first.to_dict() == second.to_dict()
+    assert first.to_json() == second.to_json()
+
+
+def test_different_seeds_diverge():
+    assert _run(seed=7).to_dict() != _run(seed=8).to_dict()
+
+
+def test_smaller_budget_is_strict_prefix_of_larger():
+    small = _run(budget=5)
+    large = _run(budget=14)
+    assert small.seed_failures == large.seed_failures
+    assert [m.to_dict() for m in small.mutants] == [
+        m.to_dict() for m in large.mutants[:5]
+    ]
+
+
+def test_emitted_entries_replay_and_still_fail_under_stub():
+    report = _run(budget=30)
+    assert report.failures_found >= 1
+    assert report.entries, "expected at least one minimized corpus entry"
+    bases = {s.name: s for s in default_seeds()}
+    for entry in report.entries:
+        base = bases[entry.base]
+        spec = apply_steps(base, entry.steps)
+        assert spec is not None, entry.entry_id
+        outcome = stub_evaluate(spec)
+        recorded = frozenset(r.split(":", 1)[0] for r in entry.reason)
+        assert outcome.failure_kinds & recorded
+        assert entry.entry_id == entry_id_for(spec, outcome.failure_kinds)
+        # The checked-in spec is the same scenario under a corpus name.
+        assert entry.spec.content_key() == spec.content_key()
+
+
+def test_corpus_writes_are_bit_identical(tmp_path):
+    dirs = (tmp_path / "a", tmp_path / "b")
+    for d in dirs:
+        _run(budget=30, corpus_dir=str(d))
+    names = [sorted(p.name for p in d.glob("*.json")) for d in dirs]
+    assert names[0] and names[0] == names[1]
+    for name in names[0]:
+        assert (dirs[0] / name).read_bytes() == (dirs[1] / name).read_bytes()
+
+
+def test_report_json_is_loadable_and_complete():
+    report = _run(budget=6)
+    data = json.loads(report.to_json())
+    for key in ("seed", "budget", "mutants", "survivors", "novelty_mutants",
+                "failures_found", "corpus_entries", "coverage_size"):
+        assert key in data
+
+
+def test_config_bounds_rejected():
+    with pytest.raises(ValueError, match="budget"):
+        FuzzConfig(budget=-1)
+    with pytest.raises(ValueError, match="mutation counts"):
+        FuzzConfig(min_mutations=0)
+    with pytest.raises(ValueError, match="mutation counts"):
+        FuzzConfig(min_mutations=5, max_mutations=2)
+
+
+def test_fuzzer_requires_seeds():
+    with pytest.raises(ValueError, match="seed"):
+        CoverageFuzzer(FuzzConfig(), seeds=(), evaluate=stub_evaluate)

@@ -1,0 +1,94 @@
+"""Delta-debugging over mutation chains (no simulation involved)."""
+
+import pytest
+
+from repro.fuzz import (
+    MutationStep,
+    ScenarioSpec,
+    apply_mutator,
+    apply_steps,
+    minimize_steps,
+)
+
+
+def _chain(spec, *names_seeds):
+    """Build a chain of steps that all apply to the evolving spec."""
+    steps = []
+    for name, seed in names_seeds:
+        mutated = apply_mutator(spec, name, seed)
+        assert mutated is not None, (name, seed)
+        steps.append(MutationStep(name, seed))
+        spec = mutated
+    return spec, tuple(steps)
+
+
+def test_step_round_trip_strict():
+    step = MutationStep("fault-add", 42)
+    assert MutationStep.from_dict(step.to_dict()) == step
+    with pytest.raises(ValueError, match="unknown keys"):
+        MutationStep.from_dict({"mutator": "x", "seed": 1, "extra": 2})
+    with pytest.raises(ValueError, match="mutator"):
+        MutationStep.from_dict({"seed": 1})
+
+
+def test_apply_steps_replays_chain_exactly():
+    base = ScenarioSpec()
+    final, steps = _chain(
+        base, ("fault-add", 3), ("anomaly-timing", 7), ("plant-baits", 1)
+    )
+    assert apply_steps(base, steps) == final
+
+
+def test_apply_steps_none_when_step_inapplicable():
+    base = ScenarioSpec()  # no faults: fault-rate cannot apply
+    assert apply_steps(base, (MutationStep("fault-rate", 0),)) is None
+
+
+def test_minimize_drops_irrelevant_steps():
+    """Failure depends only on the fault-add step; everything else
+    must be shrunk away."""
+    base = ScenarioSpec()
+    _, steps = _chain(
+        base,
+        ("anomaly-timing", 11),
+        ("fault-add", 3),
+        ("plant-baits", 1),
+        ("workload-seed", 5),
+    )
+
+    def still_failing(spec):
+        return spec.faults is not None
+
+    minimal = minimize_steps(base, steps, still_failing)
+    assert [s.mutator for s in minimal] == ["fault-add"]
+    spec = apply_steps(base, minimal)
+    assert spec is not None and still_failing(spec)
+
+
+def test_minimize_result_is_one_minimal():
+    """Removing any remaining step must lose the failure or break the
+    chain — the ddmin guarantee."""
+    base = ScenarioSpec()
+    _, steps = _chain(
+        base, ("fault-add", 3), ("fault-rate", 9), ("anomaly-timing", 2)
+    )
+
+    def still_failing(spec):
+        # Needs both the armed fault and a perturbed rate.
+        if spec.faults is None:
+            return False
+        return abs(spec.faults.specs[0].rate - 0.10) > 1e-9
+
+    minimal = minimize_steps(base, steps, still_failing)
+    final = apply_steps(base, minimal)
+    assert final is not None and still_failing(final)
+    for i in range(len(minimal)):
+        trial = minimal[:i] + minimal[i + 1:]
+        spec = apply_steps(base, trial)
+        assert spec is None or not still_failing(spec)
+
+
+def test_minimize_keeps_single_step_chain():
+    base = ScenarioSpec()
+    _, steps = _chain(base, ("fault-add", 3))
+    assert minimize_steps(base, steps, lambda s: s.faults is not None) == steps
